@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation study over the compiler's design choices (not a paper
+ * table; supports the design discussion in DESIGN.md): each row turns
+ * one mechanism off and reports the change in depth and CX count on a
+ * representative workload mix.
+ *
+ * Mechanisms:
+ *  - placement : connectivity-strength initial placement (vs identity)
+ *  - prediction: ATA pattern prediction + selector (vs pure greedy)
+ *  - dead-swaps: dropping schedule swaps between finished qubits in
+ *                ATA replays (measured on the pure-ATA compilation)
+ *  - crosstalk : crosstalk-aware gate coloring (adds constraints; costs
+ *                depth, pays off only on real hardware)
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "ata/ata.h"
+#include "ata/replay.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+using namespace permuq;
+using bench::average_over_seeds;
+
+namespace {
+
+bench::AveragedMetrics
+run(const arch::CouplingGraph& device, std::int32_t n, double density,
+    const core::CompilerOptions& options)
+{
+    return average_over_seeds([&](std::uint64_t seed) {
+        auto problem = problem::random_graph(n, density, seed);
+        Timer t;
+        auto result = core::compile(device, problem, options);
+        return std::pair{result.metrics, t.elapsed_seconds()};
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablations of the compiler's design choices",
+                  "DESIGN.md section 4");
+    struct Workload
+    {
+        arch::ArchKind kind;
+        std::int32_t n;
+        double density;
+    };
+    const Workload workloads[] = {
+        {arch::ArchKind::HeavyHex, 128, 0.3},
+        {arch::ArchKind::Sycamore, 128, 0.3},
+        {arch::ArchKind::HeavyHex, 256, 0.9},
+    };
+
+    Table table({"workload", "variant", "depth", "cx",
+                 "depth vs full", "cx vs full"});
+    for (const auto& w : workloads) {
+        auto device = arch::smallest_arch(w.kind, w.n);
+        std::string label = arch::to_string(w.kind) + "-" +
+                            std::to_string(w.n) + "-" +
+                            Table::cell(w.density, 1);
+
+        core::CompilerOptions full;
+        auto base = run(device, w.n, w.density, full);
+        table.add_row({label, "full", Table::cell(base.depth, 0),
+                       Table::cell(base.cx, 0), "1.00", "1.00"});
+
+        auto add_variant = [&](const char* name,
+                               const core::CompilerOptions& options) {
+            auto m = run(device, w.n, w.density, options);
+            table.add_row({label, name, Table::cell(m.depth, 0),
+                           Table::cell(m.cx, 0),
+                           Table::cell(m.depth / base.depth, 2),
+                           Table::cell(m.cx / base.cx, 2)});
+        };
+        core::CompilerOptions no_place = full;
+        no_place.smart_placement = false;
+        add_variant("no placement", no_place);
+
+        core::CompilerOptions no_predict = full;
+        no_predict.use_ata_prediction = false;
+        add_variant("no prediction", no_predict);
+
+        core::CompilerOptions xtalk = full;
+        xtalk.crosstalk_aware = true;
+        add_variant("crosstalk-aware", xtalk);
+    }
+    table.print();
+
+    // Dead-swap skipping is an ATA-replay property; measure it on the
+    // rigid clique replay directly.
+    std::printf("\n-- dead-swap skipping in ATA replays --\n");
+    Table replay_table({"workload", "variant", "depth", "cx"});
+    for (const auto& w : workloads) {
+        auto device = arch::smallest_arch(w.kind, w.n);
+        auto sched = ata::full_ata_schedule(device);
+        std::string label = arch::to_string(w.kind) + "-" +
+                            std::to_string(w.n) + "-" +
+                            Table::cell(w.density, 1);
+        for (bool skip : {true, false}) {
+            auto avg = average_over_seeds([&](std::uint64_t seed) {
+                auto problem =
+                    problem::random_graph(w.n, w.density, seed);
+                circuit::Mapping mapping(w.n, device.num_qubits());
+                ata::ReplayOptions options;
+                options.skip_dead_swaps = skip;
+                Timer t;
+                auto circ = ata::replay(device, problem, mapping, sched,
+                                        options);
+                return std::pair{circuit::compute_metrics(circ),
+                                 t.elapsed_seconds()};
+            });
+            replay_table.add_row({label, skip ? "skip" : "keep",
+                                  Table::cell(avg.depth, 0),
+                                  Table::cell(avg.cx, 0)});
+        }
+    }
+    replay_table.print();
+    return 0;
+}

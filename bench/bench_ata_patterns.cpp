@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates the pattern depth laws of §3 and Appendices A-C: the
+ * clique-circuit depth of every ATA pattern as a function of device
+ * size, confirming the linear-depth structure (line 2n-2; grid ~2n;
+ * Sycamore ~3.5n; hexagon ~4n; heavy-hex ~5n) and the per-pattern
+ * constants used by the prediction component.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "ata/ata.h"
+#include "ata/replay.h"
+#include "bench_util.h"
+#include "circuit/metrics.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+
+using namespace permuq;
+
+int
+main()
+{
+    bench::banner("ATA clique-pattern depth laws", "section 3, App. A-C");
+    Table table({"architecture", "qubits", "depth", "depth/n", "swaps",
+                 "merged", "cx", "gen+replay (s)"});
+    struct Case
+    {
+        arch::ArchKind kind;
+        std::int32_t n;
+    };
+    const Case cases[] = {
+        {arch::ArchKind::Line, 16},      {arch::ArchKind::Line, 64},
+        {arch::ArchKind::Grid, 64},      {arch::ArchKind::Grid, 256},
+        {arch::ArchKind::Grid, 1024},    {arch::ArchKind::Sycamore, 64},
+        {arch::ArchKind::Sycamore, 256}, {arch::ArchKind::Sycamore, 1024},
+        {arch::ArchKind::Hexagon, 64},   {arch::ArchKind::Hexagon, 256},
+        {arch::ArchKind::HeavyHex, 64},  {arch::ArchKind::HeavyHex, 256},
+        {arch::ArchKind::HeavyHex, 1024},
+    };
+    for (const auto& c : cases) {
+        auto device = arch::smallest_arch(c.kind, c.n);
+        Timer t;
+        auto sched = ata::full_ata_schedule(device);
+        auto problem = graph::Graph::clique(device.num_qubits());
+        circuit::Mapping mapping(device.num_qubits(), device.num_qubits());
+        auto circ = ata::replay(device, problem, mapping, sched);
+        double seconds = t.elapsed_seconds();
+        circuit::expect_valid(circ, device, problem);
+        auto m = circuit::compute_metrics(circ);
+        table.add_row(
+            {device.name(),
+             Table::cell(static_cast<long long>(device.num_qubits())),
+             Table::cell(static_cast<long long>(m.depth)),
+             Table::cell(static_cast<double>(m.depth) /
+                             device.num_qubits(),
+                         2),
+             Table::cell(static_cast<long long>(m.swap_gates)),
+             Table::cell(static_cast<long long>(m.merged_pairs)),
+             Table::cell(static_cast<long long>(m.cx_count)),
+             Table::cell(seconds, 2)});
+    }
+    table.print();
+    return 0;
+}

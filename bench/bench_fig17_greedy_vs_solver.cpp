@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig 17 (a)-(d): pure greedy vs pure solver-guided (ATA)
+ * vs the combined compiler, depth and gate count on heavy-hex and
+ * Sycamore, random graphs n in {64, 256, 1024}, density in {0.1, 0.3},
+ * normalized to the greedy bar.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+using namespace permuq;
+using bench::average_over_seeds;
+
+int
+main()
+{
+    bench::banner("Pure-Greedy vs Solver vs Ours", "Fig 17 (a)-(d)");
+    for (auto kind : {arch::ArchKind::HeavyHex, arch::ArchKind::Sycamore}) {
+        Table depth_table({"graph", "greedy", "solver", "ours",
+                           "solver/greedy", "ours/greedy"});
+        Table gates_table({"graph", "greedy", "solver", "ours",
+                           "solver/greedy", "ours/greedy"});
+        // Paper densities 0.1/0.3 plus two denser points: our greedy
+        // component is stronger than the paper's, which pushes the
+        // greedy-vs-structured crossover toward higher density (see
+        // EXPERIMENTS.md), so the dense points exhibit it.
+        for (double density : {0.1, 0.3, 0.7, 1.0}) {
+            for (std::int32_t n : {64, 256, 1024}) {
+                if (density > 0.5 && n > 256)
+                    continue; // keep the harness fast
+                auto device = arch::smallest_arch(kind, n);
+                auto run = [&](auto&& compiler) {
+                    return average_over_seeds([&](std::uint64_t seed) {
+                        auto problem =
+                            problem::random_graph(n, density, seed);
+                        Timer t;
+                        auto result = compiler(device, problem);
+                        return std::pair{result.metrics,
+                                         t.elapsed_seconds()};
+                    });
+                };
+                auto greedy = run([](const auto& d, const auto& p) {
+                    return baselines::greedy_only(d, p);
+                });
+                auto solver = run([](const auto& d, const auto& p) {
+                    return baselines::ata_only(d, p);
+                });
+                auto ours = run([](const auto& d, const auto& p) {
+                    return core::compile(d, p);
+                });
+                std::string label = std::to_string(n) + "-" +
+                                    Table::cell(density, 1);
+                depth_table.add_row(
+                    {label, Table::cell(greedy.depth, 0),
+                     Table::cell(solver.depth, 0),
+                     Table::cell(ours.depth, 0),
+                     Table::cell(solver.depth / greedy.depth, 2),
+                     Table::cell(ours.depth / greedy.depth, 2)});
+                gates_table.add_row(
+                    {label, Table::cell(greedy.cx, 0),
+                     Table::cell(solver.cx, 0), Table::cell(ours.cx, 0),
+                     Table::cell(solver.cx / greedy.cx, 2),
+                     Table::cell(ours.cx / greedy.cx, 2)});
+            }
+        }
+        std::printf("-- depth, %s (Fig 17 %s) --\n",
+                    arch::to_string(kind).c_str(),
+                    kind == arch::ArchKind::HeavyHex ? "(a)" : "(c)");
+        depth_table.print();
+        std::printf("\n-- gate count, %s (Fig 17 %s) --\n",
+                    arch::to_string(kind).c_str(),
+                    kind == arch::ArchKind::HeavyHex ? "(b)" : "(d)");
+        gates_table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

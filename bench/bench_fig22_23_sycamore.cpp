@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Figs 22 and 23: depth and CX gate count on Google Sycamore
+ * for random and regular graphs, n in {64, 128, 256}, density in
+ * {0.3, 0.5}, comparing ours against QAIM_IC and Paulihedral.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+using namespace permuq;
+using bench::average_over_seeds;
+
+int
+main()
+{
+    bench::banner("Sycamore depth and gate count vs QAIM/Paulihedral",
+                  "Figs 22 and 23");
+    auto kind = arch::ArchKind::Sycamore;
+    for (bool regular : {false, true}) {
+        Table table({"graph", "ours depth", "qaim depth", "pauli depth",
+                     "ours cx", "qaim cx", "pauli cx"});
+        for (std::int32_t n : {64, 128, 256}) {
+            for (double density : {0.3, 0.5}) {
+                auto device = arch::smallest_arch(kind, n);
+                auto make_problem = [&](std::uint64_t seed) {
+                    return regular ? problem::regular_graph_with_density(
+                                         n, density, seed)
+                                   : problem::random_graph(n, density,
+                                                           seed);
+                };
+                auto run = [&](auto&& compiler) {
+                    return average_over_seeds([&](std::uint64_t seed) {
+                        auto problem = make_problem(seed);
+                        Timer t;
+                        auto result = compiler(device, problem);
+                        return std::pair{result.metrics,
+                                         t.elapsed_seconds()};
+                    });
+                };
+                auto ours = run([](const auto& d, const auto& p) {
+                    return core::compile(d, p);
+                });
+                auto qaim = run([](const auto& d, const auto& p) {
+                    return baselines::qaim_like(d, p);
+                });
+                auto pauli = run([](const auto& d, const auto& p) {
+                    return baselines::paulihedral_like(d, p);
+                });
+                std::string label = std::string(regular ? "reg-" : "rand-") +
+                                    std::to_string(n) + "-" +
+                                    Table::cell(density, 1);
+                table.add_row({label, Table::cell(ours.depth, 0),
+                               Table::cell(qaim.depth, 0),
+                               Table::cell(pauli.depth, 0),
+                               Table::cell(ours.cx, 0),
+                               Table::cell(qaim.cx, 0),
+                               Table::cell(pauli.cx, 0)});
+            }
+        }
+        std::printf("-- %s graphs on Sycamore (Fig 22/23 %s) --\n",
+                    regular ? "regular" : "random",
+                    regular ? "(b)" : "(a)");
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

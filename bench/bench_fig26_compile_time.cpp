@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Fig 26: compilation time vs problem size (random graphs,
+ * density 0.3, n from 64 to 1024 on heavy-hex). The paper reports
+ * near-linear scaling with ~30s at 1024 qubits on their machine; the
+ * shape (near-linear growth) is the result.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+using namespace permuq;
+using bench::average_over_seeds;
+
+int
+main()
+{
+    bench::banner("Compilation time vs QAOA graph size", "Fig 26");
+    Table table({"qubits", "time (s)", "time / qubit (ms)"});
+    auto kind = arch::ArchKind::HeavyHex;
+    for (std::int32_t n : {64, 128, 256, 384, 512, 768, 1024}) {
+        auto device = arch::smallest_arch(kind, n);
+        auto avg = average_over_seeds([&](std::uint64_t seed) {
+            auto problem = problem::random_graph(n, 0.3, seed);
+            Timer t;
+            auto result = core::compile(device, problem);
+            return std::pair{result.metrics, t.elapsed_seconds()};
+        });
+        table.add_row({Table::cell(static_cast<long long>(n)),
+                       Table::cell(avg.seconds, 3),
+                       Table::cell(avg.seconds * 1e3 / n, 3)});
+    }
+    table.print();
+    return 0;
+}

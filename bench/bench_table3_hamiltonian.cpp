@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Table 3: 2-local Hamiltonian simulation kernels (NNN
+ * 1D-Ising, 2D-XY, 3D-Heisenberg; 64 spins) on a medium heavy-hex
+ * device, ours vs 2QAN. These are fixed benchmark graphs, so no seed
+ * averaging is involved (only 2QAN's annealer uses its own seed).
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/compiler.h"
+#include "problem/hamiltonians.h"
+
+using namespace permuq;
+
+int
+main()
+{
+    bench::banner("2-local Hamiltonians on heavy-hex, ours vs 2QAN",
+                  "Table 3");
+    auto device = arch::smallest_arch(arch::ArchKind::HeavyHex, 64);
+    struct Benchmark
+    {
+        std::string name;
+        graph::Graph problem;
+    };
+    Benchmark benchmarks[] = {
+        {"1D-Ising", problem::nnn_ising_1d(64)},
+        {"2D-XY", problem::nnn_xy_2d(8, 8)},
+        {"3D-Heisenberg", problem::nnn_heisenberg_3d(4, 4, 4)},
+    };
+    Table table({"benchmark", "terms", "ours depth", "2qan depth",
+                 "ours cx", "2qan cx"});
+    for (const auto& b : benchmarks) {
+        auto ours = core::compile(device, b.problem);
+        auto tqan = baselines::tqan_like(device, b.problem);
+        table.add_row(
+            {b.name, Table::cell(static_cast<long long>(
+                         b.problem.num_edges())),
+             Table::cell(static_cast<long long>(ours.metrics.depth)),
+             Table::cell(static_cast<long long>(tqan.metrics.depth)),
+             Table::cell(static_cast<long long>(ours.metrics.cx_count)),
+             Table::cell(static_cast<long long>(tqan.metrics.cx_count))});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table 4: ours vs the SAT-solver approaches on small 2D
+ * grids — depth, gate count and compilation time for n in {10, 12, 15}
+ * and density in {0.2, 0.3, 0.4}. olsq stands in for QAOA-OLSQ
+ * (depth-optimal search), satmap for SATMAP (swap-count-optimal
+ * search); both are exact with an expansion budget standing in for the
+ * solvers' wall-clock timeouts.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+using namespace permuq;
+
+int
+main()
+{
+    bench::banner("Comparison with SAT-solver-based compilers",
+                  "Table 4");
+    Table table({"graph", "ours depth", "olsq depth", "satmap depth",
+                 "ours gates", "olsq gates", "satmap gates", "ours t(s)",
+                 "olsq t(s)", "satmap t(s)"});
+    for (std::int32_t n : {10, 12, 15}) {
+        for (double density : {0.2, 0.3, 0.4}) {
+            // One representative instance per point (the exact solvers
+            // are deterministic; seed 1 matches the other benches).
+            auto device = arch::smallest_arch(arch::ArchKind::Grid, n);
+            auto problem = problem::random_graph(n, density, 1);
+            Timer t_ours;
+            auto ours = core::compile(device, problem);
+            double ours_t = t_ours.elapsed_seconds();
+            auto olsq = baselines::olsq_like(device, problem);
+            auto satmap = baselines::satmap_like(device, problem);
+            auto mark = [](const baselines::BaselineResult& r,
+                           long long v) {
+                return r.complete ? Table::cell(v)
+                                  : Table::cell(v) + "*";
+            };
+            table.add_row(
+                {std::to_string(n) + "-" + Table::cell(density * 10, 0),
+                 Table::cell(static_cast<long long>(ours.metrics.depth)),
+                 mark(olsq, olsq.metrics.depth),
+                 mark(satmap, satmap.metrics.depth),
+                 Table::cell(static_cast<long long>(ours.metrics.cx_count)),
+                 mark(olsq, olsq.metrics.cx_count),
+                 mark(satmap, satmap.metrics.cx_count),
+                 Table::cell(ours_t, 3),
+                 Table::cell(olsq.compile_seconds, 3),
+                 Table::cell(satmap.compile_seconds, 3)});
+        }
+    }
+    table.print();
+    std::printf("(* = expansion budget exhausted; heuristic incumbent "
+                "reported, like a SAT timeout)\n");
+    return 0;
+}

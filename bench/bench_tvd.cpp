@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces the §7.4 TVD experiment: total variation distance between
+ * the noisy output distribution (8000 shots on simulated IBM Mumbai)
+ * and the ideal distribution, for the 10-qubit and 20-qubit random-0.3
+ * QAOA circuits, ours vs 2QAN. Smaller is better.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "sim/qaoa.h"
+
+using namespace permuq;
+
+int
+main()
+{
+    bench::banner("TVD on simulated IBM Mumbai", "section 7.4");
+    auto device = arch::make_mumbai();
+    auto noise = arch::NoiseModel::calibrated(device, 11);
+    sim::QaoaAngles angles{{0.4}, {0.35}};
+
+    // Two TVD flavours: shot-level (8000 shots, like the paper's real-
+    // machine runs) and distribution-level (trajectory-averaged exact
+    // probabilities). At 20 qubits the shot histogram over 2^20 bins
+    // saturates from sampling sparsity alone, so the distribution
+    // column carries the comparison there.
+    Table table({"benchmark", "ours TVD", "2qan TVD", "ours dTVD",
+                 "2qan dTVD", "ours cx", "2qan cx"});
+    for (std::int32_t n : {10, 20}) {
+        auto problem = problem::random_graph(n, 0.3, 5);
+        auto ours = core::compile(device, problem);
+        auto tqan = baselines::tqan_like(device, problem);
+        auto ideal = sim::ideal_distribution(problem, angles);
+        sim::NoisySimOptions options;
+        options.trajectories = n <= 10 ? 32 : 8;
+        options.shots = 8000;
+        double tvd_ours = sim::tvd(
+            ideal, sim::noisy_counts(problem, ours.circuit, noise,
+                                     angles, options));
+        double tvd_tqan = sim::tvd(
+            ideal, sim::noisy_counts(problem, tqan.circuit, noise,
+                                     angles, options));
+        double dtvd_ours = sim::tvd(
+            ideal, sim::noisy_distribution(problem, ours.circuit, noise,
+                                           angles, options));
+        double dtvd_tqan = sim::tvd(
+            ideal, sim::noisy_distribution(problem, tqan.circuit, noise,
+                                           angles, options));
+        table.add_row(
+            {"qaoa-rand-" + std::to_string(n) + "-0.3",
+             Table::cell(tvd_ours, 3), Table::cell(tvd_tqan, 3),
+             Table::cell(dtvd_ours, 3), Table::cell(dtvd_tqan, 3),
+             Table::cell(static_cast<long long>(ours.metrics.cx_count)),
+             Table::cell(static_cast<long long>(tqan.metrics.cx_count))});
+    }
+    table.print();
+    std::printf("(paper: 10q ours 0.39 vs 2QAN 0.49; 20q ours 0.62 vs "
+                "2QAN 0.66 — absolute values depend on the calibration "
+                "sample, the ordering is the result)\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: seed control, metric
+ * averaging over random instances, and consistent labels.
+ *
+ * The paper averages 10 random instances per data point; the harness
+ * defaults to 3 to keep the full suite fast. Set PERMUQ_SEEDS to
+ * change this, e.g. `PERMUQ_SEEDS=10 ./bench_fig20_21_heavyhex`.
+ */
+#ifndef PERMUQ_BENCH_BENCH_UTIL_H
+#define PERMUQ_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/metrics.h"
+#include "common/stats.h"
+
+namespace permuq::bench {
+
+/** Number of random instances per data point (PERMUQ_SEEDS, default 3). */
+inline std::int32_t
+num_seeds()
+{
+    const char* env = std::getenv("PERMUQ_SEEDS");
+    if (env != nullptr) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    return 3;
+}
+
+/** Averaged metrics of one compiler over the seed set. */
+struct AveragedMetrics
+{
+    double depth = 0.0;
+    double cx = 0.0;
+    double seconds = 0.0;
+};
+
+/**
+ * Run @p body once per seed and average the resulting (metrics,
+ * seconds) pairs. @p body receives the seed.
+ */
+inline AveragedMetrics
+average_over_seeds(
+    const std::function<std::pair<circuit::Metrics, double>(std::uint64_t)>&
+        body)
+{
+    std::vector<double> depth, cx, secs;
+    for (std::int32_t s = 0; s < num_seeds(); ++s) {
+        auto [m, t] = body(static_cast<std::uint64_t>(s) + 1);
+        depth.push_back(static_cast<double>(m.depth));
+        cx.push_back(static_cast<double>(m.cx_count));
+        secs.push_back(t);
+    }
+    return {mean(depth), mean(cx), mean(secs)};
+}
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string& title, const std::string& paper_ref)
+{
+    std::printf("\n== %s ==\n(reproduces %s; %d seed%s per point; see "
+                "EXPERIMENTS.md)\n\n",
+                title.c_str(), paper_ref.c_str(), num_seeds(),
+                num_seeds() == 1 ? "" : "s");
+}
+
+} // namespace permuq::bench
+
+#endif // PERMUQ_BENCH_BENCH_UTIL_H

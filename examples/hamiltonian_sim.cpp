@@ -1,0 +1,62 @@
+/**
+ * @file
+ * 2-local Hamiltonian simulation compilation (paper §7.5): compile the
+ * three NNN interaction models onto a heavy-hex device, with and
+ * without calibration noise awareness, and compare the estimated
+ * success probability of one Trotter step.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "circuit/metrics.h"
+#include "core/compiler.h"
+#include "problem/hamiltonians.h"
+
+int
+main()
+{
+    using namespace permuq;
+
+    auto device = arch::smallest_arch(arch::ArchKind::HeavyHex, 64);
+    auto noise = arch::NoiseModel::calibrated(device, /*seed=*/42);
+    std::printf("device: %s, calibrated noise (median CX error 1%%)\n\n",
+                device.name().c_str());
+
+    struct Model
+    {
+        const char* name;
+        graph::Graph interactions;
+    };
+    Model models[] = {
+        {"NNN 1D-Ising (64 spins)", problem::nnn_ising_1d(64)},
+        {"NNN 2D-XY (8x8)", problem::nnn_xy_2d(8, 8)},
+        {"NNN 3D-Heisenberg (4x4x4)", problem::nnn_heisenberg_3d(4, 4, 4)},
+    };
+
+    for (auto& model : models) {
+        // One Trotter step applies one permutable two-qubit block per
+        // interaction term — exactly a QAOA-style compilation problem.
+        core::CompilerOptions plain;
+        core::CompilerOptions aware;
+        aware.noise = &noise;
+
+        auto blind = core::compile(device, model.interactions, plain);
+        auto tuned = core::compile(device, model.interactions, aware);
+        circuit::expect_valid(tuned.circuit, device, model.interactions);
+
+        auto m_blind = circuit::compute_metrics(blind.circuit, &noise);
+        auto m_tuned = circuit::compute_metrics(tuned.circuit, &noise);
+        std::printf("%s: %d terms\n", model.name,
+                    model.interactions.num_edges());
+        std::printf("  noise-blind: depth %4d, %5lld CX, ESP %.4f\n",
+                    m_blind.depth,
+                    static_cast<long long>(m_blind.cx_count),
+                    m_blind.fidelity);
+        std::printf("  noise-aware: depth %4d, %5lld CX, ESP %.4f\n\n",
+                    m_tuned.depth,
+                    static_cast<long long>(m_tuned.cx_count),
+                    m_tuned.fidelity);
+    }
+    return 0;
+}

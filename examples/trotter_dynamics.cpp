@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trotterized spin dynamics on a compiled circuit: evolve an NNN
+ * Heisenberg chain and compare the Trotterized state (whose term order
+ * is whatever the compiler chose — any order is a valid first-order
+ * Trotterization, which is precisely the permutability the compiler
+ * exploits) against exact integration.
+ */
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "core/compiler.h"
+#include "problem/hamiltonians.h"
+#include "sim/hamiltonian.h"
+
+int
+main()
+{
+    using namespace permuq;
+
+    const std::int32_t spins = 10;
+    auto interactions = problem::nnn_ising_1d(spins);
+    auto device = arch::smallest_arch(arch::ArchKind::HeavyHex, spins);
+    auto compiled = core::compile(device, interactions);
+    std::printf("NNN Heisenberg chain, %d spins, %d terms; compiled to "
+                "depth %d on %s\n\n",
+                spins, interactions.num_edges(), compiled.metrics.depth,
+                device.name().c_str());
+
+    sim::SpinHamiltonian h;
+    h.interactions = interactions;
+    h.model = sim::SpinModel::Heisenberg;
+    h.coupling = 0.35;
+
+    // Domain-wall initial state |000001111>-like.
+    sim::Statevector exact(spins);
+    for (std::int32_t q = 0; q < spins / 2; ++q)
+        exact.apply_x(q);
+    auto initial = exact;
+
+    const double time = 1.0;
+    double e0 = sim::energy_expectation(h, exact);
+    sim::exact_evolution(h, exact, time, 600);
+    std::printf("exact evolution to t=%.1f: energy %.4f (conserved from "
+                "%.4f)\n\n",
+                time, sim::energy_expectation(h, exact), e0);
+
+    std::printf("%-8s %-12s %-10s\n", "steps", "fidelity", "energy");
+    for (std::int32_t steps : {1, 2, 4, 8, 16, 32}) {
+        auto trotter = initial;
+        sim::trotter_evolution(h, compiled.circuit, trotter, time, steps);
+        std::printf("%-8d %-12.6f %-10.4f\n", steps,
+                    sim::state_fidelity(exact, trotter),
+                    sim::energy_expectation(h, trotter));
+    }
+    std::printf("\nfirst-order Trotter error decays ~1/steps; the gate "
+                "order is the compiler's, illustrating that every "
+                "permutation of the terms is a valid program.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "noise_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace permuq::arch {
+
+NoiseModel
+NoiseModel::ideal(const CouplingGraph& arch)
+{
+    NoiseModel m;
+    m.readout_.assign(static_cast<std::size_t>(arch.num_qubits()), 0.0);
+    for (const auto& e : arch.couplers())
+        m.cx_error_.emplace(e, 0.0);
+    m.ideal_ = true;
+    return m;
+}
+
+NoiseModel
+NoiseModel::calibrated(const CouplingGraph& arch, std::uint64_t seed,
+                       double median_cx_error, double median_readout_error,
+                       double sigma)
+{
+    fatal_unless(median_cx_error > 0.0 && median_cx_error < 0.5,
+                 "median CX error out of range");
+    fatal_unless(sigma >= 0.0 && sigma <= 2.0, "sigma out of range");
+    NoiseModel m;
+    Xoshiro256 rng(seed);
+    double clamp_factor = 5.0 * std::max(1.0, sigma / 0.4);
+    auto draw = [&](double median) {
+        double v = median * std::exp(sigma * rng.next_gaussian());
+        return std::clamp(std::min(v, 0.45), median / clamp_factor,
+                          median * clamp_factor);
+    };
+    for (const auto& e : arch.couplers())
+        m.cx_error_.emplace(e, draw(median_cx_error));
+    m.readout_.reserve(static_cast<std::size_t>(arch.num_qubits()));
+    for (std::int32_t q = 0; q < arch.num_qubits(); ++q)
+        m.readout_.push_back(draw(median_readout_error));
+    m.sq_error_ = median_cx_error / 10.0;
+    m.ideal_ = false;
+    return m;
+}
+
+double
+NoiseModel::cx_error(PhysicalQubit p, PhysicalQubit q) const
+{
+    auto it = cx_error_.find(VertexPair(p, q));
+    fatal_unless(it != cx_error_.end(),
+                 "cx_error queried on a non-coupler pair");
+    return it->second;
+}
+
+} // namespace permuq::arch

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-device noise model (paper §5.3, §7.4).
+ *
+ * Real IBM devices exhibit qubit/link error variability: each coupler
+ * has its own two-qubit (CX) error rate and each qubit its own readout
+ * error. The paper folds link error into SWAP-insertion weights and
+ * into the fidelity term of the circuit selector's cost function F.
+ * We model calibration data with a log-normal spread around Falcon-era
+ * magnitudes, seeded so experiments are reproducible.
+ */
+#ifndef PERMUQ_ARCH_NOISE_MODEL_H
+#define PERMUQ_ARCH_NOISE_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "common/types.h"
+
+namespace permuq::arch {
+
+/** Calibration-style error rates for one device. */
+class NoiseModel
+{
+  public:
+    /** A noiseless model (all error rates zero) for @p arch. */
+    static NoiseModel ideal(const CouplingGraph& arch);
+
+    /**
+     * A calibration-like model: CX error log-normal around
+     * @p median_cx_error, readout error log-normal around
+     * @p median_readout_error. @p sigma is the log-normal spread
+     * (0.4 ~ Falcon-like ~40% variability; larger values model devices
+     * with strongly contrasted good/bad links). Draws are clamped to
+     * [median/5, 5*median] at sigma 0.4 and the clamp widens with
+     * sigma.
+     */
+    static NoiseModel calibrated(const CouplingGraph& arch,
+                                 std::uint64_t seed,
+                                 double median_cx_error = 1.0e-2,
+                                 double median_readout_error = 2.0e-2,
+                                 double sigma = 0.4);
+
+    /** CX error rate on the coupler (p, q); fatal if not a coupler. */
+    double cx_error(PhysicalQubit p, PhysicalQubit q) const;
+
+    /** Readout error of physical qubit @p q. */
+    double
+    readout_error(PhysicalQubit q) const
+    {
+        return readout_[static_cast<std::size_t>(q)];
+    }
+
+    /** Single-qubit gate error (uniform, small). */
+    double sq_error() const { return sq_error_; }
+
+    /** Number of qubits this model covers. */
+    std::int32_t
+    num_qubits() const
+    {
+        return static_cast<std::int32_t>(readout_.size());
+    }
+
+    /** True if every error rate is zero. */
+    bool is_ideal() const { return ideal_; }
+
+  private:
+    NoiseModel() = default;
+
+    std::unordered_map<VertexPair, double, VertexPairHash> cx_error_;
+    std::vector<double> readout_;
+    double sq_error_ = 0.0;
+    bool ideal_ = true;
+};
+
+} // namespace permuq::arch
+
+#endif // PERMUQ_ARCH_NOISE_MODEL_H

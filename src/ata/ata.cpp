@@ -1,0 +1,235 @@
+#include "ata.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ata/grid_pattern.h"
+#include "ata/heavy_hex_pattern.h"
+#include "ata/lattice3d_pattern.h"
+#include "ata/line_pattern.h"
+#include "ata/unit_composition.h"
+#include "common/error.h"
+
+namespace permuq::ata {
+
+namespace {
+
+bool
+uses_path(arch::ArchKind kind)
+{
+    return kind == arch::ArchKind::Line || kind == arch::ArchKind::HeavyHex;
+}
+
+/** Clamp to device bounds and widen degenerate regions that the
+ *  pattern generators cannot handle (a single Sycamore unit has no
+ *  couplers; a single hexagon row has no exchanges). */
+Region
+normalize_region(const arch::CouplingGraph& device, Region r)
+{
+    if (device.kind() == arch::ArchKind::Lattice3D) {
+        // 3D regions are not sub-divided; always use the full device.
+        r.unit0 = 0;
+        r.unit1 = device.num_units() - 1;
+        r.elem0 = 0;
+        r.elem1 = static_cast<std::int32_t>(device.units()[0].size()) - 1;
+        return r;
+    }
+    if (uses_path(device.kind())) {
+        std::int32_t last =
+            static_cast<std::int32_t>(device.longest_path().size()) - 1;
+        r.path0 = std::clamp(r.path0, 0, last);
+        r.path1 = std::clamp(r.path1, r.path0, last);
+        return r;
+    }
+    std::int32_t num_units = device.num_units();
+    fatal_unless(num_units > 0, "architecture has no unit decomposition");
+    std::int32_t unit_len =
+        static_cast<std::int32_t>(device.units()[0].size());
+    r.unit0 = std::clamp(r.unit0, 0, num_units - 1);
+    r.unit1 = std::clamp(r.unit1, r.unit0, num_units - 1);
+    r.elem0 = std::clamp(r.elem0, 0, unit_len - 1);
+    r.elem1 = std::clamp(r.elem1, r.elem0, unit_len - 1);
+
+    auto widen = [](std::int32_t& lo, std::int32_t& hi, std::int32_t max) {
+        if (lo == hi) {
+            if (hi < max)
+                ++hi;
+            else if (lo > 0)
+                --lo;
+        }
+    };
+    if (device.kind() == arch::ArchKind::Sycamore)
+        widen(r.unit0, r.unit1, num_units - 1);
+    if (device.kind() == arch::ArchKind::Hexagon)
+        widen(r.elem0, r.elem1, unit_len - 1);
+    return r;
+}
+
+} // namespace
+
+Region
+full_region(const arch::CouplingGraph& device)
+{
+    Region r;
+    if (uses_path(device.kind())) {
+        r.path1 =
+            static_cast<std::int32_t>(device.longest_path().size()) - 1;
+        return r;
+    }
+    fatal_unless(device.num_units() > 0,
+                 "architecture has no unit decomposition");
+    r.unit1 = device.num_units() - 1;
+    r.elem1 = static_cast<std::int32_t>(device.units()[0].size()) - 1;
+    return r;
+}
+
+std::vector<PhysicalQubit>
+region_positions(const arch::CouplingGraph& device, const Region& region)
+{
+    Region r = normalize_region(device, region);
+    std::vector<PhysicalQubit> out;
+    if (uses_path(device.kind())) {
+        const auto& path = device.longest_path();
+        for (std::int32_t i = r.path0; i <= r.path1; ++i)
+            out.push_back(path[static_cast<std::size_t>(i)]);
+        for (const auto& att : device.off_path())
+            if (att.path_index >= r.path0 && att.path_index <= r.path1)
+                out.push_back(att.off_qubit);
+        return out;
+    }
+    for (std::int32_t u = r.unit0; u <= r.unit1; ++u) {
+        const auto& unit = device.units()[static_cast<std::size_t>(u)];
+        for (std::int32_t e = r.elem0; e <= r.elem1; ++e)
+            out.push_back(unit[static_cast<std::size_t>(e)]);
+    }
+    return out;
+}
+
+std::int32_t
+region_size(const arch::CouplingGraph& device, const Region& region)
+{
+    Region r = normalize_region(device, region);
+    if (uses_path(device.kind())) {
+        std::int32_t n = r.path1 - r.path0 + 1;
+        for (const auto& att : device.off_path())
+            if (att.path_index >= r.path0 && att.path_index <= r.path1)
+                ++n;
+        return n;
+    }
+    return (r.unit1 - r.unit0 + 1) * (r.elem1 - r.elem0 + 1);
+}
+
+SwapSchedule
+ata_schedule(const arch::CouplingGraph& device, const Region& region)
+{
+    Region r = normalize_region(device, region);
+    switch (device.kind()) {
+      case arch::ArchKind::Line: {
+        const auto& path = device.longest_path();
+        std::vector<PhysicalQubit> slice(
+            path.begin() + r.path0, path.begin() + r.path1 + 1);
+        return line_pattern(slice);
+      }
+      case arch::ArchKind::HeavyHex:
+        return heavy_hex_pattern(device, r.path0, r.path1);
+      case arch::ArchKind::Grid:
+      case arch::ArchKind::Sycamore:
+      case arch::ArchKind::Hexagon: {
+        std::vector<std::vector<PhysicalQubit>> sub_units;
+        for (std::int32_t u = r.unit0; u <= r.unit1; ++u) {
+            const auto& unit =
+                device.units()[static_cast<std::size_t>(u)];
+            sub_units.emplace_back(unit.begin() + r.elem0,
+                                   unit.begin() + r.elem1 + 1);
+        }
+        if (device.kind() == arch::ArchKind::Grid)
+            return grid_simultaneous_ata(device, sub_units);
+        return unit_level_ata(device, sub_units, device.kind());
+      }
+      case arch::ArchKind::Lattice3D:
+        return lattice3d_ata(device);
+      case arch::ArchKind::Custom:
+        break;
+    }
+    throw FatalError("ata_schedule: unsupported architecture kind: " +
+                     arch::to_string(device.kind()));
+}
+
+SwapSchedule
+full_ata_schedule(const arch::CouplingGraph& device)
+{
+    return ata_schedule(device, full_region(device));
+}
+
+Region
+bounding_region(const arch::CouplingGraph& device,
+                const std::vector<PhysicalQubit>& positions)
+{
+    fatal_unless(!positions.empty(), "bounding_region of empty set");
+    Region r;
+    if (device.kind() == arch::ArchKind::Lattice3D)
+        return full_region(device);
+    if (uses_path(device.kind())) {
+        // Map every position to a path index (off-path qubits map to
+        // their attachment).
+        std::unordered_map<PhysicalQubit, std::int32_t> index;
+        const auto& path = device.longest_path();
+        for (std::size_t i = 0; i < path.size(); ++i)
+            index.emplace(path[i], static_cast<std::int32_t>(i));
+        for (const auto& att : device.off_path())
+            index.emplace(att.off_qubit, att.path_index);
+        std::int32_t lo = kUnreachable, hi = -1;
+        for (PhysicalQubit p : positions) {
+            auto it = index.find(p);
+            fatal_unless(it != index.end(),
+                         "position not on the path decomposition");
+            lo = std::min(lo, it->second);
+            hi = std::max(hi, it->second);
+        }
+        r.path0 = lo;
+        r.path1 = hi;
+        return normalize_region(device, r);
+    }
+    bool hexagon = device.kind() == arch::ArchKind::Hexagon;
+    std::int32_t u_lo = kUnreachable, u_hi = -1;
+    std::int32_t e_lo = kUnreachable, e_hi = -1;
+    for (PhysicalQubit p : positions) {
+        auto [row, col] = device.coordinates()[static_cast<std::size_t>(p)];
+        std::int32_t u = hexagon ? col : row;
+        std::int32_t e = hexagon ? row : col;
+        u_lo = std::min(u_lo, u);
+        u_hi = std::max(u_hi, u);
+        e_lo = std::min(e_lo, e);
+        e_hi = std::max(e_hi, e);
+    }
+    r.unit0 = u_lo;
+    r.unit1 = u_hi;
+    r.elem0 = e_lo;
+    r.elem1 = e_hi;
+    return normalize_region(device, r);
+}
+
+bool
+regions_overlap(const arch::CouplingGraph& device, const Region& a,
+                const Region& b)
+{
+    if (uses_path(device.kind()))
+        return a.path0 <= b.path1 && b.path0 <= a.path1;
+    return a.unit0 <= b.unit1 && b.unit0 <= a.unit1 &&
+           a.elem0 <= b.elem1 && b.elem0 <= a.elem1;
+}
+
+Region
+merge_regions(const Region& a, const Region& b)
+{
+    Region r;
+    r.unit0 = std::min(a.unit0, b.unit0);
+    r.unit1 = std::max(a.unit1, b.unit1);
+    r.elem0 = std::min(a.elem0, b.elem0);
+    r.elem1 = std::max(a.elem1, b.elem1);
+    r.path0 = std::min(a.path0, b.path0);
+    r.path1 = std::max(a.path1, b.path1);
+    return r;
+}
+
+} // namespace permuq::ata

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level ATA pattern interface: full-device and region-restricted
+ * clique schedules for every supported architecture (paper §3, §5.1,
+ * §6.3).
+ *
+ * A Region names a sub-area of the device in architecture-specific
+ * coordinates; the range detector (core/prediction) shrinks the ATA
+ * replay to the bounding region of each connected component of the
+ * remaining problem graph.
+ */
+#ifndef PERMUQ_ATA_ATA_H
+#define PERMUQ_ATA_ATA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/** A rectangular (or path-interval) sub-area of a device. */
+struct Region
+{
+    /** Unit index range, inclusive (grid/Sycamore rows, hexagon
+     *  columns). Unused for line/heavy-hex. */
+    std::int32_t unit0 = 0;
+    std::int32_t unit1 = -1;
+    /** Index range within each unit, inclusive. */
+    std::int32_t elem0 = 0;
+    std::int32_t elem1 = -1;
+    /** Longest-path index range, inclusive (line/heavy-hex). */
+    std::int32_t path0 = 0;
+    std::int32_t path1 = -1;
+
+    friend bool operator==(const Region&, const Region&) = default;
+};
+
+/** The region covering the whole device. */
+Region full_region(const arch::CouplingGraph& device);
+
+/**
+ * The physical positions a region's schedule touches. For heavy-hex
+ * this is the path interval plus the off-path qubits attached inside
+ * it; for unit-based architectures the unit/element rectangle.
+ */
+std::vector<PhysicalQubit> region_positions(
+    const arch::CouplingGraph& device, const Region& region);
+
+/**
+ * Number of positions in a region (cheaper than materializing them).
+ */
+std::int32_t region_size(const arch::CouplingGraph& device,
+                         const Region& region);
+
+/**
+ * A clique (all-to-all) schedule over the given region of the device.
+ * Every generator is self-checking: it simulates coverage while
+ * emitting and fails loudly rather than return an incomplete pattern.
+ */
+SwapSchedule ata_schedule(const arch::CouplingGraph& device,
+                          const Region& region);
+
+/** Convenience: ata_schedule over the full device. */
+SwapSchedule full_ata_schedule(const arch::CouplingGraph& device);
+
+/**
+ * Smallest region of the device that contains all of @p positions
+ * (used by the range detector, §6.3).
+ */
+Region bounding_region(const arch::CouplingGraph& device,
+                       const std::vector<PhysicalQubit>& positions);
+
+/** True if two regions overlap (then the detector merges them). */
+bool regions_overlap(const arch::CouplingGraph& device, const Region& a,
+                     const Region& b);
+
+/** The smallest region containing both. */
+Region merge_regions(const Region& a, const Region& b);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_ATA_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 2xUnit bipartite all-to-all patterns (paper Fig 8/9, Fig 11, Fig 12).
+ *
+ * Given two adjacent units, these schedules make every occupant of one
+ * unit meet every occupant of the other while keeping each unit's
+ * occupant set invariant (the property that lets unit-level patterns
+ * compose, §3.1).
+ *
+ * Three variants cover the papers' architectures:
+ *  - striped_bipartite: units with internal couplers and aligned cross
+ *    links on some (grid: all, hexagon: alternating) rows. Each round
+ *    computes on the live cross links, then counter-rotates the two
+ *    units with intra-unit odd/even swap layers (Fig 9 generalized).
+ *  - sycamore_bipartite: units with no internal couplers, joined by a
+ *    zig-zag line (Fig 10(b)). Intra-unit swap layers are emulated by
+ *    3-layer block exchanges along the zig-zag path, reproducing the
+ *    2D-grid swap layer's net permutation (App. B's "virtual SWAP").
+ */
+#ifndef PERMUQ_ATA_BIPARTITE_PATTERN_H
+#define PERMUQ_ATA_BIPARTITE_PATTERN_H
+
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/**
+ * Bipartite ATA between two equally sized units whose i-th elements
+ * may be cross-linked and whose consecutive elements are coupled
+ * within each unit. Cross links are discovered from @p device, so the
+ * same generator serves the 2D grid (all rows linked; completes in
+ * ~2N layers) and the hexagon brick wall (alternating rows linked;
+ * ~4N layers).
+ */
+SwapSchedule striped_bipartite(const arch::CouplingGraph& device,
+                               const std::vector<PhysicalQubit>& unit_a,
+                               const std::vector<PhysicalQubit>& unit_b);
+
+/**
+ * Bipartite ATA between two adjacent Sycamore units (no intra-unit
+ * couplers; the induced subgraph on the two units is a zig-zag path).
+ */
+SwapSchedule sycamore_bipartite(const arch::CouplingGraph& device,
+                                const std::vector<PhysicalQubit>& unit_a,
+                                const std::vector<PhysicalQubit>& unit_b);
+
+/**
+ * Exchange the occupants of two adjacent units wholesale (the unit-
+ * level "SWAP" of §3.1). Grid/Sycamore: one layer of aligned swaps.
+ * Hexagon: a 4-layer conjugation that routes the unlinked rows through
+ * their linked neighbors (plus a 3-layer fix-up for an odd leftover
+ * row). The generator asserts the net permutation is the exchange.
+ */
+SwapSchedule unit_exchange(const arch::CouplingGraph& device,
+                           const std::vector<PhysicalQubit>& unit_a,
+                           const std::vector<PhysicalQubit>& unit_b);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_BIPARTITE_PATTERN_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Optimized 2D-grid clique pattern (paper Appendix A, Optimizations I
+ * and II): simultaneous adjacent-pair bipartites with globally
+ * consistent counter-rotation, giving the ~1.5 N^2 depth law.
+ */
+#ifndef PERMUQ_ATA_GRID_PATTERN_H
+#define PERMUQ_ATA_GRID_PATTERN_H
+
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/**
+ * Clique schedule over a rectangular block of aligned units (grid rows
+ * with vertical couplers at every column and intra-row couplers).
+ */
+SwapSchedule grid_simultaneous_ata(
+    const arch::CouplingGraph& device,
+    const std::vector<std::vector<PhysicalQubit>>& units);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_GRID_PATTERN_H

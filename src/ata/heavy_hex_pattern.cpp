@@ -1,0 +1,118 @@
+#include "heavy_hex_pattern.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ata/pattern_builder.h"
+#include "ata/verify.h"
+#include "common/error.h"
+
+namespace permuq::ata {
+
+SwapSchedule
+heavy_hex_pattern(const arch::CouplingGraph& device, std::int32_t path0,
+                  std::int32_t path1)
+{
+    const auto& full_path = device.longest_path();
+    fatal_unless(!full_path.empty(),
+                 "device exposes no longest path decomposition");
+    fatal_unless(path0 >= 0 && path1 >= path0 &&
+                     path1 < static_cast<std::int32_t>(full_path.size()),
+                 "path interval out of range");
+
+    std::int32_t m = path1 - path0 + 1;
+    std::vector<PhysicalQubit> positions(
+        full_path.begin() + path0, full_path.begin() + path1 + 1);
+    std::unordered_set<PhysicalQubit> on_path(positions.begin(),
+                                              positions.end());
+
+    // Off-path qubits attached inside the interval, with the dense
+    // path indices of all their on-path neighbors.
+    struct Off
+    {
+        std::int32_t dense;
+        std::vector<std::int32_t> neighbor_path_index;
+        std::int32_t attach_path_index;
+    };
+    std::vector<Off> offs;
+    std::unordered_map<PhysicalQubit, std::int32_t> path_index;
+    for (std::int32_t i = 0; i < m; ++i)
+        path_index.emplace(positions[static_cast<std::size_t>(i)], i);
+    std::unordered_set<std::int32_t> attach_used;
+    for (const auto& att : device.off_path()) {
+        if (att.path_index < path0 || att.path_index > path1)
+            continue;
+        Off off;
+        off.dense = static_cast<std::int32_t>(positions.size());
+        off.attach_path_index = att.path_index - path0;
+        for (PhysicalQubit nb :
+             device.connectivity().neighbors(att.off_qubit)) {
+            auto it = path_index.find(nb);
+            if (it != path_index.end())
+                off.neighbor_path_index.push_back(it->second);
+        }
+        panic_unless(!off.neighbor_path_index.empty(),
+                     "off-path qubit has no neighbor inside interval");
+        panic_unless(attach_used.insert(off.attach_path_index).second,
+                     "two off-path qubits attach at one path position");
+        positions.push_back(att.off_qubit);
+        offs.push_back(std::move(off));
+    }
+
+    PatternBuilder b(positions);
+
+    // One pass of the line pattern over the path segment, with
+    // path-to-off interactions interleaved after each compute layer.
+    auto off_interactions = [&] {
+        for (const auto& off : offs)
+            for (std::int32_t nb : off.neighbor_path_index)
+                b.compute_if_new(off.dense, nb);
+    };
+    auto line_pass = [&] {
+        if (m < 2) {
+            off_interactions();
+            return;
+        }
+        std::int32_t blocks = (m + 1) / 2 + 1;
+        for (std::int32_t round = 0; round < blocks; ++round) {
+            for (std::int32_t i = 0; i + 1 < m; i += 2)
+                b.compute_if_new(i, i + 1);
+            for (std::int32_t i = 1; i + 1 < m; i += 2)
+                b.compute_if_new(i, i + 1);
+            off_interactions();
+            if (b.all_met())
+                return;
+            for (std::int32_t i = 1; i + 1 < m; i += 2)
+                b.swap(i, i + 1);
+            for (std::int32_t i = 0; i + 1 < m; i += 2)
+                b.swap(i, i + 1);
+        }
+    };
+
+    // Repeated passes: pass 1 covers path-to-path plus opportunistic
+    // path-to-off; between passes every off-path qubit swaps onto the
+    // path (one layer; the attachment positions are pairwise distinct)
+    // so its former occupant traverses the path in the next pass.
+    // Two passes cover all but a residue of pairs among the displaced
+    // occupants; empirically a third pass always closes heavy-hex
+    // devices, and the cap is generous.
+    for (std::int32_t pass = 0; pass < 6 && !b.all_met(); ++pass) {
+        line_pass();
+        if (b.all_met() || offs.empty())
+            break;
+        for (const auto& off : offs)
+            b.swap(off.dense, off.attach_path_index);
+    }
+
+    SwapSchedule sched = b.take_schedule();
+    if (!b.all_met()) {
+        // Safety net (checked, not assumed): route any pair the
+        // two-pass construction missed. For the geometries in the
+        // evaluation this is empty or a tiny constant tail; tests
+        // track that it stays so.
+        complete_missing_pairs(device, sched, positions);
+    }
+    return sched;
+}
+
+} // namespace permuq::ata

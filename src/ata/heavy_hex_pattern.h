@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The IBM heavy-hex all-to-all pattern (paper §5.1, Fig 16, App. C).
+ *
+ * Heavy-hex is too sparse for a profitable unit decomposition, so the
+ * paper runs the 1xUnit line pattern twice along the device's longest
+ * path:
+ *   pass 1 covers path-to-path pairs, interleaving path-to-off-path
+ *   gates whenever a path node sits next to an off-path qubit;
+ *   a swap layer then pulls every off-path qubit onto the path, and
+ *   pass 2 covers off-to-off and the remaining path-to-off pairs.
+ * The generator simulates coverage as it emits; any pair the two-pass
+ * construction leaves uncovered (possible for some geometries) is
+ * completed with explicit routed gates, so the returned schedule is
+ * always a verified clique pattern.
+ */
+#ifndef PERMUQ_ATA_HEAVY_HEX_PATTERN_H
+#define PERMUQ_ATA_HEAVY_HEX_PATTERN_H
+
+#include <cstdint>
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+
+namespace permuq::ata {
+
+/**
+ * Clique schedule over the heavy-hex path interval
+ * [@p path0, @p path1] (inclusive) plus the off-path qubits attached
+ * inside it. The device must expose a longest path (heavy-hex or
+ * line).
+ */
+SwapSchedule heavy_hex_pattern(const arch::CouplingGraph& device,
+                               std::int32_t path0, std::int32_t path1);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_HEAVY_HEX_PATTERN_H

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * All-to-all pattern for the 3D lattice (paper Fig 13): the multi-
+ * dimensional recursion. The lattice is divided into z-planes; each
+ * plane is a 2D grid handled by the unit-level composition, and the
+ * planes themselves run a plane-level line pattern in which
+ *   - a plane-level "compute" is a bipartite ATA between two adjacent
+ *     planes, realized as a striped bipartite over the planes' snake
+ *     paths (every position pair is vertically coupled, so all rungs
+ *     are live and convergence matches the 2D grid case), and
+ *   - a plane-level "swap" is a one-layer wholesale plane exchange.
+ */
+#include "lattice3d_pattern.h"
+
+#include "ata/bipartite_pattern.h"
+#include "ata/unit_composition.h"
+#include "common/error.h"
+
+namespace permuq::ata {
+
+namespace {
+
+/** Boustrophedon path through one plane's units (rows). */
+std::vector<PhysicalQubit>
+plane_snake(const std::vector<std::vector<PhysicalQubit>>& plane_units)
+{
+    std::vector<PhysicalQubit> snake;
+    for (std::size_t y = 0; y < plane_units.size(); ++y) {
+        const auto& row = plane_units[y];
+        if (y % 2 == 0)
+            snake.insert(snake.end(), row.begin(), row.end());
+        else
+            snake.insert(snake.end(), row.rbegin(), row.rend());
+    }
+    return snake;
+}
+
+} // namespace
+
+SwapSchedule
+lattice3d_ata(const arch::CouplingGraph& device)
+{
+    fatal_unless(device.kind() == arch::ArchKind::Lattice3D,
+                 "lattice3d_ata requires a 3D lattice");
+    std::int32_t nz = device.unit_groups();
+    fatal_unless(nz >= 1 && device.num_units() % nz == 0,
+                 "inconsistent plane decomposition");
+    std::int32_t ny = device.num_units() / nz;
+
+    std::vector<std::vector<std::vector<PhysicalQubit>>> planes(
+        static_cast<std::size_t>(nz));
+    for (std::int32_t z = 0; z < nz; ++z)
+        for (std::int32_t y = 0; y < ny; ++y)
+            planes[static_cast<std::size_t>(z)].push_back(
+                device.units()[static_cast<std::size_t>(z * ny + y)]);
+
+    SwapSchedule out;
+    // Phase 1: intra-plane all-to-all (planes run in parallel under
+    // ASAP replay since they are position-disjoint).
+    for (const auto& plane : planes)
+        out.append(unit_level_ata(device, plane, arch::ArchKind::Grid));
+    if (nz == 1)
+        return out;
+
+    // Phase 2: plane-level line pattern.
+    std::vector<std::vector<PhysicalQubit>> snake(
+        static_cast<std::size_t>(nz));
+    for (std::int32_t z = 0; z < nz; ++z) {
+        snake[static_cast<std::size_t>(z)] =
+            plane_snake(planes[static_cast<std::size_t>(z)]);
+        // The boustrophedon path must follow couplers.
+        const auto& s = snake[static_cast<std::size_t>(z)];
+        for (std::size_t i = 1; i < s.size(); ++i)
+            panic_unless(device.coupled(s[i - 1], s[i]),
+                         "plane snake broke a coupler");
+    }
+
+    std::vector<std::int32_t> slot_occupant(static_cast<std::size_t>(nz));
+    for (std::int32_t s = 0; s < nz; ++s)
+        slot_occupant[static_cast<std::size_t>(s)] = s;
+    std::vector<bool> met(
+        static_cast<std::size_t>(nz) * static_cast<std::size_t>(nz),
+        false);
+    std::int64_t met_count = 0;
+    std::int64_t want = static_cast<std::int64_t>(nz) * (nz - 1) / 2;
+
+    auto plane_compute = [&](std::int32_t s) {
+        std::int32_t u = slot_occupant[static_cast<std::size_t>(s)];
+        std::int32_t v = slot_occupant[static_cast<std::size_t>(s + 1)];
+        if (met[static_cast<std::size_t>(u) * nz + v])
+            return;
+        out.append(striped_bipartite(device,
+                                     snake[static_cast<std::size_t>(s)],
+                                     snake[static_cast<std::size_t>(s + 1)]));
+        met[static_cast<std::size_t>(u) * nz + v] = true;
+        met[static_cast<std::size_t>(v) * nz + u] = true;
+        ++met_count;
+    };
+    auto plane_swap = [&](std::int32_t s) {
+        const auto& a = planes[static_cast<std::size_t>(s)];
+        const auto& b = planes[static_cast<std::size_t>(s + 1)];
+        for (std::size_t y = 0; y < a.size(); ++y)
+            for (std::size_t x = 0; x < a[y].size(); ++x)
+                out.swap(a[y][x], b[y][x]);
+        std::swap(slot_occupant[static_cast<std::size_t>(s)],
+                  slot_occupant[static_cast<std::size_t>(s + 1)]);
+    };
+
+    for (std::int32_t round = 0; round <= nz + 2; ++round) {
+        for (std::int32_t s = 0; s + 1 < nz; s += 2)
+            plane_compute(s);
+        if (met_count == want)
+            return out;
+        for (std::int32_t s = 1; s + 1 < nz; s += 2)
+            plane_compute(s);
+        if (met_count == want)
+            return out;
+        for (std::int32_t s = 1; s + 1 < nz; s += 2)
+            plane_swap(s);
+        for (std::int32_t s = 0; s + 1 < nz; s += 2)
+            plane_swap(s);
+    }
+    throw PanicError("lattice3d plane pattern failed to converge");
+}
+
+} // namespace permuq::ata

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Clique schedule for 3D lattices (paper Fig 13). See the .cpp for the
+ * plane-level recursion.
+ */
+#ifndef PERMUQ_ATA_LATTICE3D_PATTERN_H
+#define PERMUQ_ATA_LATTICE3D_PATTERN_H
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+
+namespace permuq::ata {
+
+/** All-to-all schedule over the full 3D lattice. */
+SwapSchedule lattice3d_ata(const arch::CouplingGraph& device);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_LATTICE3D_PATTERN_H

@@ -1,0 +1,84 @@
+#include "line_pattern.h"
+
+#include "ata/pattern_builder.h"
+#include "common/error.h"
+
+namespace permuq::ata {
+
+namespace {
+
+/** Emit one compute layer on pairs (i, i+1), i stepping by 2 from
+ *  @p start. Returns true once all pairs have met. */
+bool
+compute_layer(PatternBuilder& b, std::int32_t start)
+{
+    for (std::int32_t i = start; i + 1 < b.size(); i += 2)
+        b.compute_if_new(i, i + 1);
+    return b.all_met();
+}
+
+/** Emit one swap layer on pairs (i, i+1), i stepping by 2 from
+ *  @p start. */
+void
+swap_layer(PatternBuilder& b, std::int32_t start)
+{
+    for (std::int32_t i = start; i + 1 < b.size(); i += 2)
+        b.swap(i, i + 1);
+}
+
+PatternBuilder
+run_line(const std::vector<PhysicalQubit>& path)
+{
+    PatternBuilder b(path);
+    std::int32_t n = b.size();
+    if (n < 2)
+        return b;
+    // Repeating block: compute even, compute odd, swap odd, swap even
+    // (Fig 7, with the two compute layers adjacent so that every swap
+    // merges with a neighbouring compute under gate unification).
+    for (std::int32_t round = 0; round <= n + 2; ++round) {
+        if (compute_layer(b, 0))
+            return b;
+        if (compute_layer(b, 1))
+            return b;
+        swap_layer(b, 1);
+        swap_layer(b, 0);
+    }
+    throw PanicError("line pattern failed to converge");
+}
+
+} // namespace
+
+SwapSchedule
+line_pattern(const std::vector<PhysicalQubit>& path)
+{
+    return run_line(path).take_schedule();
+}
+
+SwapSchedule
+line_pattern_with_reversal(const std::vector<PhysicalQubit>& path)
+{
+    PatternBuilder b = run_line(path);
+    std::int32_t n = b.size();
+    if (n < 2)
+        return b.take_schedule();
+    auto reversed = [&] {
+        for (std::int32_t i = 0; i < n; ++i)
+            if (b.occupant(i) != n - 1 - i)
+                return false;
+        return true;
+    };
+    // Continue the block's swap-layer cycle until the arrangement is
+    // the exact reversal (at most a handful of layers).
+    for (std::int32_t extra = 0; extra < 8; ++extra) {
+        if (reversed())
+            return b.take_schedule();
+        swap_layer(b, 1);
+        if (reversed())
+            return b.take_schedule();
+        swap_layer(b, 0);
+    }
+    throw PanicError("line pattern reversal failed to converge");
+}
+
+} // namespace permuq::ata

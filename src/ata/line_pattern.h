@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The 1xUnit (line) all-to-all pattern (paper Fig 6/7).
+ *
+ * On an n-qubit path, repeating blocks of
+ *   [compute even pairs, compute odd pairs, swap odd pairs, swap even
+ *    pairs]
+ * make every qubit neighbor to every other exactly once, using n
+ * compute layers and n-2 swap layers (2n-2 cycles). This is the swap
+ * network the paper's depth-optimal solver rediscovers on the 1x6
+ * instance, and the building block of every larger pattern.
+ */
+#ifndef PERMUQ_ATA_LINE_PATTERN_H
+#define PERMUQ_ATA_LINE_PATTERN_H
+
+#include <vector>
+
+#include "ata/swap_schedule.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/**
+ * All-to-all schedule over an explicit path of physical positions
+ * (consecutive entries must be coupled on the target device — the
+ * generator itself is device-agnostic).
+ */
+SwapSchedule line_pattern(const std::vector<PhysicalQubit>& path);
+
+/**
+ * Like line_pattern but with two extra trailing swap layers so the
+ * final arrangement is the exact reversal of the initial one
+ * (paper Fig 6(b), dotted SWAPs). Used by tests and by compositions
+ * that rely on the known final permutation.
+ */
+SwapSchedule line_pattern_with_reversal(
+    const std::vector<PhysicalQubit>& path);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_LINE_PATTERN_H

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Internal helper for writing self-checking pattern generators.
+ *
+ * A PatternBuilder tracks, while slots are being emitted, where every
+ * initial occupant currently sits and which occupant pairs have met at
+ * compute slots. Generators use it to terminate exactly when coverage
+ * completes and to avoid emitting redundant compute slots.
+ */
+#ifndef PERMUQ_ATA_PATTERN_BUILDER_H
+#define PERMUQ_ATA_PATTERN_BUILDER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ata/swap_schedule.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/** Emits slots while simulating occupancy and pairwise meetings. */
+class PatternBuilder
+{
+  public:
+    /** @param positions the physical positions the pattern may touch. */
+    explicit PatternBuilder(std::vector<PhysicalQubit> positions)
+        : positions_(std::move(positions)),
+          k_(static_cast<std::int32_t>(positions_.size())),
+          met_(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_),
+               false)
+    {
+        occupant_.resize(static_cast<std::size_t>(k_));
+        position_of_.resize(static_cast<std::size_t>(k_));
+        for (std::int32_t i = 0; i < k_; ++i) {
+            occupant_[static_cast<std::size_t>(i)] = i;
+            position_of_[static_cast<std::size_t>(i)] = i;
+        }
+        for (std::int32_t i = 0; i < k_; ++i) {
+            fatal_unless(
+                dense_.emplace(positions_[static_cast<std::size_t>(i)], i)
+                    .second,
+                "duplicate position handed to PatternBuilder");
+        }
+    }
+
+    std::int32_t size() const { return k_; }
+
+    /** Dense index of a physical position. */
+    std::int32_t
+    dense(PhysicalQubit p) const
+    {
+        auto it = dense_.find(p);
+        panic_unless(it != dense_.end(),
+                     "pattern touches a position outside its region");
+        return it->second;
+    }
+
+    /** Initial occupant id currently at dense position @p dp. */
+    std::int32_t
+    occupant(std::int32_t dp) const
+    {
+        return occupant_[static_cast<std::size_t>(dp)];
+    }
+
+    /** Current dense position of occupant @p id. */
+    std::int32_t
+    position_of(std::int32_t id) const
+    {
+        return position_of_[static_cast<std::size_t>(id)];
+    }
+
+    bool
+    met(std::int32_t u, std::int32_t v) const
+    {
+        return met_[static_cast<std::size_t>(u) * k_ +
+                    static_cast<std::size_t>(v)];
+    }
+
+    /** Emit a compute slot between dense positions and record the
+     *  meeting. Returns true if the pair was new. */
+    bool
+    compute(std::int32_t dp, std::int32_t dq)
+    {
+        std::int32_t u = occupant(dp), v = occupant(dq);
+        bool fresh = !met(u, v);
+        sched_.compute(positions_[static_cast<std::size_t>(dp)],
+                       positions_[static_cast<std::size_t>(dq)]);
+        mark(u, v);
+        return fresh;
+    }
+
+    /** Emit a compute slot only if the occupant pair has not met. */
+    bool
+    compute_if_new(std::int32_t dp, std::int32_t dq)
+    {
+        if (met(occupant(dp), occupant(dq)))
+            return false;
+        return compute(dp, dq);
+    }
+
+    /** Emit a swap slot between dense positions. */
+    void
+    swap(std::int32_t dp, std::int32_t dq)
+    {
+        sched_.swap(positions_[static_cast<std::size_t>(dp)],
+                    positions_[static_cast<std::size_t>(dq)]);
+        auto& ou = occupant_[static_cast<std::size_t>(dp)];
+        auto& ov = occupant_[static_cast<std::size_t>(dq)];
+        std::swap(ou, ov);
+        position_of_[static_cast<std::size_t>(ou)] = dp;
+        position_of_[static_cast<std::size_t>(ov)] = dq;
+    }
+
+    /**
+     * Declare the first @p na positions to be side A of a bipartite
+     * pattern; cross_pairs_met()/bipartite_done() then track pairs
+     * with one occupant from each side.
+     */
+    void
+    set_bipartite(std::int32_t na)
+    {
+        fatal_unless(na > 0 && na < k_, "invalid bipartite split");
+        bipartite_na_ = na;
+    }
+
+    /** Distinct cross-side pairs met (requires set_bipartite). */
+    std::int64_t cross_pairs_met() const { return cross_pairs_met_; }
+
+    /** True once all |A| x |B| cross pairs have met. */
+    bool
+    bipartite_done() const
+    {
+        return cross_pairs_met_ ==
+               static_cast<std::int64_t>(bipartite_na_) *
+                   (k_ - bipartite_na_);
+    }
+
+    /** Number of distinct pairs met so far. */
+    std::int64_t met_pairs() const { return met_pairs_; }
+
+    /** True once all C(k,2) occupant pairs have met. */
+    bool
+    all_met() const
+    {
+        return met_pairs_ ==
+               static_cast<std::int64_t>(k_) * (k_ - 1) / 2;
+    }
+
+    /** The schedule built so far. */
+    const SwapSchedule& schedule() const { return sched_; }
+    SwapSchedule take_schedule() { return std::move(sched_); }
+
+  private:
+    void
+    mark(std::int32_t u, std::int32_t v)
+    {
+        if (met(u, v))
+            return;
+        met_[static_cast<std::size_t>(u) * k_ +
+             static_cast<std::size_t>(v)] = true;
+        met_[static_cast<std::size_t>(v) * k_ +
+             static_cast<std::size_t>(u)] = true;
+        ++met_pairs_;
+        if (bipartite_na_ > 0 &&
+            (u < bipartite_na_) != (v < bipartite_na_))
+            ++cross_pairs_met_;
+    }
+
+    std::vector<PhysicalQubit> positions_;
+    std::int32_t k_;
+    std::vector<bool> met_;
+    std::vector<std::int32_t> occupant_;
+    std::vector<std::int32_t> position_of_;
+    std::unordered_map<PhysicalQubit, std::int32_t> dense_;
+    SwapSchedule sched_;
+    std::int64_t met_pairs_ = 0;
+    std::int32_t bipartite_na_ = 0;
+    std::int64_t cross_pairs_met_ = 0;
+};
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_PATTERN_BUILDER_H

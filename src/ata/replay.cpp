@@ -1,0 +1,69 @@
+#include "replay.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace permuq::ata {
+
+circuit::Circuit
+replay(const arch::CouplingGraph& device, const graph::Graph& problem,
+       const circuit::Mapping& initial, const SwapSchedule& sched,
+       const ReplayOptions& options, const std::vector<bool>* done)
+{
+    fatal_unless(initial.num_physical() == device.num_qubits(),
+                 "mapping does not match device size");
+    fatal_unless(initial.num_logical() == problem.num_vertices(),
+                 "mapping does not match problem size");
+
+    // Remaining-edge bookkeeping: per-edge pending flag keyed by pair,
+    // plus per-logical pending-degree so dead qubits are O(1) to test.
+    std::unordered_map<VertexPair, bool, VertexPairHash> pending;
+    std::vector<std::int32_t> pending_degree(
+        static_cast<std::size_t>(problem.num_vertices()), 0);
+    std::int64_t remaining = 0;
+    const auto& edges = problem.edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (done != nullptr && (*done)[i])
+            continue;
+        pending.emplace(edges[i], true);
+        ++pending_degree[static_cast<std::size_t>(edges[i].a)];
+        ++pending_degree[static_cast<std::size_t>(edges[i].b)];
+        ++remaining;
+    }
+
+    circuit::Circuit circ(initial);
+    for (const auto& slot : sched.slots) {
+        if (options.stop_early && remaining == 0)
+            break;
+        LogicalQubit a = circ.final_mapping().logical_at(slot.p);
+        LogicalQubit b = circ.final_mapping().logical_at(slot.q);
+        if (slot.kind == Slot::Kind::Compute) {
+            if (a == kInvalidQubit || b == kInvalidQubit)
+                continue;
+            auto it = pending.find(VertexPair(a, b));
+            if (it == pending.end() || !it->second)
+                continue;
+            circ.add_compute(slot.p, slot.q);
+            it->second = false;
+            --pending_degree[static_cast<std::size_t>(a)];
+            --pending_degree[static_cast<std::size_t>(b)];
+            --remaining;
+        } else {
+            if (options.skip_dead_swaps) {
+                bool a_dead =
+                    a == kInvalidQubit ||
+                    pending_degree[static_cast<std::size_t>(a)] == 0;
+                bool b_dead =
+                    b == kInvalidQubit ||
+                    pending_degree[static_cast<std::size_t>(b)] == 0;
+                if (a_dead && b_dead)
+                    continue;
+            }
+            circ.add_swap(slot.p, slot.q);
+        }
+    }
+    return circ;
+}
+
+} // namespace permuq::ata

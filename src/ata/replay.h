@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Schedule replay: turn a position-level ATA schedule into a compiled
+ * circuit for a concrete problem graph and qubit mapping (§5.2).
+ *
+ * Compute slots whose current logical pair is an unexecuted problem
+ * edge emit a computation gate; all other compute slots are skipped.
+ * Swap slots are followed verbatim, except that (optionally) a swap is
+ * dropped when both occupants are "dead" — neither has any remaining
+ * gate — which cannot affect any future meeting. Replay stops as soon
+ * as every problem edge has executed, so sparse problems terminate
+ * early (the "skip" adaptation of the clique solution).
+ */
+#ifndef PERMUQ_ATA_REPLAY_H
+#define PERMUQ_ATA_REPLAY_H
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+
+namespace permuq::ata {
+
+/** Options controlling replay behavior. */
+struct ReplayOptions
+{
+    /** Stop as soon as no problem edge remains. */
+    bool stop_early = true;
+    /** Drop swaps whose two occupants both have no remaining gates. */
+    bool skip_dead_swaps = true;
+};
+
+/**
+ * Replay @p sched from @p initial, executing the edges of @p problem.
+ * @param done optional bitmap over problem edge indices of gates that
+ *        were already executed by a preceding (greedy) prefix; replayed
+ *        edges are those not marked. The bitmap is not modified.
+ * @return the compiled tail circuit (starts at @p initial).
+ */
+circuit::Circuit replay(const arch::CouplingGraph& device,
+                        const graph::Graph& problem,
+                        const circuit::Mapping& initial,
+                        const SwapSchedule& sched,
+                        const ReplayOptions& options = {},
+                        const std::vector<bool>* done = nullptr);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_REPLAY_H

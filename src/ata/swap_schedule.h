@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The all-to-all (ATA) schedule abstraction (paper §3).
+ *
+ * An ATA pattern is a position-level program: an ordered list of slots,
+ * each a computation or SWAP between two physical positions. It is
+ * defined independently of any problem graph or qubit mapping; the
+ * replay engine (replay.h) later walks it against a concrete mapping,
+ * executing compute slots whose current logical pair is a problem edge
+ * and skipping the rest (§5.2).
+ *
+ * The defining property, checked by verify.h, is logical coverage:
+ * replayed from any initial mapping, every pair of logical qubits is
+ * adjacent at some compute slot at least once. Because a schedule only
+ * permutes positions, it suffices to check that every pair of *initial
+ * occupants* meets.
+ */
+#ifndef PERMUQ_ATA_SWAP_SCHEDULE_H
+#define PERMUQ_ATA_SWAP_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/** One slot of a schedule. */
+struct Slot
+{
+    enum class Kind : std::uint8_t { Compute, Swap };
+
+    Kind kind = Kind::Compute;
+    PhysicalQubit p = kInvalidQubit;
+    PhysicalQubit q = kInvalidQubit;
+};
+
+/**
+ * An ordered list of slots. Depth is not stored: the replay engine
+ * assigns cycles ASAP, which compacts independent slots into the same
+ * cycle automatically (per-qubit program order is preserved, which is
+ * sufficient for semantic equivalence since all compute gates commute).
+ */
+struct SwapSchedule
+{
+    std::vector<Slot> slots;
+
+    void
+    compute(PhysicalQubit p, PhysicalQubit q)
+    {
+        slots.push_back({Slot::Kind::Compute, p, q});
+    }
+
+    void
+    swap(PhysicalQubit p, PhysicalQubit q)
+    {
+        slots.push_back({Slot::Kind::Swap, p, q});
+    }
+
+    /** Concatenate another schedule after this one. */
+    void
+    append(const SwapSchedule& other)
+    {
+        slots.insert(slots.end(), other.slots.begin(), other.slots.end());
+    }
+
+    std::int64_t
+    num_slots() const
+    {
+        return static_cast<std::int64_t>(slots.size());
+    }
+};
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_SWAP_SCHEDULE_H

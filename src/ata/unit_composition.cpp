@@ -1,0 +1,215 @@
+#include "unit_composition.h"
+
+#include <unordered_map>
+
+#include "ata/bipartite_pattern.h"
+#include "ata/line_pattern.h"
+#include "common/error.h"
+
+namespace permuq::ata {
+
+std::vector<PhysicalQubit>
+induced_path(const arch::CouplingGraph& device,
+             const std::vector<PhysicalQubit>& positions)
+{
+    std::int32_t k = static_cast<std::int32_t>(positions.size());
+    if (k <= 1)
+        return positions;
+    std::unordered_map<PhysicalQubit, std::int32_t> dense;
+    for (std::int32_t i = 0; i < k; ++i)
+        dense.emplace(positions[static_cast<std::size_t>(i)], i);
+    std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(k));
+    for (std::int32_t i = 0; i < k; ++i) {
+        for (PhysicalQubit nb : device.connectivity().neighbors(
+                 positions[static_cast<std::size_t>(i)])) {
+            auto it = dense.find(nb);
+            if (it != dense.end() && it->second > i) {
+                adj[static_cast<std::size_t>(i)].push_back(it->second);
+                adj[static_cast<std::size_t>(it->second)].push_back(i);
+            }
+        }
+    }
+    std::int32_t start = -1;
+    for (std::int32_t i = 0; i < k; ++i) {
+        fatal_unless(adj[static_cast<std::size_t>(i)].size() <= 2,
+                     "induced subgraph is not a path (degree > 2)");
+        if (adj[static_cast<std::size_t>(i)].size() == 1)
+            start = i;
+    }
+    fatal_unless(start >= 0, "induced subgraph has no path endpoint");
+    std::vector<PhysicalQubit> path;
+    path.reserve(static_cast<std::size_t>(k));
+    std::int32_t prev = -1, cur = start;
+    while (cur != -1) {
+        path.push_back(positions[static_cast<std::size_t>(cur)]);
+        std::int32_t next = -1;
+        for (std::int32_t nb : adj[static_cast<std::size_t>(cur)])
+            if (nb != prev)
+                next = nb;
+        prev = cur;
+        cur = next;
+    }
+    fatal_unless(static_cast<std::int32_t>(path.size()) == k,
+                 "induced subgraph is disconnected");
+    return path;
+}
+
+SwapSchedule
+unit_level_ata(const arch::CouplingGraph& device,
+               const std::vector<std::vector<PhysicalQubit>>& units,
+               arch::ArchKind kind)
+{
+    std::int32_t num_units = static_cast<std::int32_t>(units.size());
+    fatal_unless(num_units >= 1, "need at least one unit");
+    SwapSchedule out;
+
+    // Unit-level met matrix; some pairs are pre-covered by the intra
+    // phase (Sycamore covers two-unit blocks at once).
+    std::vector<bool> unit_met(
+        static_cast<std::size_t>(num_units) *
+            static_cast<std::size_t>(num_units),
+        false);
+    auto met = [&](std::int32_t u, std::int32_t v) -> bool {
+        return unit_met[static_cast<std::size_t>(u) * num_units +
+                        static_cast<std::size_t>(v)];
+    };
+    auto mark = [&](std::int32_t u, std::int32_t v) {
+        unit_met[static_cast<std::size_t>(u) * num_units +
+                 static_cast<std::size_t>(v)] = true;
+        unit_met[static_cast<std::size_t>(v) * num_units +
+                 static_cast<std::size_t>(u)] = true;
+    };
+
+    // ---- Phase 1: intra-unit all-to-all ------------------------------
+    if (kind == arch::ArchKind::Sycamore) {
+        fatal_unless(num_units >= 2 || units[0].size() <= 1,
+                     "a single Sycamore unit has no couplers");
+        // A two-unit zig-zag line covers every pair inside the block,
+        // so the block's unit pair is pre-met for phase 2 — but a later
+        // block that reuses one of the slots rescrambles its occupant
+        // set, invalidating any earlier mark on that slot.
+        auto run_block = [&](std::int32_t u, std::int32_t v) {
+            std::vector<PhysicalQubit> both =
+                units[static_cast<std::size_t>(u)];
+            both.insert(both.end(),
+                        units[static_cast<std::size_t>(v)].begin(),
+                        units[static_cast<std::size_t>(v)].end());
+            out.append(line_pattern(induced_path(device, both)));
+            for (std::int32_t w = 0; w < num_units; ++w) {
+                if (met(u, w)) {
+                    unit_met[static_cast<std::size_t>(u) * num_units + w] =
+                        false;
+                    unit_met[static_cast<std::size_t>(w) * num_units + u] =
+                        false;
+                }
+                if (met(v, w)) {
+                    unit_met[static_cast<std::size_t>(v) * num_units + w] =
+                        false;
+                    unit_met[static_cast<std::size_t>(w) * num_units + v] =
+                        false;
+                }
+            }
+            mark(u, v);
+        };
+        for (std::int32_t u = 0; u + 1 < num_units; u += 2)
+            run_block(u, u + 1);
+        if (num_units >= 2 && num_units % 2 == 1)
+            run_block(num_units - 2, num_units - 1);
+    } else if (num_units == 1) {
+        for (const auto& unit : units)
+            out.append(line_pattern(unit));
+    }
+    // Grid/hexagon intra-unit patterns are not emitted up front:
+    // Optimization II (App. A.2) schedules them at the boundary slots
+    // that idle during odd unit-compute layers, so they overlap with
+    // the inter-unit phase under ASAP replay.
+    if (num_units == 1)
+        return out;
+
+    // ---- Phase 2: unit-level line pattern ----------------------------
+    // slot_occupant[s] = which original unit currently occupies slot s.
+    // Occupant *sets* are invariant under both the bipartite patterns
+    // (net intra-unit permutations) and unit exchanges, which is what
+    // makes the line-pattern argument apply at unit level.
+    std::vector<std::int32_t> slot_occupant(
+        static_cast<std::size_t>(num_units));
+    for (std::int32_t s = 0; s < num_units; ++s)
+        slot_occupant[static_cast<std::size_t>(s)] = s;
+
+    std::int64_t met_count = 0, want = 0;
+    for (std::int32_t u = 0; u < num_units; ++u)
+        for (std::int32_t v = u + 1; v < num_units; ++v) {
+            ++want;
+            if (met(u, v))
+                ++met_count;
+        }
+
+    auto unit_compute = [&](std::int32_t s) {
+        std::int32_t u = slot_occupant[static_cast<std::size_t>(s)];
+        std::int32_t v = slot_occupant[static_cast<std::size_t>(s + 1)];
+        if (met(u, v))
+            return;
+        const auto& a = units[static_cast<std::size_t>(s)];
+        const auto& b = units[static_cast<std::size_t>(s + 1)];
+        if (kind == arch::ArchKind::Sycamore)
+            out.append(sycamore_bipartite(device, a, b));
+        else
+            out.append(striped_bipartite(device, a, b));
+        mark(u, v);
+        ++met_count;
+    };
+    auto unit_swap = [&](std::int32_t s) {
+        out.append(unit_exchange(device,
+                                 units[static_cast<std::size_t>(s)],
+                                 units[static_cast<std::size_t>(s + 1)]));
+        std::swap(slot_occupant[static_cast<std::size_t>(s)],
+                  slot_occupant[static_cast<std::size_t>(s + 1)]);
+    };
+
+    // Optimization II (App. A.2): a unit's intra pattern runs when its
+    // current slot idles during the odd compute stage (slots 0 and
+    // num_units-1), overlapping with the inter-unit bipartites.
+    bool deferred_intra = kind != arch::ArchKind::Sycamore;
+    std::vector<bool> intra_done(static_cast<std::size_t>(num_units),
+                                 !deferred_intra);
+    auto intra_at_slot = [&](std::int32_t s) {
+        std::int32_t u = slot_occupant[static_cast<std::size_t>(s)];
+        if (intra_done[static_cast<std::size_t>(u)])
+            return;
+        out.append(line_pattern(units[static_cast<std::size_t>(s)]));
+        intra_done[static_cast<std::size_t>(u)] = true;
+    };
+    auto finish_intra = [&] {
+        for (std::int32_t s = 0; s < num_units; ++s)
+            intra_at_slot(s);
+    };
+
+    for (std::int32_t round = 0; round <= num_units + 2; ++round) {
+        for (std::int32_t s = 0; s + 1 < num_units; s += 2)
+            unit_compute(s);
+        if (met_count == want) {
+            if (deferred_intra)
+                finish_intra();
+            return out;
+        }
+        if (deferred_intra) {
+            intra_at_slot(0);
+            if (num_units % 2 == 0)
+                intra_at_slot(num_units - 1);
+        }
+        for (std::int32_t s = 1; s + 1 < num_units; s += 2)
+            unit_compute(s);
+        if (met_count == want) {
+            if (deferred_intra)
+                finish_intra();
+            return out;
+        }
+        for (std::int32_t s = 1; s + 1 < num_units; s += 2)
+            unit_swap(s);
+        for (std::int32_t s = 0; s + 1 < num_units; s += 2)
+            unit_swap(s);
+    }
+    throw PanicError("unit-level pattern failed to converge");
+}
+
+} // namespace permuq::ata

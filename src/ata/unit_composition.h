@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Internal: the unit-level composition that turns 1xUnit + 2xUnit
+ * solutions into a full-device clique schedule (paper §3.1).
+ *
+ * Units are treated as super-nodes on a line. A unit-level line
+ * pattern (compute = 2xUnit bipartite ATA, swap = wholesale unit
+ * exchange) makes every unit meet every other; an intra phase covers
+ * pairs inside each unit (directly for architectures with intra-unit
+ * couplers, via the two-unit zig-zag line for Sycamore).
+ */
+#ifndef PERMUQ_ATA_UNIT_COMPOSITION_H
+#define PERMUQ_ATA_UNIT_COMPOSITION_H
+
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/**
+ * Clique schedule over the positions of @p units on @p device.
+ * @param kind selects the 2xUnit flavour (Grid/Hexagon use
+ *        striped_bipartite, Sycamore uses sycamore_bipartite) and the
+ *        intra-unit strategy.
+ */
+SwapSchedule unit_level_ata(
+    const arch::CouplingGraph& device,
+    const std::vector<std::vector<PhysicalQubit>>& units,
+    arch::ArchKind kind);
+
+/**
+ * Order the induced subgraph on @p positions as a simple path; fatal
+ * if it is not one. Used for Sycamore two-unit zig-zags.
+ */
+std::vector<PhysicalQubit> induced_path(
+    const arch::CouplingGraph& device,
+    const std::vector<PhysicalQubit>& positions);
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_UNIT_COMPOSITION_H

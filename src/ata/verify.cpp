@@ -1,0 +1,269 @@
+#include "verify.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace permuq::ata {
+
+namespace {
+
+/** Dense re-indexing of an allowed position set. */
+struct PositionIndex
+{
+    std::vector<PhysicalQubit> positions; // dense -> physical
+    std::vector<std::int32_t> dense_of;   // physical -> dense or -1
+
+    PositionIndex(const arch::CouplingGraph& device,
+                  const std::vector<PhysicalQubit>& selected)
+    {
+        if (selected.empty()) {
+            positions.resize(
+                static_cast<std::size_t>(device.num_qubits()));
+            for (std::int32_t i = 0; i < device.num_qubits(); ++i)
+                positions[static_cast<std::size_t>(i)] = i;
+        } else {
+            positions = selected;
+        }
+        dense_of.assign(static_cast<std::size_t>(device.num_qubits()), -1);
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+            PhysicalQubit p = positions[i];
+            fatal_unless(p >= 0 && p < device.num_qubits(),
+                         "position out of device range");
+            fatal_unless(dense_of[static_cast<std::size_t>(p)] == -1,
+                         "duplicate position in selection");
+            dense_of[static_cast<std::size_t>(p)] =
+                static_cast<std::int32_t>(i);
+        }
+    }
+
+    std::int32_t
+    size() const
+    {
+        return static_cast<std::int32_t>(positions.size());
+    }
+};
+
+/** Pair-met tracker over k dense occupant ids. */
+class MeetMatrix
+{
+  public:
+    explicit MeetMatrix(std::int32_t k)
+        : k_(k), met_(static_cast<std::size_t>(k) * k, false)
+    {
+    }
+
+    bool
+    met(std::int32_t u, std::int32_t v) const
+    {
+        return met_[static_cast<std::size_t>(u) * k_ +
+                    static_cast<std::size_t>(v)];
+    }
+
+    void
+    mark(std::int32_t u, std::int32_t v)
+    {
+        met_[static_cast<std::size_t>(u) * k_ +
+             static_cast<std::size_t>(v)] = true;
+        met_[static_cast<std::size_t>(v) * k_ +
+             static_cast<std::size_t>(u)] = true;
+    }
+
+  private:
+    std::size_t k_;
+    std::vector<bool> met_;
+};
+
+/** Walk a schedule, tracking dense occupants; returns false + error on
+ *  a structural problem. */
+bool
+simulate(const arch::CouplingGraph& device, const SwapSchedule& sched,
+         const PositionIndex& index, std::vector<std::int32_t>& occupant,
+         MeetMatrix* meets, std::int64_t* duplicate_meets,
+         std::string* error)
+{
+    for (const auto& slot : sched.slots) {
+        std::int32_t dp =
+            slot.p >= 0 && slot.p < device.num_qubits()
+                ? index.dense_of[static_cast<std::size_t>(slot.p)]
+                : -1;
+        std::int32_t dq =
+            slot.q >= 0 && slot.q < device.num_qubits()
+                ? index.dense_of[static_cast<std::size_t>(slot.q)]
+                : -1;
+        if (dp < 0 || dq < 0 || dp == dq) {
+            std::ostringstream os;
+            os << "slot touches position outside the region: (" << slot.p
+               << "," << slot.q << ")";
+            *error = os.str();
+            return false;
+        }
+        if (!device.coupled(slot.p, slot.q)) {
+            std::ostringstream os;
+            os << "slot on non-coupler (" << slot.p << "," << slot.q
+               << ")";
+            *error = os.str();
+            return false;
+        }
+        auto& ou = occupant[static_cast<std::size_t>(dp)];
+        auto& ov = occupant[static_cast<std::size_t>(dq)];
+        if (slot.kind == Slot::Kind::Compute) {
+            if (meets != nullptr) {
+                if (meets->met(ou, ov) && duplicate_meets != nullptr)
+                    ++*duplicate_meets;
+                meets->mark(ou, ov);
+            }
+        } else {
+            std::swap(ou, ov);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+CoverageReport
+verify_coverage(const arch::CouplingGraph& device, const SwapSchedule& sched,
+                const std::vector<PhysicalQubit>& positions)
+{
+    CoverageReport report;
+    PositionIndex index(device, positions);
+    std::int32_t k = index.size();
+    std::vector<std::int32_t> occupant(static_cast<std::size_t>(k));
+    for (std::int32_t i = 0; i < k; ++i)
+        occupant[static_cast<std::size_t>(i)] = i;
+    MeetMatrix meets(k);
+    if (!simulate(device, sched, index, occupant, &meets,
+                  &report.duplicate_meets, &report.error))
+        return report;
+    for (std::int32_t u = 0; u < k; ++u)
+        for (std::int32_t v = u + 1; v < k; ++v)
+            if (!meets.met(u, v))
+                report.missing.emplace_back(u, v);
+    report.ok = report.missing.empty();
+    return report;
+}
+
+CoverageReport
+verify_bipartite_coverage(const arch::CouplingGraph& device,
+                          const SwapSchedule& sched,
+                          const std::vector<PhysicalQubit>& side_a,
+                          const std::vector<PhysicalQubit>& side_b)
+{
+    CoverageReport report;
+    std::vector<PhysicalQubit> all = side_a;
+    all.insert(all.end(), side_b.begin(), side_b.end());
+    PositionIndex index(device, all);
+    std::int32_t k = index.size();
+    std::vector<std::int32_t> occupant(static_cast<std::size_t>(k));
+    for (std::int32_t i = 0; i < k; ++i)
+        occupant[static_cast<std::size_t>(i)] = i;
+    MeetMatrix meets(k);
+    if (!simulate(device, sched, index, occupant, &meets,
+                  &report.duplicate_meets, &report.error))
+        return report;
+    std::int32_t na = static_cast<std::int32_t>(side_a.size());
+    for (std::int32_t u = 0; u < na; ++u)
+        for (std::int32_t v = na; v < k; ++v)
+            if (!meets.met(u, v))
+                report.missing.emplace_back(u, v);
+    report.ok = report.missing.empty();
+    return report;
+}
+
+std::int64_t
+complete_missing_pairs(const arch::CouplingGraph& device,
+                       SwapSchedule& sched,
+                       const std::vector<PhysicalQubit>& positions)
+{
+    PositionIndex index(device, positions);
+    std::int32_t k = index.size();
+
+    // Replay the existing schedule to obtain the final occupancy and
+    // the met matrix.
+    std::vector<std::int32_t> occupant(static_cast<std::size_t>(k));
+    for (std::int32_t i = 0; i < k; ++i)
+        occupant[static_cast<std::size_t>(i)] = i;
+    MeetMatrix meets(k);
+    std::string error;
+    panic_unless(simulate(device, sched, index, occupant, &meets, nullptr,
+                          &error),
+                 "cannot complete a structurally invalid schedule: " +
+                     error);
+
+    // position_of[occ] inverse of occupant.
+    std::vector<std::int32_t> position_of(static_cast<std::size_t>(k));
+    for (std::int32_t i = 0; i < k; ++i)
+        position_of[static_cast<std::size_t>(
+            occupant[static_cast<std::size_t>(i)])] = i;
+
+    // Restricted BFS from a dense position to another.
+    auto bfs_path = [&](std::int32_t from, std::int32_t to) {
+        std::vector<std::int32_t> prev(static_cast<std::size_t>(k), -2);
+        std::deque<std::int32_t> queue;
+        prev[static_cast<std::size_t>(from)] = -1;
+        queue.push_back(from);
+        while (!queue.empty()) {
+            std::int32_t d = queue.front();
+            queue.pop_front();
+            if (d == to)
+                break;
+            PhysicalQubit phys = index.positions[static_cast<std::size_t>(d)];
+            for (PhysicalQubit nb : device.connectivity().neighbors(phys)) {
+                std::int32_t dn =
+                    index.dense_of[static_cast<std::size_t>(nb)];
+                if (dn >= 0 && prev[static_cast<std::size_t>(dn)] == -2) {
+                    prev[static_cast<std::size_t>(dn)] = d;
+                    queue.push_back(dn);
+                }
+            }
+        }
+        std::vector<std::int32_t> path;
+        std::int32_t cur = to;
+        panic_unless(prev[static_cast<std::size_t>(cur)] != -2,
+                     "region is disconnected; cannot complete coverage");
+        while (cur != -1) {
+            path.push_back(cur);
+            cur = prev[static_cast<std::size_t>(cur)];
+        }
+        std::reverse(path.begin(), path.end());
+        return path; // from ... to (dense positions)
+    };
+
+    std::int64_t completed = 0;
+    for (std::int32_t u = 0; u < k; ++u) {
+        for (std::int32_t v = u + 1; v < k; ++v) {
+            if (meets.met(u, v))
+                continue;
+            // Route occupant u toward occupant v, then compute.
+            std::int32_t pu = position_of[static_cast<std::size_t>(u)];
+            std::int32_t pv = position_of[static_cast<std::size_t>(v)];
+            auto path = bfs_path(pu, pv);
+            // Swap u along the path until adjacent to pv.
+            for (std::size_t step = 0; step + 2 < path.size(); ++step) {
+                std::int32_t a = path[step], b = path[step + 1];
+                sched.swap(index.positions[static_cast<std::size_t>(a)],
+                           index.positions[static_cast<std::size_t>(b)]);
+                std::swap(occupant[static_cast<std::size_t>(a)],
+                          occupant[static_cast<std::size_t>(b)]);
+                position_of[static_cast<std::size_t>(
+                    occupant[static_cast<std::size_t>(a)])] = a;
+                position_of[static_cast<std::size_t>(
+                    occupant[static_cast<std::size_t>(b)])] = b;
+            }
+            std::int32_t last =
+                path.size() >= 2 ? path[path.size() - 2] : path[0];
+            sched.compute(index.positions[static_cast<std::size_t>(last)],
+                          index.positions[static_cast<std::size_t>(pv)]);
+            meets.mark(occupant[static_cast<std::size_t>(last)],
+                       occupant[static_cast<std::size_t>(pv)]);
+            ++completed;
+        }
+    }
+    return completed;
+}
+
+} // namespace permuq::ata

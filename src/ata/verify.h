@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structural verification of ATA schedules.
+ *
+ * A schedule is a correct all-to-all pattern for a device iff
+ *   (1) every slot lies on a coupler of the device, and
+ *   (2) replaying it meets every pair of initial occupants at a
+ *       compute slot at least once (logical coverage).
+ * Pattern generators in this module are *checked*, not trusted: the
+ * test suite runs this verifier over every architecture and size.
+ */
+#ifndef PERMUQ_ATA_VERIFY_H
+#define PERMUQ_ATA_VERIFY_H
+
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "ata/swap_schedule.h"
+#include "common/types.h"
+
+namespace permuq::ata {
+
+/** Outcome of verifying one schedule. */
+struct CoverageReport
+{
+    bool ok = false;
+    /** Initial-occupant pairs never met at a compute slot. */
+    std::vector<VertexPair> missing;
+    /** First structural problem found, empty if none. */
+    std::string error;
+    /** Number of compute slots that touched an already-met pair. */
+    std::int64_t duplicate_meets = 0;
+};
+
+/**
+ * Verify @p sched provides all-to-all coverage over @p positions of
+ * @p device (all device positions if @p positions is empty). Slots may
+ * only touch the given positions.
+ */
+CoverageReport verify_coverage(const arch::CouplingGraph& device,
+                               const SwapSchedule& sched,
+                               const std::vector<PhysicalQubit>& positions = {});
+
+/**
+ * Verify bipartite coverage: every occupant initially in @p side_a
+ * meets every occupant initially in @p side_b. Slots may touch any
+ * position in side_a ∪ side_b.
+ */
+CoverageReport verify_bipartite_coverage(
+    const arch::CouplingGraph& device, const SwapSchedule& sched,
+    const std::vector<PhysicalQubit>& side_a,
+    const std::vector<PhysicalQubit>& side_b);
+
+/**
+ * Append greedy completion slots to @p sched so that all missing
+ * pairs of @p report get met: for each missing pair, route one
+ * endpoint's occupant toward the other along a shortest path with
+ * SWAPs, then compute. Used as a checked safety net by generators
+ * whose constructions are heuristic (heavy-hex two-pass, §5.1).
+ * @return number of pairs completed this way.
+ */
+std::int64_t complete_missing_pairs(const arch::CouplingGraph& device,
+                                    SwapSchedule& sched,
+                                    const std::vector<PhysicalQubit>& positions = {});
+
+} // namespace permuq::ata
+
+#endif // PERMUQ_ATA_VERIFY_H

@@ -1,0 +1,283 @@
+#include "router_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace permuq::baselines {
+
+namespace {
+
+/** Pending-edge bookkeeping shared by the router. */
+struct Pending
+{
+    std::vector<bool> done;
+    std::vector<std::int32_t> deg;
+    std::vector<std::vector<std::pair<LogicalQubit, std::int32_t>>> adj;
+    std::unordered_map<VertexPair, std::int32_t, VertexPairHash> index;
+    std::int64_t count = 0;
+
+    explicit Pending(const graph::Graph& problem)
+        : done(static_cast<std::size_t>(problem.num_edges()), false),
+          deg(static_cast<std::size_t>(problem.num_vertices()), 0),
+          adj(static_cast<std::size_t>(problem.num_vertices())),
+          count(problem.num_edges())
+    {
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            const auto& edge =
+                problem.edges()[static_cast<std::size_t>(e)];
+            index.emplace(edge, e);
+            ++deg[static_cast<std::size_t>(edge.a)];
+            ++deg[static_cast<std::size_t>(edge.b)];
+            adj[static_cast<std::size_t>(edge.a)].emplace_back(edge.b, e);
+            adj[static_cast<std::size_t>(edge.b)].emplace_back(edge.a, e);
+        }
+    }
+
+    void
+    mark(std::int32_t e, const graph::Graph& problem)
+    {
+        done[static_cast<std::size_t>(e)] = true;
+        const auto& edge = problem.edges()[static_cast<std::size_t>(e)];
+        --deg[static_cast<std::size_t>(edge.a)];
+        --deg[static_cast<std::size_t>(edge.b)];
+        --count;
+    }
+};
+
+} // namespace
+
+circuit::Circuit
+route_frontier(const arch::CouplingGraph& device,
+               const graph::Graph& problem, circuit::Mapping initial,
+               const RouterConfig& config)
+{
+    circuit::Circuit circ(std::move(initial));
+    Pending pending(problem);
+    const auto& dist = device.distances();
+    const auto& couplers = device.couplers();
+
+    auto rider_gain = [&](LogicalQubit a, LogicalQubit b) {
+        const auto& mapping = circ.final_mapping();
+        PhysicalQubit pa = mapping.physical_of(a);
+        PhysicalQubit pb = mapping.physical_of(b);
+        std::int64_t delta = 0;
+        auto tally = [&](LogicalQubit q, PhysicalQubit from,
+                         PhysicalQubit to) {
+            for (const auto& [partner, e] :
+                 pending.adj[static_cast<std::size_t>(q)]) {
+                if (pending.done[static_cast<std::size_t>(e)])
+                    continue;
+                PhysicalQubit pp = mapping.physical_of(partner);
+                delta += dist.at(to, pp) - dist.at(from, pp);
+            }
+        };
+        tally(a, pa, pb);
+        tally(b, pb, pa);
+        return delta;
+    };
+
+    std::int64_t stall = 0;
+    std::int64_t max_cycles =
+        16ll * device.num_qubits() + 16ll * problem.num_edges() + 256;
+    for (std::int64_t cycle = 0; pending.count > 0 && cycle < max_cycles;
+         ++cycle) {
+        const auto& mapping = circ.final_mapping();
+        std::vector<bool> used(
+            static_cast<std::size_t>(device.num_qubits()), false);
+        bool computed = false;
+
+        // Execute every executable gate whose qubits are still free.
+        for (const auto& link : couplers) {
+            LogicalQubit a = mapping.logical_at(link.a);
+            LogicalQubit b = mapping.logical_at(link.b);
+            if (a == kInvalidQubit || b == kInvalidQubit)
+                continue;
+            if (used[static_cast<std::size_t>(link.a)] ||
+                used[static_cast<std::size_t>(link.b)])
+                continue;
+            auto it = pending.index.find(VertexPair(a, b));
+            if (it == pending.index.end() ||
+                pending.done[static_cast<std::size_t>(it->second)])
+                continue;
+            circ.add_compute(link.a, link.b);
+            pending.mark(it->second, problem);
+            used[static_cast<std::size_t>(link.a)] = true;
+            used[static_cast<std::size_t>(link.b)] = true;
+            computed = true;
+            if (config.gate_unifying && rider_gain(a, b) < 0)
+                circ.add_swap(link.a, link.b);
+        }
+        if (pending.count == 0)
+            break;
+
+        // Profit-ordered SWAP packing for the still-pending gates.
+        struct Proposal
+        {
+            PhysicalQubit p, q;
+            double profit;
+        };
+        std::vector<Proposal> proposals;
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            if (pending.done[static_cast<std::size_t>(e)])
+                continue;
+            const auto& edge =
+                problem.edges()[static_cast<std::size_t>(e)];
+            PhysicalQubit pa = mapping.physical_of(edge.a);
+            PhysicalQubit pb = mapping.physical_of(edge.b);
+            std::int32_t d = dist.at(pa, pb);
+            if (d <= 1)
+                continue;
+            auto propose = [&](PhysicalQubit from, PhysicalQubit target) {
+                PhysicalQubit best = kInvalidQubit;
+                double best_profit = 0.0;
+                for (PhysicalQubit nb :
+                     device.connectivity().neighbors(from)) {
+                    std::int32_t nd = dist.at(nb, target);
+                    if (nd >= d)
+                        continue;
+                    double profit = 1.0 / static_cast<double>(d);
+                    if (config.noise != nullptr &&
+                        !config.noise->is_ideal())
+                        profit /= std::max(
+                            config.noise->cx_error(from, nb), 1e-6);
+                    if (profit > best_profit) {
+                        best_profit = profit;
+                        best = nb;
+                    }
+                }
+                if (best != kInvalidQubit)
+                    proposals.push_back({from, best, best_profit});
+            };
+            propose(pa, pb);
+            if (config.pack_swaps)
+                propose(pb, pa);
+        }
+        std::stable_sort(proposals.begin(), proposals.end(),
+                         [](const Proposal& a, const Proposal& b) {
+                             return a.profit > b.profit;
+                         });
+        bool swapped = false;
+        for (const auto& prop : proposals) {
+            if (used[static_cast<std::size_t>(prop.p)] ||
+                used[static_cast<std::size_t>(prop.q)])
+                continue;
+            circ.add_swap(prop.p, prop.q);
+            used[static_cast<std::size_t>(prop.p)] = true;
+            used[static_cast<std::size_t>(prop.q)] = true;
+            swapped = true;
+        }
+
+        if (!computed && !swapped)
+            ++stall;
+        else
+            stall = 0;
+        if (stall > 4) {
+            // Shortest-path fallback for the closest pending pair.
+            std::int32_t best_e = -1, best_d = kUnreachable;
+            for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+                if (pending.done[static_cast<std::size_t>(e)])
+                    continue;
+                const auto& edge =
+                    problem.edges()[static_cast<std::size_t>(e)];
+                std::int32_t d = dist.at(mapping.physical_of(edge.a),
+                                         mapping.physical_of(edge.b));
+                if (d < best_d) {
+                    best_d = d;
+                    best_e = e;
+                }
+            }
+            panic_unless(best_e >= 0, "stall without pending gates");
+            const auto& edge =
+                problem.edges()[static_cast<std::size_t>(best_e)];
+            PhysicalQubit pa = mapping.physical_of(edge.a);
+            PhysicalQubit pb = mapping.physical_of(edge.b);
+            while (dist.at(pa, pb) > 1) {
+                std::int32_t d = dist.at(pa, pb);
+                for (PhysicalQubit nb :
+                     device.connectivity().neighbors(pa)) {
+                    if (dist.at(nb, pb) < d) {
+                        circ.add_swap(pa, nb);
+                        pa = nb;
+                        break;
+                    }
+                }
+            }
+            circ.add_compute(pa, pb);
+            pending.mark(best_e, problem);
+            stall = 0;
+        }
+    }
+    panic_unless(pending.count == 0, "frontier router did not terminate");
+    return circ;
+}
+
+circuit::Mapping
+annealed_placement(const arch::CouplingGraph& device,
+                   const graph::Graph& problem, std::uint64_t seed)
+{
+    std::int32_t n = problem.num_vertices();
+    const auto& dist = device.distances();
+    Xoshiro256 rng(seed);
+
+    // State: position assignment of every logical qubit (injective).
+    std::vector<PhysicalQubit> phys_of(static_cast<std::size_t>(n));
+    std::iota(phys_of.begin(), phys_of.end(), 0);
+    std::vector<LogicalQubit> logical_at(
+        static_cast<std::size_t>(device.num_qubits()), kInvalidQubit);
+    for (std::int32_t l = 0; l < n; ++l)
+        logical_at[static_cast<std::size_t>(l)] = l;
+
+    auto vertex_cost = [&](LogicalQubit v, PhysicalQubit at) {
+        std::int64_t sum = 0;
+        for (std::int32_t w : problem.neighbors(v))
+            sum += dist.at(at, phys_of[static_cast<std::size_t>(w)]);
+        return sum;
+    };
+
+    std::int64_t iterations = 50ll * n * n;
+    double temperature =
+        static_cast<double>(device.distances().diameter());
+    double cooling =
+        std::pow(1e-3 / std::max(temperature, 1.0),
+                 1.0 / static_cast<double>(std::max<std::int64_t>(
+                           iterations, 1)));
+    for (std::int64_t it = 0; it < iterations; ++it) {
+        LogicalQubit v = static_cast<LogicalQubit>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        PhysicalQubit to = static_cast<PhysicalQubit>(rng.next_below(
+            static_cast<std::uint64_t>(device.num_qubits())));
+        PhysicalQubit from = phys_of[static_cast<std::size_t>(v)];
+        if (to == from)
+            continue;
+        LogicalQubit other = logical_at[static_cast<std::size_t>(to)];
+
+        std::int64_t before = vertex_cost(v, from);
+        std::int64_t after = vertex_cost(v, to);
+        if (other != kInvalidQubit) {
+            before += vertex_cost(other, to);
+            after += vertex_cost(other, from);
+            // Shared edge distance counted twice on both sides: equal
+            // contributions cancel in the delta.
+        }
+        std::int64_t delta = after - before;
+        if (delta <= 0 ||
+            rng.next_double() <
+                std::exp(-static_cast<double>(delta) /
+                         std::max(temperature, 1e-9))) {
+            phys_of[static_cast<std::size_t>(v)] = to;
+            logical_at[static_cast<std::size_t>(to)] = v;
+            logical_at[static_cast<std::size_t>(from)] = other;
+            if (other != kInvalidQubit)
+                phys_of[static_cast<std::size_t>(other)] = from;
+        }
+        temperature *= cooling;
+    }
+    return circuit::Mapping(std::move(phys_of), device.num_qubits());
+}
+
+} // namespace permuq::baselines

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Internal routing helpers shared by the baseline compilers.
+ */
+#ifndef PERMUQ_BASELINES_ROUTER_UTIL_H
+#define PERMUQ_BASELINES_ROUTER_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+
+namespace permuq::baselines {
+
+/** Knobs of the shared frontier router. */
+struct RouterConfig
+{
+    /** Merge a SWAP into a just-executed gate when it reduces the
+     *  pending-distance potential (2QAN-style gate unifying). */
+    bool gate_unifying = false;
+    /** Select cycle swaps by profit-ordered sequential packing
+     *  (QAIM-style) instead of one swap per closest gate. */
+    bool pack_swaps = true;
+    /** Optional per-link error weighting. */
+    const arch::NoiseModel* noise = nullptr;
+};
+
+/**
+ * A plain frontier router: per cycle, execute every executable gate
+ * whose qubits are free, then insert distance-reducing SWAPs for the
+ * still-pending gates. Terminates via a shortest-path fallback when
+ * the heuristic stalls. The baselines build on this with different
+ * initial mappings and knobs.
+ */
+circuit::Circuit route_frontier(const arch::CouplingGraph& device,
+                                const graph::Graph& problem,
+                                circuit::Mapping initial,
+                                const RouterConfig& config);
+
+/**
+ * 2QAN-style simulated-annealing placement minimizing the total
+ * coupling-distance of all problem edges; cost is quadratic in the
+ * problem size by construction (iterations ~ 50 n^2).
+ */
+circuit::Mapping annealed_placement(const arch::CouplingGraph& device,
+                                    const graph::Graph& problem,
+                                    std::uint64_t seed);
+
+} // namespace permuq::baselines
+
+#endif // PERMUQ_BASELINES_ROUTER_UTIL_H

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * SABRE-like generic-circuit router (Li, Ding, Xie — ASPLOS'19), the
+ * kind of compiler the paper's related work contrasts against: it
+ * respects a *fixed* gate order (the dependency DAG of the circuit as
+ * written) and cannot exploit permutability. Routing uses SABRE's
+ * heuristic: execute the front layer's hardware-compliant gates, and
+ * otherwise pick the SWAP minimizing the summed front-layer distance
+ * plus a discounted lookahead term, with a decay penalty on recently
+ * moved qubits.
+ *
+ * Comparing it against PermuQ isolates the benefit of commutativity:
+ * both see the same interaction graph, but SABRE must realize one
+ * specific ordering of it.
+ */
+#include "baselines.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "core/placement.h"
+
+namespace permuq::baselines {
+
+BaselineResult
+sabre_like(const arch::CouplingGraph& device, const graph::Graph& problem)
+{
+    Timer timer;
+    std::int32_t num_gates = problem.num_edges();
+    const auto& edges = problem.edges();
+    const auto& dist = device.distances();
+
+    // Dependency DAG of the as-written order: a gate depends on the
+    // previous gate touching either of its qubits.
+    std::vector<std::int32_t> pending_preds(
+        static_cast<std::size_t>(num_gates), 0);
+    std::vector<std::vector<std::int32_t>> successors(
+        static_cast<std::size_t>(num_gates));
+    {
+        std::vector<std::int32_t> last_gate(
+            static_cast<std::size_t>(problem.num_vertices()), -1);
+        for (std::int32_t g = 0; g < num_gates; ++g) {
+            for (LogicalQubit q :
+                 {edges[static_cast<std::size_t>(g)].a,
+                  edges[static_cast<std::size_t>(g)].b}) {
+                std::int32_t prev = last_gate[static_cast<std::size_t>(q)];
+                if (prev >= 0 && prev != g) {
+                    successors[static_cast<std::size_t>(prev)].push_back(
+                        g);
+                    ++pending_preds[static_cast<std::size_t>(g)];
+                }
+                last_gate[static_cast<std::size_t>(q)] = g;
+            }
+        }
+        // A gate sharing both qubits with one predecessor counts once.
+        for (auto& list : successors) {
+            std::sort(list.begin(), list.end());
+            auto last = std::unique(list.begin(), list.end());
+            for (auto it = last; it != list.end(); ++it)
+                --pending_preds[static_cast<std::size_t>(*it)];
+            list.erase(last, list.end());
+        }
+    }
+
+    circuit::Circuit circ(
+        core::connectivity_strength_placement(device, problem));
+    std::vector<std::int32_t> front;
+    for (std::int32_t g = 0; g < num_gates; ++g)
+        if (pending_preds[static_cast<std::size_t>(g)] == 0)
+            front.push_back(g);
+
+    std::vector<double> decay(
+        static_cast<std::size_t>(device.num_qubits()), 1.0);
+    std::int64_t executed = 0;
+    std::int64_t guard =
+        64ll * num_gates * std::max(1, dist.diameter()) + 1024;
+
+    while (executed < num_gates && guard-- > 0) {
+        // Execute every compliant front gate (repeat to a fixpoint).
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            for (std::size_t i = 0; i < front.size();) {
+                std::int32_t g = front[i];
+                const auto& e = edges[static_cast<std::size_t>(g)];
+                PhysicalQubit pa = circ.final_mapping().physical_of(e.a);
+                PhysicalQubit pb = circ.final_mapping().physical_of(e.b);
+                if (device.coupled(pa, pb)) {
+                    circ.add_compute(pa, pb);
+                    ++executed;
+                    front[i] = front.back();
+                    front.pop_back();
+                    for (std::int32_t succ :
+                         successors[static_cast<std::size_t>(g)])
+                        if (--pending_preds[static_cast<std::size_t>(
+                                succ)] == 0)
+                            front.push_back(succ);
+                    progressed = true;
+                } else {
+                    ++i;
+                }
+            }
+        }
+        if (executed == num_gates)
+            break;
+
+        // Extended (lookahead) set: immediate successors of the front.
+        std::vector<std::int32_t> extended;
+        for (std::int32_t g : front)
+            for (std::int32_t succ :
+                 successors[static_cast<std::size_t>(g)])
+                extended.push_back(succ);
+
+        auto layer_cost = [&](const std::vector<std::int32_t>& gates,
+                              PhysicalQubit p, PhysicalQubit q) {
+            // Distance sum if positions p and q were exchanged.
+            double sum = 0.0;
+            for (std::int32_t g : gates) {
+                const auto& e = edges[static_cast<std::size_t>(g)];
+                PhysicalQubit pa = circ.final_mapping().physical_of(e.a);
+                PhysicalQubit pb = circ.final_mapping().physical_of(e.b);
+                auto moved = [&](PhysicalQubit x) {
+                    return x == p ? q : (x == q ? p : x);
+                };
+                sum += dist.at(moved(pa), moved(pb));
+            }
+            return sum;
+        };
+
+        // Candidate SWAPs: couplers touching a front gate's qubit.
+        double best_score = 1e300;
+        VertexPair best{kInvalidQubit, kInvalidQubit};
+        for (std::int32_t g : front) {
+            const auto& e = edges[static_cast<std::size_t>(g)];
+            for (LogicalQubit l : {e.a, e.b}) {
+                PhysicalQubit p = circ.final_mapping().physical_of(l);
+                for (PhysicalQubit nb :
+                     device.connectivity().neighbors(p)) {
+                    double score =
+                        layer_cost(front, p, nb) /
+                            std::max<double>(1.0,
+                                             static_cast<double>(
+                                                 front.size())) +
+                        0.5 * layer_cost(extended, p, nb) /
+                            std::max<double>(1.0,
+                                             static_cast<double>(
+                                                 extended.size())) ;
+                    score *= std::max(decay[static_cast<std::size_t>(p)],
+                                      decay[static_cast<std::size_t>(nb)]);
+                    if (score < best_score) {
+                        best_score = score;
+                        best = VertexPair(p, nb);
+                    }
+                }
+            }
+        }
+        panic_unless(best.a != kInvalidQubit, "SABRE found no swap");
+        circ.add_swap(best.a, best.b);
+        decay[static_cast<std::size_t>(best.a)] += 0.001;
+        decay[static_cast<std::size_t>(best.b)] += 0.001;
+        // Periodic decay reset, as in SABRE.
+        if (executed % 16 == 0)
+            std::fill(decay.begin(), decay.end(), 1.0);
+    }
+    panic_unless(executed == num_gates, "sabre_like did not terminate");
+
+    BaselineResult result;
+    result.metrics = circuit::compute_metrics(circ);
+    result.circuit = std::move(circ);
+    result.name = "sabre";
+    result.compile_seconds = timer.elapsed_seconds();
+    return result;
+}
+
+} // namespace permuq::baselines

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Exact-search baselines standing in for the SAT formulations:
+ *  - olsq_like:   depth-optimal (QAOA-OLSQ's objective) via the A*
+ *    solver of §4 with an expansion budget;
+ *  - satmap_like: SWAP-count-optimal (SATMAP's objective) via A* over
+ *    (mapping, remaining) states where executable gates are free and
+ *    each SWAP costs one, with the admissible bound
+ *    h = max over remaining gates of (distance - 1).
+ * Like the SAT solvers, both are exact and exponential; the budget
+ * plays the role of the solvers' wall-clock timeouts.
+ */
+#include "baselines.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "core/compiler.h"
+#include "solver/astar.h"
+
+namespace permuq::baselines {
+
+namespace {
+
+/** The exact searches assume every device position holds a logical
+ *  qubit; pad the problem with isolated vertices if needed. */
+graph::Graph
+pad_to_device(const arch::CouplingGraph& device,
+              const graph::Graph& problem)
+{
+    if (problem.num_vertices() == device.num_qubits())
+        return problem;
+    graph::Graph padded(device.num_qubits());
+    for (const auto& e : problem.edges())
+        padded.add_edge(e.a, e.b);
+    return padded;
+}
+
+} // namespace
+
+BaselineResult
+olsq_like(const arch::CouplingGraph& device, const graph::Graph& raw,
+          std::int64_t max_expansions)
+{
+    Timer timer;
+    BaselineResult result;
+    result.name = "olsq";
+    graph::Graph problem = pad_to_device(device, raw);
+    circuit::Mapping initial(problem.num_vertices(), device.num_qubits());
+    solver::SolverOptions options;
+    options.max_expansions = max_expansions;
+    auto solved = solver::solve_depth_optimal(device, problem, initial,
+                                              options);
+    if (solved.solved) {
+        result.circuit = std::move(solved.circuit);
+        result.metrics = circuit::compute_metrics(result.circuit);
+        result.complete = true;
+    } else {
+        // Budget exhausted — like OLSQ hitting its timeout; report the
+        // heuristic compiler's circuit as the incumbent.
+        auto fallback = core::compile(device, problem);
+        result.circuit = std::move(fallback.circuit);
+        result.metrics = fallback.metrics;
+        result.complete = false;
+    }
+    result.compile_seconds = timer.elapsed_seconds();
+    return result;
+}
+
+namespace {
+
+constexpr std::int32_t kMaxQubits = 16;
+
+struct GateMask
+{
+    std::array<std::uint64_t, 2> bits{0, 0};
+
+    bool
+    test(std::int32_t i) const
+    {
+        return bits[static_cast<std::size_t>(i >> 6)] >> (i & 63) & 1;
+    }
+
+    void
+    set(std::int32_t i)
+    {
+        bits[static_cast<std::size_t>(i >> 6)] |=
+            std::uint64_t(1) << (i & 63);
+    }
+
+    void
+    clear(std::int32_t i)
+    {
+        bits[static_cast<std::size_t>(i >> 6)] &=
+            ~(std::uint64_t(1) << (i & 63));
+    }
+
+    bool none() const { return bits[0] == 0 && bits[1] == 0; }
+
+    friend bool operator==(const GateMask&, const GateMask&) = default;
+};
+
+struct SwapState
+{
+    std::array<std::uint8_t, kMaxQubits> mapping{};
+    GateMask remaining;
+
+    friend bool operator==(const SwapState&, const SwapState&) = default;
+};
+
+struct SwapStateHash
+{
+    std::size_t
+    operator()(const SwapState& s) const noexcept
+    {
+        std::uint64_t h = 1469598103934665603ULL;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ULL;
+        };
+        std::uint64_t packed = 0;
+        for (std::size_t i = 0; i < kMaxQubits; ++i)
+            packed = packed << 4 | (s.mapping[i] & 0xf);
+        mix(packed);
+        mix(s.remaining.bits[0]);
+        mix(s.remaining.bits[1]);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+} // namespace
+
+BaselineResult
+satmap_like(const arch::CouplingGraph& device, const graph::Graph& raw,
+            std::int64_t max_expansions)
+{
+    Timer timer;
+    graph::Graph problem = pad_to_device(device, raw);
+    std::int32_t n = device.num_qubits();
+    fatal_unless(n <= kMaxQubits && problem.num_edges() <= 128,
+                 "satmap_like limited to 16 qubits / 128 gates");
+    fatal_unless(problem.num_vertices() == n,
+                 "satmap_like expects a fully mapped device");
+
+    const auto& edges = problem.edges();
+    const auto& dist = device.distances();
+
+    // Closure: execute every executable gate (free), recording order.
+    auto close = [&](SwapState& s, std::vector<std::int32_t>* fired) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            std::array<std::int32_t, kMaxQubits> pos{};
+            for (std::int32_t p = 0; p < n; ++p)
+                pos[s.mapping[static_cast<std::size_t>(p)]] = p;
+            for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+                if (!s.remaining.test(e))
+                    continue;
+                const auto& edge = edges[static_cast<std::size_t>(e)];
+                if (device.coupled(pos[static_cast<std::size_t>(edge.a)],
+                                   pos[static_cast<std::size_t>(edge.b)])) {
+                    s.remaining.clear(e);
+                    if (fired != nullptr)
+                        fired->push_back(e);
+                    changed = true;
+                }
+            }
+        }
+    };
+
+    auto heuristic = [&](const SwapState& s) {
+        std::array<std::int32_t, kMaxQubits> pos{};
+        for (std::int32_t p = 0; p < n; ++p)
+            pos[s.mapping[static_cast<std::size_t>(p)]] = p;
+        std::int32_t h = 0;
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            if (!s.remaining.test(e))
+                continue;
+            const auto& edge = edges[static_cast<std::size_t>(e)];
+            h = std::max(h,
+                         dist.at(pos[static_cast<std::size_t>(edge.a)],
+                                 pos[static_cast<std::size_t>(edge.b)]) -
+                             1);
+        }
+        return h;
+    };
+
+    struct Node
+    {
+        SwapState state;
+        std::int32_t g = 0;
+        std::int32_t parent = -1;
+        VertexPair swap{};                // swap leading here
+        std::vector<std::int32_t> fired;  // gates fired after the swap
+    };
+
+    std::deque<Node> nodes;
+    std::unordered_map<SwapState, std::int32_t, SwapStateHash> best_g;
+
+    Node root;
+    circuit::Mapping initial(n, n);
+    for (std::int32_t p = 0; p < n; ++p)
+        root.state.mapping[static_cast<std::size_t>(p)] =
+            static_cast<std::uint8_t>(initial.logical_at(p));
+    for (std::int32_t e = 0; e < problem.num_edges(); ++e)
+        root.state.remaining.set(e);
+    close(root.state, &root.fired);
+    nodes.push_back(root);
+    best_g.emplace(root.state, 0);
+
+    using Entry = std::tuple<std::int32_t, std::int32_t, std::int32_t>;
+    auto cmp = [](const Entry& a, const Entry& b) {
+        return std::get<0>(a) > std::get<0>(b);
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> open(
+        cmp);
+    open.emplace(heuristic(root.state), 0, 0);
+
+    BaselineResult result;
+    result.name = "satmap";
+    std::int64_t expansions = 0;
+    std::int32_t goal = -1;
+
+    while (!open.empty()) {
+        auto [f, g, idx] = open.top();
+        open.pop();
+        const SwapState state = nodes[static_cast<std::size_t>(idx)].state;
+        if (g != best_g[state])
+            continue;
+        if (state.remaining.none()) {
+            goal = idx;
+            break;
+        }
+        if (max_expansions > 0 && ++expansions > max_expansions)
+            break;
+
+        for (const auto& link : device.couplers()) {
+            SwapState child = state;
+            std::swap(child.mapping[static_cast<std::size_t>(link.a)],
+                      child.mapping[static_cast<std::size_t>(link.b)]);
+            std::vector<std::int32_t> fired;
+            close(child, &fired);
+            std::int32_t child_g = g + 1;
+            auto it = best_g.find(child);
+            if (it != best_g.end() && it->second <= child_g)
+                continue;
+            best_g[child] = child_g;
+            Node node;
+            node.state = child;
+            node.g = child_g;
+            node.parent = idx;
+            node.swap = link;
+            node.fired = std::move(fired);
+            nodes.push_back(std::move(node));
+            open.emplace(child_g + heuristic(child), child_g,
+                         static_cast<std::int32_t>(nodes.size()) - 1);
+        }
+    }
+
+    if (goal < 0) {
+        auto fallback = core::compile(device, problem);
+        result.circuit = std::move(fallback.circuit);
+        result.metrics = fallback.metrics;
+        result.complete = false;
+        result.compile_seconds = timer.elapsed_seconds();
+        return result;
+    }
+
+    // Reconstruct: chain of (swap, fired gates).
+    std::vector<std::int32_t> chain;
+    for (std::int32_t cur = goal; cur != -1;
+         cur = nodes[static_cast<std::size_t>(cur)].parent)
+        chain.push_back(cur);
+    std::reverse(chain.begin(), chain.end());
+    circuit::Circuit circ(initial);
+    auto fire = [&](const std::vector<std::int32_t>& fired) {
+        for (std::int32_t e : fired) {
+            const auto& edge = edges[static_cast<std::size_t>(e)];
+            circ.add_compute(circ.final_mapping().physical_of(edge.a),
+                             circ.final_mapping().physical_of(edge.b));
+        }
+    };
+    fire(nodes[static_cast<std::size_t>(chain[0])].fired);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+        const auto& node = nodes[static_cast<std::size_t>(chain[i])];
+        circ.add_swap(node.swap.a, node.swap.b);
+        fire(node.fired);
+    }
+    result.metrics = circuit::compute_metrics(circ);
+    result.circuit = std::move(circ);
+    result.complete = true;
+    result.compile_seconds = timer.elapsed_seconds();
+    return result;
+}
+
+} // namespace permuq::baselines

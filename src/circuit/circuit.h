@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Compiled-circuit container with built-in mapping tracking.
+ *
+ * Ops are appended in program order with physical endpoints only; the
+ * circuit derives the logical operands from its internally tracked
+ * mapping, so a compiled circuit can never be internally inconsistent.
+ * Cycles are assigned ASAP: an op starts as soon as both its qubits are
+ * free, which reproduces the paper's depth metric (critical-path length
+ * with unit-latency gates).
+ */
+#ifndef PERMUQ_CIRCUIT_CIRCUIT_H
+#define PERMUQ_CIRCUIT_CIRCUIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "circuit/mapping.h"
+#include "common/types.h"
+
+namespace permuq::circuit {
+
+/** A compiled (hardware-compliant) circuit under construction. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Start from @p initial; the mapping is copied and then tracked. */
+    explicit Circuit(Mapping initial);
+
+    /** @name Appending ops (physical endpoints)
+     *  @{ */
+
+    /** Append a computation gate between positions @p p and @p q. */
+    const ScheduledOp& add_compute(PhysicalQubit p, PhysicalQubit q);
+
+    /** Append a SWAP between positions @p p and @p q. */
+    const ScheduledOp& add_swap(PhysicalQubit p, PhysicalQubit q);
+
+    /**
+     * Force every subsequent op to start at or after the current depth
+     * (used between pattern phases that must not overlap).
+     */
+    void barrier();
+
+    /** Append all ops of @p tail (same physical space); the tail's
+     *  initial mapping must equal this circuit's final mapping. */
+    void append_circuit(const Circuit& tail);
+    /** @} */
+
+    /** All ops in append order (cycle values are non-decreasing per
+     *  qubit but not globally sorted). */
+    const std::vector<ScheduledOp>& ops() const { return ops_; }
+
+    /** Critical-path depth in cycles. */
+    Cycle depth() const { return depth_; }
+
+    /** Number of computation (problem) gates appended. */
+    std::int64_t num_compute() const { return num_compute_; }
+
+    /** Number of SWAP gates appended. */
+    std::int64_t num_swaps() const { return num_swaps_; }
+
+    /** The mapping the circuit started from. */
+    const Mapping& initial_mapping() const { return initial_; }
+
+    /** The mapping after all appended ops. */
+    const Mapping& final_mapping() const { return current_; }
+
+    /** Cycle at which position @p p becomes free. */
+    Cycle
+    busy_until(PhysicalQubit p) const
+    {
+        return busy_[static_cast<std::size_t>(p)];
+    }
+
+  private:
+    ScheduledOp& push(OpKind kind, PhysicalQubit p, PhysicalQubit q);
+
+    Mapping initial_;
+    Mapping current_;
+    std::vector<ScheduledOp> ops_;
+    std::vector<Cycle> busy_;
+    Cycle depth_ = 0;
+    std::int64_t num_compute_ = 0;
+    std::int64_t num_swaps_ = 0;
+};
+
+} // namespace permuq::circuit
+
+#endif // PERMUQ_CIRCUIT_CIRCUIT_H

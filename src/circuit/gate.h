@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Scheduled two-qubit operations of a compiled circuit.
+ *
+ * Following the paper's cost model (§4.1), compiled circuits consist of
+ * abstract two-qubit slots — computation gates (CPHASE/RZZ) and SWAPs —
+ * each occupying one cycle. Single-qubit gates (H, RX, RZ) are attached
+ * only when a circuit is lowered for simulation (sim/qaoa.h), since they
+ * do not affect routing.
+ */
+#ifndef PERMUQ_CIRCUIT_GATE_H
+#define PERMUQ_CIRCUIT_GATE_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace permuq::circuit {
+
+/** The two scheduling-relevant operation kinds. */
+enum class OpKind : std::uint8_t
+{
+    /** A problem-graph two-qubit gate (CPHASE for QAOA, RZZ/unitary
+     *  block for 2-local Hamiltonians). */
+    Compute,
+    /** A routing SWAP. */
+    Swap,
+};
+
+/** One scheduled two-qubit operation. */
+struct ScheduledOp
+{
+    OpKind kind = OpKind::Compute;
+    /** Physical endpoints (must be a coupler of the target device). */
+    PhysicalQubit p = kInvalidQubit;
+    PhysicalQubit q = kInvalidQubit;
+    /** Logical operands at execution time; for SWAPs either side may be
+     *  kInvalidQubit when an empty position is moved. */
+    LogicalQubit a = kInvalidQubit;
+    LogicalQubit b = kInvalidQubit;
+    /** Scheduling cycle (ASAP-assigned; all ops take one cycle). */
+    Cycle cycle = 0;
+};
+
+} // namespace permuq::circuit
+
+#endif // PERMUQ_CIRCUIT_GATE_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The logical-to-physical qubit mapping, maintained in both directions.
+ *
+ * Every compiler pass in PermuQ mutates a Mapping only through swaps,
+ * so the two directions can never disagree.
+ */
+#ifndef PERMUQ_CIRCUIT_MAPPING_H
+#define PERMUQ_CIRCUIT_MAPPING_H
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace permuq::circuit {
+
+/**
+ * A partial injection of logical qubits into physical positions.
+ * Physical positions not holding a program qubit hold kInvalidQubit
+ * (they still participate in SWAPs as ancilla-free empty slots).
+ */
+class Mapping
+{
+  public:
+    Mapping() = default;
+
+    /**
+     * Identity-prefix mapping: logical qubit i at physical position i.
+     * @param num_logical number of program qubits
+     * @param num_physical number of hardware positions (>= num_logical)
+     */
+    Mapping(std::int32_t num_logical, std::int32_t num_physical)
+    {
+        fatal_unless(num_logical >= 0 && num_physical >= num_logical,
+                     "mapping needs num_physical >= num_logical");
+        phys_of_.resize(static_cast<std::size_t>(num_logical));
+        std::iota(phys_of_.begin(), phys_of_.end(), 0);
+        logical_at_.assign(static_cast<std::size_t>(num_physical),
+                           kInvalidQubit);
+        for (std::int32_t l = 0; l < num_logical; ++l)
+            logical_at_[static_cast<std::size_t>(l)] = l;
+    }
+
+    /** Build from an explicit logical->physical assignment. */
+    Mapping(std::vector<PhysicalQubit> phys_of, std::int32_t num_physical)
+        : phys_of_(std::move(phys_of))
+    {
+        logical_at_.assign(static_cast<std::size_t>(num_physical),
+                           kInvalidQubit);
+        for (std::size_t l = 0; l < phys_of_.size(); ++l) {
+            PhysicalQubit p = phys_of_[l];
+            fatal_unless(p >= 0 && p < num_physical,
+                         "mapping target out of range");
+            fatal_unless(logical_at_[static_cast<std::size_t>(p)] ==
+                             kInvalidQubit,
+                         "two logical qubits mapped to one position");
+            logical_at_[static_cast<std::size_t>(p)] =
+                static_cast<LogicalQubit>(l);
+        }
+    }
+
+    std::int32_t
+    num_logical() const
+    {
+        return static_cast<std::int32_t>(phys_of_.size());
+    }
+
+    std::int32_t
+    num_physical() const
+    {
+        return static_cast<std::int32_t>(logical_at_.size());
+    }
+
+    /** Physical position of logical qubit @p l. */
+    PhysicalQubit
+    physical_of(LogicalQubit l) const
+    {
+        return phys_of_[static_cast<std::size_t>(l)];
+    }
+
+    /** Logical qubit at position @p p, or kInvalidQubit if empty. */
+    LogicalQubit
+    logical_at(PhysicalQubit p) const
+    {
+        return logical_at_[static_cast<std::size_t>(p)];
+    }
+
+    /** Exchange the contents of two physical positions. */
+    void
+    apply_swap(PhysicalQubit p, PhysicalQubit q)
+    {
+        LogicalQubit a = logical_at_[static_cast<std::size_t>(p)];
+        LogicalQubit b = logical_at_[static_cast<std::size_t>(q)];
+        logical_at_[static_cast<std::size_t>(p)] = b;
+        logical_at_[static_cast<std::size_t>(q)] = a;
+        if (a != kInvalidQubit)
+            phys_of_[static_cast<std::size_t>(a)] = q;
+        if (b != kInvalidQubit)
+            phys_of_[static_cast<std::size_t>(b)] = p;
+    }
+
+    friend bool operator==(const Mapping&, const Mapping&) = default;
+
+  private:
+    std::vector<PhysicalQubit> phys_of_;  // logical -> physical
+    std::vector<LogicalQubit> logical_at_; // physical -> logical
+};
+
+} // namespace permuq::circuit
+
+#endif // PERMUQ_CIRCUIT_MAPPING_H

@@ -1,0 +1,162 @@
+#include "metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace permuq::circuit {
+
+std::vector<bool>
+merged_with_previous(const Circuit& circ)
+{
+    const auto& ops = circ.ops();
+    std::vector<bool> merged(ops.size(), false);
+    // last_op[q] = index of the most recent op touching position q.
+    std::vector<std::int64_t> last_op(
+        static_cast<std::size_t>(circ.initial_mapping().num_physical()), -1);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        std::int64_t lp = last_op[static_cast<std::size_t>(op.p)];
+        std::int64_t lq = last_op[static_cast<std::size_t>(op.q)];
+        if (lp >= 0 && lp == lq && !merged[static_cast<std::size_t>(lp)]) {
+            const auto& prev = ops[static_cast<std::size_t>(lp)];
+            bool same_pair = VertexPair(prev.p, prev.q) ==
+                             VertexPair(op.p, op.q);
+            bool one_each = prev.kind != op.kind;
+            if (same_pair && one_each && prev.cycle + 1 == op.cycle)
+                merged[i] = true;
+        }
+        last_op[static_cast<std::size_t>(op.p)] =
+            static_cast<std::int64_t>(i);
+        last_op[static_cast<std::size_t>(op.q)] =
+            static_cast<std::int64_t>(i);
+    }
+    return merged;
+}
+
+std::vector<std::int64_t>
+merge_partner(const Circuit& circ)
+{
+    auto merged = merged_with_previous(circ);
+    const auto& ops = circ.ops();
+    std::vector<std::int64_t> partner(ops.size(), -1);
+    // Reconstruct each merged op's predecessor: the last op touching
+    // both of its positions.
+    std::vector<std::int64_t> last_op(
+        static_cast<std::size_t>(circ.initial_mapping().num_physical()),
+        -1);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (merged[i]) {
+            std::int64_t prev =
+                last_op[static_cast<std::size_t>(ops[i].p)];
+            partner[static_cast<std::size_t>(prev)] =
+                static_cast<std::int64_t>(i);
+        }
+        last_op[static_cast<std::size_t>(ops[i].p)] =
+            static_cast<std::int64_t>(i);
+        last_op[static_cast<std::size_t>(ops[i].q)] =
+            static_cast<std::int64_t>(i);
+    }
+    return partner;
+}
+
+Metrics
+compute_metrics(const Circuit& circ, const arch::NoiseModel* noise)
+{
+    Metrics m;
+    m.depth = circ.depth();
+    m.compute_gates = circ.num_compute();
+    m.swap_gates = circ.num_swaps();
+
+    auto merged = merged_with_previous(circ);
+    const auto& ops = circ.ops();
+    double log_fid = 0.0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        std::int64_t cx;
+        if (merged[i]) {
+            // The pair (previous op + this op) costs 3 CX in total; the
+            // previous op was already billed at its standalone price,
+            // so bill the difference here.
+            const std::int64_t pair_cost = 3;
+            std::int64_t prev_cost = 0; // computed below from kind
+            // Find previous kind by same-pair adjacency: this op merged,
+            // so predecessor kind is the opposite of ours.
+            prev_cost = (ops[i].kind == OpKind::Swap) ? 2 : 3;
+            cx = pair_cost - prev_cost;
+            ++m.merged_pairs;
+        } else {
+            cx = (ops[i].kind == OpKind::Compute) ? 2 : 3;
+        }
+        m.cx_count += cx;
+        if (noise != nullptr && !noise->is_ideal()) {
+            double e = noise->cx_error(ops[i].p, ops[i].q);
+            for (std::int64_t k = 0; k < cx; ++k)
+                log_fid += std::log(1.0 - e);
+        }
+    }
+    m.fidelity = (noise != nullptr && !noise->is_ideal())
+                     ? std::exp(log_fid)
+                     : 1.0;
+    return m;
+}
+
+ValidationReport
+validate(const Circuit& circ, const arch::CouplingGraph& device,
+         const graph::Graph& problem)
+{
+    auto fail = [](std::string msg) {
+        return ValidationReport{false, std::move(msg)};
+    };
+    if (circ.initial_mapping().num_physical() != device.num_qubits())
+        return fail("circuit physical size does not match device");
+    if (circ.initial_mapping().num_logical() != problem.num_vertices())
+        return fail("circuit logical size does not match problem");
+
+    std::unordered_map<VertexPair, std::int64_t, VertexPairHash> done;
+    for (const auto& op : circ.ops()) {
+        if (!device.coupled(op.p, op.q)) {
+            std::ostringstream os;
+            os << "op on non-coupler (" << op.p << "," << op.q << ")";
+            return fail(os.str());
+        }
+        if (op.kind == OpKind::Compute) {
+            if (op.a == kInvalidQubit || op.b == kInvalidQubit)
+                return fail("compute gate touching an empty position");
+            if (!problem.has_edge(op.a, op.b)) {
+                std::ostringstream os;
+                os << "compute gate on non-edge logical pair (" << op.a
+                   << "," << op.b << ")";
+                return fail(os.str());
+            }
+            ++done[VertexPair(op.a, op.b)];
+        }
+    }
+    for (const auto& e : problem.edges()) {
+        auto it = done.find(e);
+        if (it == done.end()) {
+            std::ostringstream os;
+            os << "problem edge (" << e.a << "," << e.b
+               << ") never executed";
+            return fail(os.str());
+        }
+        if (it->second != 1) {
+            std::ostringstream os;
+            os << "problem edge (" << e.a << "," << e.b << ") executed "
+               << it->second << " times";
+            return fail(os.str());
+        }
+    }
+    return {};
+}
+
+void
+expect_valid(const Circuit& circ, const arch::CouplingGraph& device,
+             const graph::Graph& problem)
+{
+    auto report = validate(circ, device, problem);
+    panic_unless(report.ok, "invalid compiled circuit: " + report.message);
+}
+
+} // namespace permuq::circuit

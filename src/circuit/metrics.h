@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Evaluation metrics over compiled circuits (paper §7.1): depth, CX
+ * gate count after decomposition, and estimated fidelity.
+ *
+ * Decomposition rules (Fig 2(d) and standard identities):
+ *   - CPHASE/RZZ      -> 2 CX (+ single-qubit rotations),
+ *   - SWAP            -> 3 CX,
+ *   - CPHASE followed immediately by SWAP on the same coupler (or vice
+ *     versa) -> 3 CX total ("gate unifying", the identity that makes
+ *     swap networks cheap and that 2QAN exploits).
+ */
+#ifndef PERMUQ_CIRCUIT_METRICS_H
+#define PERMUQ_CIRCUIT_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+
+namespace permuq::circuit {
+
+/** Aggregate metrics of one compiled circuit. */
+struct Metrics
+{
+    Cycle depth = 0;
+    std::int64_t compute_gates = 0;
+    std::int64_t swap_gates = 0;
+    /** Pairs merged by the CPHASE+SWAP unification rule. */
+    std::int64_t merged_pairs = 0;
+    /** Two-qubit basis-gate (CX) count after decomposition. */
+    std::int64_t cx_count = 0;
+    /** Estimated success probability: product of per-CX (1 - error).
+     *  1.0 under an ideal noise model. */
+    double fidelity = 1.0;
+};
+
+/**
+ * Compute metrics for @p circ. When @p noise is non-null, fidelity
+ * multiplies per-coupler CX error; otherwise fidelity stays 1.
+ */
+Metrics compute_metrics(const Circuit& circ,
+                        const arch::NoiseModel* noise = nullptr);
+
+/**
+ * Indices of ops that are merged into their predecessor by the
+ * CPHASE+SWAP rule (the predecessor absorbs the pair at 3 CX).
+ */
+std::vector<bool> merged_with_previous(const Circuit& circ);
+
+/**
+ * merge_partner(circ)[i] = index j > i of the op that merges with op i
+ * under the CPHASE+SWAP rule, or -1. The partner is the next op on the
+ * same pair of positions, which is not necessarily adjacent in append
+ * order (ops on disjoint qubits may be interleaved).
+ */
+std::vector<std::int64_t> merge_partner(const Circuit& circ);
+
+/** Result of structural validation. */
+struct ValidationReport
+{
+    bool ok = true;
+    std::string message;
+};
+
+/**
+ * Validate that @p circ is a correct compilation of @p problem onto
+ * @p device: every op lies on a coupler, every problem edge receives
+ * exactly one computation gate, and no spurious computation appears.
+ */
+ValidationReport validate(const Circuit& circ,
+                          const arch::CouplingGraph& device,
+                          const graph::Graph& problem);
+
+/** Throw PanicError if validation fails (test/debug helper). */
+void expect_valid(const Circuit& circ, const arch::CouplingGraph& device,
+                  const graph::Graph& problem);
+
+} // namespace permuq::circuit
+
+#endif // PERMUQ_CIRCUIT_METRICS_H

@@ -1,0 +1,102 @@
+#include "qasm.h"
+
+#include <sstream>
+
+#include "circuit/metrics.h"
+#include "common/error.h"
+
+namespace permuq::circuit {
+
+std::string
+to_qasm(const Circuit& circ, const QasmOptions& options)
+{
+    std::ostringstream out;
+    std::int32_t n = circ.initial_mapping().num_physical();
+    std::int32_t logical = circ.initial_mapping().num_logical();
+    out << "OPENQASM 2.0;\n"
+        << "include \"qelib1.inc\";\n"
+        << "qreg q[" << n << "];\n";
+    if (options.full_qaoa)
+        out << "creg c[" << logical << "];\n";
+
+    if (options.full_qaoa) {
+        // Initial |+> on every position holding a program qubit.
+        for (std::int32_t l = 0; l < logical; ++l)
+            out << "h q[" << circ.initial_mapping().physical_of(l)
+                << "];\n";
+    }
+
+    std::vector<std::int64_t> partner(
+        circ.ops().size(), -1);
+    if (options.merge_pairs)
+        partner = merge_partner(circ);
+    const auto& ops = circ.ops();
+    std::vector<bool> consumed(ops.size(), false);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (consumed[i])
+            continue;
+        const auto& op = ops[i];
+        std::int64_t pair = partner[i];
+        if (pair >= 0) {
+            // Merged ZZ+SWAP (either order; the two commute):
+            //   SWAP*RZZ(t) = CX(a,b) CX(b,a) RZ_b(t) CX(a,b),
+            // i.e. in circuit order cx; rz; cx reversed; cx.
+            consumed[static_cast<std::size_t>(pair)] = true;
+            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+            out << "rz(" << 2.0 * options.gamma << ") q[" << op.q
+                << "];\n";
+            out << "cx q[" << op.q << "],q[" << op.p << "];\n";
+            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+        } else if (op.kind == OpKind::Compute) {
+            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+            out << "rz(" << 2.0 * options.gamma << ") q[" << op.q
+                << "];\n";
+            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+        } else {
+            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+            out << "cx q[" << op.q << "],q[" << op.p << "];\n";
+            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+        }
+    }
+
+    if (options.full_qaoa) {
+        for (std::int32_t l = 0; l < logical; ++l)
+            out << "rx(" << 2.0 * options.beta << ") q["
+                << circ.final_mapping().physical_of(l) << "];\n";
+        for (std::int32_t l = 0; l < logical; ++l)
+            out << "measure q[" << circ.final_mapping().physical_of(l)
+                << "] -> c[" << l << "];\n";
+    }
+    return out.str();
+}
+
+std::string
+to_diagram(const Circuit& circ)
+{
+    std::int32_t n = circ.initial_mapping().num_physical();
+    Cycle depth = circ.depth();
+    fatal_unless(n <= 64 && depth <= 256,
+                 "diagram limited to 64 qubits x 256 cycles");
+    // grid[q][cycle] = 3-char cell.
+    std::vector<std::vector<std::string>> grid(
+        static_cast<std::size_t>(n),
+        std::vector<std::string>(static_cast<std::size_t>(depth), "---"));
+    for (const auto& op : circ.ops()) {
+        const char* mark = op.kind == OpKind::Compute ? "-o-" : "-x-";
+        grid[static_cast<std::size_t>(op.p)][static_cast<std::size_t>(
+            op.cycle)] = mark;
+        grid[static_cast<std::size_t>(op.q)][static_cast<std::size_t>(
+            op.cycle)] = mark;
+    }
+    std::ostringstream out;
+    for (std::int32_t q = 0; q < n; ++q) {
+        out << "q" << q << (q < 10 ? " " : "") << " ";
+        for (Cycle c = 0; c < depth; ++c)
+            out << grid[static_cast<std::size_t>(q)][static_cast<
+                std::size_t>(c)];
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace permuq::circuit

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * OpenQASM 2.0 export of compiled circuits, so PermuQ output can be
+ * fed to external stacks (Qiskit, simulators, hardware queues).
+ *
+ * A compiled circuit is an abstract schedule of CPHASE/RZZ and SWAP
+ * slots; export lowers it to the CX + single-qubit-rotation basis used
+ * throughout the evaluation:
+ *   - compute (ZZ-interaction, angle 2*gamma):
+ *       cx a,b; rz(2*gamma) b; cx a,b
+ *   - swap: cx a,b; cx b,a; cx a,b
+ *   - compute immediately followed by swap on the same pair merges to
+ *     three CX (the unification the metrics count):
+ *       cx a,b; rz(2*gamma) b; cx b,a; cx a,b
+ * Optionally a full QAOA program is emitted: initial Hadamards, the
+ * phase separator (the compiled circuit), and the RX mixer.
+ */
+#ifndef PERMUQ_CIRCUIT_QASM_H
+#define PERMUQ_CIRCUIT_QASM_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace permuq::circuit {
+
+/** Options controlling QASM emission. */
+struct QasmOptions
+{
+    /** ZZ-interaction angle (QAOA gamma); every compute op uses it. */
+    double gamma = 0.5;
+    /** Emit the full QAOA layer: H column, phase separator, RX mixer
+     *  with this beta, and measurements of the logical qubits. */
+    bool full_qaoa = false;
+    double beta = 0.4;
+    /** Apply the CPHASE+SWAP merging when lowering. */
+    bool merge_pairs = true;
+};
+
+/** Serialize @p circ as an OpenQASM 2.0 program. */
+std::string to_qasm(const Circuit& circ, const QasmOptions& options = {});
+
+/**
+ * Render a fixed-width text diagram of the circuit, one line per
+ * physical qubit, one column per cycle — the format used by the
+ * pattern-explorer example and handy in tests/debugging.
+ * Columns: "─●─" endpoints for computes, "─x─" for swaps.
+ */
+std::string to_diagram(const Circuit& circ);
+
+} // namespace permuq::circuit
+
+#endif // PERMUQ_CIRCUIT_QASM_H

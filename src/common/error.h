@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal()/panic() split:
+ * fatal errors are the user's fault (bad configuration or arguments),
+ * panics are internal invariant violations.
+ */
+#ifndef PERMUQ_COMMON_ERROR_H
+#define PERMUQ_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace permuq {
+
+/** Thrown for user-caused errors: invalid sizes, malformed inputs. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error("fatal: " + msg)
+    {
+    }
+};
+
+/** Thrown when an internal invariant is violated (a PermuQ bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error("panic: " + msg)
+    {
+    }
+};
+
+/** Throw FatalError unless @p cond holds. */
+inline void
+fatal_unless(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw FatalError(msg);
+}
+
+/** Throw PanicError unless @p cond holds. */
+inline void
+panic_unless(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw PanicError(msg);
+}
+
+} // namespace permuq
+
+#endif // PERMUQ_COMMON_ERROR_H

@@ -1,0 +1,87 @@
+#include "rng.h"
+
+#include <cmath>
+
+#include "error.h"
+
+namespace permuq {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto& word : s_)
+        word = sm.next();
+}
+
+Xoshiro256::result_type
+Xoshiro256::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Xoshiro256::next_below(std::uint64_t bound)
+{
+    panic_unless(bound > 0, "next_below requires a positive bound");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Xoshiro256::next_double()
+{
+    // 53 high-quality mantissa bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t
+Xoshiro256::next_int(std::int64_t lo, std::int64_t hi)
+{
+    panic_unless(lo <= hi, "next_int requires lo <= hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double
+Xoshiro256::next_gaussian()
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * next_double() - 1.0;
+        v = 2.0 * next_double() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+}
+
+} // namespace permuq

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used when averaging benchmark
+ * results over random seeds (the paper averages 10 instances per point).
+ */
+#ifndef PERMUQ_COMMON_STATS_H
+#define PERMUQ_COMMON_STATS_H
+
+#include <cmath>
+#include <vector>
+
+#include "error.h"
+
+namespace permuq {
+
+/** Arithmetic mean of @p xs; fatal on empty input. */
+inline double
+mean(const std::vector<double>& xs)
+{
+    fatal_unless(!xs.empty(), "mean of empty sample");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+inline double
+stddev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/** Geometric mean; all samples must be positive. */
+inline double
+geomean(const std::vector<double>& xs)
+{
+    fatal_unless(!xs.empty(), "geomean of empty sample");
+    double s = 0.0;
+    for (double x : xs) {
+        fatal_unless(x > 0.0, "geomean requires positive samples");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+} // namespace permuq
+
+#endif // PERMUQ_COMMON_STATS_H

@@ -1,0 +1,77 @@
+#include "table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "error.h"
+
+namespace permuq {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    fatal_unless(!header_.empty(), "table requires at least one column");
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    fatal_unless(row.size() == header_.size(),
+                 "table row width does not match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << row[c]
+                << std::string(width[c] - row[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+    auto emit_rule = [&] {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            out << (c == 0 ? "|-" : "-|-");
+            out << std::string(width[c], '-');
+        }
+        out << "-|\n";
+    };
+
+    emit_row(header_);
+    emit_rule();
+    for (const auto& row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+}
+
+std::string
+Table::cell(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+Table::cell(long long value)
+{
+    return std::to_string(value);
+}
+
+} // namespace permuq

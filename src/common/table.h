@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit rows in
+ * the same layout as the paper's tables and figure series.
+ */
+#ifndef PERMUQ_COMMON_TABLE_H
+#define PERMUQ_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace permuq {
+
+/**
+ * Accumulates rows of string cells and renders an aligned ASCII table.
+ * Numeric formatting is the caller's job (see cell() helpers).
+ */
+class Table
+{
+  public:
+    /** @param header column titles, fixing the column count. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have exactly as many cells as the header. */
+    void add_row(std::vector<std::string> row);
+
+    /** Render the aligned table, one trailing newline included. */
+    std::string to_string() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string cell(double value, int digits = 2);
+
+    /** Format an integer cell. */
+    static std::string cell(long long value);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace permuq
+
+#endif // PERMUQ_COMMON_TABLE_H

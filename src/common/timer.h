@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to report compilation times (paper Fig 26,
+ * Table 4).
+ */
+#ifndef PERMUQ_COMMON_TIMER_H
+#define PERMUQ_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace permuq {
+
+/** Simple monotonic stopwatch. Starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    elapsed_seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds since construction or the last reset(). */
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace permuq
+
+#endif // PERMUQ_COMMON_TIMER_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental typedefs shared across all PermuQ modules.
+ *
+ * Logical qubits are program-level indices (a vertex of the problem
+ * graph); physical qubits are hardware positions (a vertex of the
+ * coupling graph). Keeping the two as distinct named aliases makes the
+ * direction of every mapping explicit at call sites.
+ */
+#ifndef PERMUQ_COMMON_TYPES_H
+#define PERMUQ_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace permuq {
+
+/** Index of a logical (program) qubit. */
+using LogicalQubit = std::int32_t;
+
+/** Index of a physical (hardware) qubit, i.e. a position on the chip. */
+using PhysicalQubit = std::int32_t;
+
+/** A scheduling cycle; every gate occupies exactly one cycle (paper §4.1). */
+using Cycle = std::int32_t;
+
+/** Sentinel for "no qubit" / "unmapped". */
+inline constexpr std::int32_t kInvalidQubit = -1;
+
+/** Sentinel distance for unreachable vertex pairs. */
+inline constexpr std::int32_t kUnreachable =
+    std::numeric_limits<std::int32_t>::max() / 4;
+
+/** An unordered pair of vertices, stored with first <= second. */
+struct VertexPair
+{
+    std::int32_t a = kInvalidQubit;
+    std::int32_t b = kInvalidQubit;
+
+    VertexPair() = default;
+
+    VertexPair(std::int32_t x, std::int32_t y)
+        : a(x < y ? x : y), b(x < y ? y : x)
+    {
+    }
+
+    friend bool operator==(const VertexPair&, const VertexPair&) = default;
+    friend auto operator<=>(const VertexPair&, const VertexPair&) = default;
+};
+
+/** Hash functor so VertexPair can key unordered containers. */
+struct VertexPairHash
+{
+    std::size_t
+    operator()(const VertexPair& p) const noexcept
+    {
+        // 64-bit mix of the two 32-bit halves (splitmix64 finalizer).
+        std::uint64_t z = (static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(p.a))
+                           << 32) |
+                          static_cast<std::uint32_t>(p.b);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};
+
+} // namespace permuq
+
+#endif // PERMUQ_COMMON_TYPES_H

@@ -1,0 +1,668 @@
+#include "compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "ata/replay.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "core/crosstalk.h"
+#include "core/placement.h"
+#include "core/prediction.h"
+#include "graph/coloring.h"
+#include "graph/matching.h"
+
+namespace permuq::core {
+
+namespace {
+
+/** A recorded greedy prefix to be completed by an ATA tail. */
+struct Snapshot
+{
+    std::int64_t prefix_ops = 0;
+    double est_depth = 0.0;
+    double est_cx = 0.0;
+};
+
+/**
+ * The greedy processing component (§6.2): one object per compilation,
+ * advancing cycle by cycle and recording prediction snapshots.
+ */
+class GreedyEngine
+{
+  public:
+    GreedyEngine(const arch::CouplingGraph& device,
+                 const graph::Graph& problem,
+                 const CompilerOptions& options,
+                 const CrosstalkMap* crosstalk,
+                 circuit::Mapping initial)
+        : device_(device),
+          problem_(problem),
+          options_(options),
+          crosstalk_(crosstalk),
+          circ_(std::move(initial)),
+          done_(static_cast<std::size_t>(problem.num_edges()), false),
+          pending_deg_(static_cast<std::size_t>(problem.num_vertices()),
+                       0),
+          last_swap_cycle_(device.couplers().size(), -10)
+    {
+        pending_adj_.resize(
+            static_cast<std::size_t>(problem.num_vertices()));
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            const auto& edge =
+                problem.edges()[static_cast<std::size_t>(e)];
+            edge_index_.emplace(edge, e);
+            ++pending_deg_[static_cast<std::size_t>(edge.a)];
+            ++pending_deg_[static_cast<std::size_t>(edge.b)];
+            pending_adj_[static_cast<std::size_t>(edge.a)].emplace_back(
+                edge.b, e);
+            pending_adj_[static_cast<std::size_t>(edge.b)].emplace_back(
+                edge.a, e);
+        }
+        pending_ = problem.num_edges();
+        for (std::int32_t c = 0;
+             c < static_cast<std::int32_t>(device.couplers().size()); ++c)
+            coupler_index_.emplace(
+                device.couplers()[static_cast<std::size_t>(c)], c);
+        if (options.noise != nullptr && !options.noise->is_ideal()) {
+            std::vector<double> errs;
+            for (const auto& c : device.couplers())
+                errs.push_back(options.noise->cx_error(c.a, c.b));
+            std::nth_element(errs.begin(),
+                             errs.begin() +
+                                 static_cast<std::ptrdiff_t>(errs.size() /
+                                                             2),
+                             errs.end());
+            median_error_ = errs[errs.size() / 2];
+        }
+    }
+
+    /** Run to completion (or the cycle cap). */
+    void
+    run()
+    {
+        std::int64_t max_cycles = static_cast<std::int64_t>(
+            options_.max_cycle_factor *
+                (4.0 * device_.num_qubits() + 64.0) +
+            64.0);
+        std::int64_t snapshot_step = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(options_.snapshot_fraction *
+                                         problem_.num_edges()));
+        std::int64_t next_snapshot = pending_ - snapshot_step;
+        maybe_snapshot(); // snapshot at cycle 0 == cc0
+
+        for (std::int64_t cycle = 0; pending_ > 0 && cycle < max_cycles;
+             ++cycle) {
+            bool progress = step(cycle);
+            if (options_.use_ata_prediction && pending_ <= next_snapshot) {
+                maybe_snapshot();
+                next_snapshot = pending_ - snapshot_step;
+            }
+            if (!progress)
+                break; // stalled; the selector's ATA tail finishes it
+        }
+        if (pending_ > 0) {
+            if (device_.kind() == arch::ArchKind::Custom) {
+                // No ATA decomposition on irregular devices (§6.5):
+                // finish by routing each remaining gate directly.
+                route_remaining();
+            } else {
+                // Cycle cap or stall: complete with the region-
+                // restricted ATA tail so even the "greedy" candidate
+                // terminates with the linear-depth bound.
+                auto plan =
+                    detect_regions(device_, problem_, done_,
+                                   circ_.final_mapping());
+                auto sched = tail_schedule(device_, plan);
+                auto tail = ata::replay(device_, problem_,
+                                        circ_.final_mapping(), sched, {},
+                                        &done_);
+                circ_.append_circuit(tail);
+                pending_ = 0;
+            }
+        }
+    }
+
+    const circuit::Circuit& circuit() const { return circ_; }
+    const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+  private:
+    /** Route every remaining gate along shortest paths (termination
+     *  fallback for devices without an ATA decomposition). */
+    void
+    route_remaining()
+    {
+        const auto& dist = device_.distances();
+        for (std::int32_t e = 0; e < problem_.num_edges(); ++e) {
+            if (done_[static_cast<std::size_t>(e)])
+                continue;
+            const auto& edge =
+                problem_.edges()[static_cast<std::size_t>(e)];
+            PhysicalQubit pa = circ_.final_mapping().physical_of(edge.a);
+            PhysicalQubit pb = circ_.final_mapping().physical_of(edge.b);
+            while (dist.at(pa, pb) > 1) {
+                std::int32_t d = dist.at(pa, pb);
+                for (PhysicalQubit nb :
+                     device_.connectivity().neighbors(pa)) {
+                    if (dist.at(nb, pb) < d) {
+                        circ_.add_swap(pa, nb);
+                        pa = nb;
+                        break;
+                    }
+                }
+            }
+            circ_.add_compute(pa, pb);
+            done_[static_cast<std::size_t>(e)] = true;
+            --pending_deg_[static_cast<std::size_t>(edge.a)];
+            --pending_deg_[static_cast<std::size_t>(edge.b)];
+            --pending_;
+        }
+    }
+
+    /** One scheduling cycle; returns false if nothing could be done. */
+    bool
+    step(std::int64_t cycle)
+    {
+        const auto& mapping = circ_.final_mapping();
+        const auto& couplers = device_.couplers();
+        std::int32_t num_couplers =
+            static_cast<std::int32_t>(couplers.size());
+
+        // Focus mode: the pull/matching dynamics can enter limit
+        // cycles on symmetric configurations. If no gate has executed
+        // for a while, break out by routing the globally closest
+        // pending pair along a shortest path outright.
+        if (cycle - last_compute_cycle_ > 8) {
+            std::int32_t best_e = -1, best_d = kUnreachable;
+            for (std::int32_t e = 0; e < problem_.num_edges(); ++e) {
+                if (done_[static_cast<std::size_t>(e)])
+                    continue;
+                const auto& edge =
+                    problem_.edges()[static_cast<std::size_t>(e)];
+                std::int32_t d = device_.distances().at(
+                    mapping.physical_of(edge.a),
+                    mapping.physical_of(edge.b));
+                if (d < best_d) {
+                    best_d = d;
+                    best_e = e;
+                }
+            }
+            panic_unless(best_e >= 0, "pending without edges");
+            const auto& edge =
+                problem_.edges()[static_cast<std::size_t>(best_e)];
+            PhysicalQubit pa = mapping.physical_of(edge.a);
+            PhysicalQubit pb = mapping.physical_of(edge.b);
+            while (device_.distances().at(pa, pb) > 1) {
+                std::int32_t d = device_.distances().at(pa, pb);
+                for (PhysicalQubit nb :
+                     device_.connectivity().neighbors(pa)) {
+                    if (device_.distances().at(nb, pb) < d) {
+                        circ_.add_swap(pa, nb);
+                        pa = nb;
+                        break;
+                    }
+                }
+            }
+            circ_.add_compute(pa, pb);
+            done_[static_cast<std::size_t>(best_e)] = true;
+            --pending_deg_[static_cast<std::size_t>(edge.a)];
+            --pending_deg_[static_cast<std::size_t>(edge.b)];
+            --pending_;
+            last_compute_cycle_ = cycle;
+            return true;
+        }
+
+        // ---- Gate scheduling via conflict-graph coloring (§6.2) ----
+        struct Executable
+        {
+            std::int32_t coupler;
+            std::int32_t edge;
+        };
+        std::vector<Executable> executable;
+        for (std::int32_t c = 0; c < num_couplers; ++c) {
+            const auto& link = couplers[static_cast<std::size_t>(c)];
+            LogicalQubit a = mapping.logical_at(link.a);
+            LogicalQubit b = mapping.logical_at(link.b);
+            if (a == kInvalidQubit || b == kInvalidQubit)
+                continue;
+            auto it = edge_index_.find(VertexPair(a, b));
+            if (it != edge_index_.end() &&
+                !done_[static_cast<std::size_t>(it->second)])
+                executable.push_back({c, it->second});
+        }
+
+        std::vector<bool> used(
+            static_cast<std::size_t>(device_.num_qubits()), false);
+        bool did_something = false;
+        if (!executable.empty()) {
+            graph::Graph conflict(
+                static_cast<std::int32_t>(executable.size()));
+            // Shared-qubit conflicts.
+            std::unordered_map<std::int32_t, std::vector<std::int32_t>>
+                by_qubit;
+            for (std::size_t i = 0; i < executable.size(); ++i) {
+                const auto& link = couplers[static_cast<std::size_t>(
+                    executable[i].coupler)];
+                by_qubit[link.a].push_back(static_cast<std::int32_t>(i));
+                by_qubit[link.b].push_back(static_cast<std::int32_t>(i));
+            }
+            for (const auto& [q, list] : by_qubit)
+                for (std::size_t i = 0; i < list.size(); ++i)
+                    for (std::size_t j = i + 1; j < list.size(); ++j)
+                        if (!conflict.has_edge(list[i], list[j]))
+                            conflict.add_edge(list[i], list[j]);
+            // Crosstalk conflicts.
+            if (crosstalk_ != nullptr) {
+                std::unordered_map<std::int32_t, std::int32_t> by_coupler;
+                for (std::size_t i = 0; i < executable.size(); ++i)
+                    by_coupler.emplace(executable[i].coupler,
+                                       static_cast<std::int32_t>(i));
+                for (std::size_t i = 0; i < executable.size(); ++i)
+                    for (std::int32_t other :
+                         crosstalk_->neighbors(executable[i].coupler)) {
+                        auto it = by_coupler.find(other);
+                        if (it != by_coupler.end() &&
+                            it->second >
+                                static_cast<std::int32_t>(i) &&
+                            !conflict.has_edge(
+                                static_cast<std::int32_t>(i), it->second))
+                            conflict.add_edge(
+                                static_cast<std::int32_t>(i), it->second);
+                    }
+            }
+            auto coloring = graph::greedy_coloring(conflict);
+            std::int32_t cls = graph::largest_class(coloring);
+            for (std::int32_t i :
+                 coloring.classes[static_cast<std::size_t>(cls)]) {
+                const auto& ex = executable[static_cast<std::size_t>(i)];
+                const auto& link =
+                    couplers[static_cast<std::size_t>(ex.coupler)];
+                circ_.add_compute(link.a, link.b);
+                done_[static_cast<std::size_t>(ex.edge)] = true;
+                const auto& edge =
+                    problem_.edges()[static_cast<std::size_t>(ex.edge)];
+                --pending_deg_[static_cast<std::size_t>(edge.a)];
+                --pending_deg_[static_cast<std::size_t>(edge.b)];
+                --pending_;
+                used[static_cast<std::size_t>(link.a)] = true;
+                used[static_cast<std::size_t>(link.b)] = true;
+                last_compute_cycle_ = cycle;
+                did_something = true;
+                // Gate unification rider (Fig 2(d) identity): a SWAP on
+                // the pair that just computed merges into 3 CX total,
+                // so it costs 1 CX instead of 3. Take it whenever it
+                // strictly reduces the pending-distance potential of
+                // the two logicals.
+                if (swap_rider_gain(edge.a, edge.b) < 0) {
+                    circ_.add_swap(link.a, link.b);
+                    last_swap_cycle_[static_cast<std::size_t>(
+                        ex.coupler)] = cycle;
+                }
+            }
+        }
+        if (pending_ == 0)
+            return did_something;
+
+        // ---- SWAP insertion via weighted matching (§6.2/§5.3) ------
+        // Every logical qubit with pending gates pulls toward its
+        // nearest pending partner; each coupler accumulates the pull
+        // weights of the moves it enables, and a maximum-weight
+        // matching of positive-gain couplers is swapped. Engaging all
+        // active qubits each cycle is what keeps the compiled depth
+        // (not just the gate count) low.
+        const auto& dist = device_.distances();
+        std::unordered_map<std::int32_t, double> gain;
+        if (pull_cache_.empty())
+            pull_cache_.resize(
+                static_cast<std::size_t>(problem_.num_vertices()));
+        for (LogicalQubit a = 0; a < problem_.num_vertices(); ++a) {
+            if (pending_deg_[static_cast<std::size_t>(a)] == 0)
+                continue;
+            PhysicalQubit pa = mapping.physical_of(a);
+            if (used[static_cast<std::size_t>(pa)])
+                continue;
+            // Nearest pending partner of a. Recomputing this for every
+            // active qubit each cycle is the dominant O(E)-per-cycle
+            // term at 1024 qubits, so the result is cached for a few
+            // cycles; a slightly stale pull target still points the
+            // right way, and the cache is refreshed when the cached
+            // partner's gate completes.
+            auto& cache = pull_cache_[static_cast<std::size_t>(a)];
+            std::int32_t best_d;
+            PhysicalQubit target;
+            if (cache.expires > cycle && cache.partner >= 0 &&
+                !done_[static_cast<std::size_t>(cache.edge)]) {
+                target = mapping.physical_of(cache.partner);
+                best_d = dist.at(pa, target);
+            } else {
+                best_d = kUnreachable;
+                target = kInvalidQubit;
+                LogicalQubit partner = kInvalidQubit;
+                std::int32_t edge = -1;
+                for (const auto& [b, e] :
+                     pending_adj_[static_cast<std::size_t>(a)]) {
+                    if (done_[static_cast<std::size_t>(e)])
+                        continue;
+                    std::int32_t d = dist.at(pa, mapping.physical_of(b));
+                    if (d < best_d) {
+                        best_d = d;
+                        target = mapping.physical_of(b);
+                        partner = b;
+                        edge = e;
+                    }
+                }
+                cache.partner = partner;
+                cache.edge = edge;
+                // Fresh targets on small problems (the scan is cheap
+                // there); longer reuse where the scan dominates.
+                cache.expires =
+                    cycle + 1 + problem_.num_vertices() / 128;
+            }
+            if (best_d <= 1 || target == kInvalidQubit)
+                continue; // adjacent pairs are the gate stage's job
+            for (PhysicalQubit nb :
+                 device_.connectivity().neighbors(pa)) {
+                if (used[static_cast<std::size_t>(nb)])
+                    continue;
+                if (dist.at(nb, target) >= best_d)
+                    continue;
+                auto it = coupler_index_.find(VertexPair(pa, nb));
+                panic_unless(it != coupler_index_.end(),
+                             "neighbor without coupler");
+                if (last_swap_cycle_[static_cast<std::size_t>(
+                        it->second)] == cycle - 1)
+                    continue; // anti-oscillation tabu
+                double w = 1.0 / static_cast<double>(best_d);
+                // Deterministic jitter breaks symmetric limit cycles.
+                w *= 1.0 + 1e-7 * static_cast<double>(it->second % 97);
+                if (options_.noise != nullptr &&
+                    !options_.noise->is_ideal()) {
+                    // Bounded error preference: a SWAP on link e costs
+                    // ~3 CX, so weight by its success probability
+                    // (1-e)^3. This acts as a tiebreak among routes of
+                    // similar gain — a noisy link can never veto a
+                    // materially shorter route, which measurably hurt
+                    // overall fidelity in earlier designs.
+                    const auto& link =
+                        device_.couplers()[static_cast<std::size_t>(
+                            it->second)];
+                    double e = options_.noise->cx_error(link.a, link.b);
+                    w *= std::pow(1.0 - std::min(e, 0.5), 3.0);
+                }
+                gain[it->second] += w;
+            }
+        }
+
+        std::vector<graph::WeightedEdge> candidates;
+        std::vector<std::int32_t> candidate_coupler;
+        for (const auto& [c, w] : gain) {
+            const auto& link =
+                device_.couplers()[static_cast<std::size_t>(c)];
+            candidates.push_back({link.a, link.b, w});
+            candidate_coupler.push_back(c);
+        }
+        auto picks = graph::greedy_max_weight_matching(
+            device_.num_qubits(), candidates);
+        for (std::int32_t i : picks) {
+            const auto& cand = candidates[static_cast<std::size_t>(i)];
+            circ_.add_swap(cand.u, cand.v);
+            last_swap_cycle_[static_cast<std::size_t>(
+                candidate_coupler[static_cast<std::size_t>(i)])] = cycle;
+            did_something = true;
+        }
+
+        if (!did_something && pending_ > 0) {
+            // Stall breaker: force one routing swap for the closest
+            // pending gate, ignoring the tabu.
+            std::int32_t best_e = -1, best_d = kUnreachable;
+            for (std::int32_t e = 0; e < problem_.num_edges(); ++e) {
+                if (done_[static_cast<std::size_t>(e)])
+                    continue;
+                const auto& edge =
+                    problem_.edges()[static_cast<std::size_t>(e)];
+                std::int32_t d = dist.at(mapping.physical_of(edge.a),
+                                         mapping.physical_of(edge.b));
+                if (d < best_d) {
+                    best_d = d;
+                    best_e = e;
+                }
+            }
+            panic_unless(best_e >= 0, "pending without edges");
+            const auto& edge =
+                problem_.edges()[static_cast<std::size_t>(best_e)];
+            PhysicalQubit pa = mapping.physical_of(edge.a);
+            PhysicalQubit pb = mapping.physical_of(edge.b);
+            for (PhysicalQubit nb :
+                 device_.connectivity().neighbors(pa)) {
+                if (dist.at(nb, pb) < best_d) {
+                    circ_.add_swap(pa, nb);
+                    did_something = true;
+                    break;
+                }
+            }
+        }
+        return did_something;
+    }
+
+    /**
+     * Net change of the summed distance from each of the two logicals
+     * to its pending partners if their positions were exchanged
+     * (negative = the merged swap pays off).
+     */
+    std::int64_t
+    swap_rider_gain(LogicalQubit a, LogicalQubit b) const
+    {
+        const auto& mapping = circ_.final_mapping();
+        const auto& dist = device_.distances();
+        PhysicalQubit pa = mapping.physical_of(a);
+        PhysicalQubit pb = mapping.physical_of(b);
+        std::int64_t delta = 0;
+        auto tally = [&](LogicalQubit q, PhysicalQubit from,
+                         PhysicalQubit to) {
+            for (const auto& [partner, e] :
+                 pending_adj_[static_cast<std::size_t>(q)]) {
+                if (done_[static_cast<std::size_t>(e)])
+                    continue;
+                PhysicalQubit pp = mapping.physical_of(partner);
+                delta += dist.at(to, pp) - dist.at(from, pp);
+            }
+        };
+        tally(a, pa, pb);
+        tally(b, pb, pa);
+        return delta;
+    }
+
+    void
+    maybe_snapshot()
+    {
+        if (!options_.use_ata_prediction)
+            return;
+        auto plan = detect_regions(device_, problem_, done_,
+                                   circ_.final_mapping());
+        Snapshot snap;
+        snap.prefix_ops = static_cast<std::int64_t>(circ_.ops().size());
+        snap.est_depth = static_cast<double>(circ_.depth()) +
+                         estimate_tail_depth(device_, plan);
+        snap.est_cx =
+            2.0 * static_cast<double>(circ_.num_compute()) +
+            3.0 * static_cast<double>(circ_.num_swaps()) +
+            estimate_tail_cx(device_, plan, pending_);
+        snapshots_.push_back(snap);
+    }
+
+    const arch::CouplingGraph& device_;
+    const graph::Graph& problem_;
+    const CompilerOptions& options_;
+    const CrosstalkMap* crosstalk_;
+    circuit::Circuit circ_;
+    std::vector<bool> done_;
+    std::vector<std::int32_t> pending_deg_;
+    std::vector<std::vector<std::pair<LogicalQubit, std::int32_t>>>
+        pending_adj_;
+    std::vector<std::int64_t> last_swap_cycle_;
+    std::unordered_map<VertexPair, std::int32_t, VertexPairHash>
+        edge_index_;
+    std::unordered_map<VertexPair, std::int32_t, VertexPairHash>
+        coupler_index_;
+    struct PullCache
+    {
+        LogicalQubit partner = kInvalidQubit;
+        std::int32_t edge = -1;
+        std::int64_t expires = -1;
+    };
+    std::vector<PullCache> pull_cache_;
+    std::int64_t pending_ = 0;
+    std::int64_t last_compute_cycle_ = 0;
+    double median_error_ = 1e-2;
+    std::vector<Snapshot> snapshots_;
+};
+
+/** Rebuild a greedy prefix and complete it with the ATA tail. */
+circuit::Circuit
+materialize_hybrid(const arch::CouplingGraph& device,
+                   const graph::Graph& problem,
+                   const circuit::Circuit& greedy,
+                   std::int64_t prefix_ops)
+{
+    circuit::Circuit circ(greedy.initial_mapping());
+    std::vector<bool> done(static_cast<std::size_t>(problem.num_edges()),
+                           false);
+    std::unordered_map<VertexPair, std::int32_t, VertexPairHash>
+        edge_index;
+    for (std::int32_t e = 0; e < problem.num_edges(); ++e)
+        edge_index.emplace(problem.edges()[static_cast<std::size_t>(e)],
+                           e);
+    for (std::int64_t i = 0; i < prefix_ops; ++i) {
+        const auto& op = greedy.ops()[static_cast<std::size_t>(i)];
+        if (op.kind == circuit::OpKind::Compute) {
+            circ.add_compute(op.p, op.q);
+            auto it = edge_index.find(VertexPair(op.a, op.b));
+            panic_unless(it != edge_index.end(),
+                         "prefix compute on unknown edge");
+            done[static_cast<std::size_t>(it->second)] = true;
+        } else {
+            circ.add_swap(op.p, op.q);
+        }
+    }
+    auto plan = detect_regions(device, problem, done, circ.final_mapping());
+    auto sched = tail_schedule(device, plan);
+    auto tail = ata::replay(device, problem, circ.final_mapping(), sched,
+                            {}, &done);
+    circ.append_circuit(tail);
+    return circ;
+}
+
+} // namespace
+
+double
+selector_cost(const circuit::Metrics& m, const circuit::Metrics& reference,
+              const arch::NoiseModel* noise, double alpha)
+{
+    double ref_depth = std::max<double>(1.0, reference.depth);
+    double depth_ratio = static_cast<double>(m.depth) / ref_depth;
+    double err, ref_err;
+    if (noise != nullptr && !noise->is_ideal()) {
+        err = -std::log(std::max(m.fidelity, 1e-300));
+        ref_err = std::max(-std::log(std::max(reference.fidelity, 1e-300)),
+                           1e-12);
+    } else {
+        err = static_cast<double>(m.cx_count);
+        ref_err = std::max<double>(1.0, reference.cx_count);
+    }
+    return alpha * depth_ratio + (1.0 - alpha) * err / ref_err;
+}
+
+CompileResult
+compile(const arch::CouplingGraph& device, const graph::Graph& problem,
+        const CompilerOptions& options_in)
+{
+    fatal_unless(problem.num_vertices() <= device.num_qubits(),
+                 "problem does not fit on the device");
+    Timer timer;
+    CompileResult result;
+
+    CompilerOptions options = options_in;
+    if (device.kind() == arch::ArchKind::Custom &&
+        options.use_ata_prediction) {
+        // Irregular devices have no ATA decomposition (paper §6.5);
+        // compile with the greedy component alone.
+        options.use_ata_prediction = false;
+    }
+
+    std::unique_ptr<CrosstalkMap> crosstalk;
+    if (options.crosstalk_aware)
+        crosstalk = std::make_unique<CrosstalkMap>(device);
+
+    circuit::Mapping initial =
+        options.smart_placement
+            ? connectivity_strength_placement(device, problem)
+            : circuit::Mapping(problem.num_vertices(),
+                               device.num_qubits());
+    GreedyEngine engine(device, problem, options, crosstalk.get(),
+                        std::move(initial));
+    engine.run();
+    const circuit::Circuit& greedy = engine.circuit();
+    auto greedy_metrics = circuit::compute_metrics(greedy, options.noise);
+
+    result.circuit = greedy;
+    result.metrics = greedy_metrics;
+    result.selected = "greedy";
+    result.snapshots =
+        static_cast<std::int32_t>(engine.snapshots().size());
+
+    if (options.use_ata_prediction && problem.num_edges() > 0) {
+        // Rank snapshots by estimated F and materialize the best few;
+        // the prefix-0 snapshot (cc0, the pure ATA solution) is always
+        // among the candidates, which yields the Theorem 6.1 bound.
+        std::vector<std::size_t> order(engine.snapshots().size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        double ref_depth = std::max<double>(1.0, greedy_metrics.depth);
+        double ref_cx = std::max<double>(1.0, greedy_metrics.cx_count);
+        auto est_cost = [&](const Snapshot& s) {
+            return options.alpha * s.est_depth / ref_depth +
+                   (1.0 - options.alpha) * s.est_cx / ref_cx;
+        };
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return est_cost(engine.snapshots()[a]) <
+                                    est_cost(engine.snapshots()[b]);
+                         });
+
+        std::vector<std::int64_t> to_materialize = {0}; // cc0 prefix
+        for (std::size_t i = 0;
+             i < order.size() &&
+             static_cast<std::int32_t>(to_materialize.size()) <
+                 options.max_materialized_candidates;
+             ++i) {
+            std::int64_t prefix =
+                engine.snapshots()[order[i]].prefix_ops;
+            if (std::find(to_materialize.begin(), to_materialize.end(),
+                          prefix) == to_materialize.end())
+                to_materialize.push_back(prefix);
+        }
+
+        double best_cost = selector_cost(greedy_metrics, greedy_metrics,
+                                         options.noise, options.alpha);
+        for (std::int64_t prefix : to_materialize) {
+            auto candidate =
+                materialize_hybrid(device, problem, greedy, prefix);
+            auto metrics =
+                circuit::compute_metrics(candidate, options.noise);
+            double cost = selector_cost(metrics, greedy_metrics,
+                                        options.noise, options.alpha);
+            if (cost < best_cost) {
+                best_cost = cost;
+                result.circuit = std::move(candidate);
+                result.metrics = metrics;
+                result.selected = prefix == 0 ? "ata" : "hybrid";
+            }
+        }
+    }
+
+    result.compile_seconds = timer.elapsed_seconds();
+    return result;
+}
+
+} // namespace permuq::core

@@ -1,0 +1,48 @@
+#include "crosstalk.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace permuq::core {
+
+CrosstalkMap::CrosstalkMap(const arch::CouplingGraph& device)
+{
+    const auto& couplers = device.couplers();
+    std::int32_t num = static_cast<std::int32_t>(couplers.size());
+    lists_.resize(static_cast<std::size_t>(num));
+
+    std::unordered_map<VertexPair, std::int32_t, VertexPairHash> index;
+    for (std::int32_t c = 0; c < num; ++c)
+        index.emplace(couplers[static_cast<std::size_t>(c)], c);
+
+    const auto& g = device.connectivity();
+    for (std::int32_t c = 0; c < num; ++c) {
+        const auto& e = couplers[static_cast<std::size_t>(c)];
+        // Candidates: couplers (r, s) with r ~ e.a and s ~ e.b (or the
+        // crossed orientation), disjoint from e.
+        for (std::int32_t r : g.neighbors(e.a)) {
+            if (r == e.b)
+                continue;
+            for (std::int32_t s : g.neighbors(e.b)) {
+                if (s == e.a || s == r)
+                    continue;
+                auto it = index.find(VertexPair(r, s));
+                if (it != index.end() && it->second > c) {
+                    lists_[static_cast<std::size_t>(c)].push_back(
+                        it->second);
+                    lists_[static_cast<std::size_t>(it->second)].push_back(
+                        c);
+                    ++total_pairs_;
+                }
+            }
+        }
+    }
+    for (auto& list : lists_) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+}
+
+} // namespace permuq::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Crosstalk model (paper §5.3/§6.2): on fixed-frequency devices, two
+ * CX gates on parallel adjacent couplers interfere. We precompute, for
+ * every coupler, the set of couplers that are "close and parallel":
+ * disjoint couplers whose endpoints are pairwise adjacent.
+ */
+#ifndef PERMUQ_CORE_CROSSTALK_H
+#define PERMUQ_CORE_CROSSTALK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+
+namespace permuq::core {
+
+/** Per-coupler lists of crosstalking couplers (by coupler index). */
+class CrosstalkMap
+{
+  public:
+    /** Build the map for @p device (O(couplers x degree^2)). */
+    explicit CrosstalkMap(const arch::CouplingGraph& device);
+
+    /** Couplers that crosstalk with coupler @p c. */
+    const std::vector<std::int32_t>&
+    neighbors(std::int32_t c) const
+    {
+        return lists_[static_cast<std::size_t>(c)];
+    }
+
+    std::int64_t
+    total_pairs() const
+    {
+        return total_pairs_;
+    }
+
+  private:
+    std::vector<std::vector<std::int32_t>> lists_;
+    std::int64_t total_pairs_ = 0;
+};
+
+} // namespace permuq::core
+
+#endif // PERMUQ_CORE_CROSSTALK_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Configuration of the PermuQ compiler (paper §5/§6).
+ */
+#ifndef PERMUQ_CORE_OPTIONS_H
+#define PERMUQ_CORE_OPTIONS_H
+
+#include <cstdint>
+
+#include "arch/noise_model.h"
+
+namespace permuq::core {
+
+/** Tunables for one compilation. */
+struct CompilerOptions
+{
+    /**
+     * Enable the ATA pattern-prediction component and the compiled-
+     * circuit selector (§6.3/§6.4). Off = the pure greedy baseline of
+     * Fig 17.
+     */
+    bool use_ata_prediction = true;
+
+    /**
+     * Model crosstalk between parallel adjacent couplers in the gate-
+     * scheduling conflict graph (§6.2).
+     */
+    bool crosstalk_aware = false;
+
+    /**
+     * Optional calibration data; folds per-link CX error into SWAP
+     * selection weights (§5.3) and into the selector's fidelity term.
+     * Null = uniform (ideal) hardware.
+     */
+    const arch::NoiseModel* noise = nullptr;
+
+    /** Depth-vs-error weight of the selector cost F (§6.4); the paper's
+     *  alpha%. */
+    double alpha = 0.5;
+
+    /**
+     * Number of greedy-prefix + ATA-tail hybrid candidates that are
+     * fully materialized at the end (the best-estimated ones). The
+     * pure-ATA candidate cc0 is always included, which preserves the
+     * Theorem 6.1 bound.
+     */
+    std::int32_t max_materialized_candidates = 4;
+
+    /**
+     * Snapshot cadence: a hybrid candidate is recorded each time this
+     * fraction of the remaining gates has been consumed since the last
+     * snapshot (the paper snapshots at every mapping change; sampling
+     * keeps 1024-qubit compilations near-linear).
+     */
+    double snapshot_fraction = 0.04;
+
+    /** Hard cap on greedy cycles, as a multiple of the ATA bound. */
+    double max_cycle_factor = 4.0;
+
+    /**
+     * Start from the connectivity-strength placement instead of the
+     * identity mapping. Irrelevant for cliques (§4) but helps the
+     * greedy component on sparse problems.
+     */
+    bool smart_placement = true;
+};
+
+} // namespace permuq::core
+
+#endif // PERMUQ_CORE_OPTIONS_H

@@ -1,0 +1,89 @@
+#include "placement.h"
+
+#include "common/error.h"
+
+namespace permuq::core {
+
+circuit::Mapping
+connectivity_strength_placement(const arch::CouplingGraph& device,
+                                const graph::Graph& problem)
+{
+    std::int32_t n = problem.num_vertices();
+    const auto& dist = device.distances();
+
+    // Physical centrality: degree, tie-broken by closeness.
+    std::vector<std::int64_t> closeness(
+        static_cast<std::size_t>(device.num_qubits()), 0);
+    for (std::int32_t p = 0; p < device.num_qubits(); ++p)
+        for (std::int32_t q = 0; q < device.num_qubits(); ++q)
+            closeness[static_cast<std::size_t>(p)] += dist.at(p, q);
+
+    std::vector<PhysicalQubit> phys_of(
+        static_cast<std::size_t>(n), kInvalidQubit);
+    std::vector<bool> pos_used(
+        static_cast<std::size_t>(device.num_qubits()), false);
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+
+    auto best_free_central = [&] {
+        PhysicalQubit best = kInvalidQubit;
+        for (std::int32_t p = 0; p < device.num_qubits(); ++p) {
+            if (pos_used[static_cast<std::size_t>(p)])
+                continue;
+            if (best == kInvalidQubit ||
+                device.connectivity().degree(p) >
+                    device.connectivity().degree(best) ||
+                (device.connectivity().degree(p) ==
+                     device.connectivity().degree(best) &&
+                 closeness[static_cast<std::size_t>(p)] <
+                     closeness[static_cast<std::size_t>(best)]))
+                best = p;
+        }
+        return best;
+    };
+
+    for (std::int32_t step = 0; step < n; ++step) {
+        // Vertex with the most already-placed neighbors; ties by degree.
+        std::int32_t pick = -1, pick_placed = -1;
+        for (std::int32_t v = 0; v < n; ++v) {
+            if (placed[static_cast<std::size_t>(v)])
+                continue;
+            std::int32_t num_placed = 0;
+            for (std::int32_t w : problem.neighbors(v))
+                if (placed[static_cast<std::size_t>(w)])
+                    ++num_placed;
+            if (pick == -1 || num_placed > pick_placed ||
+                (num_placed == pick_placed &&
+                 problem.degree(v) > problem.degree(pick))) {
+                pick = v;
+                pick_placed = num_placed;
+            }
+        }
+        PhysicalQubit where = kInvalidQubit;
+        if (pick_placed == 0) {
+            where = best_free_central();
+        } else {
+            std::int64_t best_sum = -1;
+            for (std::int32_t p = 0; p < device.num_qubits(); ++p) {
+                if (pos_used[static_cast<std::size_t>(p)])
+                    continue;
+                std::int64_t sum = 0;
+                for (std::int32_t w : problem.neighbors(pick))
+                    if (placed[static_cast<std::size_t>(w)])
+                        sum += dist.at(
+                            p, phys_of[static_cast<std::size_t>(w)]);
+                if (best_sum < 0 || sum < best_sum) {
+                    best_sum = sum;
+                    where = p;
+                }
+            }
+        }
+        panic_unless(where != kInvalidQubit, "placement ran out of qubits");
+        phys_of[static_cast<std::size_t>(pick)] = where;
+        pos_used[static_cast<std::size_t>(where)] = true;
+        placed[static_cast<std::size_t>(pick)] = true;
+    }
+    return circuit::Mapping(std::move(phys_of), device.num_qubits());
+}
+
+
+} // namespace permuq::core

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Initial qubit placement. The clique-derived ATA patterns are
+ * mapping-invariant (§4: "all initial mappings have the same
+ * behavior"), but sparse problems benefit from starting with the
+ * interaction graph embedded compactly, so the compiler and the
+ * QAIM-like baseline share this connectivity-strength placement.
+ */
+#ifndef PERMUQ_CORE_PLACEMENT_H
+#define PERMUQ_CORE_PLACEMENT_H
+
+#include "arch/coupling_graph.h"
+#include "circuit/mapping.h"
+#include "graph/graph.h"
+
+namespace permuq::core {
+
+/**
+ * Connectivity-strength placement: highest-degree program qubit at the
+ * best-connected physical qubit, then repeatedly place the vertex with
+ * the most placed neighbors at the free position minimizing the summed
+ * distance to them.
+ */
+circuit::Mapping connectivity_strength_placement(
+    const arch::CouplingGraph& device, const graph::Graph& problem);
+
+} // namespace permuq::core
+
+#endif // PERMUQ_CORE_PLACEMENT_H

@@ -1,0 +1,119 @@
+#include "prediction.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/components.h"
+
+namespace permuq::core {
+
+RegionPlan
+detect_regions(const arch::CouplingGraph& device,
+               const graph::Graph& problem, const std::vector<bool>& done,
+               const circuit::Mapping& mapping)
+{
+    fatal_unless(done.size() ==
+                     static_cast<std::size_t>(problem.num_edges()),
+                 "done bitmap size mismatch");
+
+    std::vector<VertexPair> remaining;
+    for (std::size_t e = 0; e < done.size(); ++e)
+        if (!done[e])
+            remaining.push_back(problem.edges()[e]);
+
+    RegionPlan plan;
+    if (remaining.empty())
+        return plan;
+
+    auto components = graph::edge_subset_components(
+        problem.num_vertices(), remaining);
+
+    // One bounding region per interacting-qubit set.
+    for (const auto& members : components.members) {
+        std::vector<PhysicalQubit> positions;
+        positions.reserve(members.size());
+        for (LogicalQubit l : members)
+            positions.push_back(mapping.physical_of(l));
+        plan.regions.push_back(ata::bounding_region(device, positions));
+    }
+
+    // Merge overlapping regions to a fixpoint (§6.3: "If two regions
+    // overlap, we merge them into one region").
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < plan.regions.size() && !changed; ++i) {
+            for (std::size_t j = i + 1; j < plan.regions.size(); ++j) {
+                if (ata::regions_overlap(device, plan.regions[i],
+                                         plan.regions[j])) {
+                    plan.regions[i] = ata::merge_regions(plan.regions[i],
+                                                         plan.regions[j]);
+                    plan.regions.erase(plan.regions.begin() +
+                                       static_cast<std::ptrdiff_t>(j));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    for (const auto& region : plan.regions) {
+        std::int32_t size = ata::region_size(device, region);
+        plan.max_positions = std::max(plan.max_positions, size);
+        plan.total_positions += size;
+    }
+    return plan;
+}
+
+ata::SwapSchedule
+tail_schedule(const arch::CouplingGraph& device, const RegionPlan& plan)
+{
+    ata::SwapSchedule out;
+    for (const auto& region : plan.regions)
+        out.append(ata::ata_schedule(device, region));
+    return out;
+}
+
+namespace {
+
+/** Measured full-pattern depth constants (depth ~ alpha * positions). */
+double
+depth_constant(arch::ArchKind kind)
+{
+    switch (kind) {
+      case arch::ArchKind::Line: return 2.0;
+      case arch::ArchKind::Grid: return 1.7;
+      case arch::ArchKind::Sycamore: return 3.6;
+      case arch::ArchKind::HeavyHex: return 4.8;
+      case arch::ArchKind::Hexagon: return 4.2;
+      default: return 4.0;
+    }
+}
+
+} // namespace
+
+double
+estimate_tail_depth(const arch::CouplingGraph& device,
+                    const RegionPlan& plan)
+{
+    // Disjoint regions replay in parallel; the largest dominates.
+    return depth_constant(device.kind()) * plan.max_positions;
+}
+
+double
+estimate_tail_cx(const arch::CouplingGraph& device, const RegionPlan& plan,
+                 std::int64_t remaining_edges)
+{
+    // Compute gates: 2 CX each (some merge with swaps). Swap slots of a
+    // clique schedule over k positions: ~k^2/2 layers of k/2... in
+    // practice ~0.5 k^2 swaps; dead-swap skipping scales that by the
+    // live fraction, approximated by the edge density of the tail.
+    double swaps = 0.0;
+    for (const auto& region : plan.regions) {
+        double k = ata::region_size(device, region);
+        swaps += 0.5 * k * k;
+    }
+    return 2.0 * static_cast<double>(remaining_edges) + 3.0 * swaps;
+}
+
+} // namespace permuq::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The ATA pattern-prediction component (paper §6.3): range detection
+ * over the remaining problem graph and generation of the region-
+ * restricted ATA tail.
+ */
+#ifndef PERMUQ_CORE_PREDICTION_H
+#define PERMUQ_CORE_PREDICTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "ata/ata.h"
+#include "ata/swap_schedule.h"
+#include "circuit/mapping.h"
+#include "graph/graph.h"
+
+namespace permuq::core {
+
+/** The disjoint sub-regions the remaining gates live in. */
+struct RegionPlan
+{
+    std::vector<ata::Region> regions;
+    /** Size of the largest region (dominates the tail depth). */
+    std::int32_t max_positions = 0;
+    /** Sum of region sizes. */
+    std::int64_t total_positions = 0;
+};
+
+/**
+ * Range detector: connected components of the un-executed subgraph of
+ * @p problem, mapped through @p mapping into bounding regions of
+ * @p device; overlapping regions are merged to a fixpoint.
+ * @param done per-edge executed flags (size = problem.num_edges()).
+ */
+RegionPlan detect_regions(const arch::CouplingGraph& device,
+                          const graph::Graph& problem,
+                          const std::vector<bool>& done,
+                          const circuit::Mapping& mapping);
+
+/**
+ * Pattern generator: the concatenation of each region's clique
+ * schedule. Regions are position-disjoint, so replay parallelizes
+ * them automatically.
+ */
+ata::SwapSchedule tail_schedule(const arch::CouplingGraph& device,
+                                const RegionPlan& plan);
+
+/**
+ * Closed-form prediction of the tail's depth from the region sizes
+ * (the per-architecture linear-depth constants measured from the full
+ * patterns). Used only to *rank* snapshot candidates; the selector
+ * compares fully materialized circuits.
+ */
+double estimate_tail_depth(const arch::CouplingGraph& device,
+                           const RegionPlan& plan);
+
+/** Closed-form prediction of the tail's CX count. */
+double estimate_tail_cx(const arch::CouplingGraph& device,
+                        const RegionPlan& plan,
+                        std::int64_t remaining_edges);
+
+} // namespace permuq::core
+
+#endif // PERMUQ_CORE_PREDICTION_H

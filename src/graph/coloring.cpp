@@ -1,0 +1,60 @@
+#include "coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace permuq::graph {
+
+Coloring
+greedy_coloring(const Graph& conflict)
+{
+    std::int32_t n = conflict.num_vertices();
+    Coloring result;
+    result.color_of.assign(static_cast<std::size_t>(n), -1);
+
+    std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                         return conflict.degree(a) > conflict.degree(b);
+                     });
+
+    std::vector<bool> used; // colors used by the current neighborhood
+    for (std::int32_t v : order) {
+        used.assign(static_cast<std::size_t>(result.num_colors) + 1, false);
+        for (std::int32_t w : conflict.neighbors(v)) {
+            std::int32_t c = result.color_of[static_cast<std::size_t>(w)];
+            if (c >= 0 && c < static_cast<std::int32_t>(used.size()))
+                used[static_cast<std::size_t>(c)] = true;
+        }
+        std::int32_t color = 0;
+        while (used[static_cast<std::size_t>(color)])
+            ++color;
+        result.color_of[static_cast<std::size_t>(v)] = color;
+        result.num_colors = std::max(result.num_colors, color + 1);
+    }
+
+    result.classes.resize(static_cast<std::size_t>(result.num_colors));
+    for (std::int32_t v = 0; v < n; ++v)
+        result.classes[static_cast<std::size_t>(
+                           result.color_of[static_cast<std::size_t>(v)])]
+            .push_back(v);
+    return result;
+}
+
+std::int32_t
+largest_class(const Coloring& coloring)
+{
+    fatal_unless(coloring.num_colors > 0, "coloring has no classes");
+    std::int32_t best = 0;
+    for (std::int32_t c = 1; c < coloring.num_colors; ++c) {
+        if (coloring.classes[static_cast<std::size_t>(c)].size() >
+            coloring.classes[static_cast<std::size_t>(best)].size())
+            best = c;
+    }
+    return best;
+}
+
+} // namespace permuq::graph

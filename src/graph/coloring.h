@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Greedy graph coloring, used by the gate-scheduling sub-module
+ * (paper §6.2): hardware-compliant gates are vertices of a conflict
+ * graph (shared qubit, or crosstalk), and the largest color class is
+ * scheduled in the current cycle.
+ */
+#ifndef PERMUQ_GRAPH_COLORING_H
+#define PERMUQ_GRAPH_COLORING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace permuq::graph {
+
+/** A proper vertex coloring plus its class structure. */
+struct Coloring
+{
+    /** color_of[v] in [0, num_colors). */
+    std::vector<std::int32_t> color_of;
+    std::int32_t num_colors = 0;
+    /** classes[c] = vertices with color c. */
+    std::vector<std::vector<std::int32_t>> classes;
+};
+
+/**
+ * Welsh–Powell greedy coloring: vertices in non-increasing degree order,
+ * each assigned the smallest color absent from its neighborhood.
+ */
+Coloring greedy_coloring(const Graph& conflict);
+
+/** Index of the largest color class (ties -> smallest index). */
+std::int32_t largest_class(const Coloring& coloring);
+
+} // namespace permuq::graph
+
+#endif // PERMUQ_GRAPH_COLORING_H

@@ -1,0 +1,103 @@
+#include "components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace permuq::graph {
+
+namespace {
+
+/** Union-find with path halving and union by size. */
+class DisjointSet
+{
+  public:
+    explicit DisjointSet(std::int32_t n)
+        : parent_(static_cast<std::size_t>(n)),
+          size_(static_cast<std::size_t>(n), 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::int32_t
+    find(std::int32_t x)
+    {
+        while (parent_[static_cast<std::size_t>(x)] != x) {
+            auto& p = parent_[static_cast<std::size_t>(x)];
+            p = parent_[static_cast<std::size_t>(p)];
+            x = p;
+        }
+        return x;
+    }
+
+    void
+    unite(std::int32_t a, std::int32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (size_[static_cast<std::size_t>(a)] <
+            size_[static_cast<std::size_t>(b)])
+            std::swap(a, b);
+        parent_[static_cast<std::size_t>(b)] = a;
+        size_[static_cast<std::size_t>(a)] +=
+            size_[static_cast<std::size_t>(b)];
+    }
+
+  private:
+    std::vector<std::int32_t> parent_;
+    std::vector<std::int32_t> size_;
+};
+
+Components
+build_components(std::int32_t n, DisjointSet& dsu,
+                 const std::vector<bool>& touched, bool skip_isolated)
+{
+    Components out;
+    out.component_of.assign(static_cast<std::size_t>(n), -1);
+    std::vector<std::int32_t> root_to_id(static_cast<std::size_t>(n), -1);
+    for (std::int32_t v = 0; v < n; ++v) {
+        if (skip_isolated && !touched[static_cast<std::size_t>(v)])
+            continue;
+        std::int32_t root = dsu.find(v);
+        auto& id = root_to_id[static_cast<std::size_t>(root)];
+        if (id == -1) {
+            id = static_cast<std::int32_t>(out.members.size());
+            out.members.emplace_back();
+        }
+        out.component_of[static_cast<std::size_t>(v)] = id;
+        out.members[static_cast<std::size_t>(id)].push_back(v);
+    }
+    return out;
+}
+
+} // namespace
+
+Components
+connected_components(const Graph& g, bool skip_isolated)
+{
+    DisjointSet dsu(g.num_vertices());
+    std::vector<bool> touched(static_cast<std::size_t>(g.num_vertices()),
+                              false);
+    for (const auto& e : g.edges()) {
+        dsu.unite(e.a, e.b);
+        touched[static_cast<std::size_t>(e.a)] = true;
+        touched[static_cast<std::size_t>(e.b)] = true;
+    }
+    return build_components(g.num_vertices(), dsu, touched, skip_isolated);
+}
+
+Components
+edge_subset_components(std::int32_t n, const std::vector<VertexPair>& edges)
+{
+    DisjointSet dsu(n);
+    std::vector<bool> touched(static_cast<std::size_t>(n), false);
+    for (const auto& e : edges) {
+        dsu.unite(e.a, e.b);
+        touched[static_cast<std::size_t>(e.a)] = true;
+        touched[static_cast<std::size_t>(e.b)] = true;
+    }
+    return build_components(n, dsu, touched, /*skip_isolated=*/true);
+}
+
+} // namespace permuq::graph

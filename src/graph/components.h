@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Connected components, used by the ATA-prediction range detector
+ * (paper §6.3) to split the remaining problem graph into independent
+ * interacting-qubit sets.
+ */
+#ifndef PERMUQ_GRAPH_COMPONENTS_H
+#define PERMUQ_GRAPH_COMPONENTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace permuq::graph {
+
+/** Result of a connected-components decomposition. */
+struct Components
+{
+    /** component_of[v] = component id, or -1 for isolated vertices when
+     *  skip_isolated was requested. */
+    std::vector<std::int32_t> component_of;
+    /** members[c] = sorted vertex list of component c. */
+    std::vector<std::vector<std::int32_t>> members;
+};
+
+/**
+ * Decompose @p g into connected components.
+ * @param skip_isolated when true, degree-0 vertices get id -1 and no
+ *        component — the range detector only cares about vertices that
+ *        still have pending gates.
+ */
+Components connected_components(const Graph& g, bool skip_isolated = false);
+
+/**
+ * Components of the subgraph induced by a set of edges over @p n
+ * vertices. Vertices untouched by any edge are skipped (id -1).
+ */
+Components
+edge_subset_components(std::int32_t n, const std::vector<VertexPair>& edges);
+
+} // namespace permuq::graph
+
+#endif // PERMUQ_GRAPH_COMPONENTS_H

@@ -1,0 +1,62 @@
+#include "distance.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace permuq::graph {
+
+std::vector<std::int32_t>
+bfs_distances(const Graph& g, std::int32_t source)
+{
+    fatal_unless(source >= 0 && source < g.num_vertices(),
+                 "BFS source out of range");
+    std::vector<std::int32_t> dist(
+        static_cast<std::size_t>(g.num_vertices()), kUnreachable);
+    std::deque<std::int32_t> queue;
+    dist[static_cast<std::size_t>(source)] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        std::int32_t v = queue.front();
+        queue.pop_front();
+        std::int32_t next = dist[static_cast<std::size_t>(v)] + 1;
+        for (std::int32_t w : g.neighbors(v)) {
+            if (dist[static_cast<std::size_t>(w)] == kUnreachable) {
+                dist[static_cast<std::size_t>(w)] = next;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+DistanceMatrix::DistanceMatrix(const Graph& g)
+    : n_(static_cast<std::size_t>(g.num_vertices()))
+{
+    table_.assign(n_ * n_, kRawUnreachable);
+    for (std::int32_t s = 0; s < g.num_vertices(); ++s) {
+        auto dist = bfs_distances(g, s);
+        for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+            std::int32_t d = dist[static_cast<std::size_t>(v)];
+            if (d != kUnreachable) {
+                panic_unless(d < kRawUnreachable,
+                             "distance exceeds 16-bit storage");
+                table_[static_cast<std::size_t>(s) * n_ +
+                       static_cast<std::size_t>(v)] =
+                    static_cast<std::uint16_t>(d);
+            }
+        }
+    }
+}
+
+std::int32_t
+DistanceMatrix::diameter() const
+{
+    std::int32_t best = 0;
+    for (std::size_t i = 0; i < n_ * n_; ++i)
+        if (table_[i] != kRawUnreachable)
+            best = std::max(best, static_cast<std::int32_t>(table_[i]));
+    return best;
+}
+
+} // namespace permuq::graph

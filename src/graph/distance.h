@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shortest-path distances on unweighted graphs.
+ *
+ * The coupling graph needs all-pairs distances for the A* heuristic
+ * (paper Eq. 2) and for greedy SWAP gain computation; a 1024-vertex
+ * chip needs a 1M-entry table which fits comfortably as 16-bit values.
+ */
+#ifndef PERMUQ_GRAPH_DISTANCE_H
+#define PERMUQ_GRAPH_DISTANCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace permuq::graph {
+
+/** Single-source BFS distances; kUnreachable for disconnected vertices. */
+std::vector<std::int32_t> bfs_distances(const Graph& g, std::int32_t source);
+
+/**
+ * Dense all-pairs distance table computed by n BFS passes.
+ * Entries saturate at 65534; 65535 encodes "unreachable".
+ */
+class DistanceMatrix
+{
+  public:
+    DistanceMatrix() = default;
+
+    /** Build the table for @p g (O(n * (n + m))). */
+    explicit DistanceMatrix(const Graph& g);
+
+    /** Distance between u and v; kUnreachable if disconnected. */
+    std::int32_t
+    at(std::int32_t u, std::int32_t v) const
+    {
+        std::uint16_t raw =
+            table_[static_cast<std::size_t>(u) * n_ +
+                   static_cast<std::size_t>(v)];
+        return raw == kRawUnreachable ? kUnreachable
+                                      : static_cast<std::int32_t>(raw);
+    }
+
+    /** Number of vertices the table covers. */
+    std::int32_t num_vertices() const { return static_cast<std::int32_t>(n_); }
+
+    /** Largest finite pairwise distance (graph diameter). */
+    std::int32_t diameter() const;
+
+  private:
+    static constexpr std::uint16_t kRawUnreachable = 0xffff;
+
+    std::size_t n_ = 0;
+    std::vector<std::uint16_t> table_;
+};
+
+} // namespace permuq::graph
+
+#endif // PERMUQ_GRAPH_DISTANCE_H

@@ -1,0 +1,61 @@
+#include "graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace permuq::graph {
+
+Graph::Graph(std::int32_t n) : num_vertices_(n)
+{
+    fatal_unless(n >= 0, "graph vertex count must be non-negative");
+    adjacency_.resize(static_cast<std::size_t>(n));
+}
+
+std::int32_t
+Graph::add_edge(std::int32_t u, std::int32_t v)
+{
+    fatal_unless(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_,
+                 "edge endpoint out of range");
+    fatal_unless(u != v, "self-loops are not allowed");
+    fatal_unless(!has_edge(u, v), "duplicate edge");
+
+    auto insert_sorted = [&](std::int32_t from, std::int32_t to) {
+        auto& adj = adjacency_[static_cast<std::size_t>(from)];
+        adj.insert(std::lower_bound(adj.begin(), adj.end(), to), to);
+    };
+    insert_sorted(u, v);
+    insert_sorted(v, u);
+    edges_.emplace_back(u, v);
+    return static_cast<std::int32_t>(edges_.size()) - 1;
+}
+
+bool
+Graph::has_edge(std::int32_t u, std::int32_t v) const
+{
+    if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_)
+        return false;
+    const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+    return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+double
+Graph::density() const
+{
+    if (num_vertices_ < 2)
+        return 0.0;
+    double pairs = 0.5 * num_vertices_ * (num_vertices_ - 1);
+    return static_cast<double>(num_edges()) / pairs;
+}
+
+Graph
+Graph::clique(std::int32_t n)
+{
+    Graph g(n);
+    for (std::int32_t u = 0; u < n; ++u)
+        for (std::int32_t v = u + 1; v < n; ++v)
+            g.add_edge(u, v);
+    return g;
+}
+
+} // namespace permuq::graph

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A minimal undirected-graph container shared by the coupling-graph,
+ * problem-graph, and scheduling layers.
+ *
+ * Vertices are dense integers [0, n). Parallel edges are rejected;
+ * self-loops are rejected. Adjacency is kept sorted for deterministic
+ * iteration order across platforms.
+ */
+#ifndef PERMUQ_GRAPH_GRAPH_H
+#define PERMUQ_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace permuq::graph {
+
+/** Undirected simple graph over dense integer vertices. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Create a graph with @p n isolated vertices. */
+    explicit Graph(std::int32_t n);
+
+    /** Number of vertices. */
+    std::int32_t num_vertices() const { return num_vertices_; }
+
+    /** Number of edges. */
+    std::int32_t
+    num_edges() const
+    {
+        return static_cast<std::int32_t>(edges_.size());
+    }
+
+    /**
+     * Add undirected edge (u, v). Duplicate edges and self-loops throw.
+     * @return the index of the new edge in edges().
+     */
+    std::int32_t add_edge(std::int32_t u, std::int32_t v);
+
+    /** True if edge (u, v) exists. */
+    bool has_edge(std::int32_t u, std::int32_t v) const;
+
+    /** Sorted neighbor list of @p v. */
+    const std::vector<std::int32_t>&
+    neighbors(std::int32_t v) const
+    {
+        return adjacency_[static_cast<std::size_t>(v)];
+    }
+
+    /** Degree of @p v. */
+    std::int32_t
+    degree(std::int32_t v) const
+    {
+        return static_cast<std::int32_t>(neighbors(v).size());
+    }
+
+    /** All edges, in insertion order, with pair.a < pair.b. */
+    const std::vector<VertexPair>& edges() const { return edges_; }
+
+    /** Edge density: |E| / C(n,2); 0 for n < 2. */
+    double density() const;
+
+    /** Complete graph on @p n vertices. */
+    static Graph clique(std::int32_t n);
+
+  private:
+    std::int32_t num_vertices_ = 0;
+    std::vector<std::vector<std::int32_t>> adjacency_;
+    std::vector<VertexPair> edges_;
+};
+
+} // namespace permuq::graph
+
+#endif // PERMUQ_GRAPH_GRAPH_H

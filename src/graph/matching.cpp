@@ -1,0 +1,110 @@
+#include "matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace permuq::graph {
+
+std::vector<std::int32_t>
+greedy_max_weight_matching(std::int32_t n,
+                           const std::vector<WeightedEdge>& edges)
+{
+    std::vector<std::int32_t> order(edges.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                         const auto& ea = edges[static_cast<std::size_t>(a)];
+                         const auto& eb = edges[static_cast<std::size_t>(b)];
+                         if (ea.weight != eb.weight)
+                             return ea.weight > eb.weight;
+                         if (ea.u != eb.u)
+                             return ea.u < eb.u;
+                         return ea.v < eb.v;
+                     });
+
+    std::vector<bool> taken(static_cast<std::size_t>(n), false);
+    std::vector<std::int32_t> picks;
+    for (std::int32_t idx : order) {
+        const auto& e = edges[static_cast<std::size_t>(idx)];
+        fatal_unless(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n && e.u != e.v,
+                     "matching edge endpoint out of range");
+        if (!taken[static_cast<std::size_t>(e.u)] &&
+            !taken[static_cast<std::size_t>(e.v)]) {
+            taken[static_cast<std::size_t>(e.u)] = true;
+            taken[static_cast<std::size_t>(e.v)] = true;
+            picks.push_back(idx);
+        }
+    }
+    return picks;
+}
+
+std::vector<std::int32_t>
+exact_max_weight_matching(std::int32_t n,
+                          const std::vector<WeightedEdge>& edges)
+{
+    fatal_unless(n >= 0 && n <= 22, "exact matching limited to n <= 22");
+    const std::size_t full = static_cast<std::size_t>(1) << n;
+    constexpr double kNegInf = -1e300;
+
+    // best[mask] = max weight using only vertices in mask; choice[mask]
+    // records the edge picked at this subproblem (-1 = skip lowest bit).
+    std::vector<double> best(full, kNegInf);
+    std::vector<std::int32_t> choice(full, -2);
+    best[0] = 0.0;
+    choice[0] = -2;
+
+    for (std::size_t mask = 1; mask < full; ++mask) {
+        int low = std::countr_zero(mask);
+        // Option 1: vertex `low` stays unmatched.
+        std::size_t without = mask & (mask - 1);
+        best[mask] = best[without];
+        choice[mask] = -1;
+        // Option 2: match `low` with another vertex in mask.
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            const auto& e = edges[i];
+            std::int32_t a = e.u, b = e.v;
+            if (a != low && b != low)
+                continue;
+            std::int32_t other = (a == low) ? b : a;
+            if (!(mask >> other & 1) || other == low)
+                continue;
+            std::size_t rest = mask & ~(std::size_t(1) << low) &
+                               ~(std::size_t(1) << other);
+            double cand = best[rest] + e.weight;
+            if (cand > best[mask]) {
+                best[mask] = cand;
+                choice[mask] = static_cast<std::int32_t>(i);
+            }
+        }
+    }
+
+    std::vector<std::int32_t> picks;
+    std::size_t mask = full - 1;
+    while (mask != 0) {
+        std::int32_t c = choice[mask];
+        if (c == -1) {
+            mask &= mask - 1;
+        } else {
+            const auto& e = edges[static_cast<std::size_t>(c)];
+            picks.push_back(c);
+            mask &= ~(std::size_t(1) << e.u);
+            mask &= ~(std::size_t(1) << e.v);
+        }
+    }
+    std::sort(picks.begin(), picks.end());
+    return picks;
+}
+
+double
+matching_weight(const std::vector<WeightedEdge>& edges,
+                const std::vector<std::int32_t>& picks)
+{
+    double total = 0.0;
+    for (std::int32_t i : picks)
+        total += edges[static_cast<std::size_t>(i)].weight;
+    return total;
+}
+
+} // namespace permuq::graph

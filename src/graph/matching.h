@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Weighted matchings, used by the SWAP-insertion sub-module (paper
+ * §6.2): candidate SWAPs are edges weighted by routing gain and link
+ * error, and a heavy disjoint subset is selected each cycle.
+ *
+ * The paper calls for minimum-weight perfect matching; at 1024 qubits
+ * an exact blossom implementation is unnecessary because the candidate
+ * graph is sparse and the selection re-runs every cycle, so a sorted
+ * greedy maximal matching captures the same behaviour. An exact
+ * bitmask-DP matcher is provided for small graphs and is used by the
+ * test suite to bound the greedy matcher's quality.
+ */
+#ifndef PERMUQ_GRAPH_MATCHING_H
+#define PERMUQ_GRAPH_MATCHING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace permuq::graph {
+
+/** One candidate edge for a matching. */
+struct WeightedEdge
+{
+    std::int32_t u = 0;
+    std::int32_t v = 0;
+    double weight = 0.0;
+};
+
+/**
+ * Greedy maximal matching that maximizes total weight: edges are taken
+ * in non-increasing weight order (ties by endpoints for determinism)
+ * while their endpoints are free.
+ * @return indices into @p edges of the chosen edges.
+ */
+std::vector<std::int32_t>
+greedy_max_weight_matching(std::int32_t n,
+                           const std::vector<WeightedEdge>& edges);
+
+/**
+ * Exact maximum-weight matching by subset DP; requires n <= 22.
+ * @return indices into @p edges of an optimal matching.
+ */
+std::vector<std::int32_t>
+exact_max_weight_matching(std::int32_t n,
+                          const std::vector<WeightedEdge>& edges);
+
+/** Sum of the weights of the edges selected by @p picks. */
+double matching_weight(const std::vector<WeightedEdge>& edges,
+                       const std::vector<std::int32_t>& picks);
+
+} // namespace permuq::graph
+
+#endif // PERMUQ_GRAPH_MATCHING_H

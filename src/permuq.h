@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Umbrella header: the entire PermuQ public API.
+ *
+ * Most users need only:
+ *   - arch::smallest_arch / arch::make_* to pick a device,
+ *   - problem::random_graph / problem::nnn_* to build a workload,
+ *   - core::compile to compile,
+ *   - circuit::compute_metrics / circuit::to_qasm to consume results.
+ */
+#ifndef PERMUQ_PERMUQ_H
+#define PERMUQ_PERMUQ_H
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "ata/ata.h"
+#include "ata/replay.h"
+#include "ata/verify.h"
+#include "baselines/baselines.h"
+#include "circuit/circuit.h"
+#include "circuit/mapping.h"
+#include "circuit/metrics.h"
+#include "circuit/qasm.h"
+#include "core/compiler.h"
+#include "core/options.h"
+#include "core/placement.h"
+#include "problem/generators.h"
+#include "problem/hamiltonians.h"
+#include "problem/weighted.h"
+#include "sim/hamiltonian.h"
+#include "sim/nelder_mead.h"
+#include "sim/qaoa.h"
+#include "sim/statevector.h"
+#include "solver/astar.h"
+
+#endif // PERMUQ_PERMUQ_H

@@ -1,0 +1,72 @@
+#include "hamiltonians.h"
+
+#include "common/error.h"
+
+namespace permuq::problem {
+
+graph::Graph
+nnn_ising_1d(std::int32_t n)
+{
+    fatal_unless(n >= 1, "chain needs at least one spin");
+    graph::Graph g(n);
+    for (std::int32_t i = 0; i + 1 < n; ++i)
+        g.add_edge(i, i + 1);
+    for (std::int32_t i = 0; i + 2 < n; ++i)
+        g.add_edge(i, i + 2);
+    return g;
+}
+
+graph::Graph
+nnn_xy_2d(std::int32_t rows, std::int32_t cols)
+{
+    fatal_unless(rows >= 1 && cols >= 1, "lattice needs positive dims");
+    auto id = [cols](std::int32_t r, std::int32_t c) { return r * cols + c; };
+    graph::Graph g(rows * cols);
+    for (std::int32_t r = 0; r < rows; ++r) {
+        for (std::int32_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.add_edge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                g.add_edge(id(r, c), id(r + 1, c));
+            // Next-nearest: both diagonals.
+            if (r + 1 < rows && c + 1 < cols)
+                g.add_edge(id(r, c), id(r + 1, c + 1));
+            if (r + 1 < rows && c >= 1)
+                g.add_edge(id(r, c), id(r + 1, c - 1));
+        }
+    }
+    return g;
+}
+
+graph::Graph
+nnn_heisenberg_3d(std::int32_t nx, std::int32_t ny, std::int32_t nz)
+{
+    fatal_unless(nx >= 1 && ny >= 1 && nz >= 1,
+                 "lattice needs positive dims");
+    auto id = [nx, ny](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return (z * ny + y) * nx + x;
+    };
+    graph::Graph g(nx * ny * nz);
+    auto in_range = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return x >= 0 && x < nx && y >= 0 && y < ny && z >= 0 && z < nz;
+    };
+    // Nearest neighbors (axis steps) and next-nearest (face diagonals).
+    static const std::int32_t kSteps[][3] = {
+        {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  // nearest
+        {1, 1, 0},  {1, -1, 0},             // xy diagonals
+        {1, 0, 1},  {1, 0, -1},             // xz diagonals
+        {0, 1, 1},  {0, 1, -1},             // yz diagonals
+    };
+    for (std::int32_t z = 0; z < nz; ++z)
+        for (std::int32_t y = 0; y < ny; ++y)
+            for (std::int32_t x = 0; x < nx; ++x)
+                for (const auto& s : kSteps) {
+                    std::int32_t x2 = x + s[0], y2 = y + s[1],
+                                 z2 = z + s[2];
+                    if (in_range(x2, y2, z2))
+                        g.add_edge(id(x, y, z), id(x2, y2, z2));
+                }
+    return g;
+}
+
+} // namespace permuq::problem

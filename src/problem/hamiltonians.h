@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Interaction graphs of the 2-local Hamiltonian benchmarks (paper
+ * §7.1, Table 3; same families as the 2QAN evaluation): next-nearest-
+ * neighbor (NNN) couplings on 1D, 2D, and 3D lattices of program spins.
+ *
+ * Each edge of the returned graph is one two-body interaction term;
+ * the circuit applies one permutable two-qubit block per term per
+ * Trotter step, which is exactly the compilation problem PermuQ solves.
+ */
+#ifndef PERMUQ_PROBLEM_HAMILTONIANS_H
+#define PERMUQ_PROBLEM_HAMILTONIANS_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace permuq::problem {
+
+/** NNN 1D Ising chain: couplings (i, i+1) and (i, i+2). */
+graph::Graph nnn_ising_1d(std::int32_t n);
+
+/**
+ * NNN 2D XY model on a rows x cols spin lattice: nearest (axis) plus
+ * next-nearest (diagonal) couplings.
+ */
+graph::Graph nnn_xy_2d(std::int32_t rows, std::int32_t cols);
+
+/**
+ * NNN 3D Heisenberg model on an nx x ny x nz lattice: nearest (axis)
+ * plus next-nearest (face-diagonal) couplings.
+ */
+graph::Graph nnn_heisenberg_3d(std::int32_t nx, std::int32_t ny,
+                               std::int32_t nz);
+
+} // namespace permuq::problem
+
+#endif // PERMUQ_PROBLEM_HAMILTONIANS_H

@@ -1,0 +1,34 @@
+#include "weighted.h"
+
+#include "common/rng.h"
+#include "problem/generators.h"
+
+namespace permuq::problem {
+
+WeightedProblem
+weighted_random_graph(std::int32_t n, double density, std::uint64_t seed,
+                      double min_weight, double max_weight)
+{
+    WeightedProblem wp;
+    wp.graph = random_graph(n, density, seed);
+    // Separate stream so the topology matches the unweighted generator
+    // with the same seed.
+    Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    wp.weights.reserve(static_cast<std::size_t>(wp.graph.num_edges()));
+    for (std::int32_t e = 0; e < wp.graph.num_edges(); ++e)
+        wp.weights.push_back(min_weight +
+                             (max_weight - min_weight) *
+                                 rng.next_double());
+    return wp;
+}
+
+WeightedProblem
+with_unit_weights(graph::Graph graph)
+{
+    WeightedProblem wp;
+    wp.weights.assign(static_cast<std::size_t>(graph.num_edges()), 1.0);
+    wp.graph = std::move(graph);
+    return wp;
+}
+
+} // namespace permuq::problem

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Weighted problem graphs — the canonical generalization of the
+ * paper's (unweighted) QAOA-MaxCut workloads. Weights do not affect
+ * routing at all (every edge still needs exactly one two-qubit gate;
+ * this is precisely why the compiler can ignore them), but they change
+ * the phase angles and the objective when the compiled circuit is
+ * simulated or exported.
+ */
+#ifndef PERMUQ_PROBLEM_WEIGHTED_H
+#define PERMUQ_PROBLEM_WEIGHTED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace permuq::problem {
+
+/** A problem graph with one weight per edge (aligned with edges()). */
+struct WeightedProblem
+{
+    graph::Graph graph;
+    std::vector<double> weights;
+
+    /** Weight of edge index @p e. */
+    double
+    weight(std::int32_t e) const
+    {
+        return weights[static_cast<std::size_t>(e)];
+    }
+};
+
+/**
+ * Erdős–Rényi graph with i.i.d. uniform edge weights in
+ * [@p min_weight, @p max_weight].
+ */
+WeightedProblem weighted_random_graph(std::int32_t n, double density,
+                                      std::uint64_t seed,
+                                      double min_weight = 0.5,
+                                      double max_weight = 1.5);
+
+/** Wrap an unweighted graph with unit weights. */
+WeightedProblem with_unit_weights(graph::Graph graph);
+
+} // namespace permuq::problem
+
+#endif // PERMUQ_PROBLEM_WEIGHTED_H

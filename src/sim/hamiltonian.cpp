@@ -1,0 +1,175 @@
+#include "hamiltonian.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace permuq::sim {
+
+namespace {
+
+using Amplitude = Statevector::Amplitude;
+
+/** The 4x4 unitary exp(-i J dt h_model) over |q_b q_a>. */
+std::array<Amplitude, 16>
+term_unitary(SpinModel model, double theta)
+{
+    std::array<Amplitude, 16> u{};
+    auto at = [&u](int r, int c) -> Amplitude& {
+        return u[static_cast<std::size_t>(4 * r + c)];
+    };
+    const Amplitude one(1.0, 0.0);
+    switch (model) {
+      case SpinModel::Ising: {
+        // exp(-i theta ZZ) = diag(e^-it, e^it, e^it, e^-it).
+        at(0, 0) = std::polar(1.0, -theta);
+        at(1, 1) = std::polar(1.0, theta);
+        at(2, 2) = std::polar(1.0, theta);
+        at(3, 3) = std::polar(1.0, -theta);
+        return u;
+      }
+      case SpinModel::XY: {
+        // XX+YY couples |01>,|10> with strength 2; |00>,|11> idle.
+        at(0, 0) = one;
+        at(3, 3) = one;
+        at(1, 1) = Amplitude(std::cos(2 * theta), 0.0);
+        at(2, 2) = Amplitude(std::cos(2 * theta), 0.0);
+        at(1, 2) = Amplitude(0.0, -std::sin(2 * theta));
+        at(2, 1) = Amplitude(0.0, -std::sin(2 * theta));
+        return u;
+      }
+      case SpinModel::Heisenberg: {
+        // ZZ adds diag(1,-1,-1,1): outer states pick up e^{-i theta},
+        // the inner block e^{+i theta} times the XY rotation.
+        at(0, 0) = std::polar(1.0, -theta);
+        at(3, 3) = std::polar(1.0, -theta);
+        Amplitude inner_phase = std::polar(1.0, theta);
+        at(1, 1) = inner_phase * Amplitude(std::cos(2 * theta), 0.0);
+        at(2, 2) = inner_phase * Amplitude(std::cos(2 * theta), 0.0);
+        at(1, 2) = inner_phase * Amplitude(0.0, -std::sin(2 * theta));
+        at(2, 1) = inner_phase * Amplitude(0.0, -std::sin(2 * theta));
+        return u;
+      }
+    }
+    throw PanicError("unknown spin model");
+}
+
+} // namespace
+
+void
+apply_hamiltonian(const SpinHamiltonian& h, const Statevector& in,
+                  std::vector<Amplitude>& out)
+{
+    const auto& amp = in.amplitudes();
+    out.assign(amp.size(), Amplitude(0.0, 0.0));
+    const double j = h.coupling;
+    for (const auto& e : h.interactions.edges()) {
+        const std::size_t abit = std::size_t(1) << e.a;
+        const std::size_t bbit = std::size_t(1) << e.b;
+        for (std::size_t i = 0; i < amp.size(); ++i) {
+            bool za = (i & abit) != 0, zb = (i & bbit) != 0;
+            if (h.model != SpinModel::XY) {
+                // ZZ term.
+                out[i] += (za == zb ? j : -j) * amp[i];
+            }
+            if (h.model != SpinModel::Ising && za != zb) {
+                // (XX + YY) |01> = 2 |10> and vice versa.
+                out[i ^ (abit | bbit)] += 2.0 * j * amp[i];
+            }
+        }
+    }
+}
+
+void
+exact_evolution(const SpinHamiltonian& h, Statevector& state, double time,
+                std::int32_t integration_steps)
+{
+    fatal_unless(integration_steps >= 1, "need at least one step");
+    double dt = time / integration_steps;
+    auto& psi = state.amplitudes_mut();
+    std::vector<Amplitude> k1, k2, k3, k4, tmp;
+    Statevector scratch(state.num_qubits());
+    auto deriv = [&](const std::vector<Amplitude>& from,
+                     std::vector<Amplitude>& to) {
+        scratch.amplitudes_mut() = from;
+        apply_hamiltonian(h, scratch, to);
+        const Amplitude minus_i(0.0, -1.0);
+        for (auto& x : to)
+            x *= minus_i;
+    };
+    for (std::int32_t s = 0; s < integration_steps; ++s) {
+        deriv(psi, k1);
+        tmp = psi;
+        for (std::size_t i = 0; i < psi.size(); ++i)
+            tmp[i] += 0.5 * dt * k1[i];
+        deriv(tmp, k2);
+        tmp = psi;
+        for (std::size_t i = 0; i < psi.size(); ++i)
+            tmp[i] += 0.5 * dt * k2[i];
+        deriv(tmp, k3);
+        tmp = psi;
+        for (std::size_t i = 0; i < psi.size(); ++i)
+            tmp[i] += dt * k3[i];
+        deriv(tmp, k4);
+        for (std::size_t i = 0; i < psi.size(); ++i)
+            psi[i] += dt / 6.0 *
+                      (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        // RK4 drifts off the unit sphere slowly; renormalize.
+        double norm = std::sqrt(state.norm_sq());
+        for (auto& x : psi)
+            x /= norm;
+    }
+}
+
+void
+trotter_step(const SpinHamiltonian& h, const circuit::Circuit& compiled,
+             Statevector& state, double dt)
+{
+    auto u = term_unitary(h.model, h.coupling * dt);
+    for (const auto& op : compiled.ops())
+        if (op.kind == circuit::OpKind::Compute)
+            state.apply_two_qubit(u, op.a, op.b);
+}
+
+void
+trotter_evolution(const SpinHamiltonian& h,
+                  const circuit::Circuit& compiled, Statevector& state,
+                  double time, std::int32_t steps)
+{
+    fatal_unless(steps >= 1, "need at least one Trotter step");
+    double dt = time / steps;
+    auto u = term_unitary(h.model, h.coupling * dt);
+    const auto& ops = compiled.ops();
+    for (std::int32_t s = 0; s < steps; ++s) {
+        bool reversed = s % 2 == 1;
+        for (std::size_t k = 0; k < ops.size(); ++k) {
+            const auto& op = ops[reversed ? ops.size() - 1 - k : k];
+            if (op.kind == circuit::OpKind::Compute)
+                state.apply_two_qubit(u, op.a, op.b);
+        }
+    }
+}
+
+double
+state_fidelity(const Statevector& a, const Statevector& b)
+{
+    fatal_unless(a.num_qubits() == b.num_qubits(),
+                 "fidelity of different-size states");
+    Amplitude inner(0.0, 0.0);
+    for (std::size_t i = 0; i < a.amplitudes().size(); ++i)
+        inner += std::conj(a.amplitudes()[i]) * b.amplitudes()[i];
+    return std::norm(inner);
+}
+
+double
+energy_expectation(const SpinHamiltonian& h, const Statevector& state)
+{
+    std::vector<Amplitude> h_psi;
+    apply_hamiltonian(h, state, h_psi);
+    Amplitude inner(0.0, 0.0);
+    for (std::size_t i = 0; i < h_psi.size(); ++i)
+        inner += std::conj(state.amplitudes()[i]) * h_psi[i];
+    return inner.real();
+}
+
+} // namespace permuq::sim

@@ -1,0 +1,118 @@
+#include "nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace permuq::sim {
+
+OptimizeResult
+nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+            std::vector<double> x0, double initial_step,
+            std::int32_t max_evals)
+{
+    std::size_t dim = x0.size();
+    fatal_unless(dim >= 1, "need at least one parameter");
+    fatal_unless(max_evals >= static_cast<std::int32_t>(dim) + 1,
+                 "evaluation budget too small for the initial simplex");
+
+    OptimizeResult result;
+    std::int32_t evals = 0;
+    auto eval = [&](const std::vector<double>& x) {
+        double v = f(x);
+        ++evals;
+        if (result.history.empty() || v < result.best_f) {
+            result.best_f = v;
+            result.best_x = x;
+        }
+        result.history.push_back(result.best_f);
+        return v;
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    std::vector<std::vector<double>> simplex;
+    std::vector<double> value;
+    simplex.push_back(x0);
+    value.push_back(eval(x0));
+    for (std::size_t d = 0; d < dim; ++d) {
+        auto x = x0;
+        x[d] += initial_step;
+        simplex.push_back(x);
+        value.push_back(eval(x));
+    }
+
+    const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+    while (evals < max_evals) {
+        // Sort simplex by value.
+        std::vector<std::size_t> order(simplex.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return value[a] < value[b];
+                  });
+        std::vector<std::vector<double>> s2;
+        std::vector<double> v2;
+        for (std::size_t i : order) {
+            s2.push_back(simplex[i]);
+            v2.push_back(value[i]);
+        }
+        simplex = std::move(s2);
+        value = std::move(v2);
+
+        // Centroid of all but the worst.
+        std::vector<double> centroid(dim, 0.0);
+        for (std::size_t i = 0; i < dim; ++i)
+            for (std::size_t d = 0; d < dim; ++d)
+                centroid[d] += simplex[i][d] / static_cast<double>(dim);
+
+        auto blend = [&](double t) {
+            std::vector<double> x(dim);
+            for (std::size_t d = 0; d < dim; ++d)
+                x[d] = centroid[d] + t * (simplex[dim][d] - centroid[d]);
+            return x;
+        };
+
+        auto reflected = blend(-alpha);
+        double fr = eval(reflected);
+        if (evals >= max_evals)
+            break;
+        if (fr < value[0]) {
+            auto expanded = blend(-gamma);
+            double fe = eval(expanded);
+            if (fe < fr) {
+                simplex[dim] = expanded;
+                value[dim] = fe;
+            } else {
+                simplex[dim] = reflected;
+                value[dim] = fr;
+            }
+        } else if (fr < value[dim - 1]) {
+            simplex[dim] = reflected;
+            value[dim] = fr;
+        } else {
+            auto contracted = blend(rho);
+            double fc = eval(contracted);
+            if (evals >= max_evals)
+                break;
+            if (fc < value[dim]) {
+                simplex[dim] = contracted;
+                value[dim] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 1; i <= dim && evals < max_evals;
+                     ++i) {
+                    for (std::size_t d = 0; d < dim; ++d)
+                        simplex[i][d] =
+                            simplex[0][d] +
+                            sigma * (simplex[i][d] - simplex[0][d]);
+                    value[i] = eval(simplex[i]);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace permuq::sim

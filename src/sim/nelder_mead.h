@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Derivative-free minimization for the end-to-end QAOA loop.
+ *
+ * The paper uses Qiskit's default COBYLA; Nelder-Mead is a comparable
+ * derivative-free local optimizer, and the Figs 24/25 experiment holds
+ * the optimizer fixed while varying the compiled circuit, so the
+ * substitution preserves the comparison (see DESIGN.md).
+ */
+#ifndef PERMUQ_SIM_NELDER_MEAD_H
+#define PERMUQ_SIM_NELDER_MEAD_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace permuq::sim {
+
+/** Result of a minimization run. */
+struct OptimizeResult
+{
+    std::vector<double> best_x;
+    double best_f = 0.0;
+    /** f value after each objective evaluation ("rounds" axis of
+     *  Figs 24/25): history[k] = best f seen within the first k+1
+     *  evaluations. */
+    std::vector<double> history;
+};
+
+/**
+ * Nelder-Mead simplex minimization of @p f from @p x0.
+ * @param initial_step edge length of the initial simplex
+ * @param max_evals objective-evaluation budget
+ */
+OptimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, double initial_step, std::int32_t max_evals);
+
+} // namespace permuq::sim
+
+#endif // PERMUQ_SIM_NELDER_MEAD_H

@@ -1,0 +1,367 @@
+#include "qaoa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/metrics.h"
+#include "common/error.h"
+#include <unordered_map>
+
+#include "sim/statevector.h"
+
+namespace permuq::sim {
+
+namespace {
+
+/** Per-op CX cost with CPHASE+SWAP merging applied. */
+std::vector<std::int8_t>
+per_op_cx(const circuit::Circuit& compiled)
+{
+    auto merged = circuit::merged_with_previous(compiled);
+    const auto& ops = compiled.ops();
+    std::vector<std::int8_t> cost(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (merged[i]) {
+            // The merged pair costs 3 CX total; the predecessor was
+            // billed standalone, so this op pays the difference.
+            cost[i] = static_cast<std::int8_t>(
+                ops[i].kind == circuit::OpKind::Swap ? 1 : 0);
+        } else {
+            cost[i] = static_cast<std::int8_t>(
+                ops[i].kind == circuit::OpKind::Compute ? 2 : 3);
+        }
+    }
+    return cost;
+}
+
+void
+apply_pauli(Statevector& sv, std::int32_t q, std::int32_t which)
+{
+    switch (which) {
+      case 1: sv.apply_x(q); break;
+      case 2: sv.apply_y(q); break;
+      case 3: sv.apply_z(q); break;
+      default: break;
+    }
+}
+
+using WeightTable =
+    std::unordered_map<VertexPair, double, VertexPairHash>;
+
+/** Run each noisy trajectory and hand its final state to @p sink.
+ *  @p weights optionally scales each edge's phase angle. */
+template <typename Sink>
+void
+for_each_trajectory(const graph::Graph& problem,
+                    const circuit::Circuit& compiled,
+                    const arch::NoiseModel& noise,
+                    const QaoaAngles& angles,
+                    const NoisySimOptions& options, Sink&& sink,
+                    const WeightTable* weights = nullptr)
+{
+    std::int32_t n = problem.num_vertices();
+    fatal_unless(n <= 24, "noisy simulation supports up to 24 qubits");
+    fatal_unless(!angles.gamma.empty() &&
+                     angles.gamma.size() == angles.beta.size(),
+                 "need one gamma and beta per QAOA layer");
+    std::int32_t layers = static_cast<std::int32_t>(angles.gamma.size());
+
+    auto cx_cost = per_op_cx(compiled);
+    const auto& ops = compiled.ops();
+    Xoshiro256 rng(options.seed);
+
+    for (std::int32_t traj = 0; traj < options.trajectories; ++traj) {
+        Statevector sv(n);
+        for (std::int32_t q = 0; q < n; ++q)
+            sv.apply_h(q);
+
+        for (std::int32_t layer = 0; layer < layers; ++layer) {
+            double gamma = angles.gamma[static_cast<std::size_t>(layer)];
+            // Odd layers replay the compiled circuit backwards: from
+            // the final mapping, the reversed op sequence meets every
+            // pair again with the same physical structure.
+            bool reversed = layer % 2 == 1;
+            for (std::size_t k = 0; k < ops.size(); ++k) {
+                std::size_t i = reversed ? ops.size() - 1 - k : k;
+                const auto& op = ops[i];
+                // Stochastic Pauli noise per physical CX of this op.
+                double e = noise.cx_error(op.p, op.q);
+                for (std::int8_t c = 0; c < cx_cost[i]; ++c) {
+                    if (rng.next_double() >= e)
+                        continue;
+                    std::int32_t which = static_cast<std::int32_t>(
+                        rng.next_below(15)) + 1;
+                    if (op.a != kInvalidQubit)
+                        apply_pauli(sv, op.a, which & 3);
+                    if (op.b != kInvalidQubit)
+                        apply_pauli(sv, op.b, which >> 2);
+                }
+                if (op.kind == circuit::OpKind::Compute) {
+                    double w = 1.0;
+                    if (weights != nullptr)
+                        w = weights->at(VertexPair(op.a, op.b));
+                    sv.apply_rzz(op.a, op.b, -gamma * w);
+                }
+                // SWAPs act as relabelings: the stored logical
+                // operands of later ops already account for them.
+            }
+            double beta = angles.beta[static_cast<std::size_t>(layer)];
+            for (std::int32_t q = 0; q < n; ++q)
+                sv.apply_rx(q, 2.0 * beta);
+        }
+
+        sink(sv, rng);
+    }
+}
+
+/** Run trajectories and hand each readout-flipped shot to @p sink. */
+template <typename Sink>
+void
+run_trajectories(const graph::Graph& problem,
+                 const circuit::Circuit& compiled,
+                 const arch::NoiseModel& noise, const QaoaAngles& angles,
+                 const NoisySimOptions& options, Sink&& sink)
+{
+    std::int32_t n = problem.num_vertices();
+    std::int32_t shots_per_traj =
+        std::max(1, options.shots / std::max(1, options.trajectories));
+    for_each_trajectory(
+        problem, compiled, noise, angles, options,
+        [&](const Statevector& sv, Xoshiro256& rng) {
+            // Sample shots, applying per-qubit readout error at the
+            // final physical location of each logical qubit.
+            for (std::int32_t s = 0; s < shots_per_traj; ++s) {
+                std::uint64_t z = sv.sample(rng);
+                if (options.readout_error && !noise.is_ideal()) {
+                    for (std::int32_t l = 0; l < n; ++l) {
+                        PhysicalQubit p =
+                            compiled.final_mapping().physical_of(l);
+                        if (rng.next_double() < noise.readout_error(p))
+                            z ^= std::uint64_t(1) << l;
+                    }
+                }
+                sink(z);
+            }
+        });
+}
+
+} // namespace
+
+std::int32_t
+cut_value(const graph::Graph& problem, std::uint64_t z)
+{
+    std::int32_t cut = 0;
+    for (const auto& e : problem.edges())
+        if (((z >> e.a) & 1) != ((z >> e.b) & 1))
+            ++cut;
+    return cut;
+}
+
+std::int32_t
+max_cut(const graph::Graph& problem)
+{
+    fatal_unless(problem.num_vertices() <= 24,
+                 "exhaustive max cut supports up to 24 qubits");
+    std::int32_t best = 0;
+    std::uint64_t states = std::uint64_t(1) << problem.num_vertices();
+    for (std::uint64_t z = 0; z < states; ++z)
+        best = std::max(best, cut_value(problem, z));
+    return best;
+}
+
+std::vector<double>
+ideal_distribution(const graph::Graph& problem, const QaoaAngles& angles)
+{
+    std::int32_t n = problem.num_vertices();
+    fatal_unless(n <= 24, "ideal simulation supports up to 24 qubits");
+    fatal_unless(angles.gamma.size() == angles.beta.size(),
+                 "need one gamma and beta per QAOA layer");
+    Statevector sv(n);
+    for (std::int32_t q = 0; q < n; ++q)
+        sv.apply_h(q);
+    for (std::size_t layer = 0; layer < angles.gamma.size(); ++layer) {
+        for (const auto& e : problem.edges())
+            sv.apply_rzz(e.a, e.b, -angles.gamma[layer]);
+        for (std::int32_t q = 0; q < n; ++q)
+            sv.apply_rx(q, 2.0 * angles.beta[layer]);
+    }
+    return sv.probabilities();
+}
+
+double
+ideal_expectation(const graph::Graph& problem, const QaoaAngles& angles)
+{
+    auto p = ideal_distribution(problem, angles);
+    double sum = 0.0;
+    for (std::size_t z = 0; z < p.size(); ++z)
+        if (p[z] > 0.0)
+            sum += p[z] * cut_value(problem, z);
+    return sum;
+}
+
+double
+noisy_expectation(const graph::Graph& problem,
+                  const circuit::Circuit& compiled,
+                  const arch::NoiseModel& noise, const QaoaAngles& angles,
+                  const NoisySimOptions& options)
+{
+    double total = 0.0;
+    std::int64_t shots = 0;
+    run_trajectories(problem, compiled, noise, angles, options,
+                     [&](std::uint64_t z) {
+                         total += cut_value(problem, z);
+                         ++shots;
+                     });
+    return total / static_cast<double>(std::max<std::int64_t>(1, shots));
+}
+
+std::vector<std::int64_t>
+noisy_counts(const graph::Graph& problem, const circuit::Circuit& compiled,
+             const arch::NoiseModel& noise, const QaoaAngles& angles,
+             const NoisySimOptions& options)
+{
+    std::vector<std::int64_t> counts(
+        std::size_t(1) << problem.num_vertices(), 0);
+    run_trajectories(problem, compiled, noise, angles, options,
+                     [&](std::uint64_t z) { ++counts[z]; });
+    return counts;
+}
+
+std::vector<double>
+noisy_distribution(const graph::Graph& problem,
+                   const circuit::Circuit& compiled,
+                   const arch::NoiseModel& noise, const QaoaAngles& angles,
+                   const NoisySimOptions& options)
+{
+    std::vector<double> mix(std::size_t(1) << problem.num_vertices(),
+                            0.0);
+    std::int32_t trajectories = 0;
+    for_each_trajectory(problem, compiled, noise, angles, options,
+                        [&](const Statevector& sv, Xoshiro256&) {
+                            auto p = sv.probabilities();
+                            for (std::size_t z = 0; z < mix.size(); ++z)
+                                mix[z] += p[z];
+                            ++trajectories;
+                        });
+    for (auto& x : mix)
+        x /= std::max(1, trajectories);
+    return mix;
+}
+
+double
+tvd(const std::vector<double>& ideal,
+    const std::vector<std::int64_t>& counts)
+{
+    fatal_unless(ideal.size() == counts.size(),
+                 "distribution sizes differ");
+    std::int64_t shots = 0;
+    for (std::int64_t c : counts)
+        shots += c;
+    fatal_unless(shots > 0, "no shots");
+    double sum = 0.0;
+    for (std::size_t z = 0; z < ideal.size(); ++z) {
+        double q = static_cast<double>(counts[z]) /
+                   static_cast<double>(shots);
+        sum += std::abs(ideal[z] - q);
+    }
+    return 0.5 * sum;
+}
+
+double
+tvd(const std::vector<double>& p, const std::vector<double>& q)
+{
+    fatal_unless(p.size() == q.size(), "distribution sizes differ");
+    double sum = 0.0;
+    for (std::size_t z = 0; z < p.size(); ++z)
+        sum += std::abs(p[z] - q[z]);
+    return 0.5 * sum;
+}
+
+double
+cut_weight(const problem::WeightedProblem& wp, std::uint64_t z)
+{
+    double total = 0.0;
+    const auto& edges = wp.graph.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        if (((z >> edges[e].a) & 1) != ((z >> edges[e].b) & 1))
+            total += wp.weights[e];
+    return total;
+}
+
+double
+max_cut_weight(const problem::WeightedProblem& wp)
+{
+    fatal_unless(wp.graph.num_vertices() <= 24,
+                 "exhaustive max cut supports up to 24 qubits");
+    double best = 0.0;
+    std::uint64_t states = std::uint64_t(1) << wp.graph.num_vertices();
+    for (std::uint64_t z = 0; z < states; ++z)
+        best = std::max(best, cut_weight(wp, z));
+    return best;
+}
+
+double
+ideal_expectation(const problem::WeightedProblem& wp,
+                  const QaoaAngles& angles)
+{
+    std::int32_t n = wp.graph.num_vertices();
+    fatal_unless(n <= 24, "ideal simulation supports up to 24 qubits");
+    fatal_unless(angles.gamma.size() == angles.beta.size(),
+                 "need one gamma and beta per QAOA layer");
+    Statevector sv(n);
+    for (std::int32_t q = 0; q < n; ++q)
+        sv.apply_h(q);
+    const auto& edges = wp.graph.edges();
+    for (std::size_t layer = 0; layer < angles.gamma.size(); ++layer) {
+        for (std::size_t e = 0; e < edges.size(); ++e)
+            sv.apply_rzz(edges[e].a, edges[e].b,
+                         -angles.gamma[layer] * wp.weights[e]);
+        for (std::int32_t q = 0; q < n; ++q)
+            sv.apply_rx(q, 2.0 * angles.beta[layer]);
+    }
+    auto p = sv.probabilities();
+    double sum = 0.0;
+    for (std::size_t z = 0; z < p.size(); ++z)
+        if (p[z] > 0.0)
+            sum += p[z] * cut_weight(wp, static_cast<std::uint64_t>(z));
+    return sum;
+}
+
+double
+noisy_expectation(const problem::WeightedProblem& wp,
+                  const circuit::Circuit& compiled,
+                  const arch::NoiseModel& noise, const QaoaAngles& angles,
+                  const NoisySimOptions& options)
+{
+    WeightTable table;
+    const auto& edges = wp.graph.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        table.emplace(edges[e], wp.weights[e]);
+
+    std::int32_t n = wp.graph.num_vertices();
+    std::int32_t shots_per_traj =
+        std::max(1, options.shots / std::max(1, options.trajectories));
+    double total = 0.0;
+    std::int64_t shots = 0;
+    for_each_trajectory(
+        wp.graph, compiled, noise, angles, options,
+        [&](const Statevector& sv, Xoshiro256& rng) {
+            for (std::int32_t s = 0; s < shots_per_traj; ++s) {
+                std::uint64_t z = sv.sample(rng);
+                if (options.readout_error && !noise.is_ideal()) {
+                    for (std::int32_t l = 0; l < n; ++l) {
+                        PhysicalQubit p =
+                            compiled.final_mapping().physical_of(l);
+                        if (rng.next_double() < noise.readout_error(p))
+                            z ^= std::uint64_t(1) << l;
+                    }
+                }
+                total += cut_weight(wp, z);
+                ++shots;
+            }
+        },
+        &table);
+    return total / static_cast<double>(std::max<std::int64_t>(1, shots));
+}
+
+} // namespace permuq::sim

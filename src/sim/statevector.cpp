@@ -1,0 +1,190 @@
+#include "statevector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace permuq::sim {
+
+Statevector::Statevector(std::int32_t num_qubits)
+    : num_qubits_(num_qubits)
+{
+    fatal_unless(num_qubits >= 1 && num_qubits <= 24,
+                 "statevector supports 1..24 qubits");
+    amp_.assign(std::size_t(1) << num_qubits, Amplitude(0.0, 0.0));
+    amp_[0] = Amplitude(1.0, 0.0);
+}
+
+void
+Statevector::apply_h(std::int32_t q)
+{
+    const std::size_t bit = std::size_t(1) << q;
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    for (std::size_t i = 0; i < amp_.size(); ++i) {
+        if (i & bit)
+            continue;
+        Amplitude a0 = amp_[i];
+        Amplitude a1 = amp_[i | bit];
+        amp_[i] = inv_sqrt2 * (a0 + a1);
+        amp_[i | bit] = inv_sqrt2 * (a0 - a1);
+    }
+}
+
+void
+Statevector::apply_x(std::int32_t q)
+{
+    const std::size_t bit = std::size_t(1) << q;
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        if (!(i & bit))
+            std::swap(amp_[i], amp_[i | bit]);
+}
+
+void
+Statevector::apply_y(std::int32_t q)
+{
+    const std::size_t bit = std::size_t(1) << q;
+    const Amplitude pos_i(0.0, 1.0), neg_i(0.0, -1.0);
+    for (std::size_t i = 0; i < amp_.size(); ++i) {
+        if (i & bit)
+            continue;
+        Amplitude a0 = amp_[i];
+        Amplitude a1 = amp_[i | bit];
+        amp_[i] = neg_i * a1;
+        amp_[i | bit] = pos_i * a0;
+    }
+}
+
+void
+Statevector::apply_z(std::int32_t q)
+{
+    const std::size_t bit = std::size_t(1) << q;
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        if (i & bit)
+            amp_[i] = -amp_[i];
+}
+
+void
+Statevector::apply_rx(std::int32_t q, double theta)
+{
+    const std::size_t bit = std::size_t(1) << q;
+    const double c = std::cos(theta / 2.0);
+    const Amplitude ms(0.0, -std::sin(theta / 2.0));
+    for (std::size_t i = 0; i < amp_.size(); ++i) {
+        if (i & bit)
+            continue;
+        Amplitude a0 = amp_[i];
+        Amplitude a1 = amp_[i | bit];
+        amp_[i] = c * a0 + ms * a1;
+        amp_[i | bit] = ms * a0 + c * a1;
+    }
+}
+
+void
+Statevector::apply_rz(std::int32_t q, double theta)
+{
+    const std::size_t bit = std::size_t(1) << q;
+    const Amplitude e0 = std::polar(1.0, -theta / 2.0);
+    const Amplitude e1 = std::polar(1.0, theta / 2.0);
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        amp_[i] *= (i & bit) ? e1 : e0;
+}
+
+void
+Statevector::apply_cx(std::int32_t control, std::int32_t target)
+{
+    const std::size_t cbit = std::size_t(1) << control;
+    const std::size_t tbit = std::size_t(1) << target;
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amp_[i], amp_[i | tbit]);
+}
+
+void
+Statevector::apply_two_qubit(const std::array<Amplitude, 16>& u,
+                             std::int32_t a, std::int32_t b)
+{
+    fatal_unless(a != b, "two-qubit gate needs distinct qubits");
+    const std::size_t abit = std::size_t(1) << a;
+    const std::size_t bbit = std::size_t(1) << b;
+    for (std::size_t i = 0; i < amp_.size(); ++i) {
+        if (i & (abit | bbit))
+            continue; // visit each 4-amplitude block once (i = |00>)
+        std::size_t idx[4] = {i, i | abit, i | bbit, i | abit | bbit};
+        Amplitude in[4];
+        for (int k = 0; k < 4; ++k)
+            in[k] = amp_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Amplitude acc(0.0, 0.0);
+            for (int c = 0; c < 4; ++c)
+                acc += u[static_cast<std::size_t>(4 * r + c)] * in[c];
+            amp_[idx[r]] = acc;
+        }
+    }
+}
+
+void
+Statevector::apply_swap(std::int32_t a, std::int32_t b)
+{
+    const std::size_t abit = std::size_t(1) << a;
+    const std::size_t bbit = std::size_t(1) << b;
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        if ((i & abit) && !(i & bbit))
+            std::swap(amp_[i], amp_[(i & ~abit) | bbit]);
+}
+
+void
+Statevector::apply_rzz(std::int32_t a, std::int32_t b, double theta)
+{
+    const std::size_t abit = std::size_t(1) << a;
+    const std::size_t bbit = std::size_t(1) << b;
+    const Amplitude same = std::polar(1.0, -theta / 2.0);
+    const Amplitude diff = std::polar(1.0, theta / 2.0);
+    for (std::size_t i = 0; i < amp_.size(); ++i) {
+        bool za = (i & abit) != 0, zb = (i & bbit) != 0;
+        amp_[i] *= (za == zb) ? same : diff;
+    }
+}
+
+void
+Statevector::apply_cphase(std::int32_t a, std::int32_t b, double theta)
+{
+    const std::size_t abit = std::size_t(1) << a;
+    const std::size_t bbit = std::size_t(1) << b;
+    const Amplitude phase = std::polar(1.0, theta);
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        if ((i & abit) && (i & bbit))
+            amp_[i] *= phase;
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> p(amp_.size());
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        p[i] = std::norm(amp_[i]);
+    return p;
+}
+
+std::uint64_t
+Statevector::sample(Xoshiro256& rng) const
+{
+    double r = rng.next_double();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amp_.size(); ++i) {
+        acc += std::norm(amp_[i]);
+        if (r < acc)
+            return i;
+    }
+    return amp_.size() - 1;
+}
+
+double
+Statevector::norm_sq() const
+{
+    double s = 0.0;
+    for (const auto& a : amp_)
+        s += std::norm(a);
+    return s;
+}
+
+} // namespace permuq::sim

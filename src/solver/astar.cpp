@@ -1,0 +1,357 @@
+#include "astar.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace permuq::solver {
+
+namespace {
+
+constexpr std::int32_t kMaxQubits = 16;
+constexpr std::int32_t kMaxEdges = 128;
+
+/** Remaining-gate bitmask over problem edge indices. */
+struct EdgeMask
+{
+    std::array<std::uint64_t, 2> bits{0, 0};
+
+    bool
+    test(std::int32_t i) const
+    {
+        return bits[static_cast<std::size_t>(i >> 6)] >> (i & 63) & 1;
+    }
+
+    void
+    set(std::int32_t i)
+    {
+        bits[static_cast<std::size_t>(i >> 6)] |=
+            std::uint64_t(1) << (i & 63);
+    }
+
+    void
+    clear(std::int32_t i)
+    {
+        bits[static_cast<std::size_t>(i >> 6)] &=
+            ~(std::uint64_t(1) << (i & 63));
+    }
+
+    bool none() const { return bits[0] == 0 && bits[1] == 0; }
+
+    friend bool operator==(const EdgeMask&, const EdgeMask&) = default;
+};
+
+/** Packed (mapping, remaining) key for the closed set. */
+struct StateKey
+{
+    std::array<std::uint8_t, kMaxQubits> mapping{}; // position -> logical
+    EdgeMask remaining;
+
+    friend bool operator==(const StateKey&, const StateKey&) = default;
+};
+
+struct StateKeyHash
+{
+    std::size_t
+    operator()(const StateKey& k) const noexcept
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 0x100000001b3ULL;
+            h ^= h >> 29;
+        };
+        std::uint64_t packed = 0;
+        for (std::size_t i = 0; i < kMaxQubits; ++i) {
+            packed = packed << 4 | (k.mapping[i] & 0xf);
+            if (i % 16 == 15) {
+                mix(packed);
+                packed = 0;
+            }
+        }
+        mix(packed);
+        mix(k.remaining.bits[0]);
+        mix(k.remaining.bits[1]);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** One scheduled action within a transition (a single cycle). */
+struct Action
+{
+    bool is_gate = false;    // gate vs swap
+    std::int32_t edge = -1;  // problem edge index for gates
+    PhysicalQubit p = 0, q = 0;
+};
+
+/** Search node; parents enable circuit reconstruction. */
+struct Node
+{
+    StateKey key;
+    Cycle g = 0;
+    std::int32_t swaps = 0; // cumulative SWAPs (secondary objective)
+    std::int32_t parent = -1;
+    std::vector<Action> actions; // actions taken to reach this node
+};
+
+} // namespace
+
+Cycle
+pair_cost(std::int32_t deg_i, std::int32_t deg_j, std::int32_t d)
+{
+    panic_unless(d >= 1, "pair_cost requires distance >= 1");
+    Cycle best = kUnreachable;
+    for (std::int32_t x = 0; x <= d - 1; ++x)
+        best = std::min(best,
+                        std::max(deg_i + x, deg_j + (d - 1 - x)));
+    return best;
+}
+
+SolverResult
+solve_depth_optimal(const arch::CouplingGraph& device,
+                    const graph::Graph& problem,
+                    const circuit::Mapping& initial,
+                    const SolverOptions& options)
+{
+    std::int32_t n = device.num_qubits();
+    fatal_unless(n <= kMaxQubits, "solver limited to 16 qubits");
+    fatal_unless(problem.num_edges() <= kMaxEdges,
+                 "solver limited to 128 gates");
+    fatal_unless(initial.num_logical() == problem.num_vertices() &&
+                     initial.num_physical() == n,
+                 "mapping does not match problem/device");
+    fatal_unless(problem.num_vertices() == n,
+                 "solver expects a fully mapped device");
+
+    const auto& edges = problem.edges();
+    const auto& dist = device.distances();
+
+    // Heuristic h over a state.
+    auto heuristic = [&](const StateKey& key) -> Cycle {
+        // position of each logical qubit.
+        std::array<std::int32_t, kMaxQubits> pos{};
+        for (std::int32_t p = 0; p < n; ++p)
+            pos[key.mapping[static_cast<std::size_t>(p)]] = p;
+        // remaining degree of each logical qubit.
+        std::array<std::int32_t, kMaxQubits> deg{};
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            if (key.remaining.test(e)) {
+                ++deg[static_cast<std::size_t>(
+                    edges[static_cast<std::size_t>(e)].a)];
+                ++deg[static_cast<std::size_t>(
+                    edges[static_cast<std::size_t>(e)].b)];
+            }
+        }
+        Cycle h = 0;
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            if (!key.remaining.test(e))
+                continue;
+            const auto& edge = edges[static_cast<std::size_t>(e)];
+            std::int32_t d =
+                dist.at(pos[static_cast<std::size_t>(edge.a)],
+                        pos[static_cast<std::size_t>(edge.b)]);
+            h = std::max(h, pair_cost(deg[static_cast<std::size_t>(edge.a)],
+                                      deg[static_cast<std::size_t>(edge.b)],
+                                      d));
+        }
+        return h;
+    };
+
+    std::deque<Node> nodes;
+    std::unordered_map<StateKey, Cycle, StateKeyHash> best_g;
+
+    Node root;
+    for (std::int32_t p = 0; p < n; ++p) {
+        LogicalQubit l = initial.logical_at(p);
+        fatal_unless(l != kInvalidQubit, "solver needs all positions full");
+        root.key.mapping[static_cast<std::size_t>(p)] =
+            static_cast<std::uint8_t>(l);
+    }
+    for (std::int32_t e = 0; e < problem.num_edges(); ++e)
+        root.key.remaining.set(e);
+    nodes.push_back(root);
+    best_g.emplace(root.key, 0);
+
+    // f, swaps, g, idx: depth-optimal first; among equal f prefer
+    // deeper nodes (progress keeps the search fast), then fewer SWAPs
+    // (a cosmetic secondary objective, since depth-optimal packings
+    // otherwise fill idle qubits with gratuitous swaps).
+    using QueueEntry = std::tuple<Cycle, std::int32_t, Cycle, std::int32_t>;
+    auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
+        if (std::get<0>(a) != std::get<0>(b))
+            return std::get<0>(a) > std::get<0>(b);
+        if (std::get<2>(a) != std::get<2>(b))
+            return std::get<2>(a) < std::get<2>(b);
+        return std::get<1>(a) > std::get<1>(b);
+    };
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
+        open(cmp);
+    open.emplace(heuristic(root.key), 0, 0, 0);
+
+    SolverResult result;
+    const auto& couplers = device.couplers();
+    std::int64_t work = 0;
+    std::int64_t max_work = options.max_work;
+    if (max_work == 0 && options.max_expansions > 0)
+        max_work = 64 * options.max_expansions;
+
+    while (!open.empty()) {
+        auto [f, swaps, g, idx] = open.top();
+        (void)swaps;
+        open.pop();
+        StateKey key = nodes[static_cast<std::size_t>(idx)].key;
+        if (g != best_g[key])
+            continue; // stale entry
+
+        if (key.remaining.none()) {
+            // Terminal: reconstruct the circuit from the action chain.
+            result.solved = true;
+            result.depth = g;
+            std::vector<std::int32_t> chain;
+            for (std::int32_t cur = idx; cur != -1;
+                 cur = nodes[static_cast<std::size_t>(cur)].parent)
+                chain.push_back(cur);
+            std::reverse(chain.begin(), chain.end());
+            circuit::Circuit circ(initial);
+            for (std::int32_t node_idx : chain) {
+                for (const auto& act :
+                     nodes[static_cast<std::size_t>(node_idx)].actions) {
+                    if (act.is_gate)
+                        circ.add_compute(act.p, act.q);
+                    else
+                        circ.add_swap(act.p, act.q);
+                }
+            }
+            panic_unless(circ.depth() <= g,
+                         "reconstructed circuit deeper than optimum");
+            result.circuit = std::move(circ);
+            return result;
+        }
+
+        ++result.expansions;
+        if (options.max_expansions > 0 &&
+            result.expansions > options.max_expansions)
+            return result; // budget exhausted, result.solved == false
+        if (max_work > 0 && work > max_work)
+            return result; // enumeration budget exhausted
+
+        // Collect candidate actions for this cycle.
+        std::array<std::int32_t, kMaxQubits> pos{};
+        for (std::int32_t p = 0; p < n; ++p)
+            pos[key.mapping[static_cast<std::size_t>(p)]] = p;
+        std::array<std::int32_t, kMaxQubits> deg{};
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            if (key.remaining.test(e)) {
+                ++deg[static_cast<std::size_t>(
+                    edges[static_cast<std::size_t>(e)].a)];
+                ++deg[static_cast<std::size_t>(
+                    edges[static_cast<std::size_t>(e)].b)];
+            }
+        }
+
+        std::vector<Action> candidates;
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            if (!key.remaining.test(e))
+                continue;
+            const auto& edge = edges[static_cast<std::size_t>(e)];
+            std::int32_t pa = pos[static_cast<std::size_t>(edge.a)];
+            std::int32_t pb = pos[static_cast<std::size_t>(edge.b)];
+            if (device.coupled(pa, pb))
+                candidates.push_back({true, e, pa, pb});
+        }
+        std::size_t num_gate_actions = candidates.size();
+        for (const auto& c : couplers) {
+            LogicalQubit la = key.mapping[static_cast<std::size_t>(c.a)];
+            LogicalQubit lb = key.mapping[static_cast<std::size_t>(c.b)];
+            if (options.prune_dead_swaps &&
+                deg[static_cast<std::size_t>(la)] == 0 &&
+                deg[static_cast<std::size_t>(lb)] == 0)
+                continue;
+            candidates.push_back({false, -1, c.a, c.b});
+        }
+
+        // Enumerate all non-empty compatible action subsets (matchings
+        // on qubits). With force_maximal_gates, a gate action may be
+        // skipped only if one of its qubits is used by another action.
+        std::vector<Action> chosen;
+        std::uint32_t used = 0;
+        auto emit_child = [&] {
+            if (chosen.empty())
+                return;
+            if (options.force_maximal_gates) {
+                // Dominance: an op set that leaves an executable gate's
+                // qubits entirely idle is never better than the same
+                // set plus that gate (the gate must run eventually and
+                // running it now costs nothing). Prune such children.
+                for (std::size_t i = 0; i < num_gate_actions; ++i) {
+                    const auto& gate = candidates[i];
+                    std::uint32_t mask = (std::uint32_t(1) << gate.p) |
+                                         (std::uint32_t(1) << gate.q);
+                    if ((used & mask) == 0)
+                        return;
+                }
+            }
+            StateKey child = key;
+            for (const auto& act : chosen) {
+                if (act.is_gate) {
+                    child.remaining.clear(act.edge);
+                } else {
+                    std::swap(
+                        child.mapping[static_cast<std::size_t>(act.p)],
+                        child.mapping[static_cast<std::size_t>(act.q)]);
+                }
+            }
+            Cycle child_g = g + 1;
+            auto it = best_g.find(child);
+            if (it != best_g.end() && it->second <= child_g)
+                return;
+            best_g[child] = child_g;
+            Node node;
+            node.key = child;
+            node.g = child_g;
+            node.swaps = nodes[static_cast<std::size_t>(idx)].swaps;
+            for (const auto& act : chosen)
+                if (!act.is_gate)
+                    ++node.swaps;
+            node.parent = idx;
+            node.actions = chosen;
+            nodes.push_back(std::move(node));
+            open.emplace(child_g + heuristic(child), node.swaps, child_g,
+                         static_cast<std::int32_t>(nodes.size()) - 1);
+        };
+
+        auto dfs = [&](auto&& self, std::size_t i) -> void {
+            ++work;
+            if (max_work > 0 && work > max_work)
+                return; // partial enumeration; caller reports unsolved
+            if (i == candidates.size()) {
+                emit_child();
+                return;
+            }
+            const auto& act = candidates[i];
+            std::uint32_t mask = (std::uint32_t(1) << act.p) |
+                                 (std::uint32_t(1) << act.q);
+            bool can_take = (used & mask) == 0;
+            // Option 1: take the action.
+            if (can_take) {
+                used |= mask;
+                chosen.push_back(act);
+                self(self, i + 1);
+                chosen.pop_back();
+                used &= ~mask;
+            }
+            // Option 2: skip it (emit_child applies the gate-idling
+            // dominance check over the completed set).
+            self(self, i + 1);
+        };
+        dfs(dfs, 0);
+    }
+    return result; // open exhausted without terminal (shouldn't happen)
+}
+
+} // namespace permuq::solver

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The depth-optimal A* solver (paper §4).
+ *
+ * Searches over circuit states — (qubit mapping, set of un-executed
+ * gates) at cycle boundaries — where each transition schedules one
+ * cycle's worth of parallel actions: executable problem gates and/or
+ * SWAPs on disjoint coupled pairs. The priority function
+ *   f(v) = g(v) + h(v),  h(v) = max over remaining edges of
+ *   cost(qi,qj) = min_x max(deg(qi)+x, deg(qj)+(d-1-x))
+ * is admissible (Theorems 1-2), so the first terminal node popped is
+ * depth-optimal.
+ *
+ * The solver exists to *discover* patterns on small instances (1x6
+ * line, 2x4 grid, two-unit Sycamore/hexagon); the scalable compiler
+ * generalizes its solutions rather than calling it at scale.
+ */
+#ifndef PERMUQ_SOLVER_ASTAR_H
+#define PERMUQ_SOLVER_ASTAR_H
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/coupling_graph.h"
+#include "circuit/circuit.h"
+#include "circuit/mapping.h"
+#include "graph/graph.h"
+
+namespace permuq::solver {
+
+/** Tunables for one solve. */
+struct SolverOptions
+{
+    /**
+     * Always schedule every executable gate that fits the chosen op
+     * set (prunes op sets that leave an executable gate idle while its
+     * qubits idle). Large speedup; tests confirm it preserves the
+     * optimum on the instances the paper solves.
+     */
+    bool force_maximal_gates = true;
+    /** Skip swaps whose both endpoints carry no remaining gates. */
+    bool prune_dead_swaps = true;
+    /** Abort after this many node expansions (0 = unlimited). */
+    std::int64_t max_expansions = 0;
+    /**
+     * Abort after this many units of enumeration work (DFS steps of
+     * the per-cycle action-subset enumeration); dense instances can
+     * explode inside a single expansion, so the expansion budget alone
+     * does not bound wall-clock time. 0 derives 64 * max_expansions
+     * (unlimited when max_expansions is also 0).
+     */
+    std::int64_t max_work = 0;
+};
+
+/** Result of a solve. */
+struct SolverResult
+{
+    /** Whether a terminal node was reached within budget. */
+    bool solved = false;
+    /** Optimal depth in cycles (valid when solved). */
+    Cycle depth = 0;
+    /** A depth-optimal compiled circuit (valid when solved). */
+    circuit::Circuit circuit;
+    /** Number of A* node expansions performed. */
+    std::int64_t expansions = 0;
+};
+
+/**
+ * Find a depth-minimal SWAP-inserted circuit for @p problem on
+ * @p device starting from @p initial (Definition 2). The problem must
+ * be small (at most 16 qubits / 128 edges).
+ */
+SolverResult solve_depth_optimal(const arch::CouplingGraph& device,
+                                 const graph::Graph& problem,
+                                 const circuit::Mapping& initial,
+                                 const SolverOptions& options = {});
+
+/**
+ * The admissible pair cost of Definition 3/Eq. 2:
+ * min over x in [0, d-1] of max(deg_i + x, deg_j + d - 1 - x),
+ * where d is the current distance between the two qubits' positions
+ * and deg counts each qubit's remaining gates.
+ */
+Cycle pair_cost(std::int32_t deg_i, std::int32_t deg_j, std::int32_t d);
+
+} // namespace permuq::solver
+
+#endif // PERMUQ_SOLVER_ASTAR_H

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests of the comparator compilers: every baseline must emit valid
+ * circuits, and the exact baselines must be exact.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/coupling_graph.h"
+#include "baselines/baselines.h"
+#include "baselines/router_util.h"
+#include "circuit/metrics.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "solver/astar.h"
+
+namespace permuq::baselines {
+namespace {
+
+struct BaselineCase
+{
+    arch::ArchKind kind;
+    std::int32_t n;
+    double density;
+};
+
+class AllBaselinesTest : public ::testing::TestWithParam<BaselineCase>
+{
+};
+
+TEST_P(AllBaselinesTest, EmitValidCircuits)
+{
+    auto c = GetParam();
+    auto device = arch::smallest_arch(c.kind, c.n);
+    auto problem = problem::random_graph(c.n, c.density, 53);
+    for (const auto& result :
+         {greedy_only(device, problem), ata_only(device, problem),
+          paulihedral_like(device, problem), qaim_like(device, problem),
+          tqan_like(device, problem)}) {
+        SCOPED_TRACE(result.name);
+        circuit::expect_valid(result.circuit, device, problem);
+        EXPECT_EQ(result.metrics.compute_gates, problem.num_edges());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllBaselinesTest,
+    ::testing::Values(BaselineCase{arch::ArchKind::HeavyHex, 32, 0.3},
+                      BaselineCase{arch::ArchKind::HeavyHex, 64, 0.5},
+                      BaselineCase{arch::ArchKind::Sycamore, 32, 0.3},
+                      BaselineCase{arch::ArchKind::Grid, 36, 0.4},
+                      BaselineCase{arch::ArchKind::Hexagon, 36, 0.3}));
+
+TEST(AtaOnlyTest, DenseCliqueMatchesPatternDepth)
+{
+    auto device = arch::make_grid(4, 4);
+    auto problem = graph::Graph::clique(16);
+    auto result = ata_only(device, problem);
+    circuit::expect_valid(result.circuit, device, problem);
+    // Full clique replay ~ 2.1 n cycles on the grid.
+    EXPECT_LE(result.metrics.depth, 40);
+}
+
+TEST(AtaOnlyTest, SparseStopsEarly)
+{
+    auto device = arch::make_grid(5, 5);
+    auto sparse = problem::random_graph(25, 0.1, 3);
+    auto dense = problem::random_graph(25, 0.8, 3);
+    auto a = ata_only(device, sparse);
+    auto b = ata_only(device, dense);
+    EXPECT_LE(a.metrics.depth, b.metrics.depth);
+}
+
+TEST(PaulihedralTest, LayersCoverEverything)
+{
+    auto device = arch::make_heavy_hex(3, 7);
+    auto problem = problem::random_graph(20, 0.5, 9);
+    auto result = paulihedral_like(device, problem);
+    circuit::expect_valid(result.circuit, device, problem);
+}
+
+TEST(QaimTest, SmartPlacementBeatsIdentityRouting)
+{
+    auto device = arch::make_grid(8, 8);
+    auto problem = problem::random_graph(40, 0.15, 61);
+    auto qaim = qaim_like(device, problem);
+    RouterConfig config;
+    auto identity_routed = route_frontier(
+        device, problem, circuit::Mapping(40, 64), config);
+    auto identity_metrics = circuit::compute_metrics(identity_routed);
+    EXPECT_LE(qaim.metrics.cx_count, identity_metrics.cx_count * 5 / 4);
+}
+
+TEST(TqanTest, AnnealedPlacementReducesDistance)
+{
+    auto device = arch::make_grid(8, 8);
+    auto problem = problem::random_graph(24, 0.2, 67);
+    auto annealed = annealed_placement(device, problem, 5);
+    circuit::Mapping identity(24, 64);
+    auto total = [&](const circuit::Mapping& m) {
+        std::int64_t sum = 0;
+        for (const auto& e : problem.edges())
+            sum += device.distance(m.physical_of(e.a),
+                                   m.physical_of(e.b));
+        return sum;
+    };
+    EXPECT_LT(total(annealed), total(identity));
+}
+
+TEST(TqanTest, UnifiesGatesAndSwaps)
+{
+    auto device = arch::make_heavy_hex(3, 7);
+    auto problem = problem::random_graph(20, 0.4, 71);
+    auto with = tqan_like(device, problem);
+    EXPECT_GT(with.metrics.merged_pairs, 0);
+}
+
+TEST(SabreTest, ValidAcrossArchitectures)
+{
+    for (auto kind : {arch::ArchKind::HeavyHex, arch::ArchKind::Sycamore,
+                      arch::ArchKind::Grid}) {
+        auto device = arch::smallest_arch(kind, 32);
+        auto problem = problem::random_graph(32, 0.3, 83);
+        auto result = sabre_like(device, problem);
+        SCOPED_TRACE(arch::to_string(kind));
+        circuit::expect_valid(result.circuit, device, problem);
+        EXPECT_EQ(result.metrics.compute_gates, problem.num_edges());
+    }
+}
+
+TEST(SabreTest, FixedOrderCostsDepthVsPermutable)
+{
+    // The premise of the paper (Fig 4): a fixed-order router cannot
+    // exploit commutativity, so it compiles deeper circuits.
+    auto device = arch::smallest_arch(arch::ArchKind::HeavyHex, 48);
+    auto problem = problem::random_graph(48, 0.4, 89);
+    auto sabre = sabre_like(device, problem);
+    auto ours = core::compile(device, problem);
+    EXPECT_GT(sabre.metrics.depth, ours.metrics.depth);
+}
+
+TEST(SabreTest, CompliantFrontNeedsNoSwaps)
+{
+    auto device = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 1);
+    problem.add_edge(2, 3);
+    auto result = sabre_like(device, problem);
+    circuit::expect_valid(result.circuit, device, problem);
+    EXPECT_EQ(result.circuit.num_swaps(), 0);
+}
+
+TEST(OlsqTest, IsDepthOptimalOnSmallInstances)
+{
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        auto device = arch::make_grid(2, 3);
+        auto problem = problem::random_graph(6, 0.4, seed);
+        if (problem.num_edges() == 0)
+            continue;
+        auto result = olsq_like(device, problem);
+        ASSERT_TRUE(result.complete);
+        circuit::expect_valid(result.circuit, device, problem);
+        // Cross-check against the solver directly.
+        circuit::Mapping initial(6, 6);
+        auto direct =
+            solver::solve_depth_optimal(device, problem, initial);
+        ASSERT_TRUE(direct.solved);
+        EXPECT_EQ(result.metrics.depth, direct.depth);
+    }
+}
+
+TEST(OlsqTest, BudgetFallbackIsMarkedIncomplete)
+{
+    auto device = arch::make_grid(2, 4);
+    auto problem = graph::Graph::clique(8);
+    auto result = olsq_like(device, problem, /*max_expansions=*/5);
+    EXPECT_FALSE(result.complete);
+    circuit::expect_valid(result.circuit, device, problem);
+}
+
+TEST(SatmapTest, MinimizesSwapCount)
+{
+    // A single far gate on a line needs exactly d-1 = 2 swaps.
+    auto device = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 3);
+    auto result = satmap_like(device, problem);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.circuit.num_swaps(), 2);
+    circuit::expect_valid(result.circuit, device, problem);
+}
+
+TEST(SatmapTest, ZeroSwapsWhenCompliant)
+{
+    auto device = arch::make_grid(2, 2);
+    graph::Graph problem(4);
+    problem.add_edge(0, 1);
+    problem.add_edge(2, 3);
+    problem.add_edge(0, 2);
+    auto result = satmap_like(device, problem);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.circuit.num_swaps(), 0);
+}
+
+TEST(SatmapTest, NeverMoreSwapsThanHeuristics)
+{
+    for (std::uint64_t seed = 20; seed < 24; ++seed) {
+        auto device = arch::make_grid(2, 3);
+        auto problem = problem::random_graph(6, 0.5, seed);
+        if (problem.num_edges() == 0)
+            continue;
+        auto exact = satmap_like(device, problem);
+        ASSERT_TRUE(exact.complete);
+        auto ours = core::compile(device, problem);
+        EXPECT_LE(exact.circuit.num_swaps(), ours.circuit.num_swaps());
+    }
+}
+
+} // namespace
+} // namespace permuq::baselines

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests of the circuit IR: mapping tracking, ASAP depth, metrics with
+ * CPHASE+SWAP merging, and structural validation.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "circuit/circuit.h"
+#include "circuit/mapping.h"
+#include "circuit/metrics.h"
+#include "common/error.h"
+#include "graph/graph.h"
+
+namespace permuq::circuit {
+namespace {
+
+TEST(MappingTest, IdentityPrefix)
+{
+    Mapping m(3, 5);
+    EXPECT_EQ(m.physical_of(2), 2);
+    EXPECT_EQ(m.logical_at(2), 2);
+    EXPECT_EQ(m.logical_at(4), kInvalidQubit);
+}
+
+TEST(MappingTest, SwapKeepsInverseConsistent)
+{
+    Mapping m(3, 4);
+    m.apply_swap(0, 3); // logical 0 moves to empty position 3
+    EXPECT_EQ(m.physical_of(0), 3);
+    EXPECT_EQ(m.logical_at(0), kInvalidQubit);
+    EXPECT_EQ(m.logical_at(3), 0);
+    m.apply_swap(1, 2);
+    EXPECT_EQ(m.physical_of(1), 2);
+    EXPECT_EQ(m.physical_of(2), 1);
+}
+
+TEST(MappingTest, ExplicitPlacementValidation)
+{
+    EXPECT_NO_THROW(Mapping({3, 1, 0}, 4));
+    EXPECT_THROW(Mapping({0, 0}, 3), FatalError);  // duplicate target
+    EXPECT_THROW(Mapping({0, 5}, 3), FatalError);  // out of range
+}
+
+TEST(CircuitTest, AsapDepthPacksIndependentOps)
+{
+    Circuit c(Mapping(4, 4));
+    c.add_compute(0, 1);
+    c.add_compute(2, 3); // disjoint -> same cycle
+    EXPECT_EQ(c.depth(), 1);
+    c.add_compute(1, 2); // depends on both -> next cycle
+    EXPECT_EQ(c.depth(), 2);
+    EXPECT_EQ(c.ops()[0].cycle, 0);
+    EXPECT_EQ(c.ops()[1].cycle, 0);
+    EXPECT_EQ(c.ops()[2].cycle, 1);
+}
+
+TEST(CircuitTest, TracksLogicalOperands)
+{
+    Circuit c(Mapping(3, 3));
+    c.add_swap(0, 1);
+    const auto& op = c.add_compute(1, 2);
+    EXPECT_EQ(op.a, 0); // logical 0 moved to position 1
+    EXPECT_EQ(op.b, 2);
+    EXPECT_EQ(c.final_mapping().logical_at(1), 0);
+}
+
+TEST(CircuitTest, BarrierSerializes)
+{
+    Circuit c(Mapping(4, 4));
+    c.add_compute(0, 1);
+    c.barrier();
+    c.add_compute(2, 3);
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(CircuitTest, AppendCircuitRequiresMatchingMapping)
+{
+    Circuit a(Mapping(2, 2));
+    a.add_swap(0, 1);
+    Circuit wrong(Mapping(2, 2));
+    EXPECT_THROW(a.append_circuit(wrong), FatalError);
+
+    Circuit right(a.final_mapping());
+    right.add_compute(0, 1);
+    EXPECT_NO_THROW(a.append_circuit(right));
+    EXPECT_EQ(a.num_compute(), 1);
+}
+
+TEST(CircuitTest, ComputeOnEmptyPositionPanics)
+{
+    Circuit c(Mapping(1, 3));
+    EXPECT_THROW(c.add_compute(0, 2), PanicError);
+}
+
+TEST(MetricsTest, CxCounting)
+{
+    Circuit c(Mapping(4, 4));
+    c.add_compute(0, 1); // 2 CX
+    c.add_swap(2, 3);    // 3 CX
+    auto m = compute_metrics(c);
+    EXPECT_EQ(m.cx_count, 5);
+    EXPECT_EQ(m.merged_pairs, 0);
+}
+
+TEST(MetricsTest, ComputeSwapMergesTo3Cx)
+{
+    Circuit c(Mapping(2, 2));
+    c.add_compute(0, 1);
+    c.add_swap(0, 1); // same pair, adjacent cycles -> merged
+    auto m = compute_metrics(c);
+    EXPECT_EQ(m.merged_pairs, 1);
+    EXPECT_EQ(m.cx_count, 3);
+}
+
+TEST(MetricsTest, SwapComputeMergesToo)
+{
+    Circuit c(Mapping(2, 2));
+    c.add_swap(0, 1);
+    c.add_compute(0, 1);
+    auto m = compute_metrics(c);
+    EXPECT_EQ(m.merged_pairs, 1);
+    EXPECT_EQ(m.cx_count, 3);
+}
+
+TEST(MetricsTest, InterveningOpBlocksMerge)
+{
+    Circuit c(Mapping(3, 3));
+    c.add_compute(0, 1);
+    c.add_compute(1, 2); // touches qubit 1 in between
+    c.add_swap(0, 1);
+    auto m = compute_metrics(c);
+    EXPECT_EQ(m.merged_pairs, 0);
+    EXPECT_EQ(m.cx_count, 2 + 2 + 3);
+}
+
+TEST(MetricsTest, TwoComputesDoNotMerge)
+{
+    // Merging requires one compute and one swap.
+    Circuit c(Mapping(2, 2));
+    c.add_swap(0, 1);
+    c.add_swap(0, 1);
+    auto m = compute_metrics(c);
+    EXPECT_EQ(m.merged_pairs, 0);
+    EXPECT_EQ(m.cx_count, 6);
+}
+
+TEST(MetricsTest, FidelityUnderNoise)
+{
+    auto dev = arch::make_line(2);
+    auto noise = arch::NoiseModel::calibrated(dev, 3);
+    Circuit c(Mapping(2, 2));
+    c.add_compute(0, 1);
+    auto m = compute_metrics(c, &noise);
+    double e = noise.cx_error(0, 1);
+    EXPECT_NEAR(m.fidelity, (1 - e) * (1 - e), 1e-12);
+}
+
+TEST(ValidateTest, AcceptsCorrectCircuit)
+{
+    auto dev = arch::make_line(3);
+    graph::Graph problem(3);
+    problem.add_edge(0, 1);
+    problem.add_edge(0, 2);
+    Circuit c(Mapping(3, 3));
+    c.add_compute(0, 1);
+    c.add_swap(1, 2);
+    c.add_compute(1, 2); // logical 0 at 1 after... no: swap moved 1<->2
+    // After swap(1,2): position1 holds logical 2. compute(1,2)? That is
+    // logicals (2,1) which is not an edge; fix by computing (0,?).
+    auto report = validate(c, dev, problem);
+    EXPECT_FALSE(report.ok); // (2,1) is not an edge
+}
+
+TEST(ValidateTest, FullyValid)
+{
+    auto dev = arch::make_line(3);
+    graph::Graph problem(3);
+    problem.add_edge(0, 1);
+    problem.add_edge(0, 2);
+    Circuit c(Mapping(3, 3));
+    c.add_compute(0, 1); // (0,1)
+    c.add_swap(0, 1);    // logical 0 -> position 1
+    c.add_compute(1, 2); // logicals (0,2)
+    EXPECT_TRUE(validate(c, dev, problem).ok);
+    EXPECT_NO_THROW(expect_valid(c, dev, problem));
+}
+
+TEST(ValidateTest, DetectsNonCoupler)
+{
+    auto dev = arch::make_line(3);
+    graph::Graph problem(3);
+    problem.add_edge(0, 2);
+    Circuit c(Mapping(3, 3));
+    c.add_compute(0, 2); // not physically coupled
+    EXPECT_FALSE(validate(c, dev, problem).ok);
+}
+
+TEST(ValidateTest, DetectsMissingGate)
+{
+    auto dev = arch::make_line(3);
+    graph::Graph problem(3);
+    problem.add_edge(0, 1);
+    problem.add_edge(1, 2);
+    Circuit c(Mapping(3, 3));
+    c.add_compute(0, 1);
+    auto report = validate(c, dev, problem);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.message.find("never executed"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsDuplicateGate)
+{
+    auto dev = arch::make_line(2);
+    graph::Graph problem(2);
+    problem.add_edge(0, 1);
+    Circuit c(Mapping(2, 2));
+    c.add_compute(0, 1);
+    c.add_compute(0, 1);
+    auto report = validate(c, dev, problem);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.message.find("2 times"), std::string::npos);
+}
+
+} // namespace
+} // namespace permuq::circuit

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the common utilities: deterministic RNG, statistics,
+ * table formatting, and error helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace permuq {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Xoshiro256 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Xoshiro256 rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000003ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform)
+{
+    Xoshiro256 rng(11);
+    const int buckets = 8, samples = 80000;
+    std::vector<int> histogram(buckets, 0);
+    for (int i = 0; i < samples; ++i)
+        ++histogram[static_cast<std::size_t>(rng.next_below(buckets))];
+    for (int count : histogram) {
+        EXPECT_GT(count, samples / buckets * 0.9);
+        EXPECT_LT(count, samples / buckets * 1.1);
+    }
+}
+
+TEST(RngTest, NextIntInclusiveBounds)
+{
+    Xoshiro256 rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.next_int(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Xoshiro256 rng(13);
+    const int samples = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        double g = rng.next_gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / samples, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / samples, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsAPermutation)
+{
+    Xoshiro256 rng(5);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i)
+        v[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(VertexPairTest, NormalizesOrder)
+{
+    VertexPair p(5, 2), q(2, 5);
+    EXPECT_EQ(p, q);
+    EXPECT_EQ(p.a, 2);
+    EXPECT_EQ(p.b, 5);
+    EXPECT_EQ(VertexPairHash{}(p), VertexPairHash{}(q));
+}
+
+TEST(StatsTest, MeanAndStddev)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+}
+
+TEST(StatsTest, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_THROW(geomean({1.0, -1.0}), FatalError);
+    EXPECT_THROW(mean({}), FatalError);
+}
+
+TEST(TableTest, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer-name", "2.50"});
+    auto s = t.to_string();
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    // Every line has the same width.
+    std::size_t first_nl = s.find('\n');
+    std::size_t width = first_nl;
+    for (std::size_t pos = 0; pos < s.size();) {
+        std::size_t nl = s.find('\n', pos);
+        EXPECT_EQ(nl - pos, width);
+        pos = nl + 1;
+    }
+}
+
+TEST(TableTest, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), FatalError);
+}
+
+TEST(TableTest, NumericCells)
+{
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cell(static_cast<long long>(42)), "42");
+}
+
+TEST(ErrorTest, HelpersThrowTheRightTypes)
+{
+    EXPECT_THROW(fatal_unless(false, "x"), FatalError);
+    EXPECT_THROW(panic_unless(false, "x"), PanicError);
+    EXPECT_NO_THROW(fatal_unless(true, "x"));
+    EXPECT_NO_THROW(panic_unless(true, "x"));
+}
+
+} // namespace
+} // namespace permuq

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the generic graph library: container invariants, BFS
+ * distances, connected components, coloring, and matchings.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "graph/coloring.h"
+#include "graph/components.h"
+#include "graph/distance.h"
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace permuq::graph {
+namespace {
+
+Graph
+path_graph(std::int32_t n)
+{
+    Graph g(n);
+    for (std::int32_t i = 0; i + 1 < n; ++i)
+        g.add_edge(i, i + 1);
+    return g;
+}
+
+TEST(GraphTest, BasicInvariants)
+{
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 1);
+    EXPECT_EQ(g.num_vertices(), 4);
+    EXPECT_EQ(g.num_edges(), 2);
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_TRUE(g.has_edge(1, 2));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(GraphTest, RejectsBadEdges)
+{
+    Graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_THROW(g.add_edge(0, 1), FatalError); // duplicate
+    EXPECT_THROW(g.add_edge(1, 0), FatalError); // duplicate reversed
+    EXPECT_THROW(g.add_edge(1, 1), FatalError); // self loop
+    EXPECT_THROW(g.add_edge(0, 3), FatalError); // out of range
+}
+
+TEST(GraphTest, NeighborsAreSorted)
+{
+    Graph g(5);
+    g.add_edge(2, 4);
+    g.add_edge(2, 0);
+    g.add_edge(2, 3);
+    auto nbrs = g.neighbors(2);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, CliqueAndDensity)
+{
+    auto k5 = Graph::clique(5);
+    EXPECT_EQ(k5.num_edges(), 10);
+    EXPECT_DOUBLE_EQ(k5.density(), 1.0);
+    EXPECT_DOUBLE_EQ(Graph(3).density(), 0.0);
+    EXPECT_DOUBLE_EQ(path_graph(5).density(), 0.4);
+}
+
+TEST(DistanceTest, PathDistances)
+{
+    auto g = path_graph(6);
+    auto d = bfs_distances(g, 0);
+    for (std::int32_t v = 0; v < 6; ++v)
+        EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(DistanceTest, DisconnectedIsUnreachable)
+{
+    Graph g(4);
+    g.add_edge(0, 1);
+    auto d = bfs_distances(g, 0);
+    EXPECT_EQ(d[2], kUnreachable);
+    DistanceMatrix m(g);
+    EXPECT_EQ(m.at(0, 2), kUnreachable);
+    EXPECT_EQ(m.at(0, 1), 1);
+}
+
+TEST(DistanceTest, MatrixMatchesBfs)
+{
+    Xoshiro256 rng(17);
+    Graph g(20);
+    for (int k = 0; k < 40; ++k) {
+        auto u = static_cast<std::int32_t>(rng.next_below(20));
+        auto v = static_cast<std::int32_t>(rng.next_below(20));
+        if (u != v && !g.has_edge(u, v))
+            g.add_edge(u, v);
+    }
+    DistanceMatrix m(g);
+    for (std::int32_t s = 0; s < 20; ++s) {
+        auto d = bfs_distances(g, s);
+        for (std::int32_t v = 0; v < 20; ++v)
+            EXPECT_EQ(m.at(s, v), d[static_cast<std::size_t>(v)]);
+    }
+}
+
+TEST(DistanceTest, DiameterOfPath)
+{
+    DistanceMatrix m(path_graph(9));
+    EXPECT_EQ(m.diameter(), 8);
+}
+
+TEST(ComponentsTest, SplitsCorrectly)
+{
+    Graph g(7);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(4, 5);
+    auto c = connected_components(g);
+    // 0-1-2 | 3 | 4-5 | 6 -> 4 components including isolated ones.
+    EXPECT_EQ(c.members.size(), 4u);
+    EXPECT_EQ(c.component_of[0], c.component_of[2]);
+    EXPECT_NE(c.component_of[0], c.component_of[4]);
+}
+
+TEST(ComponentsTest, SkipIsolated)
+{
+    Graph g(7);
+    g.add_edge(0, 1);
+    g.add_edge(4, 5);
+    auto c = connected_components(g, /*skip_isolated=*/true);
+    EXPECT_EQ(c.members.size(), 2u);
+    EXPECT_EQ(c.component_of[3], -1);
+    EXPECT_EQ(c.component_of[6], -1);
+}
+
+TEST(ComponentsTest, EdgeSubset)
+{
+    std::vector<VertexPair> edges = {{0, 1}, {2, 3}, {3, 4}};
+    auto c = edge_subset_components(8, edges);
+    EXPECT_EQ(c.members.size(), 2u);
+    EXPECT_EQ(c.component_of[5], -1);
+    EXPECT_EQ(c.component_of[2], c.component_of[4]);
+}
+
+TEST(ColoringTest, ProperOnRandomGraphs)
+{
+    Xoshiro256 rng(23);
+    for (int trial = 0; trial < 10; ++trial) {
+        Graph g(30);
+        for (int k = 0; k < 100; ++k) {
+            auto u = static_cast<std::int32_t>(rng.next_below(30));
+            auto v = static_cast<std::int32_t>(rng.next_below(30));
+            if (u != v && !g.has_edge(u, v))
+                g.add_edge(u, v);
+        }
+        auto coloring = greedy_coloring(g);
+        for (const auto& e : g.edges())
+            EXPECT_NE(coloring.color_of[static_cast<std::size_t>(e.a)],
+                      coloring.color_of[static_cast<std::size_t>(e.b)]);
+        // Welsh-Powell bound: colors <= max degree + 1.
+        std::int32_t max_deg = 0;
+        for (std::int32_t v = 0; v < 30; ++v)
+            max_deg = std::max(max_deg, g.degree(v));
+        EXPECT_LE(coloring.num_colors, max_deg + 1);
+    }
+}
+
+TEST(ColoringTest, BipartiteUsesTwoColors)
+{
+    // Even cycle is 2-colorable and Welsh-Powell finds it.
+    Graph g(6);
+    for (std::int32_t i = 0; i < 6; ++i)
+        g.add_edge(i, (i + 1) % 6);
+    auto coloring = greedy_coloring(g);
+    EXPECT_EQ(coloring.num_colors, 2);
+    EXPECT_EQ(largest_class(coloring), 0);
+    EXPECT_EQ(coloring.classes[0].size(), 3u);
+}
+
+TEST(MatchingTest, GreedyIsAMatching)
+{
+    std::vector<WeightedEdge> edges = {
+        {0, 1, 5.0}, {1, 2, 4.0}, {2, 3, 3.0}, {3, 0, 2.0}, {0, 2, 1.0}};
+    auto picks = greedy_max_weight_matching(4, edges);
+    std::vector<bool> used(4, false);
+    for (auto i : picks) {
+        const auto& e = edges[static_cast<std::size_t>(i)];
+        EXPECT_FALSE(used[static_cast<std::size_t>(e.u)]);
+        EXPECT_FALSE(used[static_cast<std::size_t>(e.v)]);
+        used[static_cast<std::size_t>(e.u)] = true;
+        used[static_cast<std::size_t>(e.v)] = true;
+    }
+    // Greedy takes (0,1) then (2,3).
+    EXPECT_NEAR(matching_weight(edges, picks), 8.0, 1e-12);
+}
+
+TEST(MatchingTest, ExactBeatsOrTiesGreedy)
+{
+    Xoshiro256 rng(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::int32_t n = 8;
+        std::vector<WeightedEdge> edges;
+        for (std::int32_t u = 0; u < n; ++u)
+            for (std::int32_t v = u + 1; v < n; ++v)
+                if (rng.next_double() < 0.4)
+                    edges.push_back({u, v, rng.next_double()});
+        auto greedy = greedy_max_weight_matching(n, edges);
+        auto exact = exact_max_weight_matching(n, edges);
+        EXPECT_GE(matching_weight(edges, exact) + 1e-12,
+                  matching_weight(edges, greedy));
+        // Greedy maximal matching is a 1/2 approximation.
+        EXPECT_GE(matching_weight(edges, greedy) * 2 + 1e-12,
+                  matching_weight(edges, exact));
+    }
+}
+
+TEST(MatchingTest, ExactKnownOptimum)
+{
+    // Triangle chain where greedy's first pick blocks the optimum.
+    std::vector<WeightedEdge> edges = {
+        {0, 1, 3.0}, {1, 2, 5.0}, {2, 3, 3.0}};
+    auto exact = exact_max_weight_matching(4, edges);
+    EXPECT_NEAR(matching_weight(edges, exact), 6.0, 1e-12);
+    EXPECT_EQ(exact.size(), 2u);
+}
+
+} // namespace
+} // namespace permuq::graph

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the 2-local Hamiltonian dynamics module: term unitaries vs
+ * analytic states, exact-vs-Trotter convergence, energy conservation,
+ * and the commuting-Ising zero-error property.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/coupling_graph.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "problem/hamiltonians.h"
+#include "sim/hamiltonian.h"
+
+namespace permuq::sim {
+namespace {
+
+SpinHamiltonian
+make_model(SpinModel model, graph::Graph interactions, double j = 0.7)
+{
+    SpinHamiltonian h;
+    h.interactions = std::move(interactions);
+    h.model = model;
+    h.coupling = j;
+    return h;
+}
+
+Statevector
+random_state(std::int32_t n, std::uint64_t seed)
+{
+    Statevector sv(n);
+    Xoshiro256 rng(seed);
+    for (std::int32_t q = 0; q < n; ++q) {
+        sv.apply_h(q);
+        sv.apply_rz(q, rng.next_double() * 3.0);
+        sv.apply_rx(q, rng.next_double() * 2.0);
+    }
+    return sv;
+}
+
+circuit::Circuit
+compile_for(const graph::Graph& interactions)
+{
+    auto device = arch::smallest_arch(arch::ArchKind::HeavyHex,
+                                      interactions.num_vertices());
+    return core::compile(device, interactions).circuit;
+}
+
+TEST(TwoQubitGateTest, MatchesSwapAndCx)
+{
+    // apply_two_qubit with the SWAP matrix must equal apply_swap.
+    std::array<Statevector::Amplitude, 16> swap{};
+    swap[0] = 1;
+    swap[6] = 1; // |01> -> |10>
+    swap[9] = 1; // |10> -> |01>
+    swap[15] = 1;
+    auto a = random_state(4, 3);
+    auto b = a;
+    a.apply_two_qubit(swap, 1, 3);
+    b.apply_swap(1, 3);
+    EXPECT_GT(state_fidelity(a, b), 1.0 - 1e-12);
+}
+
+TEST(HamiltonianTest, EnergyOfBasisStates)
+{
+    // Single ZZ term: <00|H|00> = J, <01|H|01> = -J.
+    graph::Graph edge(2);
+    edge.add_edge(0, 1);
+    auto h = make_model(SpinModel::Ising, edge, 0.9);
+    Statevector zero(2);
+    EXPECT_NEAR(energy_expectation(h, zero), 0.9, 1e-12);
+    Statevector one(2);
+    one.apply_x(0);
+    EXPECT_NEAR(energy_expectation(h, one), -0.9, 1e-12);
+}
+
+TEST(HamiltonianTest, HeisenbergGroundStateOfTwoSpins)
+{
+    // H = J (XX+YY+ZZ): the singlet has energy -3J.
+    graph::Graph edge(2);
+    edge.add_edge(0, 1);
+    auto h = make_model(SpinModel::Heisenberg, edge, 1.0);
+    Statevector singlet(2);
+    // (|01> - |10>)/sqrt(2)
+    auto& amp = singlet.amplitudes_mut();
+    amp[0] = 0;
+    amp[1] = 1.0 / std::sqrt(2.0);
+    amp[2] = -1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(energy_expectation(h, singlet), -3.0, 1e-12);
+}
+
+TEST(HamiltonianTest, ExactEvolutionConservesEnergyAndNorm)
+{
+    auto h = make_model(SpinModel::Heisenberg,
+                        problem::nnn_ising_1d(6), 0.5);
+    auto state = random_state(6, 7);
+    double e0 = energy_expectation(h, state);
+    exact_evolution(h, state, 1.2, 400);
+    EXPECT_NEAR(state.norm_sq(), 1.0, 1e-9);
+    EXPECT_NEAR(energy_expectation(h, state), e0, 1e-6);
+}
+
+TEST(HamiltonianTest, ExactEvolutionMatchesAnalyticTwoSpin)
+{
+    // Two-spin XY from |01>: P(|10>, t) = sin^2(2 J t).
+    graph::Graph edge(2);
+    edge.add_edge(0, 1);
+    auto h = make_model(SpinModel::XY, edge, 0.8);
+    Statevector state(2);
+    state.apply_x(0); // |01>
+    double t = 0.6;
+    exact_evolution(h, state, t, 400);
+    auto p = state.probabilities();
+    EXPECT_NEAR(p[2], std::pow(std::sin(2 * 0.8 * t), 2), 1e-6);
+    EXPECT_NEAR(p[1], std::pow(std::cos(2 * 0.8 * t), 2), 1e-6);
+}
+
+TEST(TrotterTest, IsingIsExactInOneStep)
+{
+    // All ZZ terms commute: one Trotter step is the exact evolution.
+    auto interactions = problem::nnn_ising_1d(6);
+    auto h = make_model(SpinModel::Ising, interactions, 0.4);
+    auto compiled = compile_for(interactions);
+    auto exact = random_state(6, 11);
+    auto trotter = exact;
+    exact_evolution(h, exact, 0.9, 400);
+    trotter_evolution(h, compiled, trotter, 0.9, 1);
+    EXPECT_GT(state_fidelity(exact, trotter), 1.0 - 1e-6);
+}
+
+TEST(TrotterTest, ErrorVanishesWithStepCount)
+{
+    auto interactions = problem::nnn_ising_1d(6);
+    auto h = make_model(SpinModel::Heisenberg, interactions, 0.4);
+    auto compiled = compile_for(interactions);
+    auto exact = random_state(6, 13);
+    exact_evolution(h, exact, 0.8, 400);
+
+    double prev_err = 1.0;
+    for (std::int32_t steps : {1, 4, 16}) {
+        auto trotter = random_state(6, 13);
+        trotter_evolution(h, compiled, trotter, 0.8, steps);
+        double err = 1.0 - state_fidelity(exact, trotter);
+        EXPECT_LT(err, prev_err + 1e-9);
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-3);
+}
+
+TEST(TrotterTest, AnyCompiledOrderIsValid)
+{
+    // Two different compilations (different gate orders) must converge
+    // to the same exact state.
+    auto interactions = problem::nnn_xy_2d(2, 3);
+    auto h = make_model(SpinModel::Heisenberg, interactions, 0.3);
+    auto device = arch::smallest_arch(arch::ArchKind::HeavyHex, 6);
+    auto ours = core::compile(device, interactions).circuit;
+    core::CompilerOptions greedy_options;
+    greedy_options.use_ata_prediction = false;
+    greedy_options.smart_placement = false;
+    auto other =
+        core::compile(device, interactions, greedy_options).circuit;
+
+    auto exact = random_state(6, 17);
+    exact_evolution(h, exact, 0.5, 400);
+    auto t1 = random_state(6, 17);
+    auto t2 = random_state(6, 17);
+    trotter_evolution(h, ours, t1, 0.5, 32);
+    trotter_evolution(h, other, t2, 0.5, 32);
+    EXPECT_GT(state_fidelity(exact, t1), 0.999);
+    EXPECT_GT(state_fidelity(exact, t2), 0.999);
+}
+
+TEST(TrotterTest, EnergyTrackedThroughEvolution)
+{
+    auto interactions = problem::nnn_ising_1d(5);
+    auto h = make_model(SpinModel::Heisenberg, interactions, 0.5);
+    auto compiled = compile_for(interactions);
+    auto state = random_state(5, 19);
+    double e0 = energy_expectation(h, state);
+    trotter_evolution(h, compiled, state, 1.0, 64);
+    // Trotterized evolution conserves energy up to Trotter error.
+    EXPECT_NEAR(energy_expectation(h, state), e0, 0.05);
+}
+
+} // namespace
+} // namespace permuq::sim

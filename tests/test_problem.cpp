@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the problem-graph generators (paper §7.1): density control,
+ * regularity, determinism, and the 2-local Hamiltonian families.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "problem/generators.h"
+#include "problem/hamiltonians.h"
+
+namespace permuq::problem {
+namespace {
+
+class RandomGraphTest
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, double>>
+{
+};
+
+TEST_P(RandomGraphTest, HitsTargetDensity)
+{
+    auto [n, density] = GetParam();
+    auto g = random_graph(n, density, 123);
+    std::int64_t pairs = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    std::int64_t expect =
+        static_cast<std::int64_t>(std::llround(density * pairs));
+    EXPECT_EQ(g.num_edges(), expect);
+}
+
+TEST_P(RandomGraphTest, Deterministic)
+{
+    auto [n, density] = GetParam();
+    auto a = random_graph(n, density, 5);
+    auto b = random_graph(n, density, 5);
+    EXPECT_EQ(a.edges(), b.edges());
+    auto c = random_graph(n, density, 6);
+    if (density > 0.05 && n >= 16) {
+        EXPECT_NE(a.edges(), c.edges());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RandomGraphTest,
+    ::testing::Combine(::testing::Values(16, 64, 128),
+                       ::testing::Values(0.1, 0.3, 0.5)));
+
+TEST(RandomGraphTest, EdgeCases)
+{
+    EXPECT_EQ(random_graph(0, 0.5, 1).num_edges(), 0);
+    EXPECT_EQ(random_graph(1, 1.0, 1).num_edges(), 0);
+    EXPECT_EQ(random_graph(10, 0.0, 1).num_edges(), 0);
+    EXPECT_EQ(random_graph(10, 1.0, 1).num_edges(), 45);
+    EXPECT_THROW(random_graph(10, 1.5, 1), FatalError);
+}
+
+class RegularGraphTest
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t>>
+{
+};
+
+TEST_P(RegularGraphTest, AllDegreesEqual)
+{
+    auto [n, degree] = GetParam();
+    auto g = random_regular_graph(n, degree, 77);
+    for (std::int32_t v = 0; v < n; ++v)
+        EXPECT_EQ(g.degree(v), degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RegularGraphTest,
+                         ::testing::Values(std::tuple{8, 3},
+                                           std::tuple{16, 4},
+                                           std::tuple{64, 19},
+                                           std::tuple{64, 32},
+                                           std::tuple{128, 38}));
+
+TEST(RegularGraphTest, RejectsOddSum)
+{
+    EXPECT_THROW(random_regular_graph(5, 3, 1), FatalError);
+    EXPECT_THROW(random_regular_graph(4, 4, 1), FatalError);
+}
+
+TEST(RegularGraphTest, DensityMatching)
+{
+    // Paper: "set the density of regular graph close to 0.3 or 0.5 by
+    // varying the degree of each vertex".
+    for (double density : {0.3, 0.5}) {
+        auto g = regular_graph_with_density(64, density, 9);
+        EXPECT_NEAR(g.density(), density, 0.03);
+        std::int32_t d0 = g.degree(0);
+        for (std::int32_t v = 1; v < 64; ++v)
+            EXPECT_EQ(g.degree(v), d0);
+    }
+}
+
+TEST(CliqueTest, Complete)
+{
+    auto g = clique(9);
+    EXPECT_EQ(g.num_edges(), 36);
+}
+
+TEST(HamiltonianTest, Ising1dEdgeCount)
+{
+    // NNN chain on n spins: (n-1) + (n-2) couplings.
+    auto g = nnn_ising_1d(64);
+    EXPECT_EQ(g.num_edges(), 63 + 62);
+    EXPECT_TRUE(g.has_edge(10, 11));
+    EXPECT_TRUE(g.has_edge(10, 12));
+    EXPECT_FALSE(g.has_edge(10, 13));
+}
+
+TEST(HamiltonianTest, Xy2dEdgeCount)
+{
+    // 8x8: nearest 2*8*7, diagonals 2*7*7.
+    auto g = nnn_xy_2d(8, 8);
+    EXPECT_EQ(g.num_vertices(), 64);
+    EXPECT_EQ(g.num_edges(), 2 * 8 * 7 + 2 * 7 * 7);
+}
+
+TEST(HamiltonianTest, Heisenberg3dEdgeCount)
+{
+    // 4x4x4: nearest 3 * 4*4*3 = 144; face diagonals 6 * 3*3*4 = 216.
+    auto g = nnn_heisenberg_3d(4, 4, 4);
+    EXPECT_EQ(g.num_vertices(), 64);
+    EXPECT_EQ(g.num_edges(), 144 + 216);
+}
+
+TEST(HamiltonianTest, DegreeBounds)
+{
+    auto g = nnn_heisenberg_3d(4, 4, 4);
+    for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+        EXPECT_LE(g.degree(v), 18); // 6 nearest + 12 diagonals
+}
+
+} // namespace
+} // namespace permuq::problem

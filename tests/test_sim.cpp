@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests of the simulator stack: statevector gate semantics against
+ * analytic states, QAOA expectation identities, noise monotonicity,
+ * TVD, and the Nelder-Mead optimizer.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "circuit/circuit.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "sim/nelder_mead.h"
+#include "sim/qaoa.h"
+#include "sim/statevector.h"
+
+namespace permuq::sim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(StatevectorTest, StartsInZero)
+{
+    Statevector sv(3);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0, 1e-12);
+    EXPECT_NEAR(sv.norm_sq(), 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, BellState)
+{
+    Statevector sv(2);
+    sv.apply_h(0);
+    sv.apply_cx(0, 1);
+    auto p = sv.probabilities();
+    EXPECT_NEAR(p[0b00], 0.5, 1e-12);
+    EXPECT_NEAR(p[0b11], 0.5, 1e-12);
+    EXPECT_NEAR(p[0b01], 0.0, 1e-12);
+    EXPECT_NEAR(p[0b10], 0.0, 1e-12);
+}
+
+TEST(StatevectorTest, GhzState)
+{
+    Statevector sv(5);
+    sv.apply_h(0);
+    for (int q = 0; q < 4; ++q)
+        sv.apply_cx(q, q + 1);
+    auto p = sv.probabilities();
+    EXPECT_NEAR(p[0], 0.5, 1e-12);
+    EXPECT_NEAR(p[31], 0.5, 1e-12);
+}
+
+TEST(StatevectorTest, PauliAlgebra)
+{
+    Statevector sv(1);
+    sv.apply_x(0);
+    EXPECT_NEAR(std::norm(sv.amplitudes()[1]), 1.0, 1e-12);
+    sv.apply_z(0);
+    EXPECT_NEAR(sv.amplitudes()[1].real(), -1.0, 1e-12);
+    sv.apply_y(0); // Y|1> = -i|0>
+    EXPECT_NEAR(std::norm(sv.amplitudes()[0]), 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, RxRotation)
+{
+    Statevector sv(1);
+    sv.apply_rx(0, kPi); // RX(pi)|0> = -i|1>
+    EXPECT_NEAR(std::norm(sv.amplitudes()[1]), 1.0, 1e-12);
+    sv.apply_rx(0, kPi); // again -> -|0>
+    EXPECT_NEAR(std::norm(sv.amplitudes()[0]), 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, SwapMovesAmplitudes)
+{
+    Statevector sv(2);
+    sv.apply_x(0); // |01> (qubit0 = 1)
+    sv.apply_swap(0, 1);
+    auto p = sv.probabilities();
+    EXPECT_NEAR(p[0b10], 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, RzzPhases)
+{
+    // On |++>, RZZ followed by H's gives interference that depends on
+    // theta; check the analytic single-edge QAOA probability instead:
+    // after H RZZ(-2g) H at g = pi/4 the state is maximally mixed
+    // between aligned/anti-aligned. Cheaper check: RZZ on basis state
+    // only adds phase.
+    Statevector sv(2);
+    sv.apply_x(0);
+    sv.apply_rzz(0, 1, 0.7); // phase e^{+i 0.35} on |01>
+    EXPECT_NEAR(std::arg(sv.amplitudes()[1]), 0.35, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitudes()[1]), 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, CphaseOnlyHits11)
+{
+    Statevector sv(2);
+    sv.apply_h(0);
+    sv.apply_h(1);
+    sv.apply_cphase(0, 1, kPi);
+    // Now equals (|00>+|01>+|10>-|11>)/2.
+    EXPECT_NEAR(sv.amplitudes()[3].real(), -0.5, 1e-12);
+    EXPECT_NEAR(sv.amplitudes()[1].real(), 0.5, 1e-12);
+}
+
+TEST(StatevectorTest, NormPreserved)
+{
+    Statevector sv(4);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 50; ++i) {
+        int q = static_cast<int>(rng.next_below(4));
+        int r = static_cast<int>(rng.next_below(4));
+        sv.apply_h(q);
+        sv.apply_rx(q, rng.next_double());
+        sv.apply_rz(q, rng.next_double());
+        if (q != r)
+            sv.apply_rzz(q, r, rng.next_double());
+    }
+    EXPECT_NEAR(sv.norm_sq(), 1.0, 1e-9);
+}
+
+TEST(StatevectorTest, SamplingMatchesDistribution)
+{
+    Statevector sv(2);
+    sv.apply_h(0);
+    Xoshiro256 rng(4);
+    int ones = 0;
+    for (int i = 0; i < 20000; ++i)
+        ones += sv.sample(rng) & 1;
+    EXPECT_NEAR(ones / 20000.0, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------- QAOA
+
+TEST(QaoaTest, CutValue)
+{
+    auto problem = problem::clique(3);
+    EXPECT_EQ(cut_value(problem, 0b000), 0);
+    EXPECT_EQ(cut_value(problem, 0b001), 2);
+    EXPECT_EQ(cut_value(problem, 0b011), 2);
+}
+
+TEST(QaoaTest, MaxCutKnownValues)
+{
+    EXPECT_EQ(max_cut(problem::clique(4)), 4);
+    graph::Graph path(4);
+    path.add_edge(0, 1);
+    path.add_edge(1, 2);
+    path.add_edge(2, 3);
+    EXPECT_EQ(max_cut(path), 3);
+}
+
+TEST(QaoaTest, ZeroAnglesGiveHalfTheEdges)
+{
+    auto problem = problem::random_graph(8, 0.4, 2);
+    QaoaAngles angles{{0.0}, {0.0}};
+    EXPECT_NEAR(ideal_expectation(problem, angles),
+                problem.num_edges() / 2.0, 1e-9);
+}
+
+TEST(QaoaTest, ZeroBetaKeepsUniform)
+{
+    auto problem = problem::random_graph(8, 0.4, 2);
+    QaoaAngles angles{{0.8}, {0.0}};
+    EXPECT_NEAR(ideal_expectation(problem, angles),
+                problem.num_edges() / 2.0, 1e-9);
+}
+
+TEST(QaoaTest, OptimalP1BeatsRandomGuessing)
+{
+    auto problem = problem::random_graph(8, 0.4, 6);
+    double best = 0.0;
+    for (double g = 0.1; g < 1.2; g += 0.1)
+        for (double b = 0.1; b < 0.8; b += 0.1)
+            best = std::max(best,
+                            ideal_expectation(problem, {{g}, {b}}));
+    EXPECT_GT(best, problem.num_edges() / 2.0 + 0.3);
+    EXPECT_LE(best, max_cut(problem) + 1e-9);
+}
+
+TEST(QaoaTest, SingleEdgeAnalyticFormula)
+{
+    // Triangle-free p=1 formula (Wang et al.): for edge (u,v),
+    // <C_uv> = 1/2 + (1/4) sin(4b) sin(g) (cos^{du-1} g + cos^{dv-1} g);
+    // an isolated edge has du = dv = 1, so <C> = 1/2 + 1/2 sin4b sin g.
+    graph::Graph problem(2);
+    problem.add_edge(0, 1);
+    for (double g : {0.3, 0.7, 1.1})
+        for (double b : {0.2, 0.5}) {
+            double expect = 0.5 + 0.5 * std::sin(4 * b) * std::sin(g);
+            EXPECT_NEAR(ideal_expectation(problem, {{g}, {b}}), expect,
+                        1e-9)
+                << "g=" << g << " b=" << b;
+        }
+}
+
+TEST(QaoaTest, IdealDistributionNormalized)
+{
+    auto problem = problem::random_graph(6, 0.5, 8);
+    auto p = ideal_distribution(problem, {{0.4}, {0.3}});
+    double sum = 0.0;
+    for (double x : p)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --------------------------------------------------------- noisy sim
+
+struct NoisyFixture
+{
+    arch::CouplingGraph device = arch::make_mumbai();
+    graph::Graph problem = problem::random_graph(8, 0.35, 5);
+    circuit::Circuit compiled;
+
+    NoisyFixture()
+    {
+        compiled = core::compile(device, problem).circuit;
+    }
+};
+
+TEST(NoisySimTest, IdealNoiseMatchesIdealExpectation)
+{
+    NoisyFixture f;
+    auto noise = arch::NoiseModel::ideal(f.device);
+    QaoaAngles angles{{0.5}, {0.4}};
+    NoisySimOptions options;
+    options.trajectories = 2;
+    options.shots = 60000;
+    double noisy = noisy_expectation(f.problem, f.compiled, noise,
+                                     angles, options);
+    EXPECT_NEAR(noisy, ideal_expectation(f.problem, angles), 0.12);
+}
+
+TEST(NoisySimTest, MoreNoiseLowersExpectation)
+{
+    NoisyFixture f;
+    QaoaAngles angles{{0.5}, {0.4}};
+    NoisySimOptions options;
+    options.trajectories = 24;
+    options.shots = 24000;
+    double ideal = ideal_expectation(f.problem, angles);
+    auto low = arch::NoiseModel::calibrated(f.device, 3, 0.004);
+    auto high = arch::NoiseModel::calibrated(f.device, 3, 0.05);
+    double e_low = noisy_expectation(f.problem, f.compiled, low, angles,
+                                     options);
+    double e_high = noisy_expectation(f.problem, f.compiled, high,
+                                      angles, options);
+    EXPECT_GT(ideal, e_low - 0.05);
+    EXPECT_GT(e_low, e_high);
+}
+
+TEST(NoisySimTest, TvdGrowsWithNoise)
+{
+    NoisyFixture f;
+    QaoaAngles angles{{0.5}, {0.4}};
+    auto ideal = ideal_distribution(f.problem, angles);
+    NoisySimOptions options;
+    options.trajectories = 24;
+    options.shots = 24000;
+    auto low = arch::NoiseModel::calibrated(f.device, 3, 0.004);
+    auto high = arch::NoiseModel::calibrated(f.device, 3, 0.05);
+    double tvd_low = tvd(ideal, noisy_counts(f.problem, f.compiled, low,
+                                             angles, options));
+    double tvd_high = tvd(ideal, noisy_counts(f.problem, f.compiled,
+                                              high, angles, options));
+    EXPECT_LT(tvd_low, tvd_high);
+    EXPECT_GT(tvd_high, 0.1);
+}
+
+TEST(NoisySimTest, DistributionTvdOrdersByNoise)
+{
+    NoisyFixture f;
+    QaoaAngles angles{{0.5}, {0.4}};
+    auto ideal = ideal_distribution(f.problem, angles);
+    NoisySimOptions options;
+    options.trajectories = 24;
+    auto low = arch::NoiseModel::calibrated(f.device, 3, 0.004);
+    auto high = arch::NoiseModel::calibrated(f.device, 3, 0.05);
+    double d_none = tvd(ideal, noisy_distribution(
+                                   f.problem, f.compiled,
+                                   arch::NoiseModel::ideal(f.device),
+                                   angles, options));
+    double d_low = tvd(ideal, noisy_distribution(f.problem, f.compiled,
+                                                 low, angles, options));
+    double d_high = tvd(ideal, noisy_distribution(f.problem, f.compiled,
+                                                  high, angles, options));
+    EXPECT_NEAR(d_none, 0.0, 1e-9);
+    EXPECT_LT(d_low, d_high);
+}
+
+TEST(NoisySimTest, DeeperCircuitIsNoisier)
+{
+    NoisyFixture f;
+    // Build an artificially padded circuit: same gates plus wasted
+    // swap ping-pong.
+    circuit::Circuit padded(f.compiled.initial_mapping());
+    for (int k = 0; k < 10; ++k) {
+        padded.add_swap(0, 1);
+        padded.add_swap(0, 1);
+    }
+    padded.append_circuit(f.compiled);
+    auto noise = arch::NoiseModel::calibrated(f.device, 3, 0.02);
+    QaoaAngles angles{{0.5}, {0.4}};
+    NoisySimOptions options;
+    options.trajectories = 32;
+    options.shots = 32000;
+    double e_clean = noisy_expectation(f.problem, f.compiled, noise,
+                                       angles, options);
+    double e_padded = noisy_expectation(f.problem, padded, noise, angles,
+                                        options);
+    EXPECT_GT(e_clean, e_padded);
+}
+
+TEST(NoisySimTest, TwoLayerQaoaRunsViaReversedReplay)
+{
+    NoisyFixture f;
+    auto noise = arch::NoiseModel::ideal(f.device);
+    QaoaAngles angles{{0.5, 0.3}, {0.4, 0.2}};
+    NoisySimOptions options;
+    options.trajectories = 2;
+    options.shots = 60000;
+    double noisy = noisy_expectation(f.problem, f.compiled, noise,
+                                     angles, options);
+    EXPECT_NEAR(noisy, ideal_expectation(f.problem, angles), 0.15);
+}
+
+// ---------------------------------------------------------- optimizer
+
+TEST(NelderMeadTest, MinimizesQuadratic)
+{
+    auto f = [](const std::vector<double>& x) {
+        double dx = x[0] - 1.5, dy = x[1] + 0.5;
+        return dx * dx + 2 * dy * dy;
+    };
+    auto result = nelder_mead(f, {0.0, 0.0}, 0.5, 200);
+    EXPECT_NEAR(result.best_x[0], 1.5, 1e-3);
+    EXPECT_NEAR(result.best_x[1], -0.5, 1e-3);
+    EXPECT_LT(result.best_f, 1e-5);
+}
+
+TEST(NelderMeadTest, HistoryIsMonotoneAndBudgeted)
+{
+    auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+    auto result = nelder_mead(f, {3.0}, 1.0, 40);
+    EXPECT_LE(result.history.size(), 41u);
+    for (std::size_t i = 1; i < result.history.size(); ++i)
+        EXPECT_LE(result.history[i], result.history[i - 1] + 1e-15);
+}
+
+TEST(NelderMeadTest, RosenbrockProgress)
+{
+    auto f = [](const std::vector<double>& x) {
+        double a = 1 - x[0], b = x[1] - x[0] * x[0];
+        return a * a + 100 * b * b;
+    };
+    auto result = nelder_mead(f, {-1.0, 1.0}, 0.5, 600);
+    EXPECT_LT(result.best_f, 0.1);
+}
+
+} // namespace
+} // namespace permuq::sim

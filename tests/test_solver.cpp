@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the depth-optimal A* solver (paper §4): admissible cost
+ * function, optimal depths on the instances the paper solves, and
+ * agreement between the pruned and exhaustive searches.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/coupling_graph.h"
+#include "circuit/metrics.h"
+#include "problem/generators.h"
+#include "solver/astar.h"
+
+namespace permuq::solver {
+namespace {
+
+TEST(PairCostTest, MatchesPaperExample)
+{
+    // Paper Fig 15: deg(q1)=3, deg(q4)=2, d=3 -> cost 4 at x=1.
+    EXPECT_EQ(pair_cost(3, 2, 3), 4);
+}
+
+TEST(PairCostTest, AdjacentPairIsMaxDegree)
+{
+    EXPECT_EQ(pair_cost(1, 1, 1), 1);
+    EXPECT_EQ(pair_cost(4, 2, 1), 4);
+}
+
+TEST(PairCostTest, GrowsWithDistance)
+{
+    for (std::int32_t d = 1; d < 8; ++d)
+        EXPECT_LE(pair_cost(1, 1, d), pair_cost(1, 1, d + 1));
+    // Distance d alone forces at least ceil((d-1)/2) + 1 cycles.
+    EXPECT_EQ(pair_cost(1, 1, 5), 3);
+}
+
+/** The paper's headline discovery: line cliques need 2n-2 cycles. */
+class LineCliqueTest : public ::testing::TestWithParam<std::int32_t>
+{
+};
+
+TEST_P(LineCliqueTest, OptimalDepthIsTwoNMinusTwo)
+{
+    std::int32_t n = GetParam();
+    auto device = arch::make_line(n);
+    auto problem = graph::Graph::clique(n);
+    circuit::Mapping initial(n, n);
+    auto result = solve_depth_optimal(device, problem, initial);
+    ASSERT_TRUE(result.solved);
+    EXPECT_EQ(result.depth, n == 2 ? 1 : 2 * n - 2);
+    circuit::expect_valid(result.circuit, device, problem);
+    EXPECT_EQ(result.circuit.depth(), result.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LineCliqueTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(SolverTest, BipartiteTwoByThree)
+{
+    // 2x3 grid, bipartite all-to-all between the rows: 9 cross gates.
+    auto device = arch::make_grid(2, 3);
+    graph::Graph problem(6);
+    for (std::int32_t a = 0; a < 3; ++a)
+        for (std::int32_t b = 3; b < 6; ++b)
+            problem.add_edge(a, b);
+    circuit::Mapping initial(6, 6);
+    auto result = solve_depth_optimal(device, problem, initial);
+    ASSERT_TRUE(result.solved);
+    // Fig 8: three computation cycles with two swap cycles in between.
+    EXPECT_EQ(result.depth, 5);
+    circuit::expect_valid(result.circuit, device, problem);
+}
+
+TEST(SolverTest, AlreadyCompliantCircuitNeedsNoSwaps)
+{
+    auto device = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 1);
+    problem.add_edge(2, 3);
+    circuit::Mapping initial(4, 4);
+    auto result = solve_depth_optimal(device, problem, initial);
+    ASSERT_TRUE(result.solved);
+    EXPECT_EQ(result.depth, 1);
+    EXPECT_EQ(result.circuit.num_swaps(), 0);
+}
+
+TEST(SolverTest, SingleFarGate)
+{
+    // One gate between the ends of a 4-line: 3 swaps can be split, so
+    // depth = 1 + ceil((d-1)/2) with d=3 -> 2 wait... pair_cost(1,1,3)=2.
+    auto device = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 3);
+    circuit::Mapping initial(4, 4);
+    auto result = solve_depth_optimal(device, problem, initial);
+    ASSERT_TRUE(result.solved);
+    // Both endpoints can move one step in cycle 1 (distance 3 -> 1),
+    // gate fires in cycle 2.
+    EXPECT_EQ(result.depth, 2);
+}
+
+TEST(SolverTest, PrunedMatchesExhaustiveOnRandomInstances)
+{
+    // The gate-idling dominance pruning must not change the optimum.
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        auto device = arch::make_line(4);
+        auto problem = problem::random_graph(4, 0.6, seed);
+        if (problem.num_edges() == 0)
+            continue;
+        circuit::Mapping initial(4, 4);
+        SolverOptions pruned;
+        SolverOptions exhaustive;
+        exhaustive.force_maximal_gates = false;
+        exhaustive.prune_dead_swaps = false;
+        auto a = solve_depth_optimal(device, problem, initial, pruned);
+        auto b = solve_depth_optimal(device, problem, initial, exhaustive);
+        ASSERT_TRUE(a.solved && b.solved);
+        EXPECT_EQ(a.depth, b.depth) << "seed " << seed;
+    }
+}
+
+TEST(SolverTest, GridInstanceMatchesExhaustive)
+{
+    auto device = arch::make_grid(2, 2);
+    auto problem = graph::Graph::clique(4);
+    circuit::Mapping initial(4, 4);
+    SolverOptions exhaustive;
+    exhaustive.force_maximal_gates = false;
+    auto a = solve_depth_optimal(device, problem, initial);
+    auto b = solve_depth_optimal(device, problem, initial, exhaustive);
+    ASSERT_TRUE(a.solved && b.solved);
+    EXPECT_EQ(a.depth, b.depth);
+}
+
+TEST(SolverTest, HeuristicIsAdmissibleAtRoot)
+{
+    // h(root) <= optimal depth on a batch of random instances.
+    for (std::uint64_t seed = 10; seed < 16; ++seed) {
+        auto device = arch::make_line(5);
+        auto problem = problem::random_graph(5, 0.5, seed);
+        if (problem.num_edges() == 0)
+            continue;
+        circuit::Mapping initial(5, 5);
+        auto result = solve_depth_optimal(device, problem, initial);
+        ASSERT_TRUE(result.solved);
+        // Root h = max pair cost over edges.
+        Cycle h = 0;
+        std::vector<std::int32_t> deg(5, 0);
+        for (const auto& e : problem.edges()) {
+            ++deg[static_cast<std::size_t>(e.a)];
+            ++deg[static_cast<std::size_t>(e.b)];
+        }
+        for (const auto& e : problem.edges()) {
+            h = std::max(h, pair_cost(deg[static_cast<std::size_t>(e.a)],
+                                      deg[static_cast<std::size_t>(e.b)],
+                                      device.distance(e.a, e.b)));
+        }
+        EXPECT_LE(h, result.depth);
+    }
+}
+
+TEST(SolverTest, BudgetExhaustionReportsUnsolved)
+{
+    auto device = arch::make_grid(2, 3);
+    auto problem = graph::Graph::clique(6);
+    circuit::Mapping initial(6, 6);
+    SolverOptions options;
+    options.max_expansions = 3;
+    auto result = solve_depth_optimal(device, problem, initial, options);
+    EXPECT_FALSE(result.solved);
+    EXPECT_LE(result.expansions, 4);
+}
+
+TEST(SolverTest, RejectsOversizedInstances)
+{
+    auto device = arch::make_line(17);
+    auto problem = graph::Graph::clique(17);
+    circuit::Mapping initial(17, 17);
+    EXPECT_THROW(solve_depth_optimal(device, problem, initial),
+                 FatalError);
+}
+
+} // namespace
+} // namespace permuq::solver

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the schedule verifier and the greedy completion safety net
+ * (ata/verify.h): the machinery that keeps every pattern generator
+ * honest.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/coupling_graph.h"
+#include "ata/line_pattern.h"
+#include "ata/verify.h"
+
+namespace permuq::ata {
+namespace {
+
+TEST(VerifyTest, EmptyScheduleMissesEverything)
+{
+    auto device = arch::make_line(4);
+    SwapSchedule empty;
+    auto report = verify_coverage(device, empty);
+    EXPECT_FALSE(report.ok);
+    EXPECT_EQ(report.missing.size(), 6u); // C(4,2)
+}
+
+TEST(VerifyTest, DetectsNonCouplerSlot)
+{
+    auto device = arch::make_line(4);
+    SwapSchedule sched;
+    sched.compute(0, 2); // not coupled
+    auto report = verify_coverage(device, sched);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.error.find("non-coupler"), std::string::npos);
+}
+
+TEST(VerifyTest, DetectsSlotOutsideRegion)
+{
+    auto device = arch::make_line(6);
+    SwapSchedule sched;
+    sched.compute(3, 4); // outside the selected positions
+    auto report = verify_coverage(device, sched, {0, 1, 2});
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.error.find("outside"), std::string::npos);
+}
+
+TEST(VerifyTest, TracksOccupantsThroughSwaps)
+{
+    // compute(0,1); swap(1,2); compute(1,2) meets pairs {0,1} then
+    // {1,2} (occupant 1 moved to position 2); {0,2} never meet.
+    auto device = arch::make_line(3);
+    SwapSchedule sched;
+    sched.compute(0, 1);
+    sched.swap(1, 2);
+    sched.compute(1, 2);
+    auto report = verify_coverage(device, sched);
+    EXPECT_FALSE(report.ok);
+    ASSERT_EQ(report.missing.size(), 1u);
+    EXPECT_EQ(report.missing[0], VertexPair(0, 2));
+}
+
+TEST(VerifyTest, CountsDuplicateMeets)
+{
+    auto device = arch::make_line(2);
+    SwapSchedule sched;
+    sched.compute(0, 1);
+    sched.compute(0, 1);
+    auto report = verify_coverage(device, sched);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.duplicate_meets, 1);
+}
+
+TEST(VerifyTest, BipartiteIgnoresIntraSidePairs)
+{
+    auto device = arch::make_grid(2, 2);
+    SwapSchedule sched;
+    sched.compute(0, 2); // vertical links: (0,2) and (1,3)
+    sched.compute(1, 3);
+    sched.swap(0, 1); // rotate the top row
+    sched.compute(0, 2);
+    sched.compute(1, 3);
+    auto report =
+        verify_bipartite_coverage(device, sched, {0, 1}, {2, 3});
+    EXPECT_TRUE(report.ok) << report.missing.size();
+}
+
+TEST(CompletionTest, CompletesAnEmptySchedule)
+{
+    auto device = arch::make_grid(3, 3);
+    SwapSchedule sched;
+    auto added = complete_missing_pairs(device, sched);
+    EXPECT_EQ(added, 9 * 8 / 2);
+    auto report = verify_coverage(device, sched);
+    EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(CompletionTest, CompletesAPartialPattern)
+{
+    // Take a line pattern and drop its tail; completion must repair it.
+    auto device = arch::make_line(6);
+    std::vector<PhysicalQubit> path = {0, 1, 2, 3, 4, 5};
+    auto sched = line_pattern(path);
+    sched.slots.resize(sched.slots.size() / 2);
+    EXPECT_FALSE(verify_coverage(device, sched).ok);
+    auto added = complete_missing_pairs(device, sched);
+    EXPECT_GT(added, 0);
+    EXPECT_TRUE(verify_coverage(device, sched).ok);
+}
+
+TEST(CompletionTest, RespectsRegionRestriction)
+{
+    auto device = arch::make_grid(3, 3);
+    std::vector<PhysicalQubit> region = {0, 1, 3, 4};
+    SwapSchedule sched;
+    complete_missing_pairs(device, sched, region);
+    auto report = verify_coverage(device, sched, region);
+    EXPECT_TRUE(report.ok) << report.error;
+    // No slot may leave the region.
+    for (const auto& slot : sched.slots) {
+        EXPECT_TRUE(std::find(region.begin(), region.end(), slot.p) !=
+                    region.end());
+        EXPECT_TRUE(std::find(region.begin(), region.end(), slot.q) !=
+                    region.end());
+    }
+}
+
+TEST(CompletionTest, NoopOnCompleteSchedule)
+{
+    auto device = arch::make_line(5);
+    auto sched = line_pattern({0, 1, 2, 3, 4});
+    auto before = sched.num_slots();
+    auto added = complete_missing_pairs(device, sched);
+    EXPECT_EQ(added, 0);
+    EXPECT_EQ(sched.num_slots(), before);
+}
+
+} // namespace
+} // namespace permuq::ata

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of weighted MaxCut support: generator invariants, the weighted
+ * single-edge analytic formula, unit-weight equivalence with the
+ * unweighted path, and noisy execution of a compiled circuit.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "problem/weighted.h"
+#include "sim/qaoa.h"
+
+namespace permuq::sim {
+namespace {
+
+TEST(WeightedProblemTest, GeneratorInvariants)
+{
+    auto wp = problem::weighted_random_graph(20, 0.3, 5, 0.5, 1.5);
+    EXPECT_EQ(wp.weights.size(),
+              static_cast<std::size_t>(wp.graph.num_edges()));
+    for (double w : wp.weights) {
+        EXPECT_GE(w, 0.5);
+        EXPECT_LE(w, 1.5);
+    }
+    // Same topology as the unweighted generator with the same seed.
+    auto plain = problem::random_graph(20, 0.3, 5);
+    EXPECT_EQ(wp.graph.edges(), plain.edges());
+}
+
+TEST(WeightedProblemTest, CutWeightAndMaxCut)
+{
+    graph::Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    problem::WeightedProblem wp{std::move(g), {2.0, 3.0}};
+    EXPECT_DOUBLE_EQ(cut_weight(wp, 0b010), 5.0);
+    EXPECT_DOUBLE_EQ(cut_weight(wp, 0b001), 2.0);
+    EXPECT_DOUBLE_EQ(max_cut_weight(wp), 5.0);
+}
+
+TEST(WeightedQaoaTest, UnitWeightsMatchUnweighted)
+{
+    auto plain = problem::random_graph(8, 0.4, 9);
+    auto wp = problem::with_unit_weights(plain);
+    QaoaAngles angles{{0.6}, {0.3}};
+    EXPECT_NEAR(ideal_expectation(wp, angles),
+                ideal_expectation(plain, angles), 1e-9);
+}
+
+TEST(WeightedQaoaTest, SingleEdgeAnalyticFormula)
+{
+    // For an isolated edge of weight w, the interaction angle scales:
+    // <wC> = w(1/2 + 1/2 sin(4 beta) sin(w gamma)).
+    for (double w : {0.5, 1.0, 2.0}) {
+        graph::Graph g(2);
+        g.add_edge(0, 1);
+        problem::WeightedProblem wp{std::move(g), {w}};
+        double gamma = 0.5, beta = 0.3;
+        double expect =
+            w * (0.5 + 0.5 * std::sin(4 * beta) * std::sin(w * gamma));
+        EXPECT_NEAR(ideal_expectation(wp, {{gamma}, {beta}}), expect,
+                    1e-9)
+            << "w=" << w;
+    }
+}
+
+TEST(WeightedQaoaTest, NoisyExecutionTracksIdeal)
+{
+    auto device = arch::make_mumbai();
+    auto wp = problem::weighted_random_graph(8, 0.35, 5);
+    auto compiled = core::compile(device, wp.graph);
+    QaoaAngles angles{{0.5}, {0.4}};
+    NoisySimOptions options;
+    options.trajectories = 2;
+    options.shots = 60000;
+    double noisy = noisy_expectation(wp, compiled.circuit,
+                                     arch::NoiseModel::ideal(device),
+                                     angles, options);
+    EXPECT_NEAR(noisy, ideal_expectation(wp, angles), 0.15);
+}
+
+TEST(WeightedQaoaTest, NoiseLowersWeightedExpectation)
+{
+    auto device = arch::make_mumbai();
+    auto wp = problem::weighted_random_graph(8, 0.35, 5);
+    auto compiled = core::compile(device, wp.graph);
+    QaoaAngles angles{{0.5}, {0.4}};
+    NoisySimOptions options;
+    options.trajectories = 24;
+    options.shots = 24000;
+    auto noise = arch::NoiseModel::calibrated(device, 3, 0.05);
+    double clean = noisy_expectation(wp, compiled.circuit,
+                                     arch::NoiseModel::ideal(device),
+                                     angles, options);
+    double noisy = noisy_expectation(wp, compiled.circuit, noise,
+                                     angles, options);
+    EXPECT_GT(clean, noisy);
+}
+
+} // namespace
+} // namespace permuq::sim

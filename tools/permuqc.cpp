@@ -1,0 +1,254 @@
+/**
+ * @file
+ * permuqc — the PermuQ command-line compiler.
+ *
+ * Compiles a QAOA/2-local problem graph onto a regular quantum
+ * architecture and reports metrics, optionally exporting OpenQASM.
+ *
+ *   permuqc --arch heavyhex --qubits 64 --density 0.3 --seed 1
+ *   permuqc --arch sycamore --input problem.edges --qasm out.qasm
+ *   permuqc --arch mumbai --qubits 12 --density 0.3 --compiler 2qan
+ *
+ * The --input format is one "u v" edge per line (0-based vertex ids;
+ * '#' comments allowed); the vertex count is 1 + the largest id.
+ */
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "baselines/baselines.h"
+#include "circuit/metrics.h"
+#include "circuit/qasm.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+namespace {
+
+using namespace permuq;
+
+struct Cli
+{
+    std::string arch = "heavyhex";
+    std::string compiler = "ours";
+    std::string input;
+    std::string qasm_out;
+    std::int32_t qubits = 64;
+    double density = 0.3;
+    std::uint64_t seed = 1;
+    std::optional<std::uint64_t> noise_seed;
+    double alpha = 0.5;
+    bool crosstalk = false;
+    bool diagram = false;
+    bool full_qaoa = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: permuqc [options]\n"
+        "  --arch A        heavyhex|sycamore|grid|hexagon|line|"
+        "lattice3d|mumbai (default heavyhex)\n"
+        "  --qubits N      problem size for random graphs (default 64)\n"
+        "  --density D     random-graph density (default 0.3)\n"
+        "  --seed S        random-graph seed (default 1)\n"
+        "  --input FILE    read the problem as an edge list instead\n"
+        "  --compiler C    ours|greedy|ata|qaim|2qan|paulihedral\n"
+        "  --noise S       enable a calibrated noise model with seed S\n"
+        "  --alpha A       selector depth-vs-error weight (default 0.5)\n"
+        "  --crosstalk     enable crosstalk-aware gate scheduling\n"
+        "  --qasm FILE     export the compiled circuit as OpenQASM 2.0\n"
+        "  --full-qaoa     QASM includes the H prelude, mixer, measures\n"
+        "  --diagram       print a text diagram (small circuits only)\n");
+}
+
+std::optional<graph::Graph>
+load_edge_list(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "permuqc: cannot open %s\n", path.c_str());
+        return std::nullopt;
+    }
+    std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+    std::int32_t max_vertex = -1;
+    std::string line;
+    while (std::getline(in, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::int32_t u, v;
+        if (fields >> u >> v) {
+            edges.emplace_back(u, v);
+            max_vertex = std::max({max_vertex, u, v});
+        }
+    }
+    graph::Graph g(max_vertex + 1);
+    for (auto [u, v] : edges)
+        if (u != v && !g.has_edge(u, v))
+            g.add_edge(u, v);
+    return g;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        auto is = [&](const char* flag) {
+            return std::strcmp(argv[i], flag) == 0;
+        };
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (is("--arch"))
+            cli.arch = value();
+        else if (is("--qubits"))
+            cli.qubits = std::atoi(value());
+        else if (is("--density"))
+            cli.density = std::atof(value());
+        else if (is("--seed"))
+            cli.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        else if (is("--input"))
+            cli.input = value();
+        else if (is("--compiler"))
+            cli.compiler = value();
+        else if (is("--noise"))
+            cli.noise_seed =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        else if (is("--alpha"))
+            cli.alpha = std::atof(value());
+        else if (is("--crosstalk"))
+            cli.crosstalk = true;
+        else if (is("--qasm"))
+            cli.qasm_out = value();
+        else if (is("--full-qaoa"))
+            cli.full_qaoa = true;
+        else if (is("--diagram"))
+            cli.diagram = true;
+        else {
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        // Problem.
+        graph::Graph problem(0);
+        if (!cli.input.empty()) {
+            auto loaded = load_edge_list(cli.input);
+            if (!loaded)
+                return 1;
+            problem = std::move(*loaded);
+        } else {
+            problem = problem::random_graph(cli.qubits, cli.density,
+                                            cli.seed);
+        }
+
+        // Device.
+        arch::CouplingGraph device = [&] {
+            if (cli.arch == "mumbai")
+                return arch::make_mumbai();
+            arch::ArchKind kind;
+            if (cli.arch == "heavyhex")
+                kind = arch::ArchKind::HeavyHex;
+            else if (cli.arch == "sycamore")
+                kind = arch::ArchKind::Sycamore;
+            else if (cli.arch == "grid")
+                kind = arch::ArchKind::Grid;
+            else if (cli.arch == "hexagon")
+                kind = arch::ArchKind::Hexagon;
+            else if (cli.arch == "line")
+                kind = arch::ArchKind::Line;
+            else if (cli.arch == "lattice3d")
+                kind = arch::ArchKind::Lattice3D;
+            else
+                throw FatalError("unknown --arch " + cli.arch);
+            return arch::smallest_arch(kind, problem.num_vertices());
+        }();
+
+        std::optional<arch::NoiseModel> noise;
+        if (cli.noise_seed)
+            noise = arch::NoiseModel::calibrated(device, *cli.noise_seed);
+
+        // Compile.
+        circuit::Circuit circuit;
+        std::string selected = cli.compiler;
+        double seconds = 0.0;
+        if (cli.compiler == "ours" || cli.compiler == "greedy") {
+            core::CompilerOptions options;
+            options.use_ata_prediction = cli.compiler == "ours";
+            options.alpha = cli.alpha;
+            options.crosstalk_aware = cli.crosstalk;
+            options.noise = noise ? &*noise : nullptr;
+            auto result = core::compile(device, problem, options);
+            circuit = std::move(result.circuit);
+            seconds = result.compile_seconds;
+            if (cli.compiler == "ours")
+                selected = "ours(" + result.selected + ")";
+        } else {
+            baselines::BaselineResult result;
+            if (cli.compiler == "ata")
+                result = baselines::ata_only(device, problem);
+            else if (cli.compiler == "qaim")
+                result = baselines::qaim_like(device, problem,
+                                              noise ? &*noise : nullptr);
+            else if (cli.compiler == "2qan")
+                result = baselines::tqan_like(device, problem);
+            else if (cli.compiler == "paulihedral")
+                result = baselines::paulihedral_like(device, problem);
+            else
+                throw FatalError("unknown --compiler " + cli.compiler);
+            circuit = std::move(result.circuit);
+            seconds = result.compile_seconds;
+        }
+
+        circuit::expect_valid(circuit, device, problem);
+        auto metrics = circuit::compute_metrics(
+            circuit, noise ? &*noise : nullptr);
+
+        std::printf("device    : %s (%d qubits)\n", device.name().c_str(),
+                    device.num_qubits());
+        std::printf("problem   : %d qubits, %d gates (density %.2f)\n",
+                    problem.num_vertices(), problem.num_edges(),
+                    problem.density());
+        std::printf("compiler  : %s (%.3f s)\n", selected.c_str(),
+                    seconds);
+        std::printf("depth     : %d cycles\n", metrics.depth);
+        std::printf("cx count  : %lld (%lld merged pairs)\n",
+                    static_cast<long long>(metrics.cx_count),
+                    static_cast<long long>(metrics.merged_pairs));
+        std::printf("swaps     : %lld\n",
+                    static_cast<long long>(metrics.swap_gates));
+        if (noise)
+            std::printf("est. fidelity: %.4g\n", metrics.fidelity);
+
+        if (!cli.qasm_out.empty()) {
+            circuit::QasmOptions qasm;
+            qasm.full_qaoa = cli.full_qaoa;
+            std::ofstream out(cli.qasm_out);
+            out << circuit::to_qasm(circuit, qasm);
+            std::printf("qasm      : wrote %s\n", cli.qasm_out.c_str());
+        }
+        if (cli.diagram)
+            std::fputs(circuit::to_diagram(circuit).c_str(), stdout);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "permuqc: %s\n", e.what());
+        return 1;
+    }
+}
