@@ -88,6 +88,26 @@ class Circuit
     std::int64_t num_swaps_ = 0;
 };
 
+/**
+ * Visit the circuit's op stream in execution order, forward or
+ * reversed. Reversed replay meets every pair again with the same
+ * physical structure (the consumers of odd QAOA layers and alternate
+ * Trotter steps rely on this). @p fn receives the op and its index in
+ * the *append* order (so per-op side tables index correctly either
+ * way).
+ */
+template <typename Fn>
+void
+for_each_replayed(const Circuit& circ, bool reversed, Fn&& fn)
+{
+    const auto& ops = circ.ops();
+    const std::size_t count = ops.size();
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t i = reversed ? count - 1 - k : k;
+        fn(ops[i], i);
+    }
+}
+
 } // namespace permuq::circuit
 
 #endif // PERMUQ_CIRCUIT_CIRCUIT_H

@@ -37,6 +37,32 @@ Xoshiro256::operator()()
     return result;
 }
 
+void
+Xoshiro256::jump()
+{
+    static constexpr std::uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (std::uint64_t(1) << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (*this)();
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+    // A jumped stream is a fresh stream; drop any cached gaussian.
+    has_spare_ = false;
+}
+
 std::uint64_t
 Xoshiro256::next_below(std::uint64_t bound)
 {

@@ -60,6 +60,15 @@ class Xoshiro256
     /** Next 64 pseudo-random bits. */
     result_type operator()();
 
+    /**
+     * Advance the state by 2^128 steps (the authors' canonical jump
+     * polynomial). Jumping k times from a common seed yields 2^128
+     * non-overlapping substreams; the parallel noisy simulator gives
+     * trajectory k the k-times-jumped stream so its random draws are
+     * independent of how trajectories are scheduled across threads.
+     */
+    void jump();
+
     /** Uniform integer in [0, bound). @p bound must be positive. */
     std::uint64_t next_below(std::uint64_t bound);
 

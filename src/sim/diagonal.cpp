@@ -1,0 +1,204 @@
+#include "diagonal.h"
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "sim/kernel_util.h"
+
+namespace permuq::sim {
+
+namespace {
+
+constexpr std::size_t kGrain = kKernelGrain;
+
+} // namespace
+
+void
+DiagonalBatch::add_term(std::uint64_t mask, double coeff)
+{
+    auto [it, inserted] = index_.emplace(mask, masks_.size());
+    if (inserted) {
+        masks_.push_back(mask);
+        coeffs_.push_back(coeff);
+    } else {
+        coeffs_[it->second] += coeff;
+    }
+    invalidate_cache();
+}
+
+void
+DiagonalBatch::add_z(std::int32_t q)
+{
+    // diag(1, -1) = e^{i pi/2} diag(e^{-i pi/2}, e^{i pi/2}).
+    constant_ += std::numbers::pi / 2.0;
+    add_term(std::uint64_t(1) << q, -std::numbers::pi / 2.0);
+}
+
+void
+DiagonalBatch::add_rz(std::int32_t q, double theta)
+{
+    add_term(std::uint64_t(1) << q, -theta / 2.0);
+}
+
+void
+DiagonalBatch::add_rzz(std::int32_t a, std::int32_t b, double theta)
+{
+    fatal_unless(a != b, "rzz needs distinct qubits");
+    add_term((std::uint64_t(1) << a) | (std::uint64_t(1) << b),
+             -theta / 2.0);
+}
+
+void
+DiagonalBatch::add_cphase(std::int32_t a, std::int32_t b, double theta)
+{
+    fatal_unless(a != b, "cphase needs distinct qubits");
+    // theta * z_a z_b = theta/4 (1 - s_a - s_b + s_a s_b).
+    constant_ += theta / 4.0;
+    add_term(std::uint64_t(1) << a, -theta / 4.0);
+    add_term(std::uint64_t(1) << b, -theta / 4.0);
+    add_term((std::uint64_t(1) << a) | (std::uint64_t(1) << b),
+             theta / 4.0);
+}
+
+void
+DiagonalBatch::clear()
+{
+    constant_ = 0.0;
+    masks_.clear();
+    coeffs_.clear();
+    index_.clear();
+    invalidate_cache();
+}
+
+void
+DiagonalBatch::invalidate_cache()
+{
+    baked_qubits_ = -1;
+    keys_.clear();
+    keys_.shrink_to_fit();
+    dense_.clear();
+    dense_.shrink_to_fit();
+}
+
+void
+DiagonalBatch::ensure_keys(std::int32_t num_qubits) const
+{
+    if (baked_qubits_ == num_qubits)
+        return;
+    const std::size_t size = std::size_t(1) << num_qubits;
+    const std::uint64_t* mask = masks_.data();
+    const double* coeff = coeffs_.data();
+    const std::size_t terms = masks_.size();
+
+    // Uniform-magnitude batches (a cost layer with a single theta)
+    // have an integer spectrum: angle = constant + g * sum_t ±s_t.
+    uniform_ = terms > 0;
+    quantum_ = terms > 0 ? std::abs(coeff[0]) : 0.0;
+    for (std::size_t t = 1; t < terms && uniform_; ++t)
+        uniform_ = std::abs(coeff[t]) == quantum_;
+
+    if (uniform_) {
+        std::vector<std::int8_t> sign(terms);
+        for (std::size_t t = 0; t < terms; ++t)
+            sign[t] = coeff[t] < 0.0 ? -1 : 1;
+        keys_.assign(size, 0);
+        dense_.clear();
+        std::int32_t* key = keys_.data();
+        const std::int8_t* sgn = sign.data();
+        // Term-outer / element-inner over L1-resident blocks: no
+        // cross-element dependency chain, so the popcount/add loop
+        // vectorizes instead of serializing on one accumulator.
+        common::parallel_for(
+            0, size, kGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t t = 0; t < terms; ++t) {
+                    const std::uint64_t m = mask[t];
+                    const std::int32_t s = sgn[t];
+                    for (std::size_t i = b; i < e; ++i)
+                        key[i] += (std::popcount(i & m) & 1) ? -s : s;
+                }
+            });
+    } else {
+        dense_.assign(size, 0.0);
+        keys_.clear();
+        double* out = dense_.data();
+        common::parallel_for(
+            0, size, kGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t t = 0; t < terms; ++t) {
+                    const std::uint64_t m = mask[t];
+                    const double c = coeff[t];
+                    for (std::size_t i = b; i < e; ++i)
+                        out[i] += (std::popcount(i & m) & 1) ? -c : c;
+                }
+            });
+    }
+    baked_qubits_ = num_qubits;
+}
+
+void
+DiagonalBatch::apply(Statevector& sv, double scale) const
+{
+    if (empty())
+        return;
+    auto& amp = sv.amplitudes_mut();
+    Statevector::Amplitude* a = amp.data();
+    ensure_keys(sv.num_qubits());
+    if (uniform_) {
+        // key(i) is in {-T..T}; one complex multiply out of a phase
+        // LUT per amplitude, no trig in the sweep.
+        const std::int32_t span =
+            static_cast<std::int32_t>(masks_.size());
+        std::vector<Statevector::Amplitude> lut(
+            2 * static_cast<std::size_t>(span) + 1);
+        for (std::int32_t k = -span; k <= span; ++k)
+            lut[static_cast<std::size_t>(k + span)] = std::polar(
+                1.0, scale * (constant_ + quantum_ * k));
+        const Statevector::Amplitude* phase = lut.data();
+        const std::int32_t* key = keys_.data();
+        common::parallel_for(
+            0, amp.size(), kGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    a[i] *= phase[key[i] + span];
+            });
+    } else {
+        const double* angle = dense_.data();
+        const double constant = constant_;
+        common::parallel_for(
+            0, amp.size(), kGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    a[i] *= std::polar(1.0,
+                                       scale * (constant + angle[i]));
+            });
+    }
+}
+
+std::vector<double>
+DiagonalBatch::bake(std::int32_t num_qubits) const
+{
+    ensure_keys(num_qubits);
+    std::vector<double> table(std::size_t(1) << num_qubits);
+    double* out = table.data();
+    const double constant = constant_;
+    if (uniform_) {
+        const double quantum = quantum_;
+        const std::int32_t* key = keys_.data();
+        common::parallel_for(
+            0, table.size(), kGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    out[i] = constant + quantum * key[i];
+            });
+    } else {
+        const double* angle = dense_.data();
+        common::parallel_for(
+            0, table.size(), kGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    out[i] = constant + angle[i];
+            });
+    }
+    return table;
+}
+
+} // namespace permuq::sim

@@ -1,8 +1,12 @@
 #include "hamiltonian.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
+#include "sim/diagonal.h"
+#include "sim/kernel_util.h"
 
 namespace permuq::sim {
 
@@ -54,6 +58,18 @@ term_unitary(SpinModel model, double theta)
     throw PanicError("unknown spin model");
 }
 
+/** Fuse one Ising Trotter step (all terms diagonal, all commuting)
+ *  into a single phase sweep: exp(-i theta ZZ) = RZZ(2 theta). */
+DiagonalBatch
+ising_step_batch(const circuit::Circuit& compiled, double theta)
+{
+    DiagonalBatch batch;
+    for (const auto& op : compiled.ops())
+        if (op.kind == circuit::OpKind::Compute)
+            batch.add_rzz(op.a, op.b, 2.0 * theta);
+    return batch;
+}
+
 } // namespace
 
 void
@@ -63,20 +79,40 @@ apply_hamiltonian(const SpinHamiltonian& h, const Statevector& in,
     const auto& amp = in.amplitudes();
     out.assign(amp.size(), Amplitude(0.0, 0.0));
     const double j = h.coupling;
+    const bool with_zz = h.model != SpinModel::XY;
+    const bool with_xy = h.model != SpinModel::Ising;
+    const Amplitude* src = amp.data();
+    Amplitude* dst = out.data();
+    // Edges stay serial (out accumulates across them in a fixed
+    // order); within an edge, disjoint 4-amplitude blocks are
+    // element-wise and parallelize deterministically.
     for (const auto& e : h.interactions.edges()) {
         const std::size_t abit = std::size_t(1) << e.a;
         const std::size_t bbit = std::size_t(1) << e.b;
-        for (std::size_t i = 0; i < amp.size(); ++i) {
-            bool za = (i & abit) != 0, zb = (i & bbit) != 0;
-            if (h.model != SpinModel::XY) {
-                // ZZ term.
-                out[i] += (za == zb ? j : -j) * amp[i];
-            }
-            if (h.model != SpinModel::Ising && za != zb) {
-                // (XX + YY) |01> = 2 |10> and vice versa.
-                out[i ^ (abit | bbit)] += 2.0 * j * amp[i];
-            }
-        }
+        const std::size_t lo = std::min(abit, bbit) - 1;
+        const std::size_t hi = std::max(abit, bbit) - 1;
+        common::parallel_for(
+            0, amp.size() >> 2, kKernelGrain,
+            [=](std::size_t begin, std::size_t end) {
+                for (std::size_t blk = begin; blk < end; ++blk) {
+                    const std::size_t i00 = insert_two_zeros(blk, lo, hi);
+                    const std::size_t i01 = i00 | abit;
+                    const std::size_t i10 = i00 | bbit;
+                    const std::size_t i11 = i00 | abit | bbit;
+                    if (with_zz) {
+                        // ZZ term: +J on aligned, -J on anti-aligned.
+                        dst[i00] += j * src[i00];
+                        dst[i01] -= j * src[i01];
+                        dst[i10] -= j * src[i10];
+                        dst[i11] += j * src[i11];
+                    }
+                    if (with_xy) {
+                        // (XX + YY) |01> = 2 |10> and vice versa.
+                        dst[i01] += 2.0 * j * src[i10];
+                        dst[i10] += 2.0 * j * src[i01];
+                    }
+                }
+            });
     }
 }
 
@@ -94,30 +130,55 @@ exact_evolution(const SpinHamiltonian& h, Statevector& state, double time,
         scratch.amplitudes_mut() = from;
         apply_hamiltonian(h, scratch, to);
         const Amplitude minus_i(0.0, -1.0);
-        for (auto& x : to)
-            x *= minus_i;
+        Amplitude* t = to.data();
+        common::parallel_for(
+            0, to.size(), kKernelGrain,
+            [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    t[i] *= minus_i;
+            });
+    };
+    // y <- psi + scale * k, element-wise (deterministic in parallel).
+    auto blend = [&](std::vector<Amplitude>& y,
+                     const std::vector<Amplitude>& k, double scale) {
+        y = psi;
+        Amplitude* yp = y.data();
+        const Amplitude* kp = k.data();
+        common::parallel_for(
+            0, y.size(), kKernelGrain, [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    yp[i] += scale * kp[i];
+            });
     };
     for (std::int32_t s = 0; s < integration_steps; ++s) {
         deriv(psi, k1);
-        tmp = psi;
-        for (std::size_t i = 0; i < psi.size(); ++i)
-            tmp[i] += 0.5 * dt * k1[i];
+        blend(tmp, k1, 0.5 * dt);
         deriv(tmp, k2);
-        tmp = psi;
-        for (std::size_t i = 0; i < psi.size(); ++i)
-            tmp[i] += 0.5 * dt * k2[i];
+        blend(tmp, k2, 0.5 * dt);
         deriv(tmp, k3);
-        tmp = psi;
-        for (std::size_t i = 0; i < psi.size(); ++i)
-            tmp[i] += dt * k3[i];
+        blend(tmp, k3, dt);
         deriv(tmp, k4);
-        for (std::size_t i = 0; i < psi.size(); ++i)
-            psi[i] += dt / 6.0 *
-                      (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        Amplitude* p = psi.data();
+        const Amplitude* a1 = k1.data();
+        const Amplitude* a2 = k2.data();
+        const Amplitude* a3 = k3.data();
+        const Amplitude* a4 = k4.data();
+        const double w = dt / 6.0;
+        common::parallel_for(
+            0, psi.size(), kKernelGrain,
+            [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    p[i] += w * (a1[i] + 2.0 * a2[i] + 2.0 * a3[i] +
+                                 a4[i]);
+            });
         // RK4 drifts off the unit sphere slowly; renormalize.
-        double norm = std::sqrt(state.norm_sq());
-        for (auto& x : psi)
-            x /= norm;
+        const double inv_norm = 1.0 / std::sqrt(state.norm_sq());
+        common::parallel_for(
+            0, psi.size(), kKernelGrain,
+            [=](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    p[i] *= inv_norm;
+            });
     }
 }
 
@@ -125,7 +186,13 @@ void
 trotter_step(const SpinHamiltonian& h, const circuit::Circuit& compiled,
              Statevector& state, double dt)
 {
-    auto u = term_unitary(h.model, h.coupling * dt);
+    const double theta = h.coupling * dt;
+    if (h.model == SpinModel::Ising) {
+        // Every Ising term commutes: the whole step is one sweep.
+        ising_step_batch(compiled, theta).apply(state);
+        return;
+    }
+    auto u = term_unitary(h.model, theta);
     for (const auto& op : compiled.ops())
         if (op.kind == circuit::OpKind::Compute)
             state.apply_two_qubit(u, op.a, op.b);
@@ -138,16 +205,22 @@ trotter_evolution(const SpinHamiltonian& h,
 {
     fatal_unless(steps >= 1, "need at least one Trotter step");
     double dt = time / steps;
-    auto u = term_unitary(h.model, h.coupling * dt);
-    const auto& ops = compiled.ops();
-    for (std::int32_t s = 0; s < steps; ++s) {
-        bool reversed = s % 2 == 1;
-        for (std::size_t k = 0; k < ops.size(); ++k) {
-            const auto& op = ops[reversed ? ops.size() - 1 - k : k];
-            if (op.kind == circuit::OpKind::Compute)
-                state.apply_two_qubit(u, op.a, op.b);
-        }
+    if (h.model == SpinModel::Ising) {
+        // Order-independent (zero Trotter error): build the fused
+        // step once and sweep it per step.
+        auto batch = ising_step_batch(compiled, h.coupling * dt);
+        for (std::int32_t s = 0; s < steps; ++s)
+            batch.apply(state);
+        return;
     }
+    auto u = term_unitary(h.model, h.coupling * dt);
+    for (std::int32_t s = 0; s < steps; ++s)
+        circuit::for_each_replayed(
+            compiled, s % 2 == 1,
+            [&](const circuit::ScheduledOp& op, std::size_t) {
+                if (op.kind == circuit::OpKind::Compute)
+                    state.apply_two_qubit(u, op.a, op.b);
+            });
 }
 
 double
@@ -155,9 +228,16 @@ state_fidelity(const Statevector& a, const Statevector& b)
 {
     fatal_unless(a.num_qubits() == b.num_qubits(),
                  "fidelity of different-size states");
-    Amplitude inner(0.0, 0.0);
-    for (std::size_t i = 0; i < a.amplitudes().size(); ++i)
-        inner += std::conj(a.amplitudes()[i]) * b.amplitudes()[i];
+    const Amplitude* pa = a.amplitudes().data();
+    const Amplitude* pb = b.amplitudes().data();
+    Amplitude inner = common::parallel_reduce_sum<Amplitude>(
+        0, a.amplitudes().size(), kKernelGrain * 4,
+        [=](std::size_t begin, std::size_t end) {
+            Amplitude s(0.0, 0.0);
+            for (std::size_t i = begin; i < end; ++i)
+                s += std::conj(pa[i]) * pb[i];
+            return s;
+        });
     return std::norm(inner);
 }
 
@@ -166,9 +246,16 @@ energy_expectation(const SpinHamiltonian& h, const Statevector& state)
 {
     std::vector<Amplitude> h_psi;
     apply_hamiltonian(h, state, h_psi);
-    Amplitude inner(0.0, 0.0);
-    for (std::size_t i = 0; i < h_psi.size(); ++i)
-        inner += std::conj(state.amplitudes()[i]) * h_psi[i];
+    const Amplitude* psi = state.amplitudes().data();
+    const Amplitude* hp = h_psi.data();
+    Amplitude inner = common::parallel_reduce_sum<Amplitude>(
+        0, h_psi.size(), kKernelGrain * 4,
+        [=](std::size_t begin, std::size_t end) {
+            Amplitude s(0.0, 0.0);
+            for (std::size_t i = begin; i < end; ++i)
+                s += std::conj(psi[i]) * hp[i];
+            return s;
+        });
     return inner.real();
 }
 

@@ -38,7 +38,7 @@ struct QaoaAngles
 /** Number of cut edges of basis state @p z. */
 std::int32_t cut_value(const graph::Graph& problem, std::uint64_t z);
 
-/** The maximum cut (exhaustive; n <= 24). */
+/** The maximum cut (exhaustive; n <= 26). */
 std::int32_t max_cut(const graph::Graph& problem);
 
 /** Ideal (noiseless) expected cut value <C>. */
@@ -49,13 +49,26 @@ double ideal_expectation(const graph::Graph& problem,
 std::vector<double> ideal_distribution(const graph::Graph& problem,
                                        const QaoaAngles& angles);
 
-/** Knobs of the noisy simulation. */
+/**
+ * Knobs of the noisy simulation.
+ *
+ * Trajectory t draws its randomness from the t-times-jumped
+ * Xoshiro256 substream of @p seed, so results are a pure function of
+ * (seed, trajectories, shots) — independent of thread count and of
+ * how trajectories are scheduled. Expectations are assembled from
+ * per-trajectory partial sums combined in trajectory order, making
+ * them bit-reproducible at any parallelism level.
+ */
 struct NoisySimOptions
 {
     std::int32_t trajectories = 16;
     std::int32_t shots = 8000;
     std::uint64_t seed = 7;
     bool readout_error = true;
+    /** Accumulate each run of commuting diagonal gates (an entire
+     *  QAOA cost layer when no Pauli error interposes) into a single
+     *  fused sweep. Off only for benchmarking the unfused path. */
+    bool fuse_diagonals = true;
 };
 
 /**
@@ -99,7 +112,7 @@ std::vector<std::int64_t> noisy_counts(const graph::Graph& problem,
 /** Total weight of edges cut by basis state @p z. */
 double cut_weight(const problem::WeightedProblem& wp, std::uint64_t z);
 
-/** The maximum weighted cut (exhaustive; n <= 24). */
+/** The maximum weighted cut (exhaustive; n <= 26). */
 double max_cut_weight(const problem::WeightedProblem& wp);
 
 /** Ideal expected weighted cut. */

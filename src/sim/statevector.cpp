@@ -1,82 +1,148 @@
 #include "statevector.h"
 
+#include <algorithm>
 #include <cmath>
+#include <new>
+#include <string>
 
 #include "common/error.h"
+#include "common/parallel.h"
+#include "sim/kernel_util.h"
 
 namespace permuq::sim {
+
+namespace {
+
+constexpr std::size_t kGrain = kKernelGrain;
+
+} // namespace
 
 Statevector::Statevector(std::int32_t num_qubits)
     : num_qubits_(num_qubits)
 {
-    fatal_unless(num_qubits >= 1 && num_qubits <= 24,
-                 "statevector supports 1..24 qubits");
-    amp_.assign(std::size_t(1) << num_qubits, Amplitude(0.0, 0.0));
+    fatal_unless(num_qubits >= 1 && num_qubits <= kMaxSimQubits,
+                 "statevector supports 1.." +
+                     std::to_string(kMaxSimQubits) + " qubits (got " +
+                     std::to_string(num_qubits) + ")");
+    try {
+        amp_.assign(std::size_t(1) << num_qubits, Amplitude(0.0, 0.0));
+    } catch (const std::bad_alloc&) {
+        throw FatalError(
+            "cannot allocate the 2^" + std::to_string(num_qubits) +
+            " amplitudes (" +
+            std::to_string((std::size_t(1) << num_qubits) *
+                           sizeof(Amplitude) / (1024 * 1024)) +
+            " MiB) of a " + std::to_string(num_qubits) +
+            "-qubit statevector; reduce the qubit count or free memory");
+    }
     amp_[0] = Amplitude(1.0, 0.0);
+}
+
+void
+Statevector::reset_to_plus()
+{
+    // Match the value an H-per-qubit chain produces: n rounded
+    // multiplies by 1/sqrt(2), not pow(2, -n/2).
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    double v = 1.0;
+    for (std::int32_t q = 0; q < num_qubits_; ++q)
+        v *= inv_sqrt2;
+    const Amplitude fill(v, 0.0);
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                amp[i] = fill;
+        });
 }
 
 void
 Statevector::apply_h(std::int32_t q)
 {
     const std::size_t bit = std::size_t(1) << q;
+    const std::size_t low = bit - 1;
     const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
-    for (std::size_t i = 0; i < amp_.size(); ++i) {
-        if (i & bit)
-            continue;
-        Amplitude a0 = amp_[i];
-        Amplitude a1 = amp_[i | bit];
-        amp_[i] = inv_sqrt2 * (a0 + a1);
-        amp_[i | bit] = inv_sqrt2 * (a0 - a1);
-    }
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t h = b; h < e; ++h) {
+                const std::size_t i0 = insert_zero(h, low);
+                const std::size_t i1 = i0 | bit;
+                const Amplitude a0 = amp[i0];
+                const Amplitude a1 = amp[i1];
+                amp[i0] = inv_sqrt2 * (a0 + a1);
+                amp[i1] = inv_sqrt2 * (a0 - a1);
+            }
+        });
 }
 
 void
 Statevector::apply_x(std::int32_t q)
 {
     const std::size_t bit = std::size_t(1) << q;
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        if (!(i & bit))
-            std::swap(amp_[i], amp_[i | bit]);
+    const std::size_t low = bit - 1;
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t h = b; h < e; ++h) {
+                const std::size_t i0 = insert_zero(h, low);
+                std::swap(amp[i0], amp[i0 | bit]);
+            }
+        });
 }
 
 void
 Statevector::apply_y(std::int32_t q)
 {
     const std::size_t bit = std::size_t(1) << q;
+    const std::size_t low = bit - 1;
     const Amplitude pos_i(0.0, 1.0), neg_i(0.0, -1.0);
-    for (std::size_t i = 0; i < amp_.size(); ++i) {
-        if (i & bit)
-            continue;
-        Amplitude a0 = amp_[i];
-        Amplitude a1 = amp_[i | bit];
-        amp_[i] = neg_i * a1;
-        amp_[i | bit] = pos_i * a0;
-    }
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t h = b; h < e; ++h) {
+                const std::size_t i0 = insert_zero(h, low);
+                const std::size_t i1 = i0 | bit;
+                const Amplitude a0 = amp[i0];
+                const Amplitude a1 = amp[i1];
+                amp[i0] = neg_i * a1;
+                amp[i1] = pos_i * a0;
+            }
+        });
 }
 
 void
 Statevector::apply_z(std::int32_t q)
 {
     const std::size_t bit = std::size_t(1) << q;
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        if (i & bit)
-            amp_[i] = -amp_[i];
+    const std::size_t low = bit - 1;
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t h = b; h < e; ++h)
+                amp[insert_zero(h, low) | bit] *= -1.0;
+        });
 }
 
 void
 Statevector::apply_rx(std::int32_t q, double theta)
 {
     const std::size_t bit = std::size_t(1) << q;
+    const std::size_t low = bit - 1;
     const double c = std::cos(theta / 2.0);
     const Amplitude ms(0.0, -std::sin(theta / 2.0));
-    for (std::size_t i = 0; i < amp_.size(); ++i) {
-        if (i & bit)
-            continue;
-        Amplitude a0 = amp_[i];
-        Amplitude a1 = amp_[i | bit];
-        amp_[i] = c * a0 + ms * a1;
-        amp_[i | bit] = ms * a0 + c * a1;
-    }
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t h = b; h < e; ++h) {
+                const std::size_t i0 = insert_zero(h, low);
+                const std::size_t i1 = i0 | bit;
+                const Amplitude a0 = amp[i0];
+                const Amplitude a1 = amp[i1];
+                amp[i0] = c * a0 + ms * a1;
+                amp[i1] = ms * a0 + c * a1;
+            }
+        });
 }
 
 void
@@ -85,8 +151,12 @@ Statevector::apply_rz(std::int32_t q, double theta)
     const std::size_t bit = std::size_t(1) << q;
     const Amplitude e0 = std::polar(1.0, -theta / 2.0);
     const Amplitude e1 = std::polar(1.0, theta / 2.0);
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        amp_[i] *= (i & bit) ? e1 : e0;
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                amp[i] *= (i & bit) ? e1 : e0;
+        });
 }
 
 void
@@ -94,9 +164,17 @@ Statevector::apply_cx(std::int32_t control, std::int32_t target)
 {
     const std::size_t cbit = std::size_t(1) << control;
     const std::size_t tbit = std::size_t(1) << target;
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        if ((i & cbit) && !(i & tbit))
-            std::swap(amp_[i], amp_[i | tbit]);
+    const std::size_t lo = std::min(cbit, tbit) - 1;
+    const std::size_t hi = std::max(cbit, tbit) - 1;
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 2, kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t h = b; h < e; ++h) {
+                const std::size_t i00 =
+                    insert_two_zeros(h, lo, hi);
+                std::swap(amp[i00 | cbit], amp[i00 | cbit | tbit]);
+            }
+        });
 }
 
 void
@@ -106,20 +184,29 @@ Statevector::apply_two_qubit(const std::array<Amplitude, 16>& u,
     fatal_unless(a != b, "two-qubit gate needs distinct qubits");
     const std::size_t abit = std::size_t(1) << a;
     const std::size_t bbit = std::size_t(1) << b;
-    for (std::size_t i = 0; i < amp_.size(); ++i) {
-        if (i & (abit | bbit))
-            continue; // visit each 4-amplitude block once (i = |00>)
-        std::size_t idx[4] = {i, i | abit, i | bbit, i | abit | bbit};
-        Amplitude in[4];
-        for (int k = 0; k < 4; ++k)
-            in[k] = amp_[idx[k]];
-        for (int r = 0; r < 4; ++r) {
-            Amplitude acc(0.0, 0.0);
-            for (int c = 0; c < 4; ++c)
-                acc += u[static_cast<std::size_t>(4 * r + c)] * in[c];
-            amp_[idx[r]] = acc;
-        }
-    }
+    const std::size_t lo = std::min(abit, bbit) - 1;
+    const std::size_t hi = std::max(abit, bbit) - 1;
+    Amplitude* amp = amp_.data();
+    const Amplitude* mat = u.data();
+    common::parallel_for(
+        0, amp_.size() >> 2, kGrain / 4,
+        [=](std::size_t begin, std::size_t end) {
+            for (std::size_t h = begin; h < end; ++h) {
+                const std::size_t i00 =
+                    insert_two_zeros(h, lo, hi);
+                const std::size_t idx[4] = {i00, i00 | abit, i00 | bbit,
+                                            i00 | abit | bbit};
+                Amplitude in[4];
+                for (int k = 0; k < 4; ++k)
+                    in[k] = amp[idx[k]];
+                for (int r = 0; r < 4; ++r) {
+                    Amplitude acc(0.0, 0.0);
+                    for (int c = 0; c < 4; ++c)
+                        acc += mat[4 * r + c] * in[c];
+                    amp[idx[r]] = acc;
+                }
+            }
+        });
 }
 
 void
@@ -127,9 +214,17 @@ Statevector::apply_swap(std::int32_t a, std::int32_t b)
 {
     const std::size_t abit = std::size_t(1) << a;
     const std::size_t bbit = std::size_t(1) << b;
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        if ((i & abit) && !(i & bbit))
-            std::swap(amp_[i], amp_[(i & ~abit) | bbit]);
+    const std::size_t lo = std::min(abit, bbit) - 1;
+    const std::size_t hi = std::max(abit, bbit) - 1;
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 2, kGrain, [=](std::size_t b2, std::size_t e2) {
+            for (std::size_t h = b2; h < e2; ++h) {
+                const std::size_t i00 =
+                    insert_two_zeros(h, lo, hi);
+                std::swap(amp[i00 | abit], amp[i00 | bbit]);
+            }
+        });
 }
 
 void
@@ -139,10 +234,14 @@ Statevector::apply_rzz(std::int32_t a, std::int32_t b, double theta)
     const std::size_t bbit = std::size_t(1) << b;
     const Amplitude same = std::polar(1.0, -theta / 2.0);
     const Amplitude diff = std::polar(1.0, theta / 2.0);
-    for (std::size_t i = 0; i < amp_.size(); ++i) {
-        bool za = (i & abit) != 0, zb = (i & bbit) != 0;
-        amp_[i] *= (za == zb) ? same : diff;
-    }
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size(), kGrain, [=](std::size_t b2, std::size_t e2) {
+            for (std::size_t i = b2; i < e2; ++i) {
+                const bool za = (i & abit) != 0, zb = (i & bbit) != 0;
+                amp[i] *= (za == zb) ? same : diff;
+            }
+        });
 }
 
 void
@@ -150,18 +249,46 @@ Statevector::apply_cphase(std::int32_t a, std::int32_t b, double theta)
 {
     const std::size_t abit = std::size_t(1) << a;
     const std::size_t bbit = std::size_t(1) << b;
+    const std::size_t lo = std::min(abit, bbit) - 1;
+    const std::size_t hi = std::max(abit, bbit) - 1;
     const Amplitude phase = std::polar(1.0, theta);
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        if ((i & abit) && (i & bbit))
-            amp_[i] *= phase;
+    Amplitude* amp = amp_.data();
+    common::parallel_for(
+        0, amp_.size() >> 2, kGrain, [=](std::size_t b2, std::size_t e2) {
+            for (std::size_t h = b2; h < e2; ++h) {
+                const std::size_t i00 =
+                    insert_two_zeros(h, lo, hi);
+                amp[i00 | abit | bbit] *= phase;
+            }
+        });
+}
+
+void
+Statevector::apply_phase_table(const std::vector<double>& angles,
+                               double scale)
+{
+    fatal_unless(angles.size() == amp_.size(),
+                 "phase table size must match the statevector");
+    Amplitude* amp = amp_.data();
+    const double* angle = angles.data();
+    common::parallel_for(
+        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                amp[i] *= std::polar(1.0, scale * angle[i]);
+        });
 }
 
 std::vector<double>
 Statevector::probabilities() const
 {
     std::vector<double> p(amp_.size());
-    for (std::size_t i = 0; i < amp_.size(); ++i)
-        p[i] = std::norm(amp_[i]);
+    const Amplitude* amp = amp_.data();
+    double* out = p.data();
+    common::parallel_for(
+        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                out[i] = std::norm(amp[i]);
+        });
     return p;
 }
 
@@ -181,10 +308,38 @@ Statevector::sample(Xoshiro256& rng) const
 double
 Statevector::norm_sq() const
 {
-    double s = 0.0;
-    for (const auto& a : amp_)
-        s += std::norm(a);
-    return s;
+    const Amplitude* amp = amp_.data();
+    return common::parallel_reduce_sum<double>(
+        0, amp_.size(), kGrain * 4, [=](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i)
+                s += std::norm(amp[i]);
+            return s;
+        });
+}
+
+CdfSampler::CdfSampler(const Statevector& sv)
+{
+    const auto& amp = sv.amplitudes();
+    cdf_.resize(amp.size());
+    // Serial left-to-right accumulation, matching the order of
+    // Statevector::sample's linear scan exactly so both samplers
+    // agree bit-for-bit on the same draw.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amp.size(); ++i) {
+        acc += std::norm(amp[i]);
+        cdf_[i] = acc;
+    }
+}
+
+std::uint64_t
+CdfSampler::sample(Xoshiro256& rng) const
+{
+    const double r = rng.next_double();
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), r);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::uint64_t>(it - cdf_.begin());
 }
 
 } // namespace permuq::sim

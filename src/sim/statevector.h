@@ -1,8 +1,16 @@
 /**
  * @file
  * A dense statevector simulator for the end-to-end experiments
- * (paper §7.4). Sized for the 10–20 qubit circuits the paper runs on
- * IBM Mumbai; 24 qubits is the hard cap.
+ * (paper §7.4), sized for the 10–20 qubit circuits the paper runs on
+ * IBM Mumbai (26 qubits is the hard cap — 1 GiB of amplitudes).
+ *
+ * Every gate kernel iterates the compact 2^(n-1) (single-qubit) or
+ * 2^(n-2) (two-qubit) block index space directly — no skip-scanning
+ * of the full 2^n range — and parallelizes across the global thread
+ * pool above a size threshold. Kernels are element-wise over disjoint
+ * blocks, so amplitudes are bit-identical at any thread count;
+ * reductions (norm_sq) go through the fixed-slice deterministic
+ * reduction in common/parallel.h.
  */
 #ifndef PERMUQ_SIM_STATEVECTOR_H
 #define PERMUQ_SIM_STATEVECTOR_H
@@ -16,6 +24,9 @@
 
 namespace permuq::sim {
 
+/** Maximum supported qubit count (2^26 amplitudes = 1 GiB). */
+inline constexpr std::int32_t kMaxSimQubits = 26;
+
 /** |0...0>-initialized dense state over n qubits. */
 class Statevector
 {
@@ -25,6 +36,14 @@ class Statevector
     explicit Statevector(std::int32_t num_qubits);
 
     std::int32_t num_qubits() const { return num_qubits_; }
+
+    /**
+     * Prepare |+>^n analytically (the H column applied to |0...0>):
+     * every amplitude becomes 2^{-n/2} in a single fill sweep instead
+     * of n Hadamard passes. This is how every QAOA/trajectory run
+     * starts, so it removes n full-array sweeps per evaluation.
+     */
+    void reset_to_plus();
 
     /** @name Single-qubit gates
      *  @{ */
@@ -53,10 +72,22 @@ class Statevector
     void apply_cphase(std::int32_t a, std::int32_t b, double theta);
     /** @} */
 
+    /**
+     * Multiply amplitude i by e^{i * scale * angles[i]}. @p angles must
+     * have 2^n entries; this is the sweep a baked DiagonalBatch (see
+     * sim/diagonal.h) reduces an entire layer of diagonal gates to.
+     */
+    void apply_phase_table(const std::vector<double>& angles,
+                           double scale = 1.0);
+
     /** Measurement probabilities of all basis states. */
     std::vector<double> probabilities() const;
 
-    /** Draw one basis state index from the current distribution. */
+    /**
+     * Draw one basis state index from the current distribution by a
+     * linear scan (O(2^n) per shot). Reference sampler: multi-shot
+     * callers should build a CdfSampler instead.
+     */
     std::uint64_t sample(Xoshiro256& rng) const;
 
     /** Squared norm (should stay 1 up to rounding). */
@@ -71,6 +102,25 @@ class Statevector
   private:
     std::int32_t num_qubits_;
     std::vector<Amplitude> amp_;
+};
+
+/**
+ * One-time prefix-sum CDF over a statevector's probabilities; each
+ * shot is then a binary search (O(n) instead of O(2^n)). The CDF is
+ * accumulated left-to-right in the exact order Statevector::sample's
+ * linear scan uses, so on the same RNG draw both samplers return the
+ * same basis state bit-for-bit.
+ */
+class CdfSampler
+{
+  public:
+    explicit CdfSampler(const Statevector& sv);
+
+    /** Draw one basis state index (consumes one rng.next_double()). */
+    std::uint64_t sample(Xoshiro256& rng) const;
+
+  private:
+    std::vector<double> cdf_; ///< cdf_[i] = sum of p[0..i]
 };
 
 } // namespace permuq::sim

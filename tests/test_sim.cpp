@@ -306,8 +306,10 @@ TEST(NoisySimTest, DeeperCircuitIsNoisier)
     auto noise = arch::NoiseModel::calibrated(f.device, 3, 0.02);
     QaoaAngles angles{{0.5}, {0.4}};
     NoisySimOptions options;
-    options.trajectories = 32;
-    options.shots = 32000;
+    // Enough trajectories that the ~60-extra-CX noise gap clears the
+    // Monte-Carlo error at any RNG substream assignment.
+    options.trajectories = 128;
+    options.shots = 128000;
     double e_clean = noisy_expectation(f.problem, f.compiled, noise,
                                        angles, options);
     double e_padded = noisy_expectation(f.problem, padded, noise, angles,
