@@ -14,9 +14,11 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/metrics.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace permuq::bench {
@@ -57,6 +59,36 @@ average_over_seeds(
         depth.push_back(static_cast<double>(m.depth));
         cx.push_back(static_cast<double>(m.cx_count));
         secs.push_back(t);
+    }
+    return {mean(depth), mean(cx), mean(secs)};
+}
+
+/**
+ * Like average_over_seeds(), but runs the seeds concurrently on the
+ * shared pool. Results land in per-seed slots and are averaged in seed
+ * order, so the reported metrics are identical to the serial sweep at
+ * any thread count; the per-seed seconds measure each body under
+ * contention, which keeps seconds meaningful as *relative* cost but
+ * makes the total wall time the interesting number for scaling plots.
+ */
+inline AveragedMetrics
+average_over_seeds_parallel(
+    const std::function<std::pair<circuit::Metrics, double>(std::uint64_t)>&
+        body)
+{
+    std::int32_t seeds = num_seeds();
+    std::vector<circuit::Metrics> metrics(
+        static_cast<std::size_t>(seeds));
+    std::vector<double> secs(static_cast<std::size_t>(seeds), 0.0);
+    common::parallel_tasks(seeds, [&](std::int64_t s) {
+        auto [m, t] = body(static_cast<std::uint64_t>(s) + 1);
+        metrics[static_cast<std::size_t>(s)] = m;
+        secs[static_cast<std::size_t>(s)] = t;
+    });
+    std::vector<double> depth, cx;
+    for (const auto& m : metrics) {
+        depth.push_back(static_cast<double>(m.depth));
+        cx.push_back(static_cast<double>(m.cx_count));
     }
     return {mean(depth), mean(cx), mean(secs)};
 }

@@ -1,7 +1,5 @@
 #include "replay.h"
 
-#include <unordered_map>
-
 #include "common/error.h"
 
 namespace permuq::ata {
@@ -16,19 +14,26 @@ replay(const arch::CouplingGraph& device, const graph::Graph& problem,
     fatal_unless(initial.num_logical() == problem.num_vertices(),
                  "mapping does not match problem size");
 
-    // Remaining-edge bookkeeping: per-edge pending flag keyed by pair,
+    // Remaining-edge bookkeeping: a dense n*n pending matrix (one O(1)
+    // byte read per compute slot — a clique schedule probes n^2/2
+    // slots, which made per-slot hashing the dominant replay cost),
     // plus per-logical pending-degree so dead qubits are O(1) to test.
-    std::unordered_map<VertexPair, bool, VertexPairHash> pending;
-    std::vector<std::int32_t> pending_degree(
-        static_cast<std::size_t>(problem.num_vertices()), 0);
+    const std::size_t n =
+        static_cast<std::size_t>(problem.num_vertices());
+    std::vector<std::uint8_t> pending(n * n, 0);
+    std::vector<std::int32_t> pending_degree(n, 0);
     std::int64_t remaining = 0;
     const auto& edges = problem.edges();
     for (std::size_t i = 0; i < edges.size(); ++i) {
         if (done != nullptr && (*done)[i])
             continue;
-        pending.emplace(edges[i], true);
-        ++pending_degree[static_cast<std::size_t>(edges[i].a)];
-        ++pending_degree[static_cast<std::size_t>(edges[i].b)];
+        const auto& edge = edges[i];
+        pending[static_cast<std::size_t>(edge.a) * n +
+                static_cast<std::size_t>(edge.b)] = 1;
+        pending[static_cast<std::size_t>(edge.b) * n +
+                static_cast<std::size_t>(edge.a)] = 1;
+        ++pending_degree[static_cast<std::size_t>(edge.a)];
+        ++pending_degree[static_cast<std::size_t>(edge.b)];
         ++remaining;
     }
 
@@ -41,11 +46,14 @@ replay(const arch::CouplingGraph& device, const graph::Graph& problem,
         if (slot.kind == Slot::Kind::Compute) {
             if (a == kInvalidQubit || b == kInvalidQubit)
                 continue;
-            auto it = pending.find(VertexPair(a, b));
-            if (it == pending.end() || !it->second)
+            std::size_t ab = static_cast<std::size_t>(a) * n +
+                             static_cast<std::size_t>(b);
+            if (pending[ab] == 0)
                 continue;
             circ.add_compute(slot.p, slot.q);
-            it->second = false;
+            pending[ab] = 0;
+            pending[static_cast<std::size_t>(b) * n +
+                    static_cast<std::size_t>(a)] = 0;
             --pending_degree[static_cast<std::size_t>(a)];
             --pending_degree[static_cast<std::size_t>(b)];
             --remaining;

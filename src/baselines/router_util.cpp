@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "graph/routing.h"
 
 namespace permuq::baselines {
 
@@ -196,17 +197,11 @@ route_frontier(const arch::CouplingGraph& device,
                 problem.edges()[static_cast<std::size_t>(best_e)];
             PhysicalQubit pa = mapping.physical_of(edge.a);
             PhysicalQubit pb = mapping.physical_of(edge.b);
-            while (dist.at(pa, pb) > 1) {
-                std::int32_t d = dist.at(pa, pb);
-                for (PhysicalQubit nb :
-                     device.connectivity().neighbors(pa)) {
-                    if (dist.at(nb, pb) < d) {
-                        circ.add_swap(pa, nb);
-                        pa = nb;
-                        break;
-                    }
-                }
-            }
+            pa = graph::walk_toward(
+                device.connectivity(), dist, pa, pb,
+                [&](PhysicalQubit from, PhysicalQubit to) {
+                    circ.add_swap(from, to);
+                });
             circ.add_compute(pa, pb);
             pending.mark(best_e, problem);
             stall = 0;

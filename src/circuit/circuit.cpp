@@ -1,56 +1,11 @@
 #include "circuit.h"
 
-#include <algorithm>
-
-#include "common/error.h"
-
 namespace permuq::circuit {
 
 Circuit::Circuit(Mapping initial)
     : initial_(initial), current_(std::move(initial))
 {
     busy_.assign(static_cast<std::size_t>(current_.num_physical()), 0);
-}
-
-ScheduledOp&
-Circuit::push(OpKind kind, PhysicalQubit p, PhysicalQubit q)
-{
-    fatal_unless(p >= 0 && p < current_.num_physical() && q >= 0 &&
-                     q < current_.num_physical() && p != q,
-                 "op endpoints out of range");
-    ScheduledOp op;
-    op.kind = kind;
-    op.p = p;
-    op.q = q;
-    op.a = current_.logical_at(p);
-    op.b = current_.logical_at(q);
-    Cycle start = std::max(busy_[static_cast<std::size_t>(p)],
-                           busy_[static_cast<std::size_t>(q)]);
-    op.cycle = start;
-    busy_[static_cast<std::size_t>(p)] = start + 1;
-    busy_[static_cast<std::size_t>(q)] = start + 1;
-    depth_ = std::max(depth_, start + 1);
-    ops_.push_back(op);
-    return ops_.back();
-}
-
-const ScheduledOp&
-Circuit::add_compute(PhysicalQubit p, PhysicalQubit q)
-{
-    const ScheduledOp& op = push(OpKind::Compute, p, q);
-    panic_unless(op.a != kInvalidQubit && op.b != kInvalidQubit,
-                 "compute gate on an empty position");
-    ++num_compute_;
-    return op;
-}
-
-const ScheduledOp&
-Circuit::add_swap(PhysicalQubit p, PhysicalQubit q)
-{
-    const ScheduledOp& op = push(OpKind::Swap, p, q);
-    current_.apply_swap(p, q);
-    ++num_swaps_;
-    return op;
 }
 
 void
@@ -65,6 +20,7 @@ Circuit::append_circuit(const Circuit& tail)
 {
     fatal_unless(tail.initial_mapping() == current_,
                  "appended circuit does not continue from this mapping");
+    ops_.reserve(ops_.size() + tail.ops().size());
     for (const auto& op : tail.ops()) {
         if (op.kind == OpKind::Compute)
             add_compute(op.p, op.q);

@@ -12,11 +12,13 @@
 #ifndef PERMUQ_CIRCUIT_CIRCUIT_H
 #define PERMUQ_CIRCUIT_CIRCUIT_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "circuit/gate.h"
 #include "circuit/mapping.h"
+#include "common/error.h"
 #include "common/types.h"
 
 namespace permuq::circuit {
@@ -33,11 +35,31 @@ class Circuit
     /** @name Appending ops (physical endpoints)
      *  @{ */
 
-    /** Append a computation gate between positions @p p and @p q. */
-    const ScheduledOp& add_compute(PhysicalQubit p, PhysicalQubit q);
+    /** Pre-size the op buffer (append-heavy compiler loops). */
+    void reserve(std::size_t num_ops) { ops_.reserve(num_ops); }
+
+    /** Append a computation gate between positions @p p and @p q.
+     *  Inline: ATA replay appends millions of ops per tail, so the
+     *  append path must not cost a function call per gate. */
+    const ScheduledOp&
+    add_compute(PhysicalQubit p, PhysicalQubit q)
+    {
+        const ScheduledOp& op = push(OpKind::Compute, p, q);
+        panic_unless(op.a != kInvalidQubit && op.b != kInvalidQubit,
+                     "compute gate on an empty position");
+        ++num_compute_;
+        return op;
+    }
 
     /** Append a SWAP between positions @p p and @p q. */
-    const ScheduledOp& add_swap(PhysicalQubit p, PhysicalQubit q);
+    const ScheduledOp&
+    add_swap(PhysicalQubit p, PhysicalQubit q)
+    {
+        const ScheduledOp& op = push(OpKind::Swap, p, q);
+        current_.apply_swap(p, q);
+        ++num_swaps_;
+        return op;
+    }
 
     /**
      * Force every subsequent op to start at or after the current depth
@@ -77,7 +99,27 @@ class Circuit
     }
 
   private:
-    ScheduledOp& push(OpKind kind, PhysicalQubit p, PhysicalQubit q);
+    ScheduledOp&
+    push(OpKind kind, PhysicalQubit p, PhysicalQubit q)
+    {
+        fatal_unless(p >= 0 && p < current_.num_physical() && q >= 0 &&
+                         q < current_.num_physical() && p != q,
+                     "op endpoints out of range");
+        ScheduledOp op;
+        op.kind = kind;
+        op.p = p;
+        op.q = q;
+        op.a = current_.logical_at(p);
+        op.b = current_.logical_at(q);
+        Cycle start = std::max(busy_[static_cast<std::size_t>(p)],
+                               busy_[static_cast<std::size_t>(q)]);
+        op.cycle = start;
+        busy_[static_cast<std::size_t>(p)] = start + 1;
+        busy_[static_cast<std::size_t>(q)] = start + 1;
+        depth_ = std::max(depth_, start + 1);
+        ops_.push_back(op);
+        return ops_.back();
+    }
 
     Mapping initial_;
     Mapping current_;

@@ -40,9 +40,29 @@ fatal_unless(bool cond, const std::string& msg)
         throw FatalError(msg);
 }
 
+/**
+ * Literal-message overload: defers the std::string construction to the
+ * failure path, so hot-loop assertions cost one branch, not a heap
+ * allocation per call.
+ */
+inline void
+fatal_unless(bool cond, const char* msg)
+{
+    if (!cond)
+        throw FatalError(msg);
+}
+
 /** Throw PanicError unless @p cond holds. */
 inline void
 panic_unless(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw PanicError(msg);
+}
+
+/** Literal-message overload; see fatal_unless(bool, const char*). */
+inline void
+panic_unless(bool cond, const char* msg)
 {
     if (!cond)
         throw PanicError(msg);

@@ -1,17 +1,21 @@
 #include "compiler.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <unordered_map>
+#include <deque>
+#include <mutex>
 
 #include "ata/replay.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/crosstalk.h"
 #include "core/placement.h"
 #include "core/prediction.h"
 #include "graph/coloring.h"
 #include "graph/matching.h"
+#include "graph/routing.h"
 
 namespace permuq::core {
 
@@ -26,8 +30,165 @@ struct Snapshot
 };
 
 /**
+ * Flat n*n lookup of problem-edge ids by logical endpoint pair (-1 =
+ * no such edge). One O(1) array read replaces the unordered_map find
+ * that used to sit on the executable-gate path of every cycle; built
+ * once per compilation and shared by all placement trials and by the
+ * hybrid materializer.
+ */
+class EdgeTable
+{
+  public:
+    explicit EdgeTable(const graph::Graph& problem)
+        : n_(static_cast<std::size_t>(problem.num_vertices())),
+          table_(n_ * n_, -1)
+    {
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            const auto& edge =
+                problem.edges()[static_cast<std::size_t>(e)];
+            table_[index(edge.a, edge.b)] = e;
+            table_[index(edge.b, edge.a)] = e;
+        }
+    }
+
+    std::int32_t
+    at(LogicalQubit a, LogicalQubit b) const
+    {
+        return table_[index(a, b)];
+    }
+
+  private:
+    std::size_t
+    index(std::int32_t a, std::int32_t b) const
+    {
+        return static_cast<std::size_t>(a) * n_ +
+               static_cast<std::size_t>(b);
+    }
+
+    std::size_t n_;
+    std::vector<std::int32_t> table_;
+};
+
+/**
+ * Per-physical-qubit incident-coupler lists, sorted by neighbor so
+ * iterating one mirrors Graph's sorted adjacency order. Replaces the
+ * physical-pair -> coupler-id hash lookups of the SWAP-weight loop.
+ */
+class DeviceIndex
+{
+  public:
+    explicit DeviceIndex(const arch::CouplingGraph& device)
+        : incident_(static_cast<std::size_t>(device.num_qubits()))
+    {
+        const auto& couplers = device.couplers();
+        for (std::int32_t c = 0;
+             c < static_cast<std::int32_t>(couplers.size()); ++c) {
+            const auto& link = couplers[static_cast<std::size_t>(c)];
+            incident_[static_cast<std::size_t>(link.a)].push_back(
+                {link.b, c});
+            incident_[static_cast<std::size_t>(link.b)].push_back(
+                {link.a, c});
+        }
+        for (auto& list : incident_)
+            std::sort(list.begin(), list.end());
+    }
+
+    /** (neighbor, coupler id) pairs of @p p in ascending neighbor
+     *  order — the same order as connectivity().neighbors(p). */
+    const std::vector<std::pair<PhysicalQubit, std::int32_t>>&
+    incident(PhysicalQubit p) const
+    {
+        return incident_[static_cast<std::size_t>(p)];
+    }
+
+    /** Coupler id joining the adjacent positions @p p and @p q. */
+    std::int32_t
+    coupler_at(PhysicalQubit p, PhysicalQubit q) const
+    {
+        for (const auto& [nb, c] : incident_[static_cast<std::size_t>(p)])
+            if (nb == q)
+                return c;
+        panic_unless(false, "adjacent positions without a coupler");
+        return -1;
+    }
+
+  private:
+    std::vector<std::vector<std::pair<PhysicalQubit, std::int32_t>>>
+        incident_;
+};
+
+/**
+ * Memoized region ATA schedules. ata_schedule() is a pure function of
+ * (device, region) and region detection converges to the same few
+ * regions across snapshots, materialized candidates, and placement
+ * trials, so one compile-wide cache removes most repeated pattern
+ * construction. Thread-safe for the parallel materialize/trial fan-out;
+ * results are identical whichever thread populates an entry first.
+ */
+class ScheduleCache
+{
+  public:
+    const ata::SwapSchedule&
+    get(const arch::CouplingGraph& device, const ata::Region& region)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [r, s] : entries_)
+            if (r == region)
+                return s;
+        entries_.emplace_back(region, ata::ata_schedule(device, region));
+        return entries_.back().second;
+    }
+
+    /**
+     * Cached equivalent of tail_schedule(device, plan). Whole plans
+     * are memoized too: region detection converges to the same plan
+     * across snapshots and candidates, and a full-device tail runs to
+     * millions of slots, so returning a reference instead of a fresh
+     * concatenation avoids repeated multi-megabyte copies.
+     */
+    const ata::SwapSchedule&
+    tail(const arch::CouplingGraph& device, const RegionPlan& plan)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto& [regions, s] : tails_)
+                if (regions == plan.regions)
+                    return s;
+        }
+        ata::SwapSchedule out;
+        for (const auto& region : plan.regions)
+            out.append(get(device, region));
+        std::lock_guard<std::mutex> lock(mu_);
+        // Recheck after reacquiring: a racing thread may have inserted
+        // the same plan; the schedules are identical, so keep either.
+        for (const auto& [regions, s] : tails_)
+            if (regions == plan.regions)
+                return s;
+        tails_.emplace_back(plan.regions, std::move(out));
+        return tails_.back().second;
+    }
+
+  private:
+    std::mutex mu_;
+    // Deque: references handed out stay valid as entries accumulate.
+    std::deque<std::pair<ata::Region, ata::SwapSchedule>> entries_;
+    std::deque<std::pair<std::vector<ata::Region>, ata::SwapSchedule>>
+        tails_;
+};
+
+/**
  * The greedy processing component (§6.2): one object per compilation,
  * advancing cycle by cycle and recording prediction snapshots.
+ *
+ * Incremental-state design: instead of rescanning every coupler per
+ * cycle for executable gates (O(couplers) hash probes per cycle in the
+ * original implementation), the engine maintains an executable-edge
+ * *frontier* — a bitmap over couplers plus the pending edge id hosted
+ * by each — that is refreshed only for the couplers incident to a
+ * mapping change (every SWAP goes through do_swap()) or a completed
+ * gate (mark_done()). Iterating the bitmap's set bits ascending visits
+ * couplers in exactly the order of the old full scan, so the emitted
+ * circuit is bit-identical.
  */
 class GreedyEngine
 {
@@ -35,14 +196,19 @@ class GreedyEngine
     GreedyEngine(const arch::CouplingGraph& device,
                  const graph::Graph& problem,
                  const CompilerOptions& options,
-                 const CrosstalkMap* crosstalk,
+                 const CrosstalkMap* crosstalk, const EdgeTable& edges,
+                 const DeviceIndex& index, ScheduleCache& sched_cache,
                  circuit::Mapping initial)
         : device_(device),
           problem_(problem),
           options_(options),
           crosstalk_(crosstalk),
+          edges_(edges),
+          index_(index),
+          sched_cache_(sched_cache),
           circ_(std::move(initial)),
           done_(static_cast<std::size_t>(problem.num_edges()), false),
+          done8_(static_cast<std::size_t>(problem.num_edges()), 0),
           pending_deg_(static_cast<std::size_t>(problem.num_vertices()),
                        0),
           last_swap_cycle_(device.couplers().size(), -10)
@@ -52,7 +218,6 @@ class GreedyEngine
         for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
             const auto& edge =
                 problem.edges()[static_cast<std::size_t>(e)];
-            edge_index_.emplace(edge, e);
             ++pending_deg_[static_cast<std::size_t>(edge.a)];
             ++pending_deg_[static_cast<std::size_t>(edge.b)];
             pending_adj_[static_cast<std::size_t>(edge.a)].emplace_back(
@@ -61,10 +226,21 @@ class GreedyEngine
                 edge.a, e);
         }
         pending_ = problem.num_edges();
-        for (std::int32_t c = 0;
-             c < static_cast<std::int32_t>(device.couplers().size()); ++c)
-            coupler_index_.emplace(
-                device.couplers()[static_cast<std::size_t>(c)], c);
+        circ_.reserve(static_cast<std::size_t>(problem.num_edges()) * 2);
+
+        std::int32_t num_couplers =
+            static_cast<std::int32_t>(device.couplers().size());
+        frontier_edge_.assign(static_cast<std::size_t>(num_couplers), -1);
+        frontier_bits_.assign(
+            (static_cast<std::size_t>(num_couplers) + 63) / 64, 0);
+        for (std::int32_t c = 0; c < num_couplers; ++c)
+            refresh_coupler(c);
+
+        gain_.assign(static_cast<std::size_t>(num_couplers), 0.0);
+        coupler_slot_.assign(static_cast<std::size_t>(num_couplers), -1);
+        by_qubit_.resize(static_cast<std::size_t>(device.num_qubits()));
+        used_.assign(static_cast<std::size_t>(device.num_qubits()), 0);
+
         if (options.noise != nullptr && !options.noise->is_ideal()) {
             std::vector<double> errs;
             for (const auto& c : device.couplers())
@@ -114,7 +290,7 @@ class GreedyEngine
                 auto plan =
                     detect_regions(device_, problem_, done_,
                                    circ_.final_mapping());
-                auto sched = tail_schedule(device_, plan);
+                const auto& sched = sched_cache_.tail(device_, plan);
                 auto tail = ata::replay(device_, problem_,
                                         circ_.final_mapping(), sched, {},
                                         &done_);
@@ -128,6 +304,80 @@ class GreedyEngine
     const std::vector<Snapshot>& snapshots() const { return snapshots_; }
 
   private:
+    /** Recompute whether coupler @p c hosts an executable pending gate
+     *  under the current mapping, and update the frontier. */
+    void
+    refresh_coupler(std::int32_t c)
+    {
+        const auto& link = device_.couplers()[static_cast<std::size_t>(c)];
+        LogicalQubit a = circ_.final_mapping().logical_at(link.a);
+        LogicalQubit b = circ_.final_mapping().logical_at(link.b);
+        std::int32_t e = -1;
+        if (a != kInvalidQubit && b != kInvalidQubit) {
+            std::int32_t cand = edges_.at(a, b);
+            if (cand >= 0 && done8_[static_cast<std::size_t>(cand)] == 0)
+                e = cand;
+        }
+        frontier_edge_[static_cast<std::size_t>(c)] = e;
+        std::uint64_t bit = std::uint64_t(1) << (c & 63);
+        if (e >= 0)
+            frontier_bits_[static_cast<std::size_t>(c) >> 6] |= bit;
+        else
+            frontier_bits_[static_cast<std::size_t>(c) >> 6] &= ~bit;
+    }
+
+    /** Refresh every coupler incident to @p p, whose occupant is
+     *  already known to be @p occupant (saves one mapping read per
+     *  coupler relative to refresh_coupler()). */
+    void
+    refresh_around(PhysicalQubit p, LogicalQubit occupant)
+    {
+        const auto& mapping = circ_.final_mapping();
+        for (const auto& [nb, c] : index_.incident(p)) {
+            std::int32_t e = -1;
+            if (occupant != kInvalidQubit) {
+                LogicalQubit other = mapping.logical_at(nb);
+                if (other != kInvalidQubit) {
+                    std::int32_t cand = edges_.at(occupant, other);
+                    if (cand >= 0 &&
+                        done8_[static_cast<std::size_t>(cand)] == 0)
+                        e = cand;
+                }
+            }
+            frontier_edge_[static_cast<std::size_t>(c)] = e;
+            std::uint64_t bit = std::uint64_t(1) << (c & 63);
+            if (e >= 0)
+                frontier_bits_[static_cast<std::size_t>(c) >> 6] |= bit;
+            else
+                frontier_bits_[static_cast<std::size_t>(c) >> 6] &= ~bit;
+        }
+    }
+
+    /** Append a SWAP and refresh the frontier around both endpoints —
+     *  the only mutation that moves logical qubits, so routing every
+     *  SWAP through here keeps the frontier exact. */
+    void
+    do_swap(PhysicalQubit p, PhysicalQubit q)
+    {
+        circ_.add_swap(p, q);
+        const auto& mapping = circ_.final_mapping();
+        refresh_around(p, mapping.logical_at(p));
+        refresh_around(q, mapping.logical_at(q));
+    }
+
+    /** Retire edge @p e (just computed at coupler @p c). */
+    void
+    mark_done(std::int32_t e, std::int32_t c)
+    {
+        done_[static_cast<std::size_t>(e)] = true;
+        done8_[static_cast<std::size_t>(e)] = 1;
+        const auto& edge = problem_.edges()[static_cast<std::size_t>(e)];
+        --pending_deg_[static_cast<std::size_t>(edge.a)];
+        --pending_deg_[static_cast<std::size_t>(edge.b)];
+        --pending_;
+        refresh_coupler(c);
+    }
+
     /** Route every remaining gate along shortest paths (termination
      *  fallback for devices without an ATA decomposition). */
     void
@@ -141,22 +391,13 @@ class GreedyEngine
                 problem_.edges()[static_cast<std::size_t>(e)];
             PhysicalQubit pa = circ_.final_mapping().physical_of(edge.a);
             PhysicalQubit pb = circ_.final_mapping().physical_of(edge.b);
-            while (dist.at(pa, pb) > 1) {
-                std::int32_t d = dist.at(pa, pb);
-                for (PhysicalQubit nb :
-                     device_.connectivity().neighbors(pa)) {
-                    if (dist.at(nb, pb) < d) {
-                        circ_.add_swap(pa, nb);
-                        pa = nb;
-                        break;
-                    }
-                }
-            }
+            pa = graph::walk_toward(
+                device_.connectivity(), dist, pa, pb,
+                [&](PhysicalQubit from, PhysicalQubit to) {
+                    do_swap(from, to);
+                });
             circ_.add_compute(pa, pb);
-            done_[static_cast<std::size_t>(e)] = true;
-            --pending_deg_[static_cast<std::size_t>(edge.a)];
-            --pending_deg_[static_cast<std::size_t>(edge.b)];
-            --pending_;
+            mark_done(e, index_.coupler_at(pa, pb));
         }
     }
 
@@ -166,8 +407,6 @@ class GreedyEngine
     {
         const auto& mapping = circ_.final_mapping();
         const auto& couplers = device_.couplers();
-        std::int32_t num_couplers =
-            static_cast<std::int32_t>(couplers.size());
 
         // Focus mode: the pull/matching dynamics can enter limit
         // cycles on symmetric configurations. If no gate has executed
@@ -176,7 +415,7 @@ class GreedyEngine
         if (cycle - last_compute_cycle_ > 8) {
             std::int32_t best_e = -1, best_d = kUnreachable;
             for (std::int32_t e = 0; e < problem_.num_edges(); ++e) {
-                if (done_[static_cast<std::size_t>(e)])
+                if (done8_[static_cast<std::size_t>(e)] != 0)
                     continue;
                 const auto& edge =
                     problem_.edges()[static_cast<std::size_t>(e)];
@@ -193,100 +432,92 @@ class GreedyEngine
                 problem_.edges()[static_cast<std::size_t>(best_e)];
             PhysicalQubit pa = mapping.physical_of(edge.a);
             PhysicalQubit pb = mapping.physical_of(edge.b);
-            while (device_.distances().at(pa, pb) > 1) {
-                std::int32_t d = device_.distances().at(pa, pb);
-                for (PhysicalQubit nb :
-                     device_.connectivity().neighbors(pa)) {
-                    if (device_.distances().at(nb, pb) < d) {
-                        circ_.add_swap(pa, nb);
-                        pa = nb;
-                        break;
-                    }
-                }
-            }
+            pa = graph::walk_toward(
+                device_.connectivity(), device_.distances(), pa, pb,
+                [&](PhysicalQubit from, PhysicalQubit to) {
+                    do_swap(from, to);
+                });
             circ_.add_compute(pa, pb);
-            done_[static_cast<std::size_t>(best_e)] = true;
-            --pending_deg_[static_cast<std::size_t>(edge.a)];
-            --pending_deg_[static_cast<std::size_t>(edge.b)];
-            --pending_;
+            mark_done(best_e, index_.coupler_at(pa, pb));
             last_compute_cycle_ = cycle;
             return true;
         }
 
         // ---- Gate scheduling via conflict-graph coloring (§6.2) ----
-        struct Executable
-        {
-            std::int32_t coupler;
-            std::int32_t edge;
-        };
-        std::vector<Executable> executable;
-        for (std::int32_t c = 0; c < num_couplers; ++c) {
-            const auto& link = couplers[static_cast<std::size_t>(c)];
-            LogicalQubit a = mapping.logical_at(link.a);
-            LogicalQubit b = mapping.logical_at(link.b);
-            if (a == kInvalidQubit || b == kInvalidQubit)
-                continue;
-            auto it = edge_index_.find(VertexPair(a, b));
-            if (it != edge_index_.end() &&
-                !done_[static_cast<std::size_t>(it->second)])
-                executable.push_back({c, it->second});
+        // Snapshot the frontier; set bits ascending == the coupler
+        // order of the original full scan.
+        executable_.clear();
+        for (std::size_t word = 0; word < frontier_bits_.size(); ++word) {
+            std::uint64_t bits = frontier_bits_[word];
+            while (bits != 0) {
+                std::int32_t c = static_cast<std::int32_t>(word * 64) +
+                                 std::countr_zero(bits);
+                bits &= bits - 1;
+                executable_.push_back(
+                    {c, frontier_edge_[static_cast<std::size_t>(c)]});
+            }
         }
 
-        std::vector<bool> used(
-            static_cast<std::size_t>(device_.num_qubits()), false);
+        std::fill(used_.begin(), used_.end(), 0);
         bool did_something = false;
-        if (!executable.empty()) {
+        if (!executable_.empty()) {
             graph::Graph conflict(
-                static_cast<std::int32_t>(executable.size()));
-            // Shared-qubit conflicts.
-            std::unordered_map<std::int32_t, std::vector<std::int32_t>>
-                by_qubit;
-            for (std::size_t i = 0; i < executable.size(); ++i) {
+                static_cast<std::int32_t>(executable_.size()));
+            // Shared-qubit conflicts via flat per-qubit slots (the
+            // conflict edge *set* is what matters — greedy_coloring
+            // reads the graph's sorted adjacency, so insertion order
+            // is irrelevant).
+            touched_qubits_.clear();
+            for (std::size_t i = 0; i < executable_.size(); ++i) {
                 const auto& link = couplers[static_cast<std::size_t>(
-                    executable[i].coupler)];
-                by_qubit[link.a].push_back(static_cast<std::int32_t>(i));
-                by_qubit[link.b].push_back(static_cast<std::int32_t>(i));
+                    executable_[i].coupler)];
+                for (PhysicalQubit q : {link.a, link.b}) {
+                    auto& list = by_qubit_[static_cast<std::size_t>(q)];
+                    if (list.empty())
+                        touched_qubits_.push_back(q);
+                    list.push_back(static_cast<std::int32_t>(i));
+                }
             }
-            for (const auto& [q, list] : by_qubit)
+            for (PhysicalQubit q : touched_qubits_) {
+                auto& list = by_qubit_[static_cast<std::size_t>(q)];
                 for (std::size_t i = 0; i < list.size(); ++i)
                     for (std::size_t j = i + 1; j < list.size(); ++j)
                         if (!conflict.has_edge(list[i], list[j]))
                             conflict.add_edge(list[i], list[j]);
+                list.clear();
+            }
             // Crosstalk conflicts.
             if (crosstalk_ != nullptr) {
-                std::unordered_map<std::int32_t, std::int32_t> by_coupler;
-                for (std::size_t i = 0; i < executable.size(); ++i)
-                    by_coupler.emplace(executable[i].coupler,
-                                       static_cast<std::int32_t>(i));
-                for (std::size_t i = 0; i < executable.size(); ++i)
+                for (std::size_t i = 0; i < executable_.size(); ++i)
+                    coupler_slot_[static_cast<std::size_t>(
+                        executable_[i].coupler)] =
+                        static_cast<std::int32_t>(i);
+                for (std::size_t i = 0; i < executable_.size(); ++i)
                     for (std::int32_t other :
-                         crosstalk_->neighbors(executable[i].coupler)) {
-                        auto it = by_coupler.find(other);
-                        if (it != by_coupler.end() &&
-                            it->second >
-                                static_cast<std::int32_t>(i) &&
+                         crosstalk_->neighbors(executable_[i].coupler)) {
+                        std::int32_t j =
+                            coupler_slot_[static_cast<std::size_t>(other)];
+                        if (j > static_cast<std::int32_t>(i) &&
                             !conflict.has_edge(
-                                static_cast<std::int32_t>(i), it->second))
+                                static_cast<std::int32_t>(i), j))
                             conflict.add_edge(
-                                static_cast<std::int32_t>(i), it->second);
+                                static_cast<std::int32_t>(i), j);
                     }
+                for (const auto& ex : executable_)
+                    coupler_slot_[static_cast<std::size_t>(ex.coupler)] =
+                        -1;
             }
             auto coloring = graph::greedy_coloring(conflict);
             std::int32_t cls = graph::largest_class(coloring);
             for (std::int32_t i :
                  coloring.classes[static_cast<std::size_t>(cls)]) {
-                const auto& ex = executable[static_cast<std::size_t>(i)];
+                const auto& ex = executable_[static_cast<std::size_t>(i)];
                 const auto& link =
                     couplers[static_cast<std::size_t>(ex.coupler)];
                 circ_.add_compute(link.a, link.b);
-                done_[static_cast<std::size_t>(ex.edge)] = true;
-                const auto& edge =
-                    problem_.edges()[static_cast<std::size_t>(ex.edge)];
-                --pending_deg_[static_cast<std::size_t>(edge.a)];
-                --pending_deg_[static_cast<std::size_t>(edge.b)];
-                --pending_;
-                used[static_cast<std::size_t>(link.a)] = true;
-                used[static_cast<std::size_t>(link.b)] = true;
+                mark_done(ex.edge, ex.coupler);
+                used_[static_cast<std::size_t>(link.a)] = 1;
+                used_[static_cast<std::size_t>(link.b)] = 1;
                 last_compute_cycle_ = cycle;
                 did_something = true;
                 // Gate unification rider (Fig 2(d) identity): a SWAP on
@@ -294,8 +525,10 @@ class GreedyEngine
                 // so it costs 1 CX instead of 3. Take it whenever it
                 // strictly reduces the pending-distance potential of
                 // the two logicals.
+                const auto& edge =
+                    problem_.edges()[static_cast<std::size_t>(ex.edge)];
                 if (swap_rider_gain(edge.a, edge.b) < 0) {
-                    circ_.add_swap(link.a, link.b);
+                    do_swap(link.a, link.b);
                     last_swap_cycle_[static_cast<std::size_t>(
                         ex.coupler)] = cycle;
                 }
@@ -312,15 +545,27 @@ class GreedyEngine
         // active qubits each cycle is what keeps the compiled depth
         // (not just the gate count) low.
         const auto& dist = device_.distances();
-        std::unordered_map<std::int32_t, double> gain;
-        if (pull_cache_.empty())
+        touched_.clear();
+        if (pull_cache_.empty()) {
             pull_cache_.resize(
                 static_cast<std::size_t>(problem_.num_vertices()));
-        for (LogicalQubit a = 0; a < problem_.num_vertices(); ++a) {
+            active_.resize(
+                static_cast<std::size_t>(problem_.num_vertices()));
+            for (LogicalQubit a = 0; a < problem_.num_vertices(); ++a)
+                active_[static_cast<std::size_t>(a)] = a;
+        }
+        // Sweep the ascending active-qubit list, compacting out qubits
+        // whose last pending gate completed — the visit order stays
+        // "all qubits with pending work, ascending", but late cycles
+        // no longer pay for the finished majority.
+        std::size_t active_keep = 0;
+        for (std::size_t idx = 0; idx < active_.size(); ++idx) {
+            LogicalQubit a = active_[idx];
             if (pending_deg_[static_cast<std::size_t>(a)] == 0)
                 continue;
+            active_[active_keep++] = a;
             PhysicalQubit pa = mapping.physical_of(a);
-            if (used[static_cast<std::size_t>(pa)])
+            if (used_[static_cast<std::size_t>(pa)] != 0)
                 continue;
             // Nearest pending partner of a. Recomputing this for every
             // active qubit each cycle is the dominant O(E)-per-cycle
@@ -332,7 +577,7 @@ class GreedyEngine
             std::int32_t best_d;
             PhysicalQubit target;
             if (cache.expires > cycle && cache.partner >= 0 &&
-                !done_[static_cast<std::size_t>(cache.edge)]) {
+                done8_[static_cast<std::size_t>(cache.edge)] == 0) {
                 target = mapping.physical_of(cache.partner);
                 best_d = dist.at(pa, target);
             } else {
@@ -340,11 +585,21 @@ class GreedyEngine
                 target = kInvalidQubit;
                 LogicalQubit partner = kInvalidQubit;
                 std::int32_t edge = -1;
-                for (const auto& [b, e] :
-                     pending_adj_[static_cast<std::size_t>(a)]) {
-                    if (done_[static_cast<std::size_t>(e)])
+                // The scan doubles as an order-preserving compaction:
+                // retired edges are dropped so future scans shrink
+                // with the remaining work.
+                const std::uint16_t* row_pa = dist.row(pa);
+                auto& adj = pending_adj_[static_cast<std::size_t>(a)];
+                std::size_t keep = 0;
+                for (std::size_t k = 0; k < adj.size(); ++k) {
+                    if (done8_[static_cast<std::size_t>(adj[k].second)] !=
+                        0)
                         continue;
-                    std::int32_t d = dist.at(pa, mapping.physical_of(b));
+                    adj[keep++] = adj[k];
+                    const auto& [b, e] = adj[keep - 1];
+                    std::int32_t d = graph::DistanceMatrix::decode(
+                        row_pa[static_cast<std::size_t>(
+                            mapping.physical_of(b))]);
                     if (d < best_d) {
                         best_d = d;
                         target = mapping.physical_of(b);
@@ -352,6 +607,7 @@ class GreedyEngine
                         edge = e;
                     }
                 }
+                adj.resize(keep);
                 cache.partner = partner;
                 cache.edge = edge;
                 // Fresh targets on small problems (the scan is cheap
@@ -361,21 +617,19 @@ class GreedyEngine
             }
             if (best_d <= 1 || target == kInvalidQubit)
                 continue; // adjacent pairs are the gate stage's job
-            for (PhysicalQubit nb :
-                 device_.connectivity().neighbors(pa)) {
-                if (used[static_cast<std::size_t>(nb)])
+            const std::uint16_t* row_t = dist.row(target);
+            for (const auto& [nb, c] : index_.incident(pa)) {
+                if (used_[static_cast<std::size_t>(nb)] != 0)
                     continue;
-                if (dist.at(nb, target) >= best_d)
+                if (graph::DistanceMatrix::decode(
+                        row_t[static_cast<std::size_t>(nb)]) >= best_d)
                     continue;
-                auto it = coupler_index_.find(VertexPair(pa, nb));
-                panic_unless(it != coupler_index_.end(),
-                             "neighbor without coupler");
-                if (last_swap_cycle_[static_cast<std::size_t>(
-                        it->second)] == cycle - 1)
+                if (last_swap_cycle_[static_cast<std::size_t>(c)] ==
+                    cycle - 1)
                     continue; // anti-oscillation tabu
                 double w = 1.0 / static_cast<double>(best_d);
                 // Deterministic jitter breaks symmetric limit cycles.
-                w *= 1.0 + 1e-7 * static_cast<double>(it->second % 97);
+                w *= 1.0 + 1e-7 * static_cast<double>(c % 97);
                 if (options_.noise != nullptr &&
                     !options_.noise->is_ideal()) {
                     // Bounded error preference: a SWAP on link e costs
@@ -385,30 +639,37 @@ class GreedyEngine
                     // materially shorter route, which measurably hurt
                     // overall fidelity in earlier designs.
                     const auto& link =
-                        device_.couplers()[static_cast<std::size_t>(
-                            it->second)];
+                        couplers[static_cast<std::size_t>(c)];
                     double e = options_.noise->cx_error(link.a, link.b);
                     w *= std::pow(1.0 - std::min(e, 0.5), 3.0);
                 }
-                gain[it->second] += w;
+                if (gain_[static_cast<std::size_t>(c)] == 0.0)
+                    touched_.push_back(c);
+                gain_[static_cast<std::size_t>(c)] += w;
             }
         }
+        active_.resize(active_keep);
 
-        std::vector<graph::WeightedEdge> candidates;
-        std::vector<std::int32_t> candidate_coupler;
-        for (const auto& [c, w] : gain) {
-            const auto& link =
-                device_.couplers()[static_cast<std::size_t>(c)];
-            candidates.push_back({link.a, link.b, w});
-            candidate_coupler.push_back(c);
+        // The matching's sort key (weight desc, endpoints asc) is
+        // total over distinct couplers, so the candidate build order
+        // is irrelevant to which SWAPs come out — flat accumulation
+        // and the old unordered_map iteration pick the same set.
+        candidates_.clear();
+        candidate_coupler_.clear();
+        for (std::int32_t c : touched_) {
+            const auto& link = couplers[static_cast<std::size_t>(c)];
+            candidates_.push_back(
+                {link.a, link.b, gain_[static_cast<std::size_t>(c)]});
+            candidate_coupler_.push_back(c);
+            gain_[static_cast<std::size_t>(c)] = 0.0;
         }
         auto picks = graph::greedy_max_weight_matching(
-            device_.num_qubits(), candidates);
+            device_.num_qubits(), candidates_);
         for (std::int32_t i : picks) {
-            const auto& cand = candidates[static_cast<std::size_t>(i)];
-            circ_.add_swap(cand.u, cand.v);
+            const auto& cand = candidates_[static_cast<std::size_t>(i)];
+            do_swap(cand.u, cand.v);
             last_swap_cycle_[static_cast<std::size_t>(
-                candidate_coupler[static_cast<std::size_t>(i)])] = cycle;
+                candidate_coupler_[static_cast<std::size_t>(i)])] = cycle;
             did_something = true;
         }
 
@@ -417,7 +678,7 @@ class GreedyEngine
             // pending gate, ignoring the tabu.
             std::int32_t best_e = -1, best_d = kUnreachable;
             for (std::int32_t e = 0; e < problem_.num_edges(); ++e) {
-                if (done_[static_cast<std::size_t>(e)])
+                if (done8_[static_cast<std::size_t>(e)] != 0)
                     continue;
                 const auto& edge =
                     problem_.edges()[static_cast<std::size_t>(e)];
@@ -436,7 +697,7 @@ class GreedyEngine
             for (PhysicalQubit nb :
                  device_.connectivity().neighbors(pa)) {
                 if (dist.at(nb, pb) < best_d) {
-                    circ_.add_swap(pa, nb);
+                    do_swap(pa, nb);
                     did_something = true;
                     break;
                 }
@@ -451,8 +712,14 @@ class GreedyEngine
      * (negative = the merged swap pays off).
      */
     std::int64_t
-    swap_rider_gain(LogicalQubit a, LogicalQubit b) const
+    swap_rider_gain(LogicalQubit a, LogicalQubit b)
     {
+        // Both endpoints out of pending work => every tally is empty
+        // (compaction of already-retired entries can wait for the next
+        // real scan).
+        if (pending_deg_[static_cast<std::size_t>(a)] == 0 &&
+            pending_deg_[static_cast<std::size_t>(b)] == 0)
+            return 0;
         const auto& mapping = circ_.final_mapping();
         const auto& dist = device_.distances();
         PhysicalQubit pa = mapping.physical_of(a);
@@ -460,13 +727,23 @@ class GreedyEngine
         std::int64_t delta = 0;
         auto tally = [&](LogicalQubit q, PhysicalQubit from,
                          PhysicalQubit to) {
-            for (const auto& [partner, e] :
-                 pending_adj_[static_cast<std::size_t>(q)]) {
-                if (done_[static_cast<std::size_t>(e)])
+            if (pending_deg_[static_cast<std::size_t>(q)] == 0)
+                return;
+            const std::uint16_t* row_to = dist.row(to);
+            const std::uint16_t* row_from = dist.row(from);
+            auto& adj = pending_adj_[static_cast<std::size_t>(q)];
+            std::size_t keep = 0;
+            for (std::size_t k = 0; k < adj.size(); ++k) {
+                if (done8_[static_cast<std::size_t>(adj[k].second)] != 0)
                     continue;
-                PhysicalQubit pp = mapping.physical_of(partner);
-                delta += dist.at(to, pp) - dist.at(from, pp);
+                adj[keep++] = adj[k];
+                PhysicalQubit pp = mapping.physical_of(adj[keep - 1].first);
+                delta += graph::DistanceMatrix::decode(
+                             row_to[static_cast<std::size_t>(pp)]) -
+                         graph::DistanceMatrix::decode(
+                             row_from[static_cast<std::size_t>(pp)]);
             }
+            adj.resize(keep);
         };
         tally(a, pa, pb);
         tally(b, pb, pa);
@@ -495,16 +772,42 @@ class GreedyEngine
     const graph::Graph& problem_;
     const CompilerOptions& options_;
     const CrosstalkMap* crosstalk_;
+    const EdgeTable& edges_;
+    const DeviceIndex& index_;
+    ScheduleCache& sched_cache_;
     circuit::Circuit circ_;
+    // done_ (vector<bool>) feeds detect_regions/replay; done8_ mirrors
+    // it as plain bytes because the frontier/pull/rider hot loops test
+    // an edge per iteration and the packed bit probe is measurably
+    // slower than a byte load there.
     std::vector<bool> done_;
+    std::vector<std::uint8_t> done8_;
     std::vector<std::int32_t> pending_deg_;
     std::vector<std::vector<std::pair<LogicalQubit, std::int32_t>>>
         pending_adj_;
     std::vector<std::int64_t> last_swap_cycle_;
-    std::unordered_map<VertexPair, std::int32_t, VertexPairHash>
-        edge_index_;
-    std::unordered_map<VertexPair, std::int32_t, VertexPairHash>
-        coupler_index_;
+
+    // Executable-edge frontier: one bit per coupler, plus the pending
+    // edge currently hosted there (-1 when the bit is clear).
+    std::vector<std::uint64_t> frontier_bits_;
+    std::vector<std::int32_t> frontier_edge_;
+
+    // Reusable per-cycle scratch (hoisted out of step()).
+    struct Executable
+    {
+        std::int32_t coupler;
+        std::int32_t edge;
+    };
+    std::vector<Executable> executable_;
+    std::vector<std::vector<std::int32_t>> by_qubit_;
+    std::vector<PhysicalQubit> touched_qubits_;
+    std::vector<std::int32_t> coupler_slot_;
+    std::vector<std::uint8_t> used_;
+    std::vector<double> gain_;
+    std::vector<std::int32_t> touched_;
+    std::vector<graph::WeightedEdge> candidates_;
+    std::vector<std::int32_t> candidate_coupler_;
+
     struct PullCache
     {
         LogicalQubit partner = kInvalidQubit;
@@ -512,6 +815,7 @@ class GreedyEngine
         std::int64_t expires = -1;
     };
     std::vector<PullCache> pull_cache_;
+    std::vector<LogicalQubit> active_;
     std::int64_t pending_ = 0;
     std::int64_t last_compute_cycle_ = 0;
     double median_error_ = 1e-2;
@@ -521,86 +825,64 @@ class GreedyEngine
 /** Rebuild a greedy prefix and complete it with the ATA tail. */
 circuit::Circuit
 materialize_hybrid(const arch::CouplingGraph& device,
-                   const graph::Graph& problem,
-                   const circuit::Circuit& greedy,
+                   const graph::Graph& problem, const EdgeTable& edges,
+                   ScheduleCache& sched_cache, const circuit::Circuit& greedy,
                    std::int64_t prefix_ops)
 {
     circuit::Circuit circ(greedy.initial_mapping());
+    circ.reserve(static_cast<std::size_t>(prefix_ops));
     std::vector<bool> done(static_cast<std::size_t>(problem.num_edges()),
                            false);
-    std::unordered_map<VertexPair, std::int32_t, VertexPairHash>
-        edge_index;
-    for (std::int32_t e = 0; e < problem.num_edges(); ++e)
-        edge_index.emplace(problem.edges()[static_cast<std::size_t>(e)],
-                           e);
     for (std::int64_t i = 0; i < prefix_ops; ++i) {
         const auto& op = greedy.ops()[static_cast<std::size_t>(i)];
         if (op.kind == circuit::OpKind::Compute) {
             circ.add_compute(op.p, op.q);
-            auto it = edge_index.find(VertexPair(op.a, op.b));
-            panic_unless(it != edge_index.end(),
-                         "prefix compute on unknown edge");
-            done[static_cast<std::size_t>(it->second)] = true;
+            std::int32_t e = edges.at(op.a, op.b);
+            panic_unless(e >= 0, "prefix compute on unknown edge");
+            done[static_cast<std::size_t>(e)] = true;
         } else {
             circ.add_swap(op.p, op.q);
         }
     }
     auto plan = detect_regions(device, problem, done, circ.final_mapping());
-    auto sched = tail_schedule(device, plan);
+    const auto& sched = sched_cache.tail(device, plan);
     auto tail = ata::replay(device, problem, circ.final_mapping(), sched,
                             {}, &done);
     circ.append_circuit(tail);
     return circ;
 }
 
-} // namespace
-
+/**
+ * Absolute (trial-comparable) cost of a compiled circuit. The selector
+ * cost F is relative to each trial's own greedy baseline, so the
+ * multi-start winner is instead chosen by this absolute analogue:
+ * alpha-weighted depth plus error (CX count, or -log fidelity under a
+ * noise model), ties broken by the lower trial index.
+ */
 double
-selector_cost(const circuit::Metrics& m, const circuit::Metrics& reference,
-              const arch::NoiseModel* noise, double alpha)
+absolute_cost(const circuit::Metrics& m, const arch::NoiseModel* noise,
+              double alpha)
 {
-    double ref_depth = std::max<double>(1.0, reference.depth);
-    double depth_ratio = static_cast<double>(m.depth) / ref_depth;
-    double err, ref_err;
-    if (noise != nullptr && !noise->is_ideal()) {
+    double err;
+    if (noise != nullptr && !noise->is_ideal())
         err = -std::log(std::max(m.fidelity, 1e-300));
-        ref_err = std::max(-std::log(std::max(reference.fidelity, 1e-300)),
-                           1e-12);
-    } else {
+    else
         err = static_cast<double>(m.cx_count);
-        ref_err = std::max<double>(1.0, reference.cx_count);
-    }
-    return alpha * depth_ratio + (1.0 - alpha) * err / ref_err;
+    return alpha * static_cast<double>(m.depth) + (1.0 - alpha) * err;
 }
 
+/** One full placement-to-selection pipeline for a fixed initial
+ *  mapping (compile() fans these out across trials). */
 CompileResult
-compile(const arch::CouplingGraph& device, const graph::Graph& problem,
-        const CompilerOptions& options_in)
+compile_single(const arch::CouplingGraph& device,
+               const graph::Graph& problem, const CompilerOptions& options,
+               const CrosstalkMap* crosstalk, const EdgeTable& edge_table,
+               const DeviceIndex& device_index, ScheduleCache& sched_cache,
+               circuit::Mapping initial)
 {
-    fatal_unless(problem.num_vertices() <= device.num_qubits(),
-                 "problem does not fit on the device");
-    Timer timer;
     CompileResult result;
-
-    CompilerOptions options = options_in;
-    if (device.kind() == arch::ArchKind::Custom &&
-        options.use_ata_prediction) {
-        // Irregular devices have no ATA decomposition (paper §6.5);
-        // compile with the greedy component alone.
-        options.use_ata_prediction = false;
-    }
-
-    std::unique_ptr<CrosstalkMap> crosstalk;
-    if (options.crosstalk_aware)
-        crosstalk = std::make_unique<CrosstalkMap>(device);
-
-    circuit::Mapping initial =
-        options.smart_placement
-            ? connectivity_strength_placement(device, problem)
-            : circuit::Mapping(problem.num_vertices(),
-                               device.num_qubits());
-    GreedyEngine engine(device, problem, options, crosstalk.get(),
-                        std::move(initial));
+    GreedyEngine engine(device, problem, options, crosstalk, edge_table,
+                        device_index, sched_cache, std::move(initial));
     engine.run();
     const circuit::Circuit& greedy = engine.circuit();
     auto greedy_metrics = circuit::compute_metrics(greedy, options.noise);
@@ -643,22 +925,133 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
                 to_materialize.push_back(prefix);
         }
 
+        // Materialize candidates in parallel (each replay+metrics pass
+        // is independent), then select sequentially in the original
+        // candidate order so the winner is exactly the one the serial
+        // loop would have picked.
+        std::vector<circuit::Circuit> cand(to_materialize.size());
+        std::vector<circuit::Metrics> cand_metrics(to_materialize.size());
+        common::parallel_tasks(
+            static_cast<std::int64_t>(to_materialize.size()),
+            [&](std::int64_t i) {
+                cand[static_cast<std::size_t>(i)] = materialize_hybrid(
+                    device, problem, edge_table, sched_cache, greedy,
+                    to_materialize[static_cast<std::size_t>(i)]);
+                cand_metrics[static_cast<std::size_t>(i)] =
+                    circuit::compute_metrics(
+                        cand[static_cast<std::size_t>(i)], options.noise);
+            });
+
         double best_cost = selector_cost(greedy_metrics, greedy_metrics,
                                          options.noise, options.alpha);
-        for (std::int64_t prefix : to_materialize) {
-            auto candidate =
-                materialize_hybrid(device, problem, greedy, prefix);
-            auto metrics =
-                circuit::compute_metrics(candidate, options.noise);
-            double cost = selector_cost(metrics, greedy_metrics,
+        for (std::size_t i = 0; i < to_materialize.size(); ++i) {
+            double cost = selector_cost(cand_metrics[i], greedy_metrics,
                                         options.noise, options.alpha);
             if (cost < best_cost) {
                 best_cost = cost;
-                result.circuit = std::move(candidate);
-                result.metrics = metrics;
-                result.selected = prefix == 0 ? "ata" : "hybrid";
+                result.circuit = std::move(cand[i]);
+                result.metrics = cand_metrics[i];
+                result.selected =
+                    to_materialize[i] == 0 ? "ata" : "hybrid";
             }
         }
+    }
+    return result;
+}
+
+} // namespace
+
+double
+selector_cost(const circuit::Metrics& m, const circuit::Metrics& reference,
+              const arch::NoiseModel* noise, double alpha)
+{
+    double ref_depth = std::max<double>(1.0, reference.depth);
+    double depth_ratio = static_cast<double>(m.depth) / ref_depth;
+    double err, ref_err;
+    if (noise != nullptr && !noise->is_ideal()) {
+        err = -std::log(std::max(m.fidelity, 1e-300));
+        ref_err = std::max(-std::log(std::max(reference.fidelity, 1e-300)),
+                           1e-12);
+    } else {
+        err = static_cast<double>(m.cx_count);
+        ref_err = std::max<double>(1.0, reference.cx_count);
+    }
+    return alpha * depth_ratio + (1.0 - alpha) * err / ref_err;
+}
+
+CompileResult
+compile(const arch::CouplingGraph& device, const graph::Graph& problem,
+        const CompilerOptions& options_in)
+{
+    fatal_unless(problem.num_vertices() <= device.num_qubits(),
+                 "problem does not fit on the device");
+    Timer timer;
+
+    CompilerOptions options = options_in;
+    if (device.kind() == arch::ArchKind::Custom &&
+        options.use_ata_prediction) {
+        // Irregular devices have no ATA decomposition (paper §6.5);
+        // compile with the greedy component alone.
+        options.use_ata_prediction = false;
+    }
+
+    std::unique_ptr<CrosstalkMap> crosstalk;
+    if (options.crosstalk_aware)
+        crosstalk = std::make_unique<CrosstalkMap>(device);
+
+    // Force the lazily-built all-pairs distance cache *before* any
+    // parallel section — it is a mutable member of CouplingGraph and
+    // concurrent first access would race.
+    device.distances();
+    const EdgeTable edge_table(problem);
+    const DeviceIndex device_index(device);
+    ScheduleCache sched_cache;
+
+    auto initial_for_trial = [&](std::int32_t trial) {
+        if (trial == 0)
+            return options.smart_placement
+                       ? connectivity_strength_placement(device, problem)
+                       : circuit::Mapping(problem.num_vertices(),
+                                          device.num_qubits());
+        // Per-trial jump streams: trial k draws from the k-times-
+        // jumped generator, so its randomness is independent of how
+        // trials are scheduled across threads.
+        Xoshiro256 rng(options.placement_seed);
+        for (std::int32_t k = 0; k < trial; ++k)
+            rng.jump();
+        return perturbed_placement(device, problem, rng);
+    };
+
+    std::int32_t trials = std::max(1, options.num_placement_trials);
+    CompileResult result;
+    if (trials == 1) {
+        result = compile_single(device, problem, options, crosstalk.get(),
+                                edge_table, device_index, sched_cache,
+                                initial_for_trial(0));
+    } else {
+        // Independent trials fan out on the shared pool; the winner is
+        // picked sequentially by (absolute cost, trial index), so the
+        // result is identical at any thread count.
+        std::vector<CompileResult> trial_results(
+            static_cast<std::size_t>(trials));
+        common::parallel_tasks(trials, [&](std::int64_t t) {
+            trial_results[static_cast<std::size_t>(t)] = compile_single(
+                device, problem, options, crosstalk.get(), edge_table,
+                device_index, sched_cache,
+                initial_for_trial(static_cast<std::int32_t>(t)));
+        });
+        std::size_t best = 0;
+        double best_cost = absolute_cost(trial_results[0].metrics,
+                                         options.noise, options.alpha);
+        for (std::size_t t = 1; t < trial_results.size(); ++t) {
+            double cost = absolute_cost(trial_results[t].metrics,
+                                        options.noise, options.alpha);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = t;
+            }
+        }
+        result = std::move(trial_results[best]);
     }
 
     result.compile_seconds = timer.elapsed_seconds();

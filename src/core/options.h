@@ -63,6 +63,20 @@ struct CompilerOptions
      * greedy component on sparse problems.
      */
     bool smart_placement = true;
+
+    /**
+     * Number of independent placement trials. Trial 0 always uses the
+     * deterministic connectivity-strength placement (so 1 = the
+     * historical single-start behavior, bit for bit); trials 1..k-1
+     * perturb it with per-trial RNG jump streams derived from
+     * placement_seed. Trials run in parallel on the shared thread pool
+     * and the winner is chosen by (selector cost, trial index), so the
+     * result is identical at any thread count.
+     */
+    std::int32_t num_placement_trials = 1;
+
+    /** Base seed for the perturbed placement trials' jump streams. */
+    std::uint64_t placement_seed = 0x9d2c5680f00dull;
 };
 
 } // namespace permuq::core

@@ -1,6 +1,10 @@
 #include "placement.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace permuq::core {
 
@@ -9,24 +13,50 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
                                 const graph::Graph& problem)
 {
     std::int32_t n = problem.num_vertices();
+    std::int32_t num_phys = device.num_qubits();
     const auto& dist = device.distances();
 
-    // Physical centrality: degree, tie-broken by closeness.
+    // Physical centrality: degree, tie-broken by closeness. Row-wise
+    // accumulation over the raw distance table: at 1024 qubits the
+    // naive at(p, q) double loop was a measurable slice of every
+    // compilation.
     std::vector<std::int64_t> closeness(
-        static_cast<std::size_t>(device.num_qubits()), 0);
-    for (std::int32_t p = 0; p < device.num_qubits(); ++p)
-        for (std::int32_t q = 0; q < device.num_qubits(); ++q)
-            closeness[static_cast<std::size_t>(p)] += dist.at(p, q);
+        static_cast<std::size_t>(num_phys), 0);
+    bool disconnected = false;
+    for (std::int32_t p = 0; p < num_phys; ++p) {
+        const std::uint16_t* row = dist.row(p);
+        std::int64_t sum = 0;
+        for (std::int32_t q = 0; q < num_phys; ++q) {
+            std::uint16_t raw = row[static_cast<std::size_t>(q)];
+            disconnected |= raw == graph::DistanceMatrix::kRawUnreachable;
+            sum += graph::DistanceMatrix::decode(raw);
+        }
+        closeness[static_cast<std::size_t>(p)] = sum;
+    }
 
     std::vector<PhysicalQubit> phys_of(
         static_cast<std::size_t>(n), kInvalidQubit);
     std::vector<bool> pos_used(
-        static_cast<std::size_t>(device.num_qubits()), false);
+        static_cast<std::size_t>(num_phys), false);
     std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    // Number of already-placed problem neighbors of each vertex,
+    // maintained incrementally instead of recounted per step.
+    std::vector<std::int32_t> placed_nbrs(static_cast<std::size_t>(n), 0);
+    // Summed distance from each position to the placed neighbors of
+    // the current pick; reused across steps. On a connected device
+    // every partial sum is < num_phys^2, so the 32-bit accumulator
+    // (twice the SIMD lanes of the 64-bit one) is exact; the 64-bit
+    // variant stays behind for disconnected devices where unreachable
+    // sentinels (INT32_MAX/4 each) would overflow it.
+    bool narrow_acc = !disconnected && num_phys < 46000;
+    std::vector<std::int64_t> acc(
+        narrow_acc ? 0 : static_cast<std::size_t>(num_phys), 0);
+    std::vector<std::int32_t> acc32(
+        narrow_acc ? static_cast<std::size_t>(num_phys) : 0, 0);
 
     auto best_free_central = [&] {
         PhysicalQubit best = kInvalidQubit;
-        for (std::int32_t p = 0; p < device.num_qubits(); ++p) {
+        for (std::int32_t p = 0; p < num_phys; ++p) {
             if (pos_used[static_cast<std::size_t>(p)])
                 continue;
             if (best == kInvalidQubit ||
@@ -47,10 +77,8 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
         for (std::int32_t v = 0; v < n; ++v) {
             if (placed[static_cast<std::size_t>(v)])
                 continue;
-            std::int32_t num_placed = 0;
-            for (std::int32_t w : problem.neighbors(v))
-                if (placed[static_cast<std::size_t>(w)])
-                    ++num_placed;
+            std::int32_t num_placed =
+                placed_nbrs[static_cast<std::size_t>(v)];
             if (pick == -1 || num_placed > pick_placed ||
                 (num_placed == pick_placed &&
                  problem.degree(v) > problem.degree(pick))) {
@@ -62,18 +90,63 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
         if (pick_placed == 0) {
             where = best_free_central();
         } else {
-            std::int64_t best_sum = -1;
-            for (std::int32_t p = 0; p < device.num_qubits(); ++p) {
-                if (pos_used[static_cast<std::size_t>(p)])
-                    continue;
-                std::int64_t sum = 0;
-                for (std::int32_t w : problem.neighbors(pick))
-                    if (placed[static_cast<std::size_t>(w)])
-                        sum += dist.at(
-                            p, phys_of[static_cast<std::size_t>(w)]);
-                if (best_sum < 0 || sum < best_sum) {
-                    best_sum = sum;
-                    where = p;
+            // Sum distances row-major: one sequential pass over the
+            // distance row of each placed neighbor, then a single
+            // argmin scan. Integer sums and the ascending first-strict-
+            // min scan reproduce the original at(p, w) loop bit for
+            // bit.
+            if (narrow_acc) {
+                std::fill(acc32.begin(), acc32.end(), 0);
+                for (std::int32_t w : problem.neighbors(pick)) {
+                    if (!placed[static_cast<std::size_t>(w)])
+                        continue;
+                    const std::uint16_t* row =
+                        dist.row(phys_of[static_cast<std::size_t>(w)]);
+                    for (std::int32_t p = 0; p < num_phys; ++p)
+                        acc32[static_cast<std::size_t>(p)] +=
+                            row[static_cast<std::size_t>(p)];
+                }
+                std::int32_t best_sum = -1;
+                for (std::int32_t p = 0; p < num_phys; ++p) {
+                    if (pos_used[static_cast<std::size_t>(p)])
+                        continue;
+                    if (best_sum < 0 ||
+                        acc32[static_cast<std::size_t>(p)] < best_sum) {
+                        best_sum = acc32[static_cast<std::size_t>(p)];
+                        where = p;
+                    }
+                }
+            } else {
+                std::fill(acc.begin(), acc.end(), 0);
+                constexpr std::int64_t kUnreachBias =
+                    static_cast<std::int64_t>(kUnreachable) -
+                    graph::DistanceMatrix::kRawUnreachable;
+                for (std::int32_t w : problem.neighbors(pick)) {
+                    if (!placed[static_cast<std::size_t>(w)])
+                        continue;
+                    const std::uint16_t* row =
+                        dist.row(phys_of[static_cast<std::size_t>(w)]);
+                    for (std::int32_t p = 0; p < num_phys; ++p) {
+                        // Branchless decode (raw + bias when
+                        // unreachable).
+                        std::uint16_t raw =
+                            row[static_cast<std::size_t>(p)];
+                        acc[static_cast<std::size_t>(p)] +=
+                            raw +
+                            kUnreachBias *
+                                (raw ==
+                                 graph::DistanceMatrix::kRawUnreachable);
+                    }
+                }
+                std::int64_t best_sum = -1;
+                for (std::int32_t p = 0; p < num_phys; ++p) {
+                    if (pos_used[static_cast<std::size_t>(p)])
+                        continue;
+                    if (best_sum < 0 ||
+                        acc[static_cast<std::size_t>(p)] < best_sum) {
+                        best_sum = acc[static_cast<std::size_t>(p)];
+                        where = p;
+                    }
                 }
             }
         }
@@ -81,9 +154,73 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
         phys_of[static_cast<std::size_t>(pick)] = where;
         pos_used[static_cast<std::size_t>(where)] = true;
         placed[static_cast<std::size_t>(pick)] = true;
+        for (std::int32_t w : problem.neighbors(pick))
+            ++placed_nbrs[static_cast<std::size_t>(w)];
     }
     return circuit::Mapping(std::move(phys_of), device.num_qubits());
 }
 
+circuit::Mapping
+perturbed_placement(const arch::CouplingGraph& device,
+                    const graph::Graph& problem, Xoshiro256& rng)
+{
+    // Start from the deterministic connectivity-strength embedding and
+    // anneal briefly; each multi-start trial draws from its own jump
+    // stream so the result depends only on (device, problem, stream).
+    std::int32_t n = problem.num_vertices();
+    std::int32_t num_phys = device.num_qubits();
+    const auto& dist = device.distances();
+
+    auto seeded = connectivity_strength_placement(device, problem);
+    std::vector<PhysicalQubit> phys_of(static_cast<std::size_t>(n));
+    std::vector<LogicalQubit> logical_at(
+        static_cast<std::size_t>(num_phys), kInvalidQubit);
+    for (std::int32_t l = 0; l < n; ++l) {
+        phys_of[static_cast<std::size_t>(l)] = seeded.physical_of(l);
+        logical_at[static_cast<std::size_t>(seeded.physical_of(l))] = l;
+    }
+
+    auto vertex_cost = [&](LogicalQubit v, PhysicalQubit at) {
+        std::int64_t sum = 0;
+        for (std::int32_t w : problem.neighbors(v))
+            sum += dist.at(at, phys_of[static_cast<std::size_t>(w)]);
+        return sum;
+    };
+
+    std::int64_t iterations = 20ll * n;
+    double temperature = 2.0;
+    double cooling = std::pow(
+        1e-2 / temperature,
+        1.0 / static_cast<double>(std::max<std::int64_t>(iterations, 1)));
+    for (std::int64_t it = 0; it < iterations; ++it) {
+        LogicalQubit v = static_cast<LogicalQubit>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        PhysicalQubit to = static_cast<PhysicalQubit>(
+            rng.next_below(static_cast<std::uint64_t>(num_phys)));
+        PhysicalQubit from = phys_of[static_cast<std::size_t>(v)];
+        if (to == from)
+            continue;
+        LogicalQubit other = logical_at[static_cast<std::size_t>(to)];
+        std::int64_t before = vertex_cost(v, from);
+        std::int64_t after = vertex_cost(v, to);
+        if (other != kInvalidQubit) {
+            before += vertex_cost(other, to);
+            after += vertex_cost(other, from);
+        }
+        std::int64_t delta = after - before;
+        if (delta <= 0 ||
+            rng.next_double() <
+                std::exp(-static_cast<double>(delta) /
+                         std::max(temperature, 1e-9))) {
+            phys_of[static_cast<std::size_t>(v)] = to;
+            logical_at[static_cast<std::size_t>(to)] = v;
+            logical_at[static_cast<std::size_t>(from)] = other;
+            if (other != kInvalidQubit)
+                phys_of[static_cast<std::size_t>(other)] = from;
+        }
+        temperature *= cooling;
+    }
+    return circuit::Mapping(std::move(phys_of), device.num_qubits());
+}
 
 } // namespace permuq::core

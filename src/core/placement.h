@@ -11,6 +11,7 @@
 
 #include "arch/coupling_graph.h"
 #include "circuit/mapping.h"
+#include "common/rng.h"
 #include "graph/graph.h"
 
 namespace permuq::core {
@@ -23,6 +24,17 @@ namespace permuq::core {
  */
 circuit::Mapping connectivity_strength_placement(
     const arch::CouplingGraph& device, const graph::Graph& problem);
+
+/**
+ * Randomized variant for multi-start placement: the connectivity-
+ * strength embedding refined by a short simulated-annealing pass that
+ * draws all randomness from @p rng. Deterministic given the generator
+ * state, so per-trial jump() streams make trial k's placement
+ * independent of thread scheduling.
+ */
+circuit::Mapping perturbed_placement(const arch::CouplingGraph& device,
+                                     const graph::Graph& problem,
+                                     Xoshiro256& rng);
 
 } // namespace permuq::core
 

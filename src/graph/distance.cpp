@@ -1,6 +1,7 @@
 #include "distance.h"
 
 #include <deque>
+#include <string>
 
 #include "common/error.h"
 
@@ -40,7 +41,10 @@ DistanceMatrix::DistanceMatrix(const Graph& g)
             std::int32_t d = dist[static_cast<std::size_t>(v)];
             if (d != kUnreachable) {
                 panic_unless(d < kRawUnreachable,
-                             "distance exceeds 16-bit storage");
+                             "distance between vertices (" +
+                                 std::to_string(s) + "," +
+                                 std::to_string(v) +
+                                 ") exceeds 16-bit storage");
                 table_[static_cast<std::size_t>(s) * n_ +
                        static_cast<std::size_t>(v)] =
                     static_cast<std::uint16_t>(d);

@@ -42,15 +42,37 @@ class DistanceMatrix
                                       : static_cast<std::int32_t>(raw);
     }
 
+    /**
+     * Raw row of distances from @p u, one entry per target vertex.
+     * Entries are encoded; pass each through decode() (an entry of
+     * kRawUnreachable marks a disconnected pair). Row-wise iteration
+     * is the cache-friendly access pattern for the placement and A*
+     * hot loops, which would otherwise call at() column-major.
+     */
+    const std::uint16_t*
+    row(std::int32_t u) const
+    {
+        return table_.data() + static_cast<std::size_t>(u) * n_;
+    }
+
+    /** Decode one raw row entry into a distance (or kUnreachable). */
+    static std::int32_t
+    decode(std::uint16_t raw)
+    {
+        return raw == kRawUnreachable ? kUnreachable
+                                      : static_cast<std::int32_t>(raw);
+    }
+
     /** Number of vertices the table covers. */
     std::int32_t num_vertices() const { return static_cast<std::int32_t>(n_); }
 
     /** Largest finite pairwise distance (graph diameter). */
     std::int32_t diameter() const;
 
-  private:
+    /** Raw encoding of "unreachable" in row() entries. */
     static constexpr std::uint16_t kRawUnreachable = 0xffff;
 
+  private:
     std::size_t n_ = 0;
     std::vector<std::uint16_t> table_;
 };

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The shortest-path "pull one qubit toward the other" walk shared by
+ * every router in the project (the greedy engine's focus mode and
+ * custom-device fallback, and the baselines' stall fallback).
+ *
+ * The walk is deliberately deterministic: from the moving endpoint it
+ * always takes the first neighbor (in sorted adjacency order) that
+ * strictly reduces the distance to the target, so the emitted SWAP
+ * sequence is a pure function of (graph, distances, endpoints). The
+ * three previous hand-inlined copies of this loop relied on exactly
+ * that property; keep it when modifying.
+ */
+#ifndef PERMUQ_GRAPH_ROUTING_H
+#define PERMUQ_GRAPH_ROUTING_H
+
+#include <string>
+
+#include "common/error.h"
+#include "graph/distance.h"
+#include "graph/graph.h"
+
+namespace permuq::graph {
+
+/**
+ * Walk @p from toward @p to until the two are adjacent, invoking
+ * swap(current, next) for every step taken.
+ * @return the final position of the walker (adjacent to @p to, or
+ *         @p from itself if the pair already was adjacent or equal).
+ */
+template <typename SwapFn>
+std::int32_t
+walk_toward(const Graph& connectivity, const DistanceMatrix& dist,
+            std::int32_t from, std::int32_t to, SwapFn&& swap)
+{
+    while (dist.at(from, to) > 1) {
+        std::int32_t d = dist.at(from, to);
+        std::int32_t next = kInvalidQubit;
+        for (std::int32_t nb : connectivity.neighbors(from)) {
+            if (dist.at(nb, to) < d) {
+                next = nb;
+                break;
+            }
+        }
+        if (next == kInvalidQubit)
+            panic_unless(false,
+                         "no distance-reducing step between vertices (" +
+                             std::to_string(from) + "," +
+                             std::to_string(to) + "); disconnected pair?");
+        swap(from, next);
+        from = next;
+    }
+    return from;
+}
+
+} // namespace permuq::graph
+
+#endif // PERMUQ_GRAPH_ROUTING_H

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <deque>
-#include <queue>
+#include <bit>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +41,21 @@ struct EdgeMask
     }
 
     bool none() const { return bits[0] == 0 && bits[1] == 0; }
+
+    /** Invoke fn(e) for every set edge index, ascending. */
+    template <typename Fn>
+    void
+    for_each(Fn&& fn) const
+    {
+        for (std::size_t word = 0; word < bits.size(); ++word) {
+            std::uint64_t b = bits[word];
+            while (b != 0) {
+                fn(static_cast<std::int32_t>(word * 64) +
+                   std::countr_zero(b));
+                b &= b - 1;
+            }
+        }
+    }
 
     friend bool operator==(const EdgeMask&, const EdgeMask&) = default;
 };
@@ -89,14 +103,91 @@ struct Action
     PhysicalQubit p = 0, q = 0;
 };
 
-/** Search node; parents enable circuit reconstruction. */
+/**
+ * Search node. Nodes live in one growing pool and reference their
+ * transition's actions as an (offset, count) slice of a shared arena,
+ * so expanding a state allocates nothing per child beyond amortized
+ * vector growth; parents enable circuit reconstruction.
+ */
 struct Node
 {
     StateKey key;
     Cycle g = 0;
     std::int32_t swaps = 0; // cumulative SWAPs (secondary objective)
     std::int32_t parent = -1;
-    std::vector<Action> actions; // actions taken to reach this node
+    std::int32_t act_off = 0; // slice of the shared action arena
+    std::int32_t act_count = 0;
+};
+
+/**
+ * Monotone bucket queue over (f, g, swaps): pop order is f ascending,
+ * then g descending (progress keeps the search fast), then SWAP count
+ * ascending (a cosmetic secondary objective, since depth-optimal
+ * packings otherwise fill idle qubits with gratuitous swaps). f and g
+ * are small nonnegative cycle counts, so two bucket levels replace the
+ * old comparison-based heap; within one (f, g) bucket a binary heap on
+ * the SWAP count orders entries. Tie order among entries equal on all
+ * three keys is unspecified (as it already was with the old
+ * priority_queue), so which of several equally-optimal circuits is
+ * reconstructed may differ between implementations — depth optimality
+ * is unaffected.
+ */
+class OpenList
+{
+  public:
+    void
+    push(Cycle f, Cycle g, std::int32_t swaps, std::int32_t idx)
+    {
+        auto uf = static_cast<std::size_t>(f);
+        if (uf >= buckets_.size()) {
+            buckets_.resize(uf + 1);
+            count_.resize(uf + 1, 0);
+        }
+        auto& by_g = buckets_[uf];
+        if (static_cast<std::size_t>(g) >= by_g.size())
+            by_g.resize(static_cast<std::size_t>(g) + 1);
+        auto& bucket = by_g[static_cast<std::size_t>(g)];
+        bucket.push_back({swaps, idx});
+        std::push_heap(bucket.begin(), bucket.end(), kMoreSwaps);
+        ++count_[uf];
+        ++total_;
+        // An inconsistent heuristic may produce a child f below the
+        // current cursor; move the cursor back so pops stay monotone.
+        if (f < cur_f_)
+            cur_f_ = f;
+    }
+
+    bool empty() const { return total_ == 0; }
+
+    /** Pop the best entry; returns its node index. */
+    std::int32_t
+    pop()
+    {
+        while (count_[static_cast<std::size_t>(cur_f_)] == 0)
+            ++cur_f_;
+        auto& by_g = buckets_[static_cast<std::size_t>(cur_f_)];
+        std::size_t g = by_g.size();
+        while (by_g[--g].empty()) {
+        }
+        auto& bucket = by_g[g];
+        std::pop_heap(bucket.begin(), bucket.end(), kMoreSwaps);
+        std::int32_t idx = bucket.back().second;
+        bucket.pop_back();
+        --count_[static_cast<std::size_t>(cur_f_)];
+        --total_;
+        return idx;
+    }
+
+  private:
+    using Entry = std::pair<std::int32_t, std::int32_t>; // (swaps, idx)
+    static constexpr auto kMoreSwaps = [](const Entry& a, const Entry& b) {
+        return a.first > b.first; // min-heap on SWAP count
+    };
+
+    std::vector<std::vector<std::vector<Entry>>> buckets_; // [f][g]
+    std::vector<std::int64_t> count_;                      // entries per f
+    std::int64_t total_ = 0;
+    Cycle cur_f_ = 0;
 };
 
 } // namespace
@@ -131,7 +222,7 @@ solve_depth_optimal(const arch::CouplingGraph& device,
     const auto& edges = problem.edges();
     const auto& dist = device.distances();
 
-    // Heuristic h over a state.
+    // Heuristic h over a state (set-bit iteration + row pointers).
     auto heuristic = [&](const StateKey& key) -> Cycle {
         // position of each logical qubit.
         std::array<std::int32_t, kMaxQubits> pos{};
@@ -139,31 +230,39 @@ solve_depth_optimal(const arch::CouplingGraph& device,
             pos[key.mapping[static_cast<std::size_t>(p)]] = p;
         // remaining degree of each logical qubit.
         std::array<std::int32_t, kMaxQubits> deg{};
-        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
-            if (key.remaining.test(e)) {
-                ++deg[static_cast<std::size_t>(
-                    edges[static_cast<std::size_t>(e)].a)];
-                ++deg[static_cast<std::size_t>(
-                    edges[static_cast<std::size_t>(e)].b)];
-            }
-        }
+        key.remaining.for_each([&](std::int32_t e) {
+            ++deg[static_cast<std::size_t>(
+                edges[static_cast<std::size_t>(e)].a)];
+            ++deg[static_cast<std::size_t>(
+                edges[static_cast<std::size_t>(e)].b)];
+        });
         Cycle h = 0;
-        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
-            if (!key.remaining.test(e))
-                continue;
+        key.remaining.for_each([&](std::int32_t e) {
             const auto& edge = edges[static_cast<std::size_t>(e)];
-            std::int32_t d =
-                dist.at(pos[static_cast<std::size_t>(edge.a)],
-                        pos[static_cast<std::size_t>(edge.b)]);
-            h = std::max(h, pair_cost(deg[static_cast<std::size_t>(edge.a)],
-                                      deg[static_cast<std::size_t>(edge.b)],
-                                      d));
-        }
+            const std::uint16_t* row =
+                dist.row(pos[static_cast<std::size_t>(edge.a)]);
+            std::int32_t d = graph::DistanceMatrix::decode(
+                row[static_cast<std::size_t>(
+                    pos[static_cast<std::size_t>(edge.b)])]);
+            h = std::max(h,
+                         pair_cost(deg[static_cast<std::size_t>(edge.a)],
+                                   deg[static_cast<std::size_t>(edge.b)],
+                                   d));
+        });
         return h;
     };
 
-    std::deque<Node> nodes;
-    std::unordered_map<StateKey, Cycle, StateKeyHash> best_g;
+    // Node pool + action arena; best_node maps each reached state to
+    // the pool index currently holding its best g. A node whose state
+    // gets re-reached with a lower g is flagged superseded, so the pop
+    // path tests one byte instead of re-hashing the 24-byte StateKey
+    // on every expansion.
+    std::vector<Node> nodes;
+    std::vector<Action> arena;
+    std::vector<std::uint8_t> superseded;
+    std::unordered_map<StateKey, std::int32_t, StateKeyHash> best_node;
+    nodes.reserve(1024);
+    superseded.reserve(1024);
 
     Node root;
     for (std::int32_t p = 0; p < n; ++p) {
@@ -175,23 +274,11 @@ solve_depth_optimal(const arch::CouplingGraph& device,
     for (std::int32_t e = 0; e < problem.num_edges(); ++e)
         root.key.remaining.set(e);
     nodes.push_back(root);
-    best_g.emplace(root.key, 0);
+    superseded.push_back(0);
+    best_node.emplace(root.key, 0);
 
-    // f, swaps, g, idx: depth-optimal first; among equal f prefer
-    // deeper nodes (progress keeps the search fast), then fewer SWAPs
-    // (a cosmetic secondary objective, since depth-optimal packings
-    // otherwise fill idle qubits with gratuitous swaps).
-    using QueueEntry = std::tuple<Cycle, std::int32_t, Cycle, std::int32_t>;
-    auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
-        if (std::get<0>(a) != std::get<0>(b))
-            return std::get<0>(a) > std::get<0>(b);
-        if (std::get<2>(a) != std::get<2>(b))
-            return std::get<2>(a) < std::get<2>(b);
-        return std::get<1>(a) > std::get<1>(b);
-    };
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
-        open(cmp);
-    open.emplace(heuristic(root.key), 0, 0, 0);
+    OpenList open;
+    open.push(heuristic(root.key), 0, 0, 0);
 
     SolverResult result;
     const auto& couplers = device.couplers();
@@ -200,13 +287,16 @@ solve_depth_optimal(const arch::CouplingGraph& device,
     if (max_work == 0 && options.max_expansions > 0)
         max_work = 64 * options.max_expansions;
 
+    // Per-expansion scratch, hoisted out of the loop.
+    std::vector<Action> candidates;
+    std::vector<Action> chosen;
+
     while (!open.empty()) {
-        auto [f, swaps, g, idx] = open.top();
-        (void)swaps;
-        open.pop();
-        StateKey key = nodes[static_cast<std::size_t>(idx)].key;
-        if (g != best_g[key])
-            continue; // stale entry
+        std::int32_t idx = open.pop();
+        if (superseded[static_cast<std::size_t>(idx)])
+            continue; // a cheaper route to this state was queued later
+        const StateKey key = nodes[static_cast<std::size_t>(idx)].key;
+        const Cycle g = nodes[static_cast<std::size_t>(idx)].g;
 
         if (key.remaining.none()) {
             // Terminal: reconstruct the circuit from the action chain.
@@ -219,8 +309,10 @@ solve_depth_optimal(const arch::CouplingGraph& device,
             std::reverse(chain.begin(), chain.end());
             circuit::Circuit circ(initial);
             for (std::int32_t node_idx : chain) {
-                for (const auto& act :
-                     nodes[static_cast<std::size_t>(node_idx)].actions) {
+                const Node& node = nodes[static_cast<std::size_t>(node_idx)];
+                for (std::int32_t k = 0; k < node.act_count; ++k) {
+                    const Action& act = arena[static_cast<std::size_t>(
+                        node.act_off + k)];
                     if (act.is_gate)
                         circ.add_compute(act.p, act.q);
                     else
@@ -245,25 +337,21 @@ solve_depth_optimal(const arch::CouplingGraph& device,
         for (std::int32_t p = 0; p < n; ++p)
             pos[key.mapping[static_cast<std::size_t>(p)]] = p;
         std::array<std::int32_t, kMaxQubits> deg{};
-        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
-            if (key.remaining.test(e)) {
-                ++deg[static_cast<std::size_t>(
-                    edges[static_cast<std::size_t>(e)].a)];
-                ++deg[static_cast<std::size_t>(
-                    edges[static_cast<std::size_t>(e)].b)];
-            }
-        }
+        key.remaining.for_each([&](std::int32_t e) {
+            ++deg[static_cast<std::size_t>(
+                edges[static_cast<std::size_t>(e)].a)];
+            ++deg[static_cast<std::size_t>(
+                edges[static_cast<std::size_t>(e)].b)];
+        });
 
-        std::vector<Action> candidates;
-        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
-            if (!key.remaining.test(e))
-                continue;
+        candidates.clear();
+        key.remaining.for_each([&](std::int32_t e) {
             const auto& edge = edges[static_cast<std::size_t>(e)];
             std::int32_t pa = pos[static_cast<std::size_t>(edge.a)];
             std::int32_t pb = pos[static_cast<std::size_t>(edge.b)];
             if (device.coupled(pa, pb))
                 candidates.push_back({true, e, pa, pb});
-        }
+        });
         std::size_t num_gate_actions = candidates.size();
         for (const auto& c : couplers) {
             LogicalQubit la = key.mapping[static_cast<std::size_t>(c.a)];
@@ -278,7 +366,7 @@ solve_depth_optimal(const arch::CouplingGraph& device,
         // Enumerate all non-empty compatible action subsets (matchings
         // on qubits). With force_maximal_gates, a gate action may be
         // skipped only if one of its qubits is used by another action.
-        std::vector<Action> chosen;
+        chosen.clear();
         std::uint32_t used = 0;
         auto emit_child = [&] {
             if (chosen.empty())
@@ -307,22 +395,33 @@ solve_depth_optimal(const arch::CouplingGraph& device,
                 }
             }
             Cycle child_g = g + 1;
-            auto it = best_g.find(child);
-            if (it != best_g.end() && it->second <= child_g)
-                return;
-            best_g[child] = child_g;
+            auto [it, inserted] = best_node.try_emplace(child, -1);
+            if (!inserted) {
+                Node& prev = nodes[static_cast<std::size_t>(it->second)];
+                if (prev.g <= child_g)
+                    return;
+                superseded[static_cast<std::size_t>(it->second)] = 1;
+            }
             Node node;
             node.key = child;
             node.g = child_g;
             node.swaps = nodes[static_cast<std::size_t>(idx)].swaps;
-            for (const auto& act : chosen)
+            node.parent = idx;
+            node.act_off = static_cast<std::int32_t>(arena.size());
+            node.act_count = static_cast<std::int32_t>(chosen.size());
+            for (const auto& act : chosen) {
+                arena.push_back(act);
                 if (!act.is_gate)
                     ++node.swaps;
-            node.parent = idx;
-            node.actions = chosen;
+            }
+            std::int32_t node_idx =
+                static_cast<std::int32_t>(nodes.size());
+            it->second = node_idx;
+            std::int32_t node_swaps = node.swaps;
             nodes.push_back(std::move(node));
-            open.emplace(child_g + heuristic(child), node.swaps, child_g,
-                         static_cast<std::int32_t>(nodes.size()) - 1);
+            superseded.push_back(0);
+            open.push(child_g + heuristic(child), child_g, node_swaps,
+                      node_idx);
         };
 
         auto dfs = [&](auto&& self, std::size_t i) -> void {

@@ -216,6 +216,66 @@ TEST(MatchingTest, ExactBeatsOrTiesGreedy)
     }
 }
 
+TEST(MatchingTest, EqualWeightTieBreakIsInputOrderInvariant)
+{
+    // All-equal weights: the sort key falls through to (u asc, v asc),
+    // which is total over distinct couplers, so the chosen endpoint
+    // pairs must not depend on the order candidates were accumulated.
+    std::vector<WeightedEdge> edges = {
+        {2, 3, 1.0}, {0, 1, 1.0}, {4, 5, 1.0}, {1, 2, 1.0}, {3, 4, 1.0},
+        {0, 5, 1.0}};
+    auto pairs_of = [&](const std::vector<WeightedEdge>& e) {
+        auto picks = greedy_max_weight_matching(6, e);
+        std::vector<std::pair<std::int32_t, std::int32_t>> out;
+        for (auto i : picks)
+            out.emplace_back(e[static_cast<std::size_t>(i)].u,
+                             e[static_cast<std::size_t>(i)].v);
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    auto reference = pairs_of(edges);
+    EXPECT_EQ(reference.size(), 3u); // perfect matching on the 6-cycle
+    std::vector<WeightedEdge> permuted = edges;
+    Xoshiro256 rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        for (std::size_t i = permuted.size(); i > 1; --i)
+            std::swap(permuted[i - 1],
+                      permuted[static_cast<std::size_t>(
+                          rng.next_below(i))]);
+        EXPECT_EQ(pairs_of(permuted), reference);
+    }
+}
+
+TEST(DistanceTest, UnreachablePropagatesAcrossComponents)
+{
+    // Three components; every cross-component query must decode to
+    // kUnreachable through both the checked and the raw row access.
+    Graph g(8);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(3, 4);
+    // 5, 6, 7 isolated except 6-7.
+    g.add_edge(6, 7);
+    DistanceMatrix m(g);
+    std::vector<std::int32_t> comp = {0, 0, 0, 1, 1, 2, 3, 3};
+    for (std::int32_t u = 0; u < 8; ++u) {
+        const std::uint16_t* row = m.row(u);
+        for (std::int32_t v = 0; v < 8; ++v) {
+            std::int32_t via_raw = DistanceMatrix::decode(
+                row[static_cast<std::size_t>(v)]);
+            EXPECT_EQ(via_raw, m.at(u, v));
+            if (comp[static_cast<std::size_t>(u)] !=
+                comp[static_cast<std::size_t>(v)]) {
+                EXPECT_EQ(m.at(u, v), kUnreachable);
+                EXPECT_EQ(row[static_cast<std::size_t>(v)],
+                          DistanceMatrix::kRawUnreachable);
+            } else {
+                EXPECT_LT(m.at(u, v), kUnreachable);
+            }
+        }
+    }
+}
+
 TEST(MatchingTest, ExactKnownOptimum)
 {
     // Triangle chain where greedy's first pick blocks the optimum.

@@ -1,0 +1,95 @@
+// Throwaway: prints FNV-1a hashes of compiled circuits for a fixed
+// case matrix; used to freeze pre-refactor golden values.
+#include <cstdio>
+
+#include "arch/coupling_graph.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+
+using namespace permuq;
+
+static std::uint64_t
+circuit_hash(const circuit::Circuit& c)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    for (const auto& op : c.ops()) {
+        mix(static_cast<std::uint64_t>(op.kind));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.p)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.q)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.a)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.b)));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(op.cycle)));
+    }
+    mix(static_cast<std::uint64_t>(c.depth()));
+    mix(static_cast<std::uint64_t>(c.num_compute()));
+    mix(static_cast<std::uint64_t>(c.num_swaps()));
+    for (std::int32_t l = 0; l < c.final_mapping().num_logical(); ++l)
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(c.final_mapping().physical_of(l))));
+    return h;
+}
+
+int
+main()
+{
+    struct Case
+    {
+        arch::ArchKind kind;
+        std::int32_t n;
+        double density;
+        std::uint64_t seed;
+        bool crosstalk;
+        bool noise;
+    };
+    const Case cases[] = {
+        {arch::ArchKind::HeavyHex, 32, 0.3, 17, false, false},
+        {arch::ArchKind::HeavyHex, 64, 0.5, 29, false, false},
+        {arch::ArchKind::Sycamore, 64, 0.3, 7, false, false},
+        {arch::ArchKind::Grid, 36, 0.4, 11, false, false},
+        {arch::ArchKind::Hexagon, 36, 0.3, 13, false, false},
+        {arch::ArchKind::Line, 16, 0.4, 5, false, false},
+        {arch::ArchKind::Grid, 25, 0.5, 3, true, false},
+        {arch::ArchKind::HeavyHex, 32, 0.3, 19, false, true},
+        {arch::ArchKind::Custom, 0, 0, 0, false, false}, // ring-with-chords
+    };
+    for (const auto& c : cases) {
+        core::CompilerOptions options;
+        arch::CouplingGraph device =
+            c.kind == arch::ArchKind::Custom
+                ? [] {
+                      std::vector<VertexPair> couplers;
+                      for (std::int32_t i = 0; i < 12; ++i)
+                          couplers.emplace_back(i, (i + 1) % 12);
+                      couplers.emplace_back(0, 6);
+                      couplers.emplace_back(3, 9);
+                      couplers.emplace_back(2, 7);
+                      return arch::make_custom(12, couplers,
+                                               "ring-with-chords");
+                  }()
+                : arch::smallest_arch(c.kind, c.n);
+        auto problem =
+            c.kind == arch::ArchKind::Custom
+                ? problem::random_graph(12, 0.4, 43)
+                : problem::random_graph(c.n, c.density, c.seed);
+        options.crosstalk_aware = c.crosstalk;
+        auto noise =
+            arch::NoiseModel::calibrated(device, 8, 1e-2, 2e-2, 1.2);
+        if (c.noise)
+            options.noise = &noise;
+        auto result = core::compile(device, problem, options);
+        std::printf("{\"%s\", %d, %.1f, %lluull, %s, %s, "
+                    "0x%016llxull},\n",
+                    arch::to_string(c.kind).c_str(), c.n, c.density,
+                    static_cast<unsigned long long>(c.seed),
+                    c.crosstalk ? "true" : "false",
+                    c.noise ? "true" : "false",
+                    static_cast<unsigned long long>(
+                        circuit_hash(result.circuit)));
+    }
+    return 0;
+}
