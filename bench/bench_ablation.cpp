@@ -35,9 +35,9 @@ run(const arch::CouplingGraph& device, std::int32_t n, double density,
 {
     return average_over_seeds([&](std::uint64_t seed) {
         auto problem = problem::random_graph(n, density, seed);
-        Timer t;
-        auto result = core::compile(device, problem, options);
-        return std::pair{result.metrics, t.elapsed_seconds()};
+        auto [result, seconds] = bench::timed_call(
+            [&] { return core::compile(device, problem, options); });
+        return std::pair{result.metrics, seconds};
     });
 }
 
@@ -112,11 +112,12 @@ main()
                 circuit::Mapping mapping(w.n, device.num_qubits());
                 ata::ReplayOptions options;
                 options.skip_dead_swaps = skip;
-                Timer t;
-                auto circ = ata::replay(device, problem, mapping, sched,
-                                        options);
+                auto [circ, seconds] = bench::timed_call([&] {
+                    return ata::replay(device, problem, mapping, sched,
+                                       options);
+                });
                 return std::pair{circuit::compute_metrics(circ),
-                                 t.elapsed_seconds()};
+                                 seconds};
             });
             replay_table.add_row({label, skip ? "skip" : "keep",
                                   Table::cell(avg.depth, 0),

@@ -41,12 +41,13 @@ main()
     };
     for (const auto& c : cases) {
         auto device = arch::smallest_arch(c.kind, c.n);
-        Timer t;
-        auto sched = ata::full_ata_schedule(device);
         auto problem = graph::Graph::clique(device.num_qubits());
         circuit::Mapping mapping(device.num_qubits(), device.num_qubits());
-        auto circ = ata::replay(device, problem, mapping, sched);
-        double seconds = t.elapsed_seconds();
+        circuit::Circuit circ;
+        double seconds = bench::timed([&] {
+            auto sched = ata::full_ata_schedule(device);
+            circ = ata::replay(device, problem, mapping, sched);
+        });
         circuit::expect_valid(circ, device, problem);
         auto m = circuit::compute_metrics(circ);
         table.add_row(

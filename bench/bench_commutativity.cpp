@@ -46,9 +46,9 @@ main()
             return average_over_seeds([&](std::uint64_t seed) {
                 auto problem =
                     problem::random_graph(w.n, w.density, seed);
-                Timer t;
-                auto result = compiler(device, problem);
-                return std::pair{result.metrics, t.elapsed_seconds()};
+                auto [result, seconds] = bench::timed_call(
+                    [&] { return compiler(device, problem); });
+                return std::pair{result.metrics, seconds};
             });
         };
         auto sabre = run([](const auto& d, const auto& p) {

@@ -749,18 +749,7 @@ env_int(const char* name, std::int32_t fallback)
     return fallback;
 }
 
-template <typename Fn>
-double
-time_best(std::int32_t reps, Fn&& body)
-{
-    double best = 1e30;
-    for (std::int32_t r = 0; r < reps; ++r) {
-        Timer t;
-        body();
-        best = std::min(best, t.elapsed_seconds());
-    }
-    return best;
-}
+using bench::time_best;
 
 struct Row
 {
@@ -916,6 +905,7 @@ main(int argc, char** argv)
         std::fclose(json);
         std::printf("wrote BENCH_compile.json\n");
     }
+    bench::write_metrics_sidecar("compile_scaling");
 
     if (!all_match)
         return 1;

@@ -181,16 +181,18 @@ env_int(const char* name, std::int32_t fallback)
     return fallback;
 }
 
-/** Best-of-reps wall time of @p body; returns (seconds, last result). */
+/** Best-of-reps wall time of @p body; returns (seconds, last result).
+ *  Timing goes through bench::timed_call so each rep also lands in the
+ *  permuq.bench.run_ms histogram. */
 template <typename Fn>
 std::pair<double, double>
 time_best(std::int32_t reps, Fn&& body)
 {
     double best = 1e30, result = 0.0;
     for (std::int32_t r = 0; r < reps; ++r) {
-        Timer t;
-        result = body();
-        best = std::min(best, t.elapsed_seconds());
+        auto [value, seconds] = bench::timed_call(body);
+        result = value;
+        best = std::min(best, seconds);
     }
     return {best, result};
 }
@@ -312,5 +314,6 @@ main()
         std::fclose(json);
         std::printf("wrote BENCH_sim.json\n");
     }
+    bench::write_metrics_sidecar("sim_scaling");
     return speedup >= 2.0 && max_err < 1e-6 ? 0 : 1;
 }

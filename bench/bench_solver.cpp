@@ -64,8 +64,9 @@ main()
         auto device = arch::make_line(n);
         auto problem = graph::Graph::clique(n);
         circuit::Mapping mapping(n, n);
-        Timer t;
-        auto result = solver::solve_depth_optimal(device, problem, mapping);
+        auto [result, seconds] = bench::timed_call([&] {
+            return solver::solve_depth_optimal(device, problem, mapping);
+        });
         auto sched = ata::full_ata_schedule(device);
         auto pattern =
             ata::replay(device, problem, mapping, sched).depth();
@@ -74,7 +75,7 @@ main()
              Table::cell(static_cast<long long>(result.depth)),
              Table::cell(static_cast<long long>(pattern)),
              Table::cell(static_cast<long long>(result.expansions)),
-             Table::cell(t.elapsed_seconds(), 3)});
+             Table::cell(seconds, 3)});
     }
 
     // Two-unit bipartite instances (Figs 8, 11, 12).
@@ -92,16 +93,17 @@ main()
         auto problem = two_unit_problem(inst.device);
         circuit::Mapping mapping(inst.device.num_qubits(),
                                  inst.device.num_qubits());
-        Timer t;
-        auto result =
-            solver::solve_depth_optimal(inst.device, problem, mapping);
+        auto [result, seconds] = bench::timed_call([&] {
+            return solver::solve_depth_optimal(inst.device, problem,
+                                               mapping);
+        });
         table.add_row(
             {inst.name,
              Table::cell(static_cast<long long>(result.depth)),
              Table::cell(static_cast<long long>(
                  pattern_depth_bipartite(inst.device))),
              Table::cell(static_cast<long long>(result.expansions)),
-             Table::cell(t.elapsed_seconds(), 3)});
+             Table::cell(seconds, 3)});
     }
     table.print();
     std::printf("(the generalized patterns must track the small-case "

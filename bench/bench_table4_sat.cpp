@@ -33,9 +33,8 @@ main()
             // are deterministic; seed 1 matches the other benches).
             auto device = arch::smallest_arch(arch::ArchKind::Grid, n);
             auto problem = problem::random_graph(n, density, 1);
-            Timer t_ours;
-            auto ours = core::compile(device, problem);
-            double ours_t = t_ours.elapsed_seconds();
+            auto [ours, ours_t] = bench::timed_call(
+                [&] { return core::compile(device, problem); });
             auto olsq = baselines::olsq_like(device, problem);
             auto satmap = baselines::satmap_like(device, problem);
             auto mark = [](const baselines::BaselineResult& r,

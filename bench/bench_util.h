@@ -10,6 +10,7 @@
 #ifndef PERMUQ_BENCH_BENCH_UTIL_H
 #define PERMUQ_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -20,6 +21,8 @@
 #include "circuit/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/telemetry/telemetry.h"
+#include "common/timer.h"
 
 namespace permuq::bench {
 
@@ -42,6 +45,8 @@ struct AveragedMetrics
     double depth = 0.0;
     double cx = 0.0;
     double seconds = 0.0;
+    double seconds_p50 = 0.0; ///< median per-seed compile time
+    double seconds_p95 = 0.0; ///< 95th-percentile per-seed compile time
 };
 
 /**
@@ -60,7 +65,8 @@ average_over_seeds(
         cx.push_back(static_cast<double>(m.cx_count));
         secs.push_back(t);
     }
-    return {mean(depth), mean(cx), mean(secs)};
+    return {mean(depth), mean(cx), mean(secs), median(secs),
+            percentile(secs, 95.0)};
 }
 
 /**
@@ -90,13 +96,95 @@ average_over_seeds_parallel(
         depth.push_back(static_cast<double>(m.depth));
         cx.push_back(static_cast<double>(m.cx_count));
     }
-    return {mean(depth), mean(cx), mean(secs)};
+    return {mean(depth), mean(cx), mean(secs), median(secs),
+            percentile(secs, 95.0)};
 }
 
-/** Print a figure/table banner. */
+/**
+ * Wall time of one @p body run, in seconds. The single place every
+ * bench measures through (replacing the ad-hoc Timer/elapsed pattern);
+ * each run also lands in the permuq.bench.run_ms histogram so a
+ * metrics sidecar captures the raw timing distribution.
+ */
+template <typename Fn>
+double
+timed(Fn&& body)
+{
+    Timer t;
+    body();
+    double seconds = t.elapsed_seconds();
+    if (telemetry::enabled()) {
+        static telemetry::Histogram& runs =
+            telemetry::histogram("permuq.bench.run_ms");
+        runs.record(seconds * 1e3);
+    }
+    return seconds;
+}
+
+/** timed() for a value-returning @p body: (result, seconds). */
+template <typename Fn>
+auto
+timed_call(Fn&& body) -> std::pair<decltype(body()), double>
+{
+    Timer t;
+    auto result = body();
+    double seconds = t.elapsed_seconds();
+    if (telemetry::enabled()) {
+        static telemetry::Histogram& runs =
+            telemetry::histogram("permuq.bench.run_ms");
+        runs.record(seconds * 1e3);
+    }
+    return {std::move(result), seconds};
+}
+
+/** Best-of-@p reps wall time of @p body, in seconds. */
+template <typename Fn>
+double
+time_best(std::int32_t reps, Fn&& body)
+{
+    double best = 1e30;
+    for (std::int32_t r = 0; r < reps; ++r)
+        best = std::min(best, timed(body));
+    return best;
+}
+
+/** Turn telemetry on when PERMUQ_METRICS or PERMUQ_TRACE asks for it.
+ *  banner() calls this; benches without a banner call it directly. */
+inline void
+arm_telemetry_from_env()
+{
+    if (std::getenv("PERMUQ_METRICS") != nullptr ||
+        telemetry::env_trace_path() != nullptr)
+        telemetry::set_enabled(true);
+}
+
+/**
+ * Write the telemetry metrics snapshot to METRICS_<name>.json (in
+ * PERMUQ_METRICS when that names a directory, else the working
+ * directory). No-op unless telemetry is on — banner() turns it on
+ * when PERMUQ_METRICS or PERMUQ_TRACE is set.
+ */
+inline void
+write_metrics_sidecar(const std::string& name)
+{
+    if (!telemetry::enabled())
+        return;
+    std::string path = "METRICS_" + name + ".json";
+    if (const char* dir = std::getenv("PERMUQ_METRICS"))
+        if (dir[0] != '\0' && std::string(dir) != "1")
+            path = std::string(dir) + "/" + path;
+    if (telemetry::Registry::instance().write_metrics(path))
+        std::printf("metrics sidecar: wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+}
+
+/** Print a figure/table banner (and arm telemetry when the
+ *  PERMUQ_METRICS / PERMUQ_TRACE env vars ask for it). */
 inline void
 banner(const std::string& title, const std::string& paper_ref)
 {
+    arm_telemetry_from_env();
     std::printf("\n== %s ==\n(reproduces %s; %d seed%s per point; see "
                 "EXPERIMENTS.md)\n\n",
                 title.c_str(), paper_ref.c_str(), num_seeds(),

@@ -7,6 +7,7 @@
 
 #include "ata/ata.h"
 #include "ata/replay.h"
+#include "common/telemetry/telemetry.h"
 #include "common/timer.h"
 #include "core/compiler.h"
 
@@ -25,6 +26,8 @@ greedy_only(const arch::CouplingGraph& device, const graph::Graph& problem,
     result.metrics = compiled.metrics;
     result.name = "greedy";
     result.compile_seconds = compiled.compile_seconds;
+    telemetry::counter("permuq.baselines.greedy_only.swaps_inserted")
+        .add(result.circuit.num_swaps());
     return result;
 }
 
@@ -44,6 +47,8 @@ ata_only(const arch::CouplingGraph& device, const graph::Graph& problem)
     result.metrics = circuit::compute_metrics(result.circuit);
     result.name = "solver";
     result.compile_seconds = timer.elapsed_seconds();
+    telemetry::counter("permuq.baselines.ata_only.swaps_inserted")
+        .add(result.circuit.num_swaps());
     return result;
 }
 

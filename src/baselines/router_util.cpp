@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/telemetry/telemetry.h"
 #include "graph/routing.h"
 
 namespace permuq::baselines {
@@ -208,6 +209,8 @@ route_frontier(const arch::CouplingGraph& device,
         }
     }
     panic_unless(pending.count == 0, "frontier router did not terminate");
+    telemetry::counter("permuq.baselines.router.swaps_inserted")
+        .add(circ.num_swaps());
     return circ;
 }
 

@@ -4,9 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "common/telemetry/telemetry.h"
+#include "common/timer.h"
 
 namespace permuq::common {
 
@@ -26,6 +30,14 @@ default_num_threads()
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::int64_t
+steady_now_ns()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 } // namespace
@@ -49,6 +61,8 @@ struct ThreadPool::Impl
      *  snapshotted and claim chunks of a later job's counter. */
     int active_workers = 0;
     std::exception_ptr first_error;
+    /** Submission timestamp of the current job (telemetry only). */
+    std::atomic<std::int64_t> job_submit_ns{0};
 
     bool stopping = false;
     std::vector<std::thread> workers;
@@ -143,12 +157,37 @@ ThreadPool::work_on_current_job(
     const std::function<void(std::int64_t)>& fn, std::int64_t chunks)
 {
     tls_in_pool_chunk = true;
+    // One enabled() read per job, not per chunk; recording costs a
+    // clock read + two lock-free histogram updates per chunk when on.
+    const bool record = telemetry::enabled();
+    if (record) {
+        static telemetry::Histogram& queue_wait = telemetry::histogram(
+            "permuq.common.pool.queue_wait_us");
+        const std::int64_t submit =
+            impl_->job_submit_ns.load(std::memory_order_relaxed);
+        queue_wait.record(
+            static_cast<double>(steady_now_ns() - submit) / 1e3);
+    }
     std::int64_t completed = 0;
     std::exception_ptr error;
     for (;;) {
         std::int64_t c = impl_->next_chunk.fetch_add(1);
         if (c >= chunks)
             break;
+        if (record) {
+            static telemetry::Histogram& exec = telemetry::histogram(
+                "permuq.common.pool.chunk_exec_us");
+            Timer t;
+            try {
+                fn(c);
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+            exec.record(static_cast<double>(t.elapsed_ns()) / 1e3);
+            ++completed;
+            continue;
+        }
         try {
             fn(c);
         } catch (...) {
@@ -198,6 +237,11 @@ ThreadPool::run(std::int64_t num_chunks,
         impl_->chunks_done = 0;
         impl_->first_error = nullptr;
         ++impl_->job_generation;
+        if (telemetry::enabled()) {
+            impl_->job_submit_ns.store(steady_now_ns(),
+                                       std::memory_order_relaxed);
+            telemetry::counter("permuq.common.pool.jobs").add();
+        }
     }
     impl_->job_cv.notify_all();
 

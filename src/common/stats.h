@@ -6,6 +6,7 @@
 #ifndef PERMUQ_COMMON_STATS_H
 #define PERMUQ_COMMON_STATS_H
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -35,6 +36,35 @@ stddev(const std::vector<double>& xs)
     for (double x : xs)
         s += (x - m) * (x - m);
     return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/**
+ * The @p p-th percentile of @p xs (p in [0, 100]) with linear
+ * interpolation between closest ranks; fatal on empty input. For
+ * n = 1 every percentile is the single sample.
+ */
+inline double
+percentile(const std::vector<double>& xs, double p)
+{
+    fatal_unless(!xs.empty(), "percentile of empty sample");
+    fatal_unless(p >= 0.0 && p <= 100.0, "percentile p out of [0, 100]");
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/** Median (the 50th percentile); fatal on empty input. */
+inline double
+median(const std::vector<double>& xs)
+{
+    return percentile(xs, 50.0);
 }
 
 /** Geometric mean; all samples must be positive. */

@@ -7,6 +7,7 @@
 #define PERMUQ_COMMON_TIMER_H
 
 #include <chrono>
+#include <cstdint>
 
 namespace permuq {
 
@@ -28,6 +29,16 @@ class Timer
 
     /** Elapsed milliseconds since construction or the last reset(). */
     double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+    /** Elapsed whole nanoseconds since construction or the last
+     *  reset(). Integer-exact, used by telemetry spans. */
+    std::int64_t
+    elapsed_ns() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
 
   private:
     using Clock = std::chrono::steady_clock;

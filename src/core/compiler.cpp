@@ -9,6 +9,7 @@
 #include "ata/replay.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
 #include "common/timer.h"
 #include "core/crosstalk.h"
 #include "core/placement.h"
@@ -131,10 +132,17 @@ class ScheduleCache
     const ata::SwapSchedule&
     get(const arch::CouplingGraph& device, const ata::Region& region)
     {
+        static telemetry::Counter& hits =
+            telemetry::counter("permuq.core.schedule_cache.hit");
+        static telemetry::Counter& misses =
+            telemetry::counter("permuq.core.schedule_cache.miss");
         std::lock_guard<std::mutex> lock(mu_);
         for (const auto& [r, s] : entries_)
-            if (r == region)
+            if (r == region) {
+                hits.add();
                 return s;
+            }
+        misses.add();
         entries_.emplace_back(region, ata::ata_schedule(device, region));
         return entries_.back().second;
     }
@@ -149,12 +157,19 @@ class ScheduleCache
     const ata::SwapSchedule&
     tail(const arch::CouplingGraph& device, const RegionPlan& plan)
     {
+        static telemetry::Counter& hits =
+            telemetry::counter("permuq.core.schedule_cache.hit");
+        static telemetry::Counter& misses =
+            telemetry::counter("permuq.core.schedule_cache.miss");
         {
             std::lock_guard<std::mutex> lock(mu_);
             for (const auto& [regions, s] : tails_)
-                if (regions == plan.regions)
+                if (regions == plan.regions) {
+                    hits.add();
                     return s;
+                }
         }
+        misses.add();
         ata::SwapSchedule out;
         for (const auto& region : plan.regions)
             out.append(get(device, region));
@@ -258,6 +273,8 @@ class GreedyEngine
     void
     run()
     {
+        telemetry::ScopedSpan span("greedy.run");
+        span.arg("pending_gates", pending_);
         std::int64_t max_cycles = static_cast<std::int64_t>(
             options_.max_cycle_factor *
                 (4.0 * device_.num_qubits() + 64.0) +
@@ -287,6 +304,7 @@ class GreedyEngine
                 // Cycle cap or stall: complete with the region-
                 // restricted ATA tail so even the "greedy" candidate
                 // terminates with the linear-depth bound.
+                telemetry::ScopedSpan replay_span("ata.replay");
                 auto plan =
                     detect_regions(device_, problem_, done_,
                                    circ_.final_mapping());
@@ -298,6 +316,13 @@ class GreedyEngine
                 pending_ = 0;
             }
         }
+        // Flushed once per run, not per op, to keep the hot loops free
+        // of recording sites.
+        telemetry::counter("permuq.core.greedy.swaps_inserted")
+            .add(circ_.num_swaps());
+        telemetry::counter("permuq.core.greedy.gates_scheduled")
+            .add(circ_.num_compute());
+        span.arg("swaps", circ_.num_swaps());
     }
 
     const circuit::Circuit& circuit() const { return circ_; }
@@ -405,6 +430,8 @@ class GreedyEngine
     bool
     step(std::int64_t cycle)
     {
+        telemetry::ScopedSpan span("greedy.round");
+        span.arg("cycle", cycle);
         const auto& mapping = circ_.final_mapping();
         const auto& couplers = device_.couplers();
 
@@ -456,6 +483,11 @@ class GreedyEngine
                 executable_.push_back(
                     {c, frontier_edge_[static_cast<std::size_t>(c)]});
             }
+        }
+        if (telemetry::enabled()) {
+            static telemetry::Histogram& frontier = telemetry::histogram(
+                "permuq.core.greedy.frontier_size");
+            frontier.record(static_cast<double>(executable_.size()));
         }
 
         std::fill(used_.begin(), used_.end(), 0);
@@ -755,6 +787,7 @@ class GreedyEngine
     {
         if (!options_.use_ata_prediction)
             return;
+        telemetry::ScopedSpan span("greedy.snapshot");
         auto plan = detect_regions(device_, problem_, done_,
                                    circ_.final_mapping());
         Snapshot snap;
@@ -844,6 +877,8 @@ materialize_hybrid(const arch::CouplingGraph& device,
             circ.add_swap(op.p, op.q);
         }
     }
+    telemetry::ScopedSpan replay_span("ata.replay");
+    replay_span.arg("prefix_ops", prefix_ops);
     auto plan = detect_regions(device, problem, done, circ.final_mapping());
     const auto& sched = sched_cache.tail(device, plan);
     auto tail = ata::replay(device, problem, circ.final_mapping(), sched,
@@ -881,6 +916,7 @@ compile_single(const arch::CouplingGraph& device,
                circuit::Mapping initial)
 {
     CompileResult result;
+    telemetry::ScopedSpan span("compile.trial");
     GreedyEngine engine(device, problem, options, crosstalk, edge_table,
                         device_index, sched_cache, std::move(initial));
     engine.run();
@@ -986,6 +1022,9 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
     fatal_unless(problem.num_vertices() <= device.num_qubits(),
                  "problem does not fit on the device");
     Timer timer;
+    telemetry::ScopedSpan span("compile");
+    span.arg("qubits", problem.num_vertices());
+    span.arg("edges", problem.num_edges());
 
     CompilerOptions options = options_in;
     if (device.kind() == arch::ArchKind::Custom &&

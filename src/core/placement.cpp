@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/telemetry/telemetry.h"
 
 namespace permuq::core {
 
@@ -12,6 +13,7 @@ circuit::Mapping
 connectivity_strength_placement(const arch::CouplingGraph& device,
                                 const graph::Graph& problem)
 {
+    telemetry::ScopedSpan span("placement.connectivity");
     std::int32_t n = problem.num_vertices();
     std::int32_t num_phys = device.num_qubits();
     const auto& dist = device.distances();
@@ -164,6 +166,7 @@ circuit::Mapping
 perturbed_placement(const arch::CouplingGraph& device,
                     const graph::Graph& problem, Xoshiro256& rng)
 {
+    telemetry::ScopedSpan span("placement.perturbed");
     // Start from the deterministic connectivity-strength embedding and
     // anneal briefly; each multi-start trial draws from its own jump
     // stream so the result depends only on (device, problem, stream).

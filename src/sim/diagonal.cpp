@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
 #include "sim/kernel_util.h"
 
 namespace permuq::sim {
@@ -143,6 +144,11 @@ DiagonalBatch::apply(Statevector& sv, double scale) const
 {
     if (empty())
         return;
+    if (telemetry::enabled()) {
+        static telemetry::Histogram& batch_size = telemetry::histogram(
+            "permuq.sim.fusion.batch_size");
+        batch_size.record(static_cast<double>(num_terms()));
+    }
     auto& amp = sv.amplitudes_mut();
     Statevector::Amplitude* a = amp.data();
     ensure_keys(sv.num_qubits());

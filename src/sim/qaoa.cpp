@@ -8,6 +8,7 @@
 #include "circuit/metrics.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
 #include "sim/diagonal.h"
 #include "sim/statevector.h"
 
@@ -83,6 +84,8 @@ for_each_trajectory(const graph::Graph& problem,
     auto cx_cost = per_op_cx(compiled);
 
     auto run_one = [&](std::int64_t traj) {
+        telemetry::ScopedSpan span("sim.trajectory");
+        span.arg("traj", traj);
         Xoshiro256 rng(options.seed);
         for (std::int64_t j = 0; j < traj; ++j)
             rng.jump();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/telemetry/telemetry.h"
 
 namespace permuq::solver {
 
@@ -209,6 +210,11 @@ solve_depth_optimal(const arch::CouplingGraph& device,
                     const circuit::Mapping& initial,
                     const SolverOptions& options)
 {
+    telemetry::ScopedSpan span("astar.solve");
+    static telemetry::Counter& c_expanded =
+        telemetry::counter("permuq.solver.astar.nodes_expanded");
+    static telemetry::Counter& c_pruned =
+        telemetry::counter("permuq.solver.astar.nodes_pruned");
     std::int32_t n = device.num_qubits();
     fatal_unless(n <= kMaxQubits, "solver limited to 16 qubits");
     fatal_unless(problem.num_edges() <= kMaxEdges,
@@ -293,8 +299,10 @@ solve_depth_optimal(const arch::CouplingGraph& device,
 
     while (!open.empty()) {
         std::int32_t idx = open.pop();
-        if (superseded[static_cast<std::size_t>(idx)])
+        if (superseded[static_cast<std::size_t>(idx)]) {
+            c_pruned.add();
             continue; // a cheaper route to this state was queued later
+        }
         const StateKey key = nodes[static_cast<std::size_t>(idx)].key;
         const Cycle g = nodes[static_cast<std::size_t>(idx)].g;
 
@@ -326,6 +334,7 @@ solve_depth_optimal(const arch::CouplingGraph& device,
         }
 
         ++result.expansions;
+        c_expanded.add();
         if (options.max_expansions > 0 &&
             result.expansions > options.max_expansions)
             return result; // budget exhausted, result.solved == false

@@ -121,6 +121,28 @@ TEST(StatsTest, Geomean)
     EXPECT_THROW(mean({}), FatalError);
 }
 
+TEST(StatsTest, MedianOddEvenAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+    EXPECT_THROW(median({}), FatalError);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+    // Rank 0.95 * 4 = 3.8 interpolates between 40 and 50.
+    EXPECT_NEAR(percentile(xs, 95.0), 48.0, 1e-12);
+    // n = 1: every percentile is the sample itself.
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
+    EXPECT_THROW(percentile(xs, 101.0), FatalError);
+    EXPECT_THROW(percentile({}, 50.0), FatalError);
+}
+
 TEST(TableTest, AlignsColumns)
 {
     Table t({"name", "value"});

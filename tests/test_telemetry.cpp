@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the telemetry layer: counter/gauge/histogram correctness,
+ * span nesting and timestamps, concurrent recording from the shared
+ * thread pool (exercised under the TSan CI job), disabled-mode
+ * zero-recording, and the JSON exports.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/parallel.h"
+#include "common/telemetry/telemetry.h"
+
+using namespace permuq;
+using namespace permuq::telemetry;
+
+namespace {
+
+/** Enables telemetry for one test and restores a clean slate after. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Registry::instance().reset();
+        set_enabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        set_enabled(false);
+        Registry::instance().reset();
+    }
+};
+
+std::vector<SpanEvent>
+events_named(const std::string& name)
+{
+    std::vector<SpanEvent> out;
+    for (const auto& ev : Registry::instance().span_events())
+        if (name == ev.name)
+            out.push_back(ev);
+    return out;
+}
+
+} // namespace
+
+TEST_F(TelemetryTest, CounterAccumulates)
+{
+    Counter& c = counter("test.counter");
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    // Same name resolves to the same counter.
+    EXPECT_EQ(&counter("test.counter"), &c);
+    EXPECT_NE(&counter("test.counter2"), &c);
+}
+
+TEST_F(TelemetryTest, GaugeLastWriteWins)
+{
+    Gauge& g = gauge("test.gauge");
+    g.set(7);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndPercentiles)
+{
+    EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+    EXPECT_EQ(Histogram::bucket_of(0.5), 0u);
+    EXPECT_EQ(Histogram::bucket_of(-3.0), 0u);
+    EXPECT_EQ(Histogram::bucket_of(1.0), 1u);
+    EXPECT_EQ(Histogram::bucket_of(1.5), 1u);
+    EXPECT_EQ(Histogram::bucket_of(2.0), 2u);
+    EXPECT_EQ(Histogram::bucket_of(3.0), 2u);
+    EXPECT_EQ(Histogram::bucket_of(4.0), 3u);
+    EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kNumBuckets - 1);
+    EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucket_bound(3), 8.0);
+
+    Histogram& h = histogram("test.hist");
+    for (int i = 1; i <= 100; ++i)
+        h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100);
+    EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+
+    auto snap = Registry::instance().snapshot();
+    const HistogramSnapshot* hs = nullptr;
+    for (const auto& s : snap.histograms)
+        if (s.name == "test.hist")
+            hs = &s;
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->count, 100);
+    // All 100 samples fit the reservoir, so the percentiles are exact
+    // over 1..100.
+    EXPECT_NEAR(hs->p50, 50.5, 1e-9);
+    EXPECT_NEAR(hs->p95, 95.05, 1e-9);
+    std::int64_t total = 0;
+    for (const auto& [bound, n] : hs->buckets) {
+        EXPECT_GT(n, 0);
+        total += n;
+    }
+    EXPECT_EQ(total, 100);
+}
+
+TEST_F(TelemetryTest, SpanNestingDepthAndTimestamps)
+{
+    {
+        ScopedSpan outer("outer");
+        outer.arg("layer", 1);
+        {
+            ScopedSpan inner("inner");
+            inner.arg("layer", 2);
+        }
+    }
+    auto outer_evs = events_named("outer");
+    auto inner_evs = events_named("inner");
+    ASSERT_EQ(outer_evs.size(), 1u);
+    ASSERT_EQ(inner_evs.size(), 1u);
+    const SpanEvent& outer = outer_evs[0];
+    const SpanEvent& inner = inner_evs[0];
+    EXPECT_EQ(outer.depth, 0);
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_EQ(outer.tid, inner.tid);
+    // The child starts no earlier and ends no later than its parent.
+    EXPECT_GE(inner.start_ns, outer.start_ns);
+    EXPECT_LE(inner.start_ns + inner.dur_ns,
+              outer.start_ns + outer.dur_ns);
+    ASSERT_EQ(outer.num_args, 1);
+    EXPECT_STREQ(outer.arg_keys[0], "layer");
+    EXPECT_EQ(outer.arg_values[0], 1);
+}
+
+TEST_F(TelemetryTest, SpanEventsSortedByThreadAndTime)
+{
+    for (int i = 0; i < 5; ++i)
+        ScopedSpan span("seq");
+    auto evs = Registry::instance().span_events();
+    ASSERT_EQ(evs.size(), 5u);
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+        EXPECT_EQ(evs[i].tid, evs[i - 1].tid);
+        EXPECT_GE(evs[i].start_ns, evs[i - 1].start_ns);
+    }
+}
+
+TEST_F(TelemetryTest, ConcurrentRecordingFromPool)
+{
+    constexpr std::int64_t kTasks = 64;
+    constexpr std::int64_t kAddsPerTask = 1000;
+    Counter& c = counter("test.concurrent.counter");
+    Histogram& h = histogram("test.concurrent.hist");
+    common::parallel_tasks(kTasks, [&](std::int64_t t) {
+        ScopedSpan span("pool.task");
+        span.arg("task", t);
+        for (std::int64_t i = 0; i < kAddsPerTask; ++i) {
+            c.add();
+            h.record(static_cast<double>(t));
+        }
+    });
+    EXPECT_EQ(c.value(), kTasks * kAddsPerTask);
+    EXPECT_EQ(h.count(), kTasks * kAddsPerTask);
+    auto evs = events_named("pool.task");
+    EXPECT_EQ(evs.size(), static_cast<std::size_t>(kTasks));
+    // Every task arg shows up exactly once.
+    std::set<std::int64_t> seen;
+    for (const auto& ev : evs) {
+        ASSERT_EQ(ev.num_args, 1);
+        seen.insert(ev.arg_values[0]);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST_F(TelemetryTest, DisabledModeRecordsNothing)
+{
+    set_enabled(false);
+    counter("test.disabled.counter").add(5);
+    gauge("test.disabled.gauge").set(5);
+    histogram("test.disabled.hist").record(5.0);
+    {
+        ScopedSpan span("disabled.span");
+        EXPECT_FALSE(span.live());
+        span.arg("ignored", 1);
+    }
+    EXPECT_EQ(counter("test.disabled.counter").value(), 0);
+    EXPECT_EQ(gauge("test.disabled.gauge").value(), 0);
+    EXPECT_EQ(histogram("test.disabled.hist").count(), 0);
+    EXPECT_TRUE(events_named("disabled.span").empty());
+}
+
+TEST_F(TelemetryTest, TraceJsonHasRequiredFields)
+{
+    {
+        ScopedSpan span("json.span");
+        span.arg("k", 7);
+    }
+    std::string json = Registry::instance().trace_json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"json.span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+    EXPECT_NE(json.find("\"k\":7"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MetricsJsonContainsAllSections)
+{
+    counter("test.json.counter").add(3);
+    gauge("test.json.gauge").set(-2);
+    histogram("test.json.hist").record(4.0);
+    {
+        ScopedSpan span("json.metrics.span");
+    }
+    std::string json = Registry::instance().metrics_json();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.counter\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.gauge\": -2"), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"json.metrics.span\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ResetClearsValuesButKeepsNames)
+{
+    Counter& c = counter("test.reset.counter");
+    c.add(9);
+    {
+        ScopedSpan span("reset.span");
+    }
+    Registry::instance().reset();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_TRUE(events_named("reset.span").empty());
+    EXPECT_EQ(&counter("test.reset.counter"), &c);
+}
+
+TEST(TelemetryLogTest, LevelsParseAndFilter)
+{
+    LogLevel level;
+    EXPECT_TRUE(parse_log_level("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parse_log_level("off", level));
+    EXPECT_EQ(level, LogLevel::Off);
+    EXPECT_FALSE(parse_log_level("verbose", level));
+
+    LogLevel before = log_level();
+    set_log_level(LogLevel::Error);
+    EXPECT_EQ(log_level(), LogLevel::Error);
+    log(LogLevel::Debug, "filtered out");
+    log(LogLevel::Error, "printed to stderr");
+    set_log_level(before);
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate PermuQ telemetry output.
+
+Checks a Chrome trace-event JSON (as written by `permuqc --trace` or
+PERMUQ_TRACE) and optionally a metrics JSON (`permuqc --metrics`):
+
+  * both files are valid JSON;
+  * every trace event carries the required fields ph/ts/pid/tid/name;
+  * event `ts` values are monotonically non-decreasing per thread
+    (the exporter sorts by (tid, ts), so a violation means a broken
+    ring buffer or clock);
+  * with --require-span NAME, at least one event with that name
+    exists (substring match, so `--require-span placement` accepts
+    `placement.connectivity`);
+  * with --require-counter NAME, the metrics JSON has a counter whose
+    name contains NAME with a nonzero value.
+
+Usage:
+  tools/check_trace.py trace.json [--metrics metrics.json]
+      [--require-span NAME ...] [--require-counter NAME ...]
+
+Exits 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_FIELDS = ("ph", "ts", "pid", "tid", "name")
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path, require_spans):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: not readable JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: missing traceEvents array")
+
+    last_ts = {}
+    names = set()
+    for i, ev in enumerate(events):
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in ev:
+                return fail(f"{path}: event {i} lacks '{field}': {ev}")
+        tid = ev["tid"]
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"{path}: event {i} has bad ts {ts!r}")
+        if tid in last_ts and ts < last_ts[tid]:
+            return fail(
+                f"{path}: ts not monotonic on tid {tid}: "
+                f"{ts} after {last_ts[tid]} (event {i})"
+            )
+        last_ts[tid] = ts
+        names.add(ev["name"])
+
+    for want in require_spans:
+        if not any(want in name for name in names):
+            return fail(
+                f"{path}: no span matching '{want}' "
+                f"(have: {sorted(names)})"
+            )
+
+    print(
+        f"check_trace: {path}: {len(events)} events on "
+        f"{len(last_ts)} thread(s), {len(names)} span name(s) OK"
+    )
+    return 0
+
+
+def check_metrics(path, require_counters):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: not readable JSON: {e}")
+
+    for section in ("counters", "gauges", "histograms", "spans"):
+        if section not in doc:
+            return fail(f"{path}: missing '{section}' section")
+
+    counters = doc["counters"]
+    for want in require_counters:
+        hits = {k: v for k, v in counters.items() if want in k}
+        if not hits:
+            return fail(
+                f"{path}: no counter matching '{want}' "
+                f"(have: {sorted(counters)})"
+            )
+        if all(v == 0 for v in hits.values()):
+            return fail(f"{path}: counters {sorted(hits)} are all zero")
+
+    print(
+        f"check_trace: {path}: {len(counters)} counter(s), "
+        f"{len(doc['histograms'])} histogram(s), "
+        f"{len(doc['spans'])} span aggregate(s) OK"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--metrics", help="metrics snapshot JSON file")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one span whose name contains NAME",
+    )
+    parser.add_argument(
+        "--require-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require a nonzero counter whose name contains NAME "
+        "(needs --metrics)",
+    )
+    args = parser.parse_args()
+
+    status = check_trace(args.trace, args.require_span)
+    if args.metrics:
+        status |= check_metrics(args.metrics, args.require_counter)
+    elif args.require_counter:
+        return fail("--require-counter needs --metrics")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,13 @@
 #include "baselines/baselines.h"
 #include "circuit/metrics.h"
 #include "circuit/qasm.h"
+#include "common/telemetry/telemetry.h"
 #include "core/compiler.h"
 #include "problem/generators.h"
+
+#ifndef PERMUQ_VERSION
+#define PERMUQ_VERSION "unknown"
+#endif
 
 namespace {
 
@@ -38,6 +43,8 @@ struct Cli
     std::string compiler = "ours";
     std::string input;
     std::string qasm_out;
+    std::string trace_out;
+    std::string metrics_out;
     std::int32_t qubits = 64;
     double density = 0.3;
     std::uint64_t seed = 1;
@@ -48,11 +55,20 @@ struct Cli
     bool full_qaoa = false;
 };
 
+/** Every flag permuqc understands, for the did-you-mean hint. */
+constexpr const char* kKnownFlags[] = {
+    "--arch",      "--qubits",   "--density", "--seed",
+    "--input",     "--compiler", "--noise",   "--alpha",
+    "--crosstalk", "--qasm",     "--full-qaoa", "--diagram",
+    "--trace",     "--metrics",  "--log-level", "--version",
+    "--help",
+};
+
 void
-usage()
+usage(std::FILE* out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: permuqc [options]\n"
         "  --arch A        heavyhex|sycamore|grid|hexagon|line|"
         "lattice3d|mumbai (default heavyhex)\n"
@@ -66,7 +82,48 @@ usage()
         "  --crosstalk     enable crosstalk-aware gate scheduling\n"
         "  --qasm FILE     export the compiled circuit as OpenQASM 2.0\n"
         "  --full-qaoa     QASM includes the H prelude, mixer, measures\n"
-        "  --diagram       print a text diagram (small circuits only)\n");
+        "  --diagram       print a text diagram (small circuits only)\n"
+        "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
+        "                  (the PERMUQ_TRACE env var does the same)\n"
+        "  --metrics FILE  write a metrics-snapshot JSON\n"
+        "  --log-level L   debug|info|warn|error|off (default warn)\n"
+        "  --version       print the version and exit\n"
+        "  --help          print this message and exit\n");
+}
+
+std::size_t
+edit_distance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+/** The closest known flag, or nullptr if nothing is plausibly close. */
+const char*
+closest_flag(const std::string& arg)
+{
+    const char* best = nullptr;
+    std::size_t best_d = 4; // hint only within 3 edits
+    for (const char* flag : kKnownFlags) {
+        std::size_t d = edit_distance(arg, flag);
+        if (d < best_d) {
+            best_d = d;
+            best = flag;
+        }
+    }
+    return best;
 }
 
 std::optional<graph::Graph>
@@ -110,12 +167,19 @@ main(int argc, char** argv)
         };
         auto value = [&]() -> const char* {
             if (i + 1 >= argc) {
-                usage();
+                std::fprintf(stderr, "permuqc: %s needs a value\n",
+                             argv[i]);
                 std::exit(2);
             }
             return argv[++i];
         };
-        if (is("--arch"))
+        if (is("--help")) {
+            usage(stdout);
+            return 0;
+        } else if (is("--version")) {
+            std::printf("permuqc %s\n", PERMUQ_VERSION);
+            return 0;
+        } else if (is("--arch"))
             cli.arch = value();
         else if (is("--qubits"))
             cli.qubits = std::atoi(value());
@@ -140,11 +204,34 @@ main(int argc, char** argv)
             cli.full_qaoa = true;
         else if (is("--diagram"))
             cli.diagram = true;
-        else {
-            usage();
+        else if (is("--trace"))
+            cli.trace_out = value();
+        else if (is("--metrics"))
+            cli.metrics_out = value();
+        else if (is("--log-level")) {
+            telemetry::LogLevel level;
+            if (!telemetry::parse_log_level(value(), level)) {
+                std::fprintf(stderr,
+                             "permuqc: bad --log-level %s (want "
+                             "debug|info|warn|error|off)\n",
+                             argv[i]);
+                return 2;
+            }
+            telemetry::set_log_level(level);
+        } else {
+            std::fprintf(stderr, "permuqc: unknown flag %s\n", argv[i]);
+            if (const char* hint = closest_flag(argv[i]))
+                std::fprintf(stderr, "permuqc: did you mean %s?\n", hint);
+            std::fprintf(stderr, "permuqc: see --help for options\n");
             return 2;
         }
     }
+
+    if (cli.trace_out.empty())
+        if (const char* env = telemetry::env_trace_path())
+            cli.trace_out = env;
+    if (!cli.trace_out.empty() || !cli.metrics_out.empty())
+        telemetry::set_enabled(true);
 
     try {
         // Problem.
@@ -246,6 +333,25 @@ main(int argc, char** argv)
         }
         if (cli.diagram)
             std::fputs(circuit::to_diagram(circuit).c_str(), stdout);
+
+        const auto& registry = telemetry::Registry::instance();
+        if (!cli.trace_out.empty()) {
+            if (!registry.write_trace(cli.trace_out)) {
+                std::fprintf(stderr, "permuqc: cannot write %s\n",
+                             cli.trace_out.c_str());
+                return 1;
+            }
+            std::printf("trace     : wrote %s\n", cli.trace_out.c_str());
+        }
+        if (!cli.metrics_out.empty()) {
+            if (!registry.write_metrics(cli.metrics_out)) {
+                std::fprintf(stderr, "permuqc: cannot write %s\n",
+                             cli.metrics_out.c_str());
+                return 1;
+            }
+            std::printf("metrics   : wrote %s\n",
+                        cli.metrics_out.c_str());
+        }
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "permuqc: %s\n", e.what());
