@@ -18,6 +18,7 @@
 #include "problem/generators.h"
 #include "sim/nelder_mead.h"
 #include "sim/qaoa.h"
+#include "sim/qaoa_objective.h"
 
 using namespace permuq;
 
@@ -42,6 +43,10 @@ run_experiment(std::int32_t n, std::int32_t rounds,
                 sim::max_cut(problem));
 
     auto optimize = [&](const circuit::Circuit& circuit) {
+        // One evaluation context for the whole optimizer run: the
+        // fused cost batch, cut spectrum, and replay plan are built
+        // once and reused by every iteration.
+        sim::QaoaObjective context(problem);
         std::int32_t eval = 0;
         auto objective = [&](const std::vector<double>& x) {
             sim::QaoaAngles angles{{x[0]}, {x[1]}};
@@ -49,8 +54,8 @@ run_experiment(std::int32_t n, std::int32_t rounds,
             options.trajectories = trajectories;
             options.shots = shots;
             options.seed = 1000 + static_cast<std::uint64_t>(eval++);
-            return -sim::noisy_expectation(problem, circuit, noise,
-                                           angles, options);
+            return -context.noisy_expectation(circuit, noise, angles,
+                                              options);
         };
         return sim::nelder_mead(objective, {0.3, 0.2}, 0.4, rounds);
     };

@@ -8,14 +8,26 @@
  * throughput. Emits BENCH_sim.json next to the binary's working
  * directory for the driver to pick up.
  *
+ * Also runs the objective-loop mode: a p=2 Nelder–Mead run whose
+ * objective is evaluated (a) the pre-amortization mainline way — cost
+ * batch, cut spectrum, and state rebuilt per call, per-qubit mixer
+ * sweeps, scalar kernel tier — and (b) through one reused
+ * QaoaObjective on the active SIMD tier with the blocked mixer. The
+ * ratio is the headline amortization+SIMD win, and the mode
+ * cross-checks that expectation values are bit-identical across SIMD
+ * tiers and thread counts.
+ *
  * Knobs: PERMUQ_SIM_N (qubits, default 20), PERMUQ_SIM_REPS
- * (timing repetitions, best-of, default 3).
+ * (timing repetitions, best-of, default 3), PERMUQ_SIM_OBJ_N
+ * (objective-loop qubits, default 22), PERMUQ_SIM_OBJ_ITERS
+ * (objective evaluations per run, default 200).
  */
 #include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,7 +37,10 @@
 #include "common/timer.h"
 #include "problem/generators.h"
 #include "sim/diagonal.h"
+#include "sim/nelder_mead.h"
 #include "sim/qaoa.h"
+#include "sim/qaoa_objective.h"
+#include "sim/simd.h"
 #include "sim/statevector.h"
 
 using namespace permuq;
@@ -172,6 +187,50 @@ unfused_ideal_expectation(const graph::Graph& problem,
         });
 }
 
+/**
+ * Replica of the mainline (pre-amortization) objective evaluation:
+ * every call reallocates the state, rebuilds the cost batch, re-bakes
+ * the 2^n cut spectrum, and sweeps the mixer one qubit at a time. The
+ * caller forces the scalar kernel tier for the duration, standing in
+ * for the scalar std::complex kernels this PR replaced.
+ */
+double
+mainline_ideal_expectation(const graph::Graph& problem,
+                           const sim::QaoaAngles& angles)
+{
+    const std::int32_t n = problem.num_vertices();
+    sim::Statevector sv(n);
+    for (std::int32_t q = 0; q < n; ++q)
+        sv.apply_h(q);
+    sim::DiagonalBatch cost;
+    for (const auto& e : problem.edges())
+        cost.add_rzz(e.a, e.b, 1.0);
+    auto spectrum = cost.bake(n);
+    const double offset =
+        static_cast<double>(problem.edges().size()) / 2.0;
+    for (std::size_t layer = 0; layer < angles.gamma.size(); ++layer) {
+        cost.apply(sv, -angles.gamma[layer]);
+        for (std::int32_t q = 0; q < n; ++q)
+            sv.apply_rx(q, 2.0 * angles.beta[layer]);
+    }
+    const auto& amp = sv.amplitudes();
+    const double* table = spectrum.data();
+    return common::parallel_reduce_sum<double>(
+        0, amp.size(), std::size_t(1) << 12,
+        [&](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t z = b; z < e; ++z)
+                s += std::norm(amp[z]) * (table[z] + offset);
+            return s;
+        });
+}
+
+bool
+bits_equal(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
 std::int32_t
 env_int(const char* name, std::int32_t fallback)
 {
@@ -284,6 +343,91 @@ main()
     std::printf("max |<C> - seed <C>|:    %.2e  (samplers agree: %s)\n",
                 max_err, linear_chk == cdf_chk ? "yes" : "NO");
 
+    // 6. Objective-loop mode: a p=2 Nelder–Mead run, mainline per-eval
+    // rebuild on the scalar tier vs one reused QaoaObjective on the
+    // active tier.
+    const std::int32_t obj_n = env_int("PERMUQ_SIM_OBJ_N", 22);
+    const std::int32_t obj_iters = env_int("PERMUQ_SIM_OBJ_ITERS", 200);
+    auto obj_problem = problem::random_graph(obj_n, 0.3, 5);
+    const sim::SimdTier best_tier = sim::active_simd_tier();
+    std::printf("\nobjective loop: n=%d p=2 evals=%d tier=%s\n", obj_n,
+                obj_iters, sim::simd_tier_name(best_tier));
+
+    auto run_loop = [&](const std::function<
+                        double(const sim::QaoaAngles&)>& expectation) {
+        auto f = [&](const std::vector<double>& x) {
+            sim::QaoaAngles a{{x[0], x[1]}, {x[2], x[3]}};
+            return -expectation(a);
+        };
+        return sim::nelder_mead(f, {0.3, 0.5, 0.2, 0.1}, 0.4,
+                                obj_iters);
+    };
+
+    sim::set_simd_tier(sim::SimdTier::Scalar);
+    auto [main_best, main_s] = bench::timed_call([&] {
+        return run_loop([&](const sim::QaoaAngles& a) {
+            return mainline_ideal_expectation(obj_problem, a);
+        }).best_f;
+    });
+    sim::set_simd_tier(best_tier);
+    std::printf("mainline per-eval rebuild: %7.3f s  best -E=%.6f\n",
+                main_s, main_best);
+
+    sim::QaoaObjective context(obj_problem);
+    auto [amort_best, amort_s] = bench::timed_call([&] {
+        return run_loop([&](const sim::QaoaAngles& a) {
+            return context.ideal_expectation(a);
+        }).best_f;
+    });
+    std::printf("amortized objective:       %7.3f s  best -E=%.6f\n",
+                amort_s, amort_best);
+
+    // Bit-identity across SIMD tiers and thread counts, and reused
+    // context vs a fresh one; plus mainline-vs-amortized agreement at
+    // fixed angles (different reduction shapes, so tolerance not bits).
+    bool bit_identical = true;
+    double cross_err = 0.0;
+    const sim::QaoaAngles probes[] = {
+        {{0.4, 0.7}, {0.35, 0.2}},
+        {{1.1, -0.3}, {0.9, 0.45}},
+    };
+    for (const auto& a : probes) {
+        double ref = 0.0;
+        bool first = true;
+        for (sim::SimdTier tier :
+             {sim::SimdTier::Scalar, best_tier}) {
+            sim::set_simd_tier(tier);
+            for (std::int32_t threads : {1, hw_threads}) {
+                common::set_num_threads(threads);
+                double v = context.ideal_expectation(a);
+                if (first) {
+                    ref = v;
+                    first = false;
+                } else {
+                    bit_identical =
+                        bit_identical && bits_equal(ref, v);
+                }
+            }
+        }
+        sim::set_simd_tier(best_tier);
+        common::set_num_threads(hw_threads);
+        bit_identical =
+            bit_identical &&
+            bits_equal(ref, sim::QaoaObjective(obj_problem)
+                                .ideal_expectation(a));
+        sim::set_simd_tier(sim::SimdTier::Scalar);
+        double main_v = mainline_ideal_expectation(obj_problem, a);
+        sim::set_simd_tier(best_tier);
+        cross_err = std::max(cross_err, std::abs(main_v - ref));
+    }
+
+    const double obj_speedup = main_s / amort_s;
+    std::printf("objective speedup:       %6.2fx  (need >= 1.8x)\n",
+                obj_speedup);
+    std::printf("bit-identical across tiers/threads: %s  "
+                "(mainline cross-check err %.2e)\n",
+                bit_identical ? "yes" : "NO", cross_err);
+
     std::FILE* json = std::fopen("BENCH_sim.json", "w");
     if (json != nullptr) {
         std::fprintf(
@@ -305,15 +449,30 @@ main()
             "  \"thread_speedup\": %.3f,\n"
             "  \"sampling_speedup\": %.3f,\n"
             "  \"expectation_max_abs_err\": %.3e,\n"
-            "  \"samplers_agree\": %s\n"
+            "  \"samplers_agree\": %s,\n"
+            "  \"simd_tier\": \"%s\",\n"
+            "  \"objective_n\": %d,\n"
+            "  \"objective_layers\": 2,\n"
+            "  \"objective_evals\": %d,\n"
+            "  \"objective_mainline_seconds\": %.6f,\n"
+            "  \"objective_amortized_seconds\": %.6f,\n"
+            "  \"objective_speedup\": %.3f,\n"
+            "  \"objective_bit_identical\": %s,\n"
+            "  \"objective_cross_check_err\": %.3e\n"
             "}\n",
             n, edges, angles.gamma.size(), hw_threads, shots, seed_s,
             fused_s, serial_s, unfused_s, linear_s, cdf_s, speedup,
             fusion_speedup, thread_speedup, sample_speedup, max_err,
-            linear_chk == cdf_chk ? "true" : "false");
+            linear_chk == cdf_chk ? "true" : "false",
+            sim::simd_tier_name(best_tier), obj_n, obj_iters, main_s,
+            amort_s, obj_speedup, bit_identical ? "true" : "false",
+            cross_err);
         std::fclose(json);
         std::printf("wrote BENCH_sim.json\n");
     }
     bench::write_metrics_sidecar("sim_scaling");
-    return speedup >= 2.0 && max_err < 1e-6 ? 0 : 1;
+    const bool pass = speedup >= 2.0 && max_err < 1e-6 &&
+                      obj_speedup >= 1.8 && bit_identical &&
+                      cross_err < 1e-6;
+    return pass ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "core/compiler.h"
 #include "problem/generators.h"
 #include "sim/qaoa.h"
+#include "sim/qaoa_objective.h"
 
 using namespace permuq;
 
@@ -37,22 +38,26 @@ main()
         auto problem = problem::random_graph(n, 0.3, 5);
         auto ours = core::compile(device, problem);
         auto tqan = baselines::tqan_like(device, problem);
-        auto ideal = sim::ideal_distribution(problem, angles);
+        // One evaluation context per problem size: the ideal
+        // distribution, both counts, and both distributions share the
+        // baked cost batch and scratch statevector.
+        sim::QaoaObjective context(problem);
+        auto ideal = context.ideal_distribution(angles);
         sim::NoisySimOptions options;
         options.trajectories = n <= 10 ? 32 : 8;
         options.shots = 8000;
         double tvd_ours = sim::tvd(
-            ideal, sim::noisy_counts(problem, ours.circuit, noise,
-                                     angles, options));
+            ideal, context.noisy_counts(ours.circuit, noise, angles,
+                                        options));
         double tvd_tqan = sim::tvd(
-            ideal, sim::noisy_counts(problem, tqan.circuit, noise,
-                                     angles, options));
+            ideal, context.noisy_counts(tqan.circuit, noise, angles,
+                                        options));
         double dtvd_ours = sim::tvd(
-            ideal, sim::noisy_distribution(problem, ours.circuit, noise,
-                                           angles, options));
+            ideal, context.noisy_distribution(ours.circuit, noise,
+                                              angles, options));
         double dtvd_tqan = sim::tvd(
-            ideal, sim::noisy_distribution(problem, tqan.circuit, noise,
-                                           angles, options));
+            ideal, context.noisy_distribution(tqan.circuit, noise,
+                                              angles, options));
         table.add_row(
             {"qaoa-rand-" + std::to_string(n) + "-0.3",
              Table::cell(tvd_ours, 3), Table::cell(tvd_tqan, 3),

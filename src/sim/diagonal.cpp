@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "common/telemetry/telemetry.h"
 #include "sim/kernel_util.h"
+#include "sim/kernels.h"
 
 namespace permuq::sim {
 
@@ -150,33 +151,35 @@ DiagonalBatch::apply(Statevector& sv, double scale) const
         batch_size.record(static_cast<double>(num_terms()));
     }
     auto& amp = sv.amplitudes_mut();
-    Statevector::Amplitude* a = amp.data();
+    double* a = reinterpret_cast<double*>(amp.data());
     ensure_keys(sv.num_qubits());
+    const kernels::Table& t = kernels::active_counted();
     if (uniform_) {
         // key(i) is in {-T..T}; one complex multiply out of a phase
-        // LUT per amplitude, no trig in the sweep.
+        // LUT per amplitude, no trig in the sweep. The LUT is split
+        // into real/imag planes for the AVX2 tier's gathers.
         const std::int32_t span =
             static_cast<std::int32_t>(masks_.size());
-        std::vector<Statevector::Amplitude> lut(
-            2 * static_cast<std::size_t>(span) + 1);
-        for (std::int32_t k = -span; k <= span; ++k)
-            lut[static_cast<std::size_t>(k + span)] = std::polar(
-                1.0, scale * (constant_ + quantum_ * k));
-        const Statevector::Amplitude* phase = lut.data();
+        const std::size_t entries = 2 * static_cast<std::size_t>(span) + 1;
+        std::vector<double> lut_re(entries), lut_im(entries);
+        for (std::int32_t k = -span; k <= span; ++k) {
+            const double ang = scale * (constant_ + quantum_ * k);
+            lut_re[static_cast<std::size_t>(k + span)] = std::cos(ang);
+            lut_im[static_cast<std::size_t>(k + span)] = std::sin(ang);
+        }
+        const double* lre = lut_re.data();
+        const double* lim = lut_im.data();
         const std::int32_t* key = keys_.data();
         common::parallel_for(
-            0, amp.size(), kGrain, [=](std::size_t b, std::size_t e) {
-                for (std::size_t i = b; i < e; ++i)
-                    a[i] *= phase[key[i] + span];
+            0, amp.size(), kGrain, [=, &t](std::size_t b, std::size_t e) {
+                t.phase_lut(a, b, e, key, span, lre, lim);
             });
     } else {
         const double* angle = dense_.data();
         const double constant = constant_;
         common::parallel_for(
-            0, amp.size(), kGrain, [=](std::size_t b, std::size_t e) {
-                for (std::size_t i = b; i < e; ++i)
-                    a[i] *= std::polar(1.0,
-                                       scale * (constant + angle[i]));
+            0, amp.size(), kGrain, [=, &t](std::size_t b, std::size_t e) {
+                t.phase_angles(a, b, e, angle, scale, constant);
             });
     }
 }

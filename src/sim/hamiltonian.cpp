@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "sim/diagonal.h"
 #include "sim/kernel_util.h"
+#include "sim/kernels.h"
 
 namespace permuq::sim {
 
@@ -125,29 +126,31 @@ exact_evolution(const SpinHamiltonian& h, Statevector& state, double time,
     auto& psi = state.amplitudes_mut();
     std::vector<Amplitude> k1, k2, k3, k4, tmp;
     Statevector scratch(state.num_qubits());
+    // The blend/combine/renormalize loops are plain element-wise
+    // double arithmetic: run them through the SIMD kernel tier
+    // (interleaved [re, im] doubles, complex index range doubled).
+    const kernels::Table& kern = kernels::active_counted();
     auto deriv = [&](const std::vector<Amplitude>& from,
                      std::vector<Amplitude>& to) {
         scratch.amplitudes_mut() = from;
         apply_hamiltonian(h, scratch, to);
-        const Amplitude minus_i(0.0, -1.0);
-        Amplitude* t = to.data();
+        double* t = reinterpret_cast<double*>(to.data());
         common::parallel_for(
             0, to.size(), kKernelGrain,
-            [=](std::size_t b, std::size_t e) {
-                for (std::size_t i = b; i < e; ++i)
-                    t[i] *= minus_i;
+            [=, &kern](std::size_t b, std::size_t e) {
+                kern.mul_neg_i(t, b, e);
             });
     };
     // y <- psi + scale * k, element-wise (deterministic in parallel).
     auto blend = [&](std::vector<Amplitude>& y,
                      const std::vector<Amplitude>& k, double scale) {
         y = psi;
-        Amplitude* yp = y.data();
-        const Amplitude* kp = k.data();
+        double* yp = reinterpret_cast<double*>(y.data());
+        const double* kp = reinterpret_cast<const double*>(k.data());
         common::parallel_for(
-            0, y.size(), kKernelGrain, [=](std::size_t b, std::size_t e) {
-                for (std::size_t i = b; i < e; ++i)
-                    yp[i] += scale * kp[i];
+            0, y.size(), kKernelGrain,
+            [=, &kern](std::size_t b, std::size_t e) {
+                kern.axpy(yp, kp, scale, 2 * b, 2 * e);
             });
     };
     for (std::int32_t s = 0; s < integration_steps; ++s) {
@@ -158,26 +161,23 @@ exact_evolution(const SpinHamiltonian& h, Statevector& state, double time,
         deriv(tmp, k3);
         blend(tmp, k3, dt);
         deriv(tmp, k4);
-        Amplitude* p = psi.data();
-        const Amplitude* a1 = k1.data();
-        const Amplitude* a2 = k2.data();
-        const Amplitude* a3 = k3.data();
-        const Amplitude* a4 = k4.data();
+        double* p = reinterpret_cast<double*>(psi.data());
+        const double* a1 = reinterpret_cast<const double*>(k1.data());
+        const double* a2 = reinterpret_cast<const double*>(k2.data());
+        const double* a3 = reinterpret_cast<const double*>(k3.data());
+        const double* a4 = reinterpret_cast<const double*>(k4.data());
         const double w = dt / 6.0;
         common::parallel_for(
             0, psi.size(), kKernelGrain,
-            [=](std::size_t b, std::size_t e) {
-                for (std::size_t i = b; i < e; ++i)
-                    p[i] += w * (a1[i] + 2.0 * a2[i] + 2.0 * a3[i] +
-                                 a4[i]);
+            [=, &kern](std::size_t b, std::size_t e) {
+                kern.rk4_combine(p, a1, a2, a3, a4, w, 2 * b, 2 * e);
             });
         // RK4 drifts off the unit sphere slowly; renormalize.
         const double inv_norm = 1.0 / std::sqrt(state.norm_sq());
         common::parallel_for(
             0, psi.size(), kKernelGrain,
-            [=](std::size_t b, std::size_t e) {
-                for (std::size_t i = b; i < e; ++i)
-                    p[i] *= inv_norm;
+            [=, &kern](std::size_t b, std::size_t e) {
+                kern.scale(p, inv_norm, 2 * b, 2 * e);
             });
     }
 }

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The statevector kernel dispatch table.
+ *
+ * Every hot inner loop of the simulator — gate butterflies, diagonal
+ * phase sweeps, probability/expectation reductions, the integrator's
+ * blend/scale loops — is a free function over a raw interleaved
+ * [re, im] double array, collected into a Table of function pointers.
+ * Two tiers provide the table: a portable scalar tier
+ * (kernels_scalar.cpp) and a hand-vectorized AVX2 tier
+ * (kernels_avx2.cpp). Statevector/DiagonalBatch pick the tier once
+ * per gate call through active() and hand each parallel_for chunk to
+ * the kernel, so thread partitioning (common/parallel.h) and SIMD
+ * width compose without knowing about each other.
+ *
+ * Determinism contract (held by tests/test_kernels.cpp as exact
+ * bit-equality):
+ *
+ *  - Both tiers perform the *same* IEEE-754 operations per element in
+ *    the same order. The shared per-element formulas live in
+ *    kernels_inline.h; the AVX2 tier arranges its lanes so each
+ *    element sees an identical mul/add/sub sequence (no FMA — both
+ *    TUs build with -ffp-contract=off), and falls back to the shared
+ *    scalar loop whenever a gate's stride breaks lane contiguity
+ *    (qubit index too low for 4 consecutive amplitudes).
+ *
+ *  - Reductions (norm_sum / weighted_norm_sum) accumulate into four
+ *    fixed lanes — element j (relative to the range begin) lands in
+ *    lane j mod kReductionLanes — combined as (l0+l1) + (l2+l3).
+ *    The scalar tier keeps four explicit accumulators in the same
+ *    pattern, so the sum is a pure function of the element range:
+ *    invariant to SIMD width and, composed with the fixed-slice
+ *    reduction of common/parallel.h, to thread count.
+ *
+ *  - phase_angles (the mixed-magnitude diagonal fallback) is trig-
+ *    bound, not bandwidth-bound; both tiers share one scalar
+ *    implementation so libm's sin/cos stay the single source of its
+ *    rounding.
+ *
+ * Index-space conventions ("block" ranges follow sim/kernel_util.h):
+ * single-qubit kernels take an [hb, he) range over the compact
+ * 2^(n-1) block space with the qubit's low_mask/bit; two-qubit
+ * kernels take the 2^(n-2) block space with lo_mask/hi_mask; diagonal
+ * sweeps and reductions take plain amplitude-index ranges.
+ */
+#ifndef PERMUQ_SIM_KERNELS_H
+#define PERMUQ_SIM_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace permuq::sim::kernels {
+
+/** Fixed accumulator-lane count of the deterministic reductions. */
+inline constexpr std::size_t kReductionLanes = 4;
+
+/** One tier's kernel set. All `a`/`y`/`x` pointers are interleaved
+ *  [re, im] amplitude storage unless a parameter says otherwise. */
+struct Table
+{
+    /** Tier label ("scalar" / "avx2") for telemetry and tests. */
+    const char* name;
+
+    /** RX(theta) butterfly, c = cos(theta/2), s = sin(theta/2):
+     *  block range [hb, he) over the 2^(n-1) space. */
+    void (*rx)(double* a, std::size_t hb, std::size_t he,
+               std::size_t low_mask, std::size_t bit, double c, double s);
+
+    /** Hadamard butterfly over the same block space. */
+    void (*h)(double* a, std::size_t hb, std::size_t he,
+              std::size_t low_mask, std::size_t bit, double inv_sqrt2);
+
+    /**
+     * Fused RX(theta) on two distinct qubits in one pass: block range
+     * [hb, he) over the 2^(n-2) space, pbit/qbit the two qubit bits
+     * (pbit applied first). Bit-identical to rx on pbit followed by
+     * rx on qbit, one memory traversal instead of two.
+     */
+    void (*rx2)(double* a, std::size_t hb, std::size_t he,
+                std::size_t lo_mask, std::size_t hi_mask,
+                std::size_t pbit, std::size_t qbit, double c, double s);
+
+    /** RZ sweep over amplitude range [ib, ie): multiply by (e0r,e0i)
+     *  where the qubit bit is clear, (e1r,e1i) where set. */
+    void (*rz)(double* a, std::size_t ib, std::size_t ie,
+               std::size_t bit, double e0r, double e0i, double e1r,
+               double e1i);
+
+    /** RZZ sweep over [ib, ie): (sr,si) on aligned spins, (dr,di) on
+     *  anti-aligned. */
+    void (*rzz)(double* a, std::size_t ib, std::size_t ie,
+                std::size_t abit, std::size_t bbit, double sr, double si,
+                double dr, double di);
+
+    /** CPHASE over the 2^(n-2) block space: multiply the amplitude at
+     *  i00 | target_bits by (pr, pi). */
+    void (*cphase)(double* a, std::size_t hb, std::size_t he,
+                   std::size_t lo_mask, std::size_t hi_mask,
+                   std::size_t target_bits, double pr, double pi);
+
+    /** CX over the 2^(n-2) block space: swap the amplitudes at
+     *  i00|cbit and i00|cbit|tbit. */
+    void (*cx)(double* a, std::size_t hb, std::size_t he,
+               std::size_t lo_mask, std::size_t hi_mask, std::size_t cbit,
+               std::size_t tbit);
+
+    /** SWAP over the 2^(n-2) block space: swap i00|abit and i00|bbit. */
+    void (*swap)(double* a, std::size_t hb, std::size_t he,
+                 std::size_t lo_mask, std::size_t hi_mask,
+                 std::size_t abit, std::size_t bbit);
+
+    /**
+     * Fused-diagonal phase sweep over [ib, ie): amplitude i is
+     * multiplied by (lut_re[k], lut_im[k]) with k = key[i] + span.
+     * The LUT is split into real/imag planes so the AVX2 tier can
+     * gather each with one instruction.
+     */
+    void (*phase_lut)(double* a, std::size_t ib, std::size_t ie,
+                      const std::int32_t* key, std::int32_t span,
+                      const double* lut_re, const double* lut_im);
+
+    /** Dense phase sweep over [ib, ie): amplitude i is multiplied by
+     *  e^{i * scale * (constant + angle[i])}. Shared scalar
+     *  implementation in both tiers (see file comment). */
+    void (*phase_angles)(double* a, std::size_t ib, std::size_t ie,
+                         const double* angle, double scale,
+                         double constant);
+
+    /** out[i] = |a_i|^2 over [ib, ie). */
+    void (*probs)(const double* a, double* out, std::size_t ib,
+                  std::size_t ie);
+
+    /** Sum of |a_i|^2 over [ib, ie), fixed 4-lane accumulation. */
+    double (*norm_sum)(const double* a, std::size_t ib, std::size_t ie);
+
+    /** Sum of |a_i|^2 * (table[i] + offset) over [ib, ie), fixed
+     *  4-lane accumulation — the QAOA objective reduction. */
+    double (*weighted_norm_sum)(const double* a, const double* table,
+                                double offset, std::size_t ib,
+                                std::size_t ie);
+
+    /** y[i] += s * x[i] over a plain double range [b, e). */
+    void (*axpy)(double* y, const double* x, double s, std::size_t b,
+                 std::size_t e);
+
+    /** y[i] *= s over a plain double range [b, e). */
+    void (*scale)(double* y, double s, std::size_t b, std::size_t e);
+
+    /** Multiply every amplitude in [ib, ie) by -i: (re,im)->(im,-re). */
+    void (*mul_neg_i)(double* a, std::size_t ib, std::size_t ie);
+
+    /** RK4 combine over a plain double range [b, e):
+     *  y[i] += w * (((k1[i] + 2*k2[i]) + 2*k3[i]) + k4[i]). */
+    void (*rk4_combine)(double* y, const double* k1, const double* k2,
+                        const double* k3, const double* k4, double w,
+                        std::size_t b, std::size_t e);
+};
+
+/** The portable tier (always available). */
+const Table& scalar_table();
+
+/** The AVX2 tier; aliases scalar_table() when the build lacks AVX2
+ *  support (non-x86 target or compiler without -mavx2). */
+const Table& avx2_table();
+
+/** True when avx2_table() is a real AVX2 implementation. */
+bool avx2_compiled_in();
+
+/** The table selected by sim::active_simd_tier(). */
+const Table& active();
+
+/** active(), also counting the dispatch under the telemetry counter
+ *  permuq.sim.kernels.<tier> — call once per gate/sweep, not per
+ *  thread chunk. */
+const Table& active_counted();
+
+} // namespace permuq::sim::kernels
+
+#endif // PERMUQ_SIM_KERNELS_H

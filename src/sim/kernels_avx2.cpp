@@ -1,0 +1,582 @@
+/**
+ * @file
+ * AVX2 tier of the statevector kernels (see sim/kernels.h for the
+ * dispatch design and the determinism contract).
+ *
+ * Layout: amplitudes are interleaved [re, im], so one __m256d holds
+ * two complex values. Complex multiplies use the movedup / permute /
+ * addsub arrangement whose per-lane operation sequence matches the
+ * scalar helpers in kernels_inline.h exactly; reductions accumulate
+ * into the four register lanes (element j of a range lands in lane
+ * j mod 4, combined as (l0+l1)+(l2+l3)), which the scalar tier
+ * mirrors with four explicit accumulators. Gates vectorize when the
+ * qubit stride leaves 4 consecutive amplitudes per group (block mask
+ * >= 3, i.e. qubit index >= 2) and fall back to the shared scalar
+ * loop otherwise; alignment prologues/tails run the identical
+ * per-element helpers, so chunk boundaries (which depend on thread
+ * count) cannot perturb any element's value.
+ *
+ * This TU builds with -mavx2 -ffp-contract=off; when the toolchain
+ * can't target AVX2 the #else branch aliases the scalar tier.
+ */
+#include "sim/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "sim/kernel_util.h"
+#include "sim/kernels_inline.h"
+
+namespace permuq::sim::kernels {
+
+namespace {
+
+/** Swap re/im within each complex: [a0,a1,a2,a3] -> [a1,a0,a3,a2]. */
+inline __m256d
+swap_halves(__m256d v)
+{
+    return _mm256_permute_pd(v, 0x5);
+}
+
+/** Multiply two complex values in @p v by the broadcast phase
+ *  (pr, pi): per lane pair, re' = ar*pr - ai*pi, im' = ai*pr + ar*pi
+ *  — the lane sequence of detail::cmul. */
+inline __m256d
+cmul_broadcast(__m256d v, __m256d pr, __m256d pi)
+{
+    const __m256d t = _mm256_mul_pd(v, pr);
+    const __m256d u = _mm256_mul_pd(swap_halves(v), pi);
+    return _mm256_addsub_pd(t, u);
+}
+
+/** Multiply two complex values in @p v by the two phases packed in
+ *  @p p = [pr0, pi0, pr1, pi1]. */
+inline __m256d
+cmul_packed(__m256d v, __m256d p)
+{
+    const __m256d pr = _mm256_movedup_pd(p);
+    const __m256d pi = _mm256_permute_pd(p, 0xF);
+    return cmul_broadcast(v, pr, pi);
+}
+
+/** Half an RX butterfly: re' = c*ar_self + s*ai_other,
+ *  im' = c*ai_self - s*ar_other (the lane sequence of
+ *  detail::rx_pair). @p sign must be set1(-0.0). */
+inline __m256d
+rx_mix(__m256d self, __m256d other, __m256d c, __m256d s, __m256d sign)
+{
+    const __m256d t = _mm256_mul_pd(self, c);
+    const __m256d u = _mm256_mul_pd(swap_halves(other), s);
+    // addsub subtracts in even lanes and adds in odd lanes; negating
+    // u flips that to the +re/-im pattern RX needs. IEEE negation is
+    // exact, so x - (-y) == x + y bit-for-bit.
+    return _mm256_addsub_pd(t, _mm256_xor_pd(u, sign));
+}
+
+/** |a|^2 of four consecutive complex values: returns [n0,n1,n2,n3].
+ *  hadd computes re*re + im*im per value (the sequence of
+ *  detail::norm2); the cross-lane permute restores element order. */
+inline __m256d
+norm4(__m256d a01, __m256d a23)
+{
+    const __m256d h = _mm256_hadd_pd(_mm256_mul_pd(a01, a01),
+                                     _mm256_mul_pd(a23, a23));
+    return _mm256_permute4x64_pd(h, 0xD8); // [n0,n2,n1,n3] -> order
+}
+
+void
+avx2_rx(double* a, std::size_t hb, std::size_t he, std::size_t low_mask,
+        std::size_t bit, double c, double s)
+{
+    if (low_mask < 3) { // qubits 0/1: pairs are not lane-contiguous
+        scalar_table().rx(a, hb, he, low_mask, bit, c, s);
+        return;
+    }
+    std::size_t h = hb;
+    for (; h < he && (h & 3) != 0; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        detail::rx_pair(a + 2 * i0, a + 2 * (i0 | bit), c, s);
+    }
+    const __m256d cv = _mm256_set1_pd(c);
+    const __m256d sv = _mm256_set1_pd(s);
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    for (; h + 4 <= he; h += 4) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        double* p0 = a + 2 * i0;
+        double* p1 = a + 2 * (i0 | bit);
+        const __m256d v0a = _mm256_loadu_pd(p0);
+        const __m256d v0b = _mm256_loadu_pd(p0 + 4);
+        const __m256d v1a = _mm256_loadu_pd(p1);
+        const __m256d v1b = _mm256_loadu_pd(p1 + 4);
+        _mm256_storeu_pd(p0, rx_mix(v0a, v1a, cv, sv, sign));
+        _mm256_storeu_pd(p0 + 4, rx_mix(v0b, v1b, cv, sv, sign));
+        _mm256_storeu_pd(p1, rx_mix(v1a, v0a, cv, sv, sign));
+        _mm256_storeu_pd(p1 + 4, rx_mix(v1b, v0b, cv, sv, sign));
+    }
+    for (; h < he; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        detail::rx_pair(a + 2 * i0, a + 2 * (i0 | bit), c, s);
+    }
+}
+
+void
+avx2_h(double* a, std::size_t hb, std::size_t he, std::size_t low_mask,
+       std::size_t bit, double inv_sqrt2)
+{
+    if (low_mask < 3) {
+        scalar_table().h(a, hb, he, low_mask, bit, inv_sqrt2);
+        return;
+    }
+    std::size_t h = hb;
+    for (; h < he && (h & 3) != 0; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        detail::h_pair(a + 2 * i0, a + 2 * (i0 | bit), inv_sqrt2);
+    }
+    const __m256d inv = _mm256_set1_pd(inv_sqrt2);
+    for (; h + 4 <= he; h += 4) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        double* p0 = a + 2 * i0;
+        double* p1 = a + 2 * (i0 | bit);
+        const __m256d v0a = _mm256_loadu_pd(p0);
+        const __m256d v0b = _mm256_loadu_pd(p0 + 4);
+        const __m256d v1a = _mm256_loadu_pd(p1);
+        const __m256d v1b = _mm256_loadu_pd(p1 + 4);
+        _mm256_storeu_pd(
+            p0, _mm256_mul_pd(inv, _mm256_add_pd(v0a, v1a)));
+        _mm256_storeu_pd(
+            p0 + 4, _mm256_mul_pd(inv, _mm256_add_pd(v0b, v1b)));
+        _mm256_storeu_pd(
+            p1, _mm256_mul_pd(inv, _mm256_sub_pd(v0a, v1a)));
+        _mm256_storeu_pd(
+            p1 + 4, _mm256_mul_pd(inv, _mm256_sub_pd(v0b, v1b)));
+    }
+    for (; h < he; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        detail::h_pair(a + 2 * i0, a + 2 * (i0 | bit), inv_sqrt2);
+    }
+}
+
+void
+avx2_rx2(double* a, std::size_t hb, std::size_t he, std::size_t lo_mask,
+         std::size_t hi_mask, std::size_t pbit, std::size_t qbit,
+         double c, double s)
+{
+    if (lo_mask < 3) {
+        scalar_table().rx2(a, hb, he, lo_mask, hi_mask, pbit, qbit, c,
+                           s);
+        return;
+    }
+    auto one_block = [=](std::size_t h) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p00 = a + 2 * i00;
+        double* pp = a + 2 * (i00 | pbit);
+        double* pq = a + 2 * (i00 | qbit);
+        double* ppq = a + 2 * (i00 | pbit | qbit);
+        detail::rx_pair(p00, pp, c, s);
+        detail::rx_pair(pq, ppq, c, s);
+        detail::rx_pair(p00, pq, c, s);
+        detail::rx_pair(pp, ppq, c, s);
+    };
+    std::size_t h = hb;
+    for (; h < he && (h & 3) != 0; ++h)
+        one_block(h);
+    const __m256d cv = _mm256_set1_pd(c);
+    const __m256d sv = _mm256_set1_pd(s);
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    for (; h + 4 <= he; h += 4) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p00 = a + 2 * i00;
+        double* pp = a + 2 * (i00 | pbit);
+        double* pq = a + 2 * (i00 | qbit);
+        double* ppq = a + 2 * (i00 | pbit | qbit);
+        __m256d v00a = _mm256_loadu_pd(p00);
+        __m256d v00b = _mm256_loadu_pd(p00 + 4);
+        __m256d vpa = _mm256_loadu_pd(pp);
+        __m256d vpb = _mm256_loadu_pd(pp + 4);
+        __m256d vqa = _mm256_loadu_pd(pq);
+        __m256d vqb = _mm256_loadu_pd(pq + 4);
+        __m256d vpqa = _mm256_loadu_pd(ppq);
+        __m256d vpqb = _mm256_loadu_pd(ppq + 4);
+        // RX on the pbit pairs...
+        __m256d t;
+        t = rx_mix(v00a, vpa, cv, sv, sign);
+        vpa = rx_mix(vpa, v00a, cv, sv, sign);
+        v00a = t;
+        t = rx_mix(v00b, vpb, cv, sv, sign);
+        vpb = rx_mix(vpb, v00b, cv, sv, sign);
+        v00b = t;
+        t = rx_mix(vqa, vpqa, cv, sv, sign);
+        vpqa = rx_mix(vpqa, vqa, cv, sv, sign);
+        vqa = t;
+        t = rx_mix(vqb, vpqb, cv, sv, sign);
+        vpqb = rx_mix(vpqb, vqb, cv, sv, sign);
+        vqb = t;
+        // ...then on the qbit pairs, all still in registers.
+        t = rx_mix(v00a, vqa, cv, sv, sign);
+        vqa = rx_mix(vqa, v00a, cv, sv, sign);
+        v00a = t;
+        t = rx_mix(v00b, vqb, cv, sv, sign);
+        vqb = rx_mix(vqb, v00b, cv, sv, sign);
+        v00b = t;
+        t = rx_mix(vpa, vpqa, cv, sv, sign);
+        vpqa = rx_mix(vpqa, vpa, cv, sv, sign);
+        vpa = t;
+        t = rx_mix(vpb, vpqb, cv, sv, sign);
+        vpqb = rx_mix(vpqb, vpb, cv, sv, sign);
+        vpb = t;
+        _mm256_storeu_pd(p00, v00a);
+        _mm256_storeu_pd(p00 + 4, v00b);
+        _mm256_storeu_pd(pp, vpa);
+        _mm256_storeu_pd(pp + 4, vpb);
+        _mm256_storeu_pd(pq, vqa);
+        _mm256_storeu_pd(pq + 4, vqb);
+        _mm256_storeu_pd(ppq, vpqa);
+        _mm256_storeu_pd(ppq + 4, vpqb);
+    }
+    for (; h < he; ++h)
+        one_block(h);
+}
+
+void
+avx2_rz(double* a, std::size_t ib, std::size_t ie, std::size_t bit,
+        double e0r, double e0i, double e1r, double e1i)
+{
+    if (bit < 4) { // phase alternates within a 4-amplitude group
+        scalar_table().rz(a, ib, ie, bit, e0r, e0i, e1r, e1i);
+        return;
+    }
+    auto one = [=](std::size_t i) {
+        if (i & bit)
+            detail::cmul(a + 2 * i, e1r, e1i);
+        else
+            detail::cmul(a + 2 * i, e0r, e0i);
+    };
+    std::size_t i = ib;
+    for (; i < ie && (i & 3) != 0; ++i)
+        one(i);
+    const __m256d r0 = _mm256_set1_pd(e0r), im0 = _mm256_set1_pd(e0i);
+    const __m256d r1 = _mm256_set1_pd(e1r), im1 = _mm256_set1_pd(e1i);
+    for (; i + 4 <= ie; i += 4) {
+        const bool hi = (i & bit) != 0;
+        const __m256d pr = hi ? r1 : r0;
+        const __m256d pi = hi ? im1 : im0;
+        double* p = a + 2 * i;
+        _mm256_storeu_pd(p, cmul_broadcast(_mm256_loadu_pd(p), pr, pi));
+        _mm256_storeu_pd(
+            p + 4, cmul_broadcast(_mm256_loadu_pd(p + 4), pr, pi));
+    }
+    for (; i < ie; ++i)
+        one(i);
+}
+
+void
+avx2_rzz(double* a, std::size_t ib, std::size_t ie, std::size_t abit,
+         std::size_t bbit, double sr, double si, double dr, double di)
+{
+    if (abit < 4 || bbit < 4) {
+        scalar_table().rzz(a, ib, ie, abit, bbit, sr, si, dr, di);
+        return;
+    }
+    auto one = [=](std::size_t i) {
+        const bool aligned = ((i & abit) != 0) == ((i & bbit) != 0);
+        if (aligned)
+            detail::cmul(a + 2 * i, sr, si);
+        else
+            detail::cmul(a + 2 * i, dr, di);
+    };
+    std::size_t i = ib;
+    for (; i < ie && (i & 3) != 0; ++i)
+        one(i);
+    const __m256d rs = _mm256_set1_pd(sr), is = _mm256_set1_pd(si);
+    const __m256d rd = _mm256_set1_pd(dr), id = _mm256_set1_pd(di);
+    for (; i + 4 <= ie; i += 4) {
+        const bool aligned = ((i & abit) != 0) == ((i & bbit) != 0);
+        const __m256d pr = aligned ? rs : rd;
+        const __m256d pi = aligned ? is : id;
+        double* p = a + 2 * i;
+        _mm256_storeu_pd(p, cmul_broadcast(_mm256_loadu_pd(p), pr, pi));
+        _mm256_storeu_pd(
+            p + 4, cmul_broadcast(_mm256_loadu_pd(p + 4), pr, pi));
+    }
+    for (; i < ie; ++i)
+        one(i);
+}
+
+void
+avx2_cphase(double* a, std::size_t hb, std::size_t he,
+            std::size_t lo_mask, std::size_t hi_mask,
+            std::size_t target_bits, double pr, double pi)
+{
+    if (lo_mask < 3) {
+        scalar_table().cphase(a, hb, he, lo_mask, hi_mask, target_bits,
+                              pr, pi);
+        return;
+    }
+    auto one = [=](std::size_t h) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        detail::cmul(a + 2 * (i00 | target_bits), pr, pi);
+    };
+    std::size_t h = hb;
+    for (; h < he && (h & 3) != 0; ++h)
+        one(h);
+    const __m256d prv = _mm256_set1_pd(pr);
+    const __m256d piv = _mm256_set1_pd(pi);
+    for (; h + 4 <= he; h += 4) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p = a + 2 * (i00 | target_bits);
+        _mm256_storeu_pd(p,
+                         cmul_broadcast(_mm256_loadu_pd(p), prv, piv));
+        _mm256_storeu_pd(
+            p + 4, cmul_broadcast(_mm256_loadu_pd(p + 4), prv, piv));
+    }
+    for (; h < he; ++h)
+        one(h);
+}
+
+void
+avx2_cx(double* a, std::size_t hb, std::size_t he, std::size_t lo_mask,
+        std::size_t hi_mask, std::size_t cbit, std::size_t tbit)
+{
+    // Pure 16-byte moves, one complex per __m128d; no arithmetic, so
+    // values are trivially identical to the scalar tier.
+    for (std::size_t h = hb; h < he; ++h) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p0 = a + 2 * (i00 | cbit);
+        double* p1 = a + 2 * (i00 | cbit | tbit);
+        const __m128d x = _mm_loadu_pd(p0);
+        const __m128d y = _mm_loadu_pd(p1);
+        _mm_storeu_pd(p0, y);
+        _mm_storeu_pd(p1, x);
+    }
+}
+
+void
+avx2_swap(double* a, std::size_t hb, std::size_t he, std::size_t lo_mask,
+          std::size_t hi_mask, std::size_t abit, std::size_t bbit)
+{
+    for (std::size_t h = hb; h < he; ++h) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p0 = a + 2 * (i00 | abit);
+        double* p1 = a + 2 * (i00 | bbit);
+        const __m128d x = _mm_loadu_pd(p0);
+        const __m128d y = _mm_loadu_pd(p1);
+        _mm_storeu_pd(p0, y);
+        _mm_storeu_pd(p1, x);
+    }
+}
+
+// GCC's non-masked gather intrinsics expand through an undefined
+// source register, tripping -Wmaybe-uninitialized; the full-ones mask
+// below means every lane is written.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+void
+avx2_phase_lut(double* a, std::size_t ib, std::size_t ie,
+               const std::int32_t* key, std::int32_t span,
+               const double* lut_re, const double* lut_im)
+{
+    const __m128i span_v = _mm_set1_epi32(span);
+    std::size_t i = ib;
+    for (; i + 4 <= ie; i += 4) {
+        __m128i k = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(key + i));
+        k = _mm_add_epi32(k, span_v);
+        const __m256d pr4 = _mm256_i32gather_pd(lut_re, k, 8);
+        const __m256d pi4 = _mm256_i32gather_pd(lut_im, k, 8);
+        const __m256d lo = _mm256_unpacklo_pd(pr4, pi4);
+        const __m256d hi = _mm256_unpackhi_pd(pr4, pi4);
+        const __m256d p01 = _mm256_permute2f128_pd(lo, hi, 0x20);
+        const __m256d p23 = _mm256_permute2f128_pd(lo, hi, 0x31);
+        double* p = a + 2 * i;
+        _mm256_storeu_pd(p, cmul_packed(_mm256_loadu_pd(p), p01));
+        _mm256_storeu_pd(p + 4,
+                         cmul_packed(_mm256_loadu_pd(p + 4), p23));
+    }
+    for (; i < ie; ++i) {
+        const std::int32_t k = key[i] + span;
+        detail::cmul(a + 2 * i, lut_re[k], lut_im[k]);
+    }
+}
+#pragma GCC diagnostic pop
+
+void
+avx2_probs(const double* a, double* out, std::size_t ib, std::size_t ie)
+{
+    std::size_t i = ib;
+    for (; i + 4 <= ie; i += 4) {
+        const double* p = a + 2 * i;
+        _mm256_storeu_pd(out + i, norm4(_mm256_loadu_pd(p),
+                                        _mm256_loadu_pd(p + 4)));
+    }
+    for (; i < ie; ++i)
+        out[i] = detail::norm2(a + 2 * i);
+}
+
+double
+avx2_norm_sum(const double* a, std::size_t ib, std::size_t ie)
+{
+    const std::size_t len = ie - ib;
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= len; j += 4) {
+        const double* p = a + 2 * (ib + j);
+        acc = _mm256_add_pd(
+            acc, norm4(_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)));
+    }
+    alignas(32) double lane[kReductionLanes];
+    _mm256_store_pd(lane, acc);
+    for (; j < len; ++j)
+        lane[j & (kReductionLanes - 1)] +=
+            detail::norm2(a + 2 * (ib + j));
+    return detail::combine_lanes(lane);
+}
+
+double
+avx2_weighted_norm_sum(const double* a, const double* table,
+                       double offset, std::size_t ib, std::size_t ie)
+{
+    const std::size_t len = ie - ib;
+    const __m256d off = _mm256_set1_pd(offset);
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= len; j += 4) {
+        const double* p = a + 2 * (ib + j);
+        const __m256d n =
+            norm4(_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4));
+        const __m256d w =
+            _mm256_add_pd(_mm256_loadu_pd(table + ib + j), off);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(n, w));
+    }
+    alignas(32) double lane[kReductionLanes];
+    _mm256_store_pd(lane, acc);
+    for (; j < len; ++j)
+        lane[j & (kReductionLanes - 1)] +=
+            detail::norm2(a + 2 * (ib + j)) * (table[ib + j] + offset);
+    return detail::combine_lanes(lane);
+}
+
+void
+avx2_axpy(double* y, const double* x, double s, std::size_t b,
+          std::size_t e)
+{
+    const __m256d sv = _mm256_set1_pd(s);
+    std::size_t i = b;
+    for (; i + 4 <= e; i += 4)
+        _mm256_storeu_pd(
+            y + i,
+            _mm256_add_pd(_mm256_loadu_pd(y + i),
+                          _mm256_mul_pd(sv, _mm256_loadu_pd(x + i))));
+    for (; i < e; ++i)
+        y[i] += s * x[i];
+}
+
+void
+avx2_scale(double* y, double s, std::size_t b, std::size_t e)
+{
+    const __m256d sv = _mm256_set1_pd(s);
+    std::size_t i = b;
+    for (; i + 4 <= e; i += 4)
+        _mm256_storeu_pd(y + i,
+                         _mm256_mul_pd(sv, _mm256_loadu_pd(y + i)));
+    for (; i < e; ++i)
+        y[i] *= s;
+}
+
+void
+avx2_mul_neg_i(double* a, std::size_t ib, std::size_t ie)
+{
+    // (re, im) -> (im, -re): swap halves, negate the imag lanes.
+    const __m256d neg_odd = _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+    std::size_t i = ib;
+    for (; i + 2 <= ie; i += 2) {
+        double* p = a + 2 * i;
+        _mm256_storeu_pd(
+            p, _mm256_xor_pd(swap_halves(_mm256_loadu_pd(p)), neg_odd));
+    }
+    for (; i < ie; ++i) {
+        const double re = a[2 * i], im = a[2 * i + 1];
+        a[2 * i] = im;
+        a[2 * i + 1] = -re;
+    }
+}
+
+void
+avx2_rk4_combine(double* y, const double* k1, const double* k2,
+                 const double* k3, const double* k4, double w,
+                 std::size_t b, std::size_t e)
+{
+    const __m256d wv = _mm256_set1_pd(w);
+    const __m256d two = _mm256_set1_pd(2.0);
+    std::size_t i = b;
+    for (; i + 4 <= e; i += 4) {
+        const __m256d t = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_loadu_pd(k1 + i),
+                    _mm256_mul_pd(two, _mm256_loadu_pd(k2 + i))),
+                _mm256_mul_pd(two, _mm256_loadu_pd(k3 + i))),
+            _mm256_loadu_pd(k4 + i));
+        _mm256_storeu_pd(y + i,
+                         _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                       _mm256_mul_pd(wv, t)));
+    }
+    for (; i < e; ++i)
+        y[i] += w * (((k1[i] + 2.0 * k2[i]) + 2.0 * k3[i]) + k4[i]);
+}
+
+} // namespace
+
+bool
+avx2_compiled_in()
+{
+    return true;
+}
+
+const Table&
+avx2_table()
+{
+    static const Table table = {
+        "avx2",
+        avx2_rx,
+        avx2_h,
+        avx2_rx2,
+        avx2_rz,
+        avx2_rzz,
+        avx2_cphase,
+        avx2_cx,
+        avx2_swap,
+        avx2_phase_lut,
+        scalar_table().phase_angles, // trig-bound; shared (see kernels.h)
+        avx2_probs,
+        avx2_norm_sum,
+        avx2_weighted_norm_sum,
+        avx2_axpy,
+        avx2_scale,
+        avx2_mul_neg_i,
+        avx2_rk4_combine,
+    };
+    return table;
+}
+
+} // namespace permuq::sim::kernels
+
+#else // !defined(__AVX2__)
+
+namespace permuq::sim::kernels {
+
+bool
+avx2_compiled_in()
+{
+    return false;
+}
+
+const Table&
+avx2_table()
+{
+    return scalar_table();
+}
+
+} // namespace permuq::sim::kernels
+
+#endif

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared per-element arithmetic of the statevector kernels.
+ *
+ * Both kernel tiers (kernels_scalar.cpp, kernels_avx2.cpp) include
+ * this header and build with -ffp-contract=off, so the scalar loops
+ * and the vector tails/low-qubit fallbacks execute literally the same
+ * IEEE-754 operation sequence — the root of the scalar-vs-SIMD
+ * bit-identity contract documented in sim/kernels.h. Each helper's
+ * formula is written to match the AVX2 lane arithmetic:
+ *
+ *  - complex multiply:  re' = ar*pr - ai*pi ; im' = ai*pr + ar*pi
+ *    (the _mm256_addsub_pd arrangement: t = a * dup_even(p),
+ *    u = swap(a) * dup_odd(p), result = addsub(t, u))
+ *  - RX mix:            re' = c*ar_self + s*ai_other ;
+ *                       im' = c*ai_self - s*ar_other
+ *    (addsub with the negated second product)
+ *
+ * This header is internal to src/sim; include sim/kernels.h for the
+ * dispatch API.
+ */
+#ifndef PERMUQ_SIM_KERNELS_INLINE_H
+#define PERMUQ_SIM_KERNELS_INLINE_H
+
+#include <cstddef>
+
+namespace permuq::sim::kernels::detail {
+
+/** In-place complex multiply of the amplitude at @p p (interleaved
+ *  [re, im]) by (pr, pi). */
+inline void
+cmul(double* p, double pr, double pi)
+{
+    const double ar = p[0], ai = p[1];
+    p[0] = ar * pr - ai * pi;
+    p[1] = ai * pr + ar * pi;
+}
+
+/** One RX butterfly over the amplitude pair at @p p0 / @p p1. */
+inline void
+rx_pair(double* p0, double* p1, double c, double s)
+{
+    const double ar0 = p0[0], ai0 = p0[1];
+    const double ar1 = p1[0], ai1 = p1[1];
+    p0[0] = c * ar0 + s * ai1;
+    p0[1] = c * ai0 - s * ar1;
+    p1[0] = c * ar1 + s * ai0;
+    p1[1] = c * ai1 - s * ar0;
+}
+
+/** One Hadamard butterfly over the amplitude pair at @p p0 / @p p1. */
+inline void
+h_pair(double* p0, double* p1, double inv_sqrt2)
+{
+    const double ar0 = p0[0], ai0 = p0[1];
+    const double ar1 = p1[0], ai1 = p1[1];
+    p0[0] = inv_sqrt2 * (ar0 + ar1);
+    p0[1] = inv_sqrt2 * (ai0 + ai1);
+    p1[0] = inv_sqrt2 * (ar0 - ar1);
+    p1[1] = inv_sqrt2 * (ai0 - ai1);
+}
+
+/** Swap the two complex amplitudes at @p p0 / @p p1. */
+inline void
+cswap(double* p0, double* p1)
+{
+    const double r = p0[0], i = p0[1];
+    p0[0] = p1[0];
+    p0[1] = p1[1];
+    p1[0] = r;
+    p1[1] = i;
+}
+
+/** |a_i|^2 of the amplitude at @p p. */
+inline double
+norm2(const double* p)
+{
+    return p[0] * p[0] + p[1] * p[1];
+}
+
+/** Final combine of the fixed 4-lane reduction accumulators. */
+inline double
+combine_lanes(const double* lane)
+{
+    return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+} // namespace permuq::sim::kernels::detail
+
+#endif // PERMUQ_SIM_KERNELS_INLINE_H

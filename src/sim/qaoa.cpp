@@ -1,193 +1,19 @@
 #include "qaoa.h"
 
 #include <algorithm>
-#include <cmath>
-#include <mutex>
-#include <unordered_map>
 
-#include "circuit/metrics.h"
 #include "common/error.h"
-#include "common/parallel.h"
-#include "common/telemetry/telemetry.h"
-#include "sim/diagonal.h"
+#include "sim/qaoa_objective.h"
 #include "sim/statevector.h"
 
 namespace permuq::sim {
 
-namespace {
-
-/** Per-op CX cost with CPHASE+SWAP merging applied. */
-std::vector<std::int8_t>
-per_op_cx(const circuit::Circuit& compiled)
-{
-    auto merged = circuit::merged_with_previous(compiled);
-    const auto& ops = compiled.ops();
-    std::vector<std::int8_t> cost(ops.size());
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-        if (merged[i]) {
-            // The merged pair costs 3 CX total; the predecessor was
-            // billed standalone, so this op pays the difference.
-            cost[i] = static_cast<std::int8_t>(
-                ops[i].kind == circuit::OpKind::Swap ? 1 : 0);
-        } else {
-            cost[i] = static_cast<std::int8_t>(
-                ops[i].kind == circuit::OpKind::Compute ? 2 : 3);
-        }
-    }
-    return cost;
-}
-
-void
-apply_pauli(Statevector& sv, std::int32_t q, std::int32_t which)
-{
-    switch (which) {
-      case 1: sv.apply_x(q); break;
-      case 2: sv.apply_y(q); break;
-      case 3: sv.apply_z(q); break;
-      default: break;
-    }
-}
-
-using WeightTable =
-    std::unordered_map<VertexPair, double, VertexPairHash>;
-
-/**
- * Run each noisy trajectory and hand its final state to @p sink as
- * sink(trajectory_index, sv, rng). Trajectory t draws from the
- * t-times-jumped substream of options.seed, so every trajectory's
- * randomness — and therefore every result assembled from
- * per-trajectory partials in index order — is independent of the
- * thread count. When @p parallel is true, trajectories run
- * concurrently on the global pool; @p sink must only touch state
- * owned by its trajectory index (or synchronize internally).
- * @p weights optionally scales each edge's phase angle.
- */
-template <typename Sink>
-void
-for_each_trajectory(const graph::Graph& problem,
-                    const circuit::Circuit& compiled,
-                    const arch::NoiseModel& noise,
-                    const QaoaAngles& angles,
-                    const NoisySimOptions& options, Sink&& sink,
-                    const WeightTable* weights = nullptr,
-                    bool parallel = true)
-{
-    std::int32_t n = problem.num_vertices();
-    fatal_unless(n <= kMaxSimQubits,
-                 "noisy simulation supports up to " +
-                     std::to_string(kMaxSimQubits) + " qubits");
-    fatal_unless(!angles.gamma.empty() &&
-                     angles.gamma.size() == angles.beta.size(),
-                 "need one gamma and beta per QAOA layer");
-    std::int32_t layers = static_cast<std::int32_t>(angles.gamma.size());
-
-    auto cx_cost = per_op_cx(compiled);
-
-    auto run_one = [&](std::int64_t traj) {
-        telemetry::ScopedSpan span("sim.trajectory");
-        span.arg("traj", traj);
-        Xoshiro256 rng(options.seed);
-        for (std::int64_t j = 0; j < traj; ++j)
-            rng.jump();
-
-        Statevector sv(n);
-        sv.reset_to_plus();
-
-        DiagonalBatch batch;
-        auto flush = [&] {
-            if (!batch.empty()) {
-                batch.apply(sv);
-                batch.clear();
-            }
-        };
-
-        for (std::int32_t layer = 0; layer < layers; ++layer) {
-            double gamma = angles.gamma[static_cast<std::size_t>(layer)];
-            // Odd layers replay the compiled circuit backwards: from
-            // the final mapping, the reversed op sequence meets every
-            // pair again with the same physical structure.
-            circuit::for_each_replayed(
-                compiled, layer % 2 == 1,
-                [&](const circuit::ScheduledOp& op, std::size_t i) {
-                    // Stochastic Pauli noise per physical CX of this
-                    // op. Paulis do not commute with pending diagonal
-                    // phases, so an error flushes the batch first.
-                    double e = noise.cx_error(op.p, op.q);
-                    for (std::int8_t c = 0; c < cx_cost[i]; ++c) {
-                        if (rng.next_double() >= e)
-                            continue;
-                        std::int32_t which = static_cast<std::int32_t>(
-                            rng.next_below(15)) + 1;
-                        flush();
-                        if (op.a != kInvalidQubit)
-                            apply_pauli(sv, op.a, which & 3);
-                        if (op.b != kInvalidQubit)
-                            apply_pauli(sv, op.b, which >> 2);
-                    }
-                    if (op.kind == circuit::OpKind::Compute) {
-                        double w = 1.0;
-                        if (weights != nullptr)
-                            w = weights->at(VertexPair(op.a, op.b));
-                        if (options.fuse_diagonals)
-                            batch.add_rzz(op.a, op.b, -gamma * w);
-                        else
-                            sv.apply_rzz(op.a, op.b, -gamma * w);
-                    }
-                    // SWAPs act as relabelings: the stored logical
-                    // operands of later ops already account for them.
-                });
-            flush();
-            double beta = angles.beta[static_cast<std::size_t>(layer)];
-            for (std::int32_t q = 0; q < n; ++q)
-                sv.apply_rx(q, 2.0 * beta);
-        }
-
-        sink(static_cast<std::int32_t>(traj), sv, rng);
-    };
-
-    if (parallel && options.trajectories > 1 && common::num_threads() > 1)
-        common::parallel_tasks(options.trajectories, run_one);
-    else
-        for (std::int64_t t = 0; t < options.trajectories; ++t)
-            run_one(t);
-}
-
-/**
- * Sample the readout-flipped shots of one finished trajectory,
- * calling shot_sink(z) per shot. Builds the CDF once; each shot is a
- * binary search instead of an O(2^n) scan.
- */
-template <typename ShotSink>
-void
-sample_trajectory(const Statevector& sv, Xoshiro256& rng,
-                  const circuit::Circuit& compiled,
-                  const arch::NoiseModel& noise,
-                  const NoisySimOptions& options, std::int32_t n,
-                  std::int32_t shots_per_traj, ShotSink&& shot_sink)
-{
-    CdfSampler sampler(sv);
-    for (std::int32_t s = 0; s < shots_per_traj; ++s) {
-        std::uint64_t z = sampler.sample(rng);
-        if (options.readout_error && !noise.is_ideal()) {
-            // Per-qubit readout error at the final physical location
-            // of each logical qubit.
-            for (std::int32_t l = 0; l < n; ++l) {
-                PhysicalQubit p = compiled.final_mapping().physical_of(l);
-                if (rng.next_double() < noise.readout_error(p))
-                    z ^= std::uint64_t(1) << l;
-            }
-        }
-        shot_sink(z);
-    }
-}
-
-std::int32_t
-shots_per_trajectory(const NoisySimOptions& options)
-{
-    return std::max(1, options.shots / std::max(1, options.trajectories));
-}
-
-} // namespace
+// The simulation paths (ideal fused-layer evolution, noisy
+// trajectories, expectation reductions) live in QaoaObjective
+// (sim/qaoa_objective.h), which amortizes the per-problem state across
+// evaluations. These free functions build a one-shot context and
+// delegate, so single-call users and repeated-evaluation users run the
+// identical code path.
 
 std::int32_t
 cut_value(const graph::Graph& problem, std::uint64_t z)
@@ -215,63 +41,13 @@ max_cut(const graph::Graph& problem)
 std::vector<double>
 ideal_distribution(const graph::Graph& problem, const QaoaAngles& angles)
 {
-    std::int32_t n = problem.num_vertices();
-    fatal_unless(n <= kMaxSimQubits,
-                 "ideal simulation supports up to " +
-                     std::to_string(kMaxSimQubits) + " qubits");
-    fatal_unless(angles.gamma.size() == angles.beta.size(),
-                 "need one gamma and beta per QAOA layer");
-    Statevector sv(n);
-    sv.reset_to_plus();
-    // One fused sweep per cost layer. The batch holds the unit-gamma
-    // edge phases; each layer rescales it by its own -gamma (the cost
-    // unitary is RZZ(-gamma) per edge, matching the per-gate path).
-    DiagonalBatch cost;
-    for (const auto& e : problem.edges())
-        cost.add_rzz(e.a, e.b, 1.0);
-    for (std::size_t layer = 0; layer < angles.gamma.size(); ++layer) {
-        cost.apply(sv, -angles.gamma[layer]);
-        for (std::int32_t q = 0; q < n; ++q)
-            sv.apply_rx(q, 2.0 * angles.beta[layer]);
-    }
-    return sv.probabilities();
+    return QaoaObjective(problem).ideal_distribution(angles);
 }
 
 double
 ideal_expectation(const graph::Graph& problem, const QaoaAngles& angles)
 {
-    std::int32_t n = problem.num_vertices();
-    fatal_unless(n <= kMaxSimQubits,
-                 "ideal simulation supports up to " +
-                     std::to_string(kMaxSimQubits) + " qubits");
-    fatal_unless(angles.gamma.size() == angles.beta.size(),
-                 "need one gamma and beta per QAOA layer");
-    Statevector sv(n);
-    sv.reset_to_plus();
-    DiagonalBatch cost;
-    for (const auto& e : problem.edges())
-        cost.add_rzz(e.a, e.b, 1.0);
-    for (std::size_t layer = 0; layer < angles.gamma.size(); ++layer) {
-        cost.apply(sv, -angles.gamma[layer]);
-        for (std::int32_t q = 0; q < n; ++q)
-            sv.apply_rx(q, 2.0 * angles.beta[layer]);
-    }
-    // The unit-theta cost batch's angle spectrum is cut(z) - |E|/2
-    // (each edge contributes -1/2 * s_a s_b), so the objective falls
-    // out of the baked table — no per-state edge scan.
-    auto table = cost.bake(n);
-    const double offset =
-        static_cast<double>(problem.edges().size()) / 2.0;
-    const auto& amp = sv.amplitudes();
-    const double* angle = table.data();
-    return common::parallel_reduce_sum<double>(
-        0, amp.size(), std::size_t(1) << 13,
-        [&](std::size_t b, std::size_t e) {
-            double sum = 0.0;
-            for (std::size_t z = b; z < e; ++z)
-                sum += std::norm(amp[z]) * (angle[z] + offset);
-            return sum;
-        });
+    return QaoaObjective(problem).ideal_expectation(angles);
 }
 
 double
@@ -280,27 +56,8 @@ noisy_expectation(const graph::Graph& problem,
                   const arch::NoiseModel& noise, const QaoaAngles& angles,
                   const NoisySimOptions& options)
 {
-    std::int32_t n = problem.num_vertices();
-    std::int32_t shots_per_traj = shots_per_trajectory(options);
-    std::vector<double> partial(
-        static_cast<std::size_t>(std::max(1, options.trajectories)), 0.0);
-    for_each_trajectory(
-        problem, compiled, noise, angles, options,
-        [&](std::int32_t traj, const Statevector& sv, Xoshiro256& rng) {
-            double total = 0.0;
-            sample_trajectory(sv, rng, compiled, noise, options, n,
-                              shots_per_traj, [&](std::uint64_t z) {
-                                  total += cut_value(problem, z);
-                              });
-            partial[static_cast<std::size_t>(traj)] = total;
-        });
-    // Fixed-order combination: bit-identical at any thread count.
-    double total = 0.0;
-    for (double p : partial)
-        total += p;
-    std::int64_t shots = static_cast<std::int64_t>(shots_per_traj) *
-                         std::max(1, options.trajectories);
-    return total / static_cast<double>(std::max<std::int64_t>(1, shots));
+    return QaoaObjective(problem).noisy_expectation(compiled, noise,
+                                                    angles, options);
 }
 
 std::vector<std::int64_t>
@@ -308,25 +65,8 @@ noisy_counts(const graph::Graph& problem, const circuit::Circuit& compiled,
              const arch::NoiseModel& noise, const QaoaAngles& angles,
              const NoisySimOptions& options)
 {
-    std::int32_t n = problem.num_vertices();
-    std::int32_t shots_per_traj = shots_per_trajectory(options);
-    std::vector<std::int64_t> counts(
-        std::size_t(1) << problem.num_vertices(), 0);
-    std::mutex merge_mutex;
-    for_each_trajectory(
-        problem, compiled, noise, angles, options,
-        [&](std::int32_t, const Statevector& sv, Xoshiro256& rng) {
-            // Histogram locally, then merge; integer addition is exact
-            // and commutative, so merge order cannot affect results.
-            std::vector<std::int64_t> local(counts.size(), 0);
-            sample_trajectory(sv, rng, compiled, noise, options, n,
-                              shots_per_traj,
-                              [&](std::uint64_t z) { ++local[z]; });
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            for (std::size_t z = 0; z < counts.size(); ++z)
-                counts[z] += local[z];
-        });
-    return counts;
+    return QaoaObjective(problem).noisy_counts(compiled, noise, angles,
+                                               options);
 }
 
 std::vector<double>
@@ -335,25 +75,8 @@ noisy_distribution(const graph::Graph& problem,
                    const arch::NoiseModel& noise, const QaoaAngles& angles,
                    const NoisySimOptions& options)
 {
-    std::vector<double> mix(std::size_t(1) << problem.num_vertices(),
-                            0.0);
-    std::int32_t trajectories = 0;
-    // Serial over trajectories: the merge adds 2^n doubles per
-    // trajectory, and a fixed order is what keeps the sum
-    // bit-reproducible. Kernel-level parallelism still applies inside
-    // each trajectory.
-    for_each_trajectory(
-        problem, compiled, noise, angles, options,
-        [&](std::int32_t, const Statevector& sv, Xoshiro256&) {
-            auto p = sv.probabilities();
-            for (std::size_t z = 0; z < mix.size(); ++z)
-                mix[z] += p[z];
-            ++trajectories;
-        },
-        nullptr, /*parallel=*/false);
-    for (auto& x : mix)
-        x /= std::max(1, trajectories);
-    return mix;
+    return QaoaObjective(problem).noisy_distribution(compiled, noise,
+                                                     angles, options);
 }
 
 double
@@ -413,42 +136,7 @@ double
 ideal_expectation(const problem::WeightedProblem& wp,
                   const QaoaAngles& angles)
 {
-    std::int32_t n = wp.graph.num_vertices();
-    fatal_unless(n <= kMaxSimQubits,
-                 "ideal simulation supports up to " +
-                     std::to_string(kMaxSimQubits) + " qubits");
-    fatal_unless(angles.gamma.size() == angles.beta.size(),
-                 "need one gamma and beta per QAOA layer");
-    Statevector sv(n);
-    sv.reset_to_plus();
-    const auto& edges = wp.graph.edges();
-    // Weighted fused cost layer: the batch carries w_e; each layer
-    // rescales by -gamma (cost unitary is RZZ(-gamma w_e) per edge).
-    DiagonalBatch cost;
-    for (std::size_t e = 0; e < edges.size(); ++e)
-        cost.add_rzz(edges[e].a, edges[e].b, wp.weights[e]);
-    for (std::size_t layer = 0; layer < angles.gamma.size(); ++layer) {
-        cost.apply(sv, -angles.gamma[layer]);
-        for (std::int32_t q = 0; q < n; ++q)
-            sv.apply_rx(q, 2.0 * angles.beta[layer]);
-    }
-    // angle(z) = cut_weight(z) - W/2 for the w_e-coefficient batch,
-    // so the weighted objective also falls out of the baked table.
-    auto table = cost.bake(n);
-    double total_weight = 0.0;
-    for (double w : wp.weights)
-        total_weight += w;
-    const double offset = total_weight / 2.0;
-    const auto& amp = sv.amplitudes();
-    const double* angle = table.data();
-    return common::parallel_reduce_sum<double>(
-        0, amp.size(), std::size_t(1) << 13,
-        [&](std::size_t b, std::size_t e) {
-            double sum = 0.0;
-            for (std::size_t z = b; z < e; ++z)
-                sum += std::norm(amp[z]) * (angle[z] + offset);
-            return sum;
-        });
+    return QaoaObjective(wp).ideal_expectation(angles);
 }
 
 double
@@ -457,32 +145,8 @@ noisy_expectation(const problem::WeightedProblem& wp,
                   const arch::NoiseModel& noise, const QaoaAngles& angles,
                   const NoisySimOptions& options)
 {
-    WeightTable table;
-    const auto& edges = wp.graph.edges();
-    for (std::size_t e = 0; e < edges.size(); ++e)
-        table.emplace(edges[e], wp.weights[e]);
-
-    std::int32_t n = wp.graph.num_vertices();
-    std::int32_t shots_per_traj = shots_per_trajectory(options);
-    std::vector<double> partial(
-        static_cast<std::size_t>(std::max(1, options.trajectories)), 0.0);
-    for_each_trajectory(
-        wp.graph, compiled, noise, angles, options,
-        [&](std::int32_t traj, const Statevector& sv, Xoshiro256& rng) {
-            double total = 0.0;
-            sample_trajectory(sv, rng, compiled, noise, options, n,
-                              shots_per_traj, [&](std::uint64_t z) {
-                                  total += cut_weight(wp, z);
-                              });
-            partial[static_cast<std::size_t>(traj)] = total;
-        },
-        &table);
-    double total = 0.0;
-    for (double p : partial)
-        total += p;
-    std::int64_t shots = static_cast<std::int64_t>(shots_per_traj) *
-                         std::max(1, options.trajectories);
-    return total / static_cast<double>(std::max<std::int64_t>(1, shots));
+    return QaoaObjective(wp).noisy_expectation(compiled, noise, angles,
+                                               options);
 }
 
 } // namespace permuq::sim

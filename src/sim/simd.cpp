@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Runtime SIMD tier selection (see sim/simd.h). Detection uses the
+ * compiler's CPU-feature builtin on x86; every request is clamped to
+ * what both the build and the running CPU support, so the AVX2 tier
+ * can never be dispatched on a machine that would fault on it.
+ */
+#include "sim/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/telemetry/telemetry.h"
+#include "sim/kernels.h"
+
+namespace permuq::sim {
+
+namespace {
+
+bool
+cpu_has_avx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+/** Clamp a requested tier to what this binary + CPU can run. */
+SimdTier
+clamp_tier(SimdTier tier)
+{
+    if (tier == SimdTier::Avx2 &&
+        (!kernels::avx2_compiled_in() || !cpu_has_avx2()))
+        return SimdTier::Scalar;
+    return tier;
+}
+
+SimdTier
+initial_tier()
+{
+    if (const char* env = std::getenv("PERMUQ_SIMD")) {
+        if (std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "scalar") == 0)
+            return SimdTier::Scalar;
+        if (std::strcmp(env, "avx2") == 0)
+            return clamp_tier(SimdTier::Avx2);
+        // Unknown values (including "auto") fall through to detection.
+    }
+    return detected_simd_tier();
+}
+
+std::atomic<SimdTier>&
+tier_slot()
+{
+    static std::atomic<SimdTier> tier{initial_tier()};
+    return tier;
+}
+
+} // namespace
+
+bool
+simd_compiled_in()
+{
+    return kernels::avx2_compiled_in();
+}
+
+SimdTier
+detected_simd_tier()
+{
+    return clamp_tier(SimdTier::Avx2);
+}
+
+SimdTier
+active_simd_tier()
+{
+    return tier_slot().load(std::memory_order_relaxed);
+}
+
+void
+set_simd_tier(SimdTier tier)
+{
+    tier_slot().store(clamp_tier(tier), std::memory_order_relaxed);
+}
+
+const char*
+simd_tier_name(SimdTier tier)
+{
+    return tier == SimdTier::Avx2 ? "avx2" : "scalar";
+}
+
+namespace kernels {
+
+const Table&
+active()
+{
+    return active_simd_tier() == SimdTier::Avx2 ? avx2_table()
+                                                : scalar_table();
+}
+
+const Table&
+active_counted()
+{
+    const Table& t = active();
+    if (telemetry::enabled()) {
+        static telemetry::Counter& scalar_calls =
+            telemetry::counter("permuq.sim.kernels.scalar");
+        static telemetry::Counter& avx2_calls =
+            telemetry::counter("permuq.sim.kernels.avx2");
+        (&t == &scalar_table() ? scalar_calls : avx2_calls).add();
+    }
+    return t;
+}
+
+} // namespace kernels
+
+} // namespace permuq::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the statevector kernels.
+ *
+ * The simulator ships two kernel tiers: a portable scalar tier and a
+ * hand-vectorized AVX2 tier (see sim/kernels.h). The active tier is
+ * chosen once at startup from CPU feature detection, overridable by
+ * the PERMUQ_SIMD environment variable:
+ *
+ *   PERMUQ_SIMD=off     force the scalar tier
+ *   PERMUQ_SIMD=avx2    request AVX2 (falls back to scalar when the
+ *                       CPU or the build lacks it)
+ *   unset / auto        use the best tier the CPU supports
+ *
+ * Determinism contract: the two tiers execute the *same* IEEE-754
+ * operations per amplitude in the same order (both are compiled with
+ * FP contraction off, and reductions use the fixed 4-lane scheme of
+ * sim/kernels.h), so amplitudes and expectation values are
+ * bit-identical across tiers — PERMUQ_SIMD changes speed, never
+ * results. tests/test_kernels.cpp holds this as an exact-equality
+ * invariant.
+ */
+#ifndef PERMUQ_SIM_SIMD_H
+#define PERMUQ_SIM_SIMD_H
+
+namespace permuq::sim {
+
+/** Kernel implementation tiers, worst to best. */
+enum class SimdTier
+{
+    Scalar = 0,
+    Avx2 = 1,
+};
+
+/** True when the AVX2 tier was compiled into this binary. */
+bool simd_compiled_in();
+
+/** Best tier the running CPU supports (ignores PERMUQ_SIMD). */
+SimdTier detected_simd_tier();
+
+/** The tier kernels currently dispatch to. Initialized once from
+ *  detection + PERMUQ_SIMD; tests override it via set_simd_tier(). */
+SimdTier active_simd_tier();
+
+/**
+ * Select the dispatch tier at runtime (tests/benchmarks compare the
+ * tiers in-process). Requests above the detected capability clamp to
+ * the best supported tier. Not thread-safe against concurrently
+ * running kernels; call from quiescent points.
+ */
+void set_simd_tier(SimdTier tier);
+
+/** Human-readable tier name ("scalar" / "avx2"). */
+const char* simd_tier_name(SimdTier tier);
+
+} // namespace permuq::sim
+
+#endif // PERMUQ_SIM_SIMD_H

@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "sim/kernel_util.h"
+#include "sim/kernels.h"
+#include "sim/simd.h"
 
 namespace permuq::sim {
 
@@ -16,6 +18,12 @@ namespace {
 constexpr std::size_t kGrain = kKernelGrain;
 
 } // namespace
+
+std::size_t
+Statevector::memory_bytes(std::int32_t num_qubits)
+{
+    return (std::size_t(1) << num_qubits) * sizeof(Amplitude);
+}
 
 Statevector::Statevector(std::int32_t num_qubits)
     : num_qubits_(num_qubits)
@@ -29,10 +37,8 @@ Statevector::Statevector(std::int32_t num_qubits)
     } catch (const std::bad_alloc&) {
         throw FatalError(
             "cannot allocate the 2^" + std::to_string(num_qubits) +
-            " amplitudes (" +
-            std::to_string((std::size_t(1) << num_qubits) *
-                           sizeof(Amplitude) / (1024 * 1024)) +
-            " MiB) of a " + std::to_string(num_qubits) +
+            " amplitudes (" + std::to_string(memory_bytes(num_qubits)) +
+            " bytes) of a " + std::to_string(num_qubits) +
             "-qubit statevector; reduce the qubit count or free memory");
     }
     amp_[0] = Amplitude(1.0, 0.0);
@@ -62,17 +68,11 @@ Statevector::apply_h(std::int32_t q)
     const std::size_t bit = std::size_t(1) << q;
     const std::size_t low = bit - 1;
     const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
-    Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* a = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
-            for (std::size_t h = b; h < e; ++h) {
-                const std::size_t i0 = insert_zero(h, low);
-                const std::size_t i1 = i0 | bit;
-                const Amplitude a0 = amp[i0];
-                const Amplitude a1 = amp[i1];
-                amp[i0] = inv_sqrt2 * (a0 + a1);
-                amp[i1] = inv_sqrt2 * (a0 - a1);
-            }
+        0, amp_.size() >> 1, kGrain, [=, &t](std::size_t b, std::size_t e) {
+            t.h(a, b, e, low, bit, inv_sqrt2);
         });
 }
 
@@ -130,19 +130,67 @@ Statevector::apply_rx(std::int32_t q, double theta)
     const std::size_t bit = std::size_t(1) << q;
     const std::size_t low = bit - 1;
     const double c = std::cos(theta / 2.0);
-    const Amplitude ms(0.0, -std::sin(theta / 2.0));
-    Amplitude* amp = amp_.data();
+    const double s = std::sin(theta / 2.0);
+    const kernels::Table& t = kernels::active_counted();
+    double* a = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size() >> 1, kGrain, [=](std::size_t b, std::size_t e) {
-            for (std::size_t h = b; h < e; ++h) {
-                const std::size_t i0 = insert_zero(h, low);
-                const std::size_t i1 = i0 | bit;
-                const Amplitude a0 = amp[i0];
-                const Amplitude a1 = amp[i1];
-                amp[i0] = c * a0 + ms * a1;
-                amp[i1] = ms * a0 + c * a1;
+        0, amp_.size() >> 1, kGrain, [=, &t](std::size_t b, std::size_t e) {
+            t.rx(a, b, e, low, bit, c, s);
+        });
+}
+
+void
+Statevector::apply_rx_all(double theta)
+{
+    // The full RX(theta) mixer layer in two cache-friendly passes
+    // instead of n full-state sweeps (see the header for the traversal
+    // argument). Values are bit-identical to apply_rx on qubits
+    // 0..n-1 in ascending order: within a tile the low qubits see the
+    // same butterflies in the same order, and the fused rx2 kernel
+    // performs the exact per-element sequence of its two passes.
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const kernels::Table& t = kernels::active_counted();
+    double* a = reinterpret_cast<double*>(amp_.data());
+
+    // Pass 1: qubits below the tile width, one tile at a time. A
+    // 2^kTileQubits-amplitude tile is closed under these butterflies,
+    // so each tile takes every low-qubit pass while still cache-hot.
+    const std::int32_t tq =
+        std::min<std::int32_t>(kMixerTileQubits, num_qubits_);
+    const std::size_t tile = std::size_t(1) << tq;
+    const std::size_t ntiles = amp_.size() >> tq;
+    common::parallel_for(
+        0, ntiles, 1, [=, &t](std::size_t tb, std::size_t te) {
+            for (std::size_t ti = tb; ti < te; ++ti) {
+                const std::size_t h0 = (ti * tile) >> 1;
+                for (std::int32_t q = 0; q < tq; ++q) {
+                    const std::size_t bit = std::size_t(1) << q;
+                    t.rx(a, h0, h0 + (tile >> 1), bit - 1, bit, c, s);
+                }
             }
         });
+
+    // Pass 2: the remaining high qubits, fused in pairs so each full
+    // traversal of the state applies two butterfly layers.
+    std::int32_t q = tq;
+    for (; q + 1 < num_qubits_; q += 2) {
+        const std::size_t pbit = std::size_t(1) << q;
+        const std::size_t qbit = std::size_t(1) << (q + 1);
+        common::parallel_for(
+            0, amp_.size() >> 2, kGrain,
+            [=, &t](std::size_t b, std::size_t e) {
+                t.rx2(a, b, e, pbit - 1, qbit - 1, pbit, qbit, c, s);
+            });
+    }
+    if (q < num_qubits_) {
+        const std::size_t bit = std::size_t(1) << q;
+        common::parallel_for(
+            0, amp_.size() >> 1, kGrain,
+            [=, &t](std::size_t b, std::size_t e) {
+                t.rx(a, b, e, bit - 1, bit, c, s);
+            });
+    }
 }
 
 void
@@ -151,11 +199,12 @@ Statevector::apply_rz(std::int32_t q, double theta)
     const std::size_t bit = std::size_t(1) << q;
     const Amplitude e0 = std::polar(1.0, -theta / 2.0);
     const Amplitude e1 = std::polar(1.0, theta / 2.0);
-    Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* a = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i)
-                amp[i] *= (i & bit) ? e1 : e0;
+        0, amp_.size(), kGrain, [=, &t](std::size_t b, std::size_t e) {
+            t.rz(a, b, e, bit, e0.real(), e0.imag(), e1.real(),
+                 e1.imag());
         });
 }
 
@@ -166,14 +215,11 @@ Statevector::apply_cx(std::int32_t control, std::int32_t target)
     const std::size_t tbit = std::size_t(1) << target;
     const std::size_t lo = std::min(cbit, tbit) - 1;
     const std::size_t hi = std::max(cbit, tbit) - 1;
-    Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* a = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size() >> 2, kGrain, [=](std::size_t b, std::size_t e) {
-            for (std::size_t h = b; h < e; ++h) {
-                const std::size_t i00 =
-                    insert_two_zeros(h, lo, hi);
-                std::swap(amp[i00 | cbit], amp[i00 | cbit | tbit]);
-            }
+        0, amp_.size() >> 2, kGrain, [=, &t](std::size_t b, std::size_t e) {
+            t.cx(a, b, e, lo, hi, cbit, tbit);
         });
 }
 
@@ -216,14 +262,12 @@ Statevector::apply_swap(std::int32_t a, std::int32_t b)
     const std::size_t bbit = std::size_t(1) << b;
     const std::size_t lo = std::min(abit, bbit) - 1;
     const std::size_t hi = std::max(abit, bbit) - 1;
-    Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* arr = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size() >> 2, kGrain, [=](std::size_t b2, std::size_t e2) {
-            for (std::size_t h = b2; h < e2; ++h) {
-                const std::size_t i00 =
-                    insert_two_zeros(h, lo, hi);
-                std::swap(amp[i00 | abit], amp[i00 | bbit]);
-            }
+        0, amp_.size() >> 2, kGrain,
+        [=, &t](std::size_t b2, std::size_t e2) {
+            t.swap(arr, b2, e2, lo, hi, abit, bbit);
         });
 }
 
@@ -234,13 +278,12 @@ Statevector::apply_rzz(std::int32_t a, std::int32_t b, double theta)
     const std::size_t bbit = std::size_t(1) << b;
     const Amplitude same = std::polar(1.0, -theta / 2.0);
     const Amplitude diff = std::polar(1.0, theta / 2.0);
-    Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* arr = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size(), kGrain, [=](std::size_t b2, std::size_t e2) {
-            for (std::size_t i = b2; i < e2; ++i) {
-                const bool za = (i & abit) != 0, zb = (i & bbit) != 0;
-                amp[i] *= (za == zb) ? same : diff;
-            }
+        0, amp_.size(), kGrain, [=, &t](std::size_t b2, std::size_t e2) {
+            t.rzz(arr, b2, e2, abit, bbit, same.real(), same.imag(),
+                  diff.real(), diff.imag());
         });
 }
 
@@ -252,14 +295,13 @@ Statevector::apply_cphase(std::int32_t a, std::int32_t b, double theta)
     const std::size_t lo = std::min(abit, bbit) - 1;
     const std::size_t hi = std::max(abit, bbit) - 1;
     const Amplitude phase = std::polar(1.0, theta);
-    Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* arr = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size() >> 2, kGrain, [=](std::size_t b2, std::size_t e2) {
-            for (std::size_t h = b2; h < e2; ++h) {
-                const std::size_t i00 =
-                    insert_two_zeros(h, lo, hi);
-                amp[i00 | abit | bbit] *= phase;
-            }
+        0, amp_.size() >> 2, kGrain,
+        [=, &t](std::size_t b2, std::size_t e2) {
+            t.cphase(arr, b2, e2, lo, hi, abit | bbit, phase.real(),
+                     phase.imag());
         });
 }
 
@@ -269,12 +311,12 @@ Statevector::apply_phase_table(const std::vector<double>& angles,
 {
     fatal_unless(angles.size() == amp_.size(),
                  "phase table size must match the statevector");
-    Amplitude* amp = amp_.data();
     const double* angle = angles.data();
+    const kernels::Table& t = kernels::active_counted();
+    double* a = reinterpret_cast<double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i)
-                amp[i] *= std::polar(1.0, scale * angle[i]);
+        0, amp_.size(), kGrain, [=, &t](std::size_t b, std::size_t e) {
+            t.phase_angles(a, b, e, angle, scale, 0.0);
         });
 }
 
@@ -282,12 +324,12 @@ std::vector<double>
 Statevector::probabilities() const
 {
     std::vector<double> p(amp_.size());
-    const Amplitude* amp = amp_.data();
     double* out = p.data();
+    const kernels::Table& t = kernels::active_counted();
+    const double* a = reinterpret_cast<const double*>(amp_.data());
     common::parallel_for(
-        0, amp_.size(), kGrain, [=](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i)
-                out[i] = std::norm(amp[i]);
+        0, amp_.size(), kGrain, [=, &t](std::size_t b, std::size_t e) {
+            t.probs(a, out, b, e);
         });
     return p;
 }
@@ -308,13 +350,11 @@ Statevector::sample(Xoshiro256& rng) const
 double
 Statevector::norm_sq() const
 {
-    const Amplitude* amp = amp_.data();
+    const kernels::Table& t = kernels::active_counted();
+    const double* a = reinterpret_cast<const double*>(amp_.data());
     return common::parallel_reduce_sum<double>(
-        0, amp_.size(), kGrain * 4, [=](std::size_t b, std::size_t e) {
-            double s = 0.0;
-            for (std::size_t i = b; i < e; ++i)
-                s += std::norm(amp[i]);
-            return s;
+        0, amp_.size(), kGrain * 4, [=, &t](std::size_t b, std::size_t e) {
+            return t.norm_sum(a, b, e);
         });
 }
 

@@ -7,10 +7,13 @@
  * Every gate kernel iterates the compact 2^(n-1) (single-qubit) or
  * 2^(n-2) (two-qubit) block index space directly — no skip-scanning
  * of the full 2^n range — and parallelizes across the global thread
- * pool above a size threshold. Kernels are element-wise over disjoint
- * blocks, so amplitudes are bit-identical at any thread count;
- * reductions (norm_sq) go through the fixed-slice deterministic
- * reduction in common/parallel.h.
+ * pool above a size threshold. The hot kernels dispatch through the
+ * runtime-selected SIMD tier (sim/kernels.h, sim/simd.h); both tiers
+ * are element-wise over disjoint blocks with identical per-element
+ * arithmetic, so amplitudes are bit-identical at any thread count and
+ * SIMD width. Reductions (norm_sq) compose the fixed-slice
+ * deterministic reduction in common/parallel.h with the kernels'
+ * fixed 4-lane accumulators.
  */
 #ifndef PERMUQ_SIM_STATEVECTOR_H
 #define PERMUQ_SIM_STATEVECTOR_H
@@ -27,6 +30,11 @@ namespace permuq::sim {
 /** Maximum supported qubit count (2^26 amplitudes = 1 GiB). */
 inline constexpr std::int32_t kMaxSimQubits = 26;
 
+/** Tile width (qubits) of the fused mixer pass: 2^12 amplitudes =
+ *  64 KiB, sized to sit in L1/L2 while a tile takes all low-qubit
+ *  RX butterflies back to back. */
+inline constexpr std::int32_t kMixerTileQubits = 12;
+
 /** |0...0>-initialized dense state over n qubits. */
 class Statevector
 {
@@ -34,6 +42,11 @@ class Statevector
     using Amplitude = std::complex<double>;
 
     explicit Statevector(std::int32_t num_qubits);
+
+    /** Exact amplitude-storage footprint of an n-qubit statevector in
+     *  bytes (2^n * sizeof(Amplitude)); what the constructor
+     *  allocates. */
+    static std::size_t memory_bytes(std::int32_t num_qubits);
 
     std::int32_t num_qubits() const { return num_qubits_; }
 
@@ -54,6 +67,18 @@ class Statevector
     void apply_rx(std::int32_t q, double theta);
     void apply_rz(std::int32_t q, double theta);
     /** @} */
+
+    /**
+     * Apply RX(theta) to every qubit — the QAOA mixer layer — in two
+     * cache-blocked passes instead of n full-state sweeps. Pass 1
+     * walks 2^kMixerTileQubits-amplitude tiles once, applying all
+     * low-qubit butterflies while the tile is cache-hot (a tile is
+     * closed under those butterflies); pass 2 fuses the remaining
+     * high qubits in pairs, so a 22-qubit mixer costs ~6 memory
+     * traversals instead of 22. Bit-identical to calling apply_rx on
+     * qubits 0..n-1 in ascending order.
+     */
+    void apply_rx_all(double theta);
 
     /** @name Two-qubit gates
      *  @{ */

@@ -25,9 +25,14 @@
 #include "baselines/baselines.h"
 #include "circuit/metrics.h"
 #include "circuit/qasm.h"
+#include "common/error.h"
 #include "common/telemetry/telemetry.h"
 #include "core/compiler.h"
 #include "problem/generators.h"
+#include "sim/nelder_mead.h"
+#include "sim/qaoa.h"
+#include "sim/qaoa_objective.h"
+#include "sim/statevector.h"
 
 #ifndef PERMUQ_VERSION
 #define PERMUQ_VERSION "unknown"
@@ -53,6 +58,8 @@ struct Cli
     bool crosstalk = false;
     bool diagram = false;
     bool full_qaoa = false;
+    std::int32_t qaoa_layers = 0;
+    std::int32_t qaoa_rounds = 60;
 };
 
 /** Every flag permuqc understands, for the did-you-mean hint. */
@@ -60,8 +67,8 @@ constexpr const char* kKnownFlags[] = {
     "--arch",      "--qubits",   "--density", "--seed",
     "--input",     "--compiler", "--noise",   "--alpha",
     "--crosstalk", "--qasm",     "--full-qaoa", "--diagram",
-    "--trace",     "--metrics",  "--log-level", "--version",
-    "--help",
+    "--qaoa",      "--qaoa-rounds", "--trace", "--metrics",
+    "--log-level", "--version",  "--help",
 };
 
 void
@@ -83,6 +90,10 @@ usage(std::FILE* out)
         "  --qasm FILE     export the compiled circuit as OpenQASM 2.0\n"
         "  --full-qaoa     QASM includes the H prelude, mixer, measures\n"
         "  --diagram       print a text diagram (small circuits only)\n"
+        "  --qaoa P        optimize a p=P QAOA run of the compiled\n"
+        "                  circuit (simulated; noisy when --noise is\n"
+        "                  given, ideal otherwise; n <= 26)\n"
+        "  --qaoa-rounds N objective-evaluation budget (default 60)\n"
         "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
         "                  (the PERMUQ_TRACE env var does the same)\n"
         "  --metrics FILE  write a metrics-snapshot JSON\n"
@@ -202,6 +213,10 @@ main(int argc, char** argv)
             cli.qasm_out = value();
         else if (is("--full-qaoa"))
             cli.full_qaoa = true;
+        else if (is("--qaoa"))
+            cli.qaoa_layers = std::atoi(value());
+        else if (is("--qaoa-rounds"))
+            cli.qaoa_rounds = std::atoi(value());
         else if (is("--diagram"))
             cli.diagram = true;
         else if (is("--trace"))
@@ -333,6 +348,50 @@ main(int argc, char** argv)
         }
         if (cli.diagram)
             std::fputs(circuit::to_diagram(circuit).c_str(), stdout);
+
+        if (cli.qaoa_layers > 0) {
+            fatal_unless(problem.num_vertices() <= sim::kMaxSimQubits,
+                         "--qaoa simulation supports up to " +
+                             std::to_string(sim::kMaxSimQubits) +
+                             " qubits");
+            fatal_unless(cli.qaoa_rounds >= 1,
+                         "--qaoa-rounds must be at least 1");
+            const std::size_t p =
+                static_cast<std::size_t>(cli.qaoa_layers);
+            // The evaluation context is built once; every optimizer
+            // iteration reuses its baked cost batch, cut table, and
+            // scratch state.
+            sim::QaoaObjective context(problem);
+            std::int32_t eval = 0;
+            auto objective = [&](const std::vector<double>& x) {
+                sim::QaoaAngles angles;
+                angles.gamma.assign(x.begin(),
+                                    x.begin() + static_cast<std::ptrdiff_t>(p));
+                angles.beta.assign(x.begin() + static_cast<std::ptrdiff_t>(p),
+                                   x.end());
+                if (!noise)
+                    return -context.ideal_expectation(angles);
+                sim::NoisySimOptions options;
+                options.trajectories = 8;
+                options.shots = 2000;
+                options.seed =
+                    1000 + static_cast<std::uint64_t>(eval++);
+                return -context.noisy_expectation(circuit, *noise,
+                                                  angles, options);
+            };
+            std::vector<double> x0;
+            for (std::size_t k = 0; k < p; ++k)
+                x0.push_back(0.3);
+            for (std::size_t k = 0; k < p; ++k)
+                x0.push_back(0.2);
+            auto r = sim::nelder_mead(objective, x0, 0.4,
+                                      cli.qaoa_rounds);
+            std::printf("qaoa      : p=%d %s <C>=%.4f after %d evals "
+                        "(maxcut %d)\n",
+                        cli.qaoa_layers, noise ? "noisy" : "ideal",
+                        -r.best_f, cli.qaoa_rounds,
+                        sim::max_cut(problem));
+        }
 
         const auto& registry = telemetry::Registry::instance();
         if (!cli.trace_out.empty()) {
