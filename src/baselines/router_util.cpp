@@ -84,6 +84,15 @@ route_frontier(const arch::CouplingGraph& device,
     };
 
     std::int64_t stall = 0;
+    // Cycles since the last executed gate. Swap proposals of different
+    // pending edges can conflict and undo each other indefinitely (each
+    // swap moves its own edge closer, the combination cycles), which
+    // keeps `stall` at zero while no gate ever executes; any swap-only
+    // stretch longer than the device diameter cannot be making real
+    // progress, so it diverts into the shortest-path fallback below.
+    std::int64_t no_compute = 0;
+    const std::int64_t no_compute_limit =
+        2ll * device.num_qubits() + 16;
     std::int64_t max_cycles =
         16ll * device.num_qubits() + 16ll * problem.num_edges() + 256;
     for (std::int64_t cycle = 0; pending.count > 0 && cycle < max_cycles;
@@ -178,7 +187,11 @@ route_frontier(const arch::CouplingGraph& device,
             ++stall;
         else
             stall = 0;
-        if (stall > 4) {
+        if (computed)
+            no_compute = 0;
+        else
+            ++no_compute;
+        if (stall > 4 || no_compute > no_compute_limit) {
             // Shortest-path fallback for the closest pending pair.
             std::int32_t best_e = -1, best_d = kUnreachable;
             for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
@@ -206,6 +219,7 @@ route_frontier(const arch::CouplingGraph& device,
             circ.add_compute(pa, pb);
             pending.mark(best_e, problem);
             stall = 0;
+            no_compute = 0;
         }
     }
     panic_unless(pending.count == 0, "frontier router did not terminate");

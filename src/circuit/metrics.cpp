@@ -106,31 +106,43 @@ ValidationReport
 validate(const Circuit& circ, const arch::CouplingGraph& device,
          const graph::Graph& problem)
 {
-    auto fail = [](std::string msg) {
-        return ValidationReport{false, std::move(msg)};
+    ValidationReport report;
+    auto flag = [&report](std::int64_t op_index, std::string msg) {
+        if (report.violations.empty())
+            report.message = msg;
+        report.violations.push_back({op_index, std::move(msg)});
+        report.ok = false;
     };
-    if (circ.initial_mapping().num_physical() != device.num_qubits())
-        return fail("circuit physical size does not match device");
+    if (circ.initial_mapping().num_physical() != device.num_qubits()) {
+        // Op endpoints live in a different physical space; none of the
+        // per-op rules below are meaningful.
+        flag(-1, "circuit physical size does not match device");
+        return report;
+    }
     if (circ.initial_mapping().num_logical() != problem.num_vertices())
-        return fail("circuit logical size does not match problem");
+        flag(-1, "circuit logical size does not match problem");
 
     std::unordered_map<VertexPair, std::int64_t, VertexPairHash> done;
-    for (const auto& op : circ.ops()) {
+    const auto& ops = circ.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        const auto index = static_cast<std::int64_t>(i);
         if (!device.coupled(op.p, op.q)) {
             std::ostringstream os;
             os << "op on non-coupler (" << op.p << "," << op.q << ")";
-            return fail(os.str());
+            flag(index, os.str());
         }
         if (op.kind == OpKind::Compute) {
-            if (op.a == kInvalidQubit || op.b == kInvalidQubit)
-                return fail("compute gate touching an empty position");
-            if (!problem.has_edge(op.a, op.b)) {
+            if (op.a == kInvalidQubit || op.b == kInvalidQubit) {
+                flag(index, "compute gate touching an empty position");
+            } else if (!problem.has_edge(op.a, op.b)) {
                 std::ostringstream os;
                 os << "compute gate on non-edge logical pair (" << op.a
                    << "," << op.b << ")";
-                return fail(os.str());
+                flag(index, os.str());
+            } else {
+                ++done[VertexPair(op.a, op.b)];
             }
-            ++done[VertexPair(op.a, op.b)];
         }
     }
     for (const auto& e : problem.edges()) {
@@ -139,16 +151,15 @@ validate(const Circuit& circ, const arch::CouplingGraph& device,
             std::ostringstream os;
             os << "problem edge (" << e.a << "," << e.b
                << ") never executed";
-            return fail(os.str());
-        }
-        if (it->second != 1) {
+            flag(-1, os.str());
+        } else if (it->second != 1) {
             std::ostringstream os;
             os << "problem edge (" << e.a << "," << e.b << ") executed "
                << it->second << " times";
-            return fail(os.str());
+            flag(-1, os.str());
         }
     }
-    return {};
+    return report;
 }
 
 void

@@ -60,17 +60,33 @@ std::vector<bool> merged_with_previous(const Circuit& circ);
  */
 std::vector<std::int64_t> merge_partner(const Circuit& circ);
 
+/** One structural violation, anchored to the offending op. */
+struct ValidationViolation
+{
+    /** Index into circ.ops(), or -1 for circuit-level violations
+     *  (size mismatches, missing problem edges). */
+    std::int64_t op_index = -1;
+    std::string message;
+};
+
 /** Result of structural validation. */
 struct ValidationReport
 {
     bool ok = true;
+    /** First violation's message (the historical single-error
+     *  interface); empty when ok. */
     std::string message;
+    /** Every violation found, in discovery order (op-stream order,
+     *  then problem-edge order). */
+    std::vector<ValidationViolation> violations;
 };
 
 /**
  * Validate that @p circ is a correct compilation of @p problem onto
  * @p device: every op lies on a coupler, every problem edge receives
  * exactly one computation gate, and no spurious computation appears.
+ * All violations are collected (a miscompiled circuit usually breaks
+ * several rules at once; seeing the full list localizes the bug).
  */
 ValidationReport validate(const Circuit& circ,
                           const arch::CouplingGraph& device,

@@ -1,0 +1,274 @@
+#include "equivalence.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/diagonal.h"
+#include "sim/statevector.h"
+
+namespace permuq::verify {
+
+namespace {
+
+std::string
+pair_str(std::int32_t a, std::int32_t b)
+{
+    std::ostringstream os;
+    os << "(" << a << "," << b << ")";
+    return os.str();
+}
+
+/** Distinct per-edge angles in (0.05, 0.95); collisions are harmless
+ *  (the spectrum comparison is linear in the terms, not an inversion),
+ *  but distinctness is what lets Tier A separate edge identities. */
+std::vector<double>
+edge_angles(std::int32_t num_edges, std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    std::vector<double> theta(static_cast<std::size_t>(num_edges));
+    for (auto& t : theta)
+        t = 0.05 + 0.9 * rng.next_double();
+    return theta;
+}
+
+/** Fold an angle difference into [-pi, pi). */
+double
+wrap_angle(double a)
+{
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    a = std::fmod(a, two_pi);
+    if (a >= std::numbers::pi)
+        a -= two_pi;
+    if (a < -std::numbers::pi)
+        a += two_pi;
+    return a;
+}
+
+} // namespace
+
+std::string
+SymbolicReport::summary() const
+{
+    if (ok)
+        return "ok";
+    std::ostringstream os;
+    os << violations.size() << " violation(s); first: ";
+    if (!violations.empty()) {
+        if (violations.front().op_index >= 0)
+            os << "op " << violations.front().op_index << ": ";
+        os << violations.front().message;
+    }
+    return os.str();
+}
+
+SymbolicReport
+check_symbolic(const arch::CouplingGraph& device,
+               const graph::Graph& problem, const circuit::Circuit& circ)
+{
+    SymbolicReport report;
+    auto flag = [&](std::int64_t index, std::string msg) {
+        report.violations.push_back({index, std::move(msg)});
+    };
+
+    const circuit::Mapping& initial = circ.initial_mapping();
+    if (initial.num_physical() != device.num_qubits()) {
+        flag(-1, "circuit physical size " +
+                     std::to_string(initial.num_physical()) +
+                     " does not match device size " +
+                     std::to_string(device.num_qubits()));
+        report.ok = false;
+        return report; // endpoints cannot be range-checked further
+    }
+    if (initial.num_logical() != problem.num_vertices())
+        flag(-1, "circuit logical size " +
+                     std::to_string(initial.num_logical()) +
+                     " does not match problem size " +
+                     std::to_string(problem.num_vertices()));
+
+    // Independent replay of the mapping trajectory.
+    circuit::Mapping replay = initial;
+    std::unordered_map<VertexPair, std::int64_t, VertexPairHash> count;
+    const auto& ops = circ.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        const auto index = static_cast<std::int64_t>(i);
+        if (op.p < 0 || op.p >= device.num_qubits() || op.q < 0 ||
+            op.q >= device.num_qubits() || op.p == op.q) {
+            flag(index, "endpoints out of range " + pair_str(op.p, op.q));
+            continue; // cannot replay this op
+        }
+        if (!device.coupled(op.p, op.q))
+            flag(index, std::string(op.kind == circuit::OpKind::Compute
+                                        ? "compute"
+                                        : "swap") +
+                            " on non-coupler " + pair_str(op.p, op.q));
+        LogicalQubit la = replay.logical_at(op.p);
+        LogicalQubit lb = replay.logical_at(op.q);
+        if (la != op.a || lb != op.b)
+            flag(index, "logical annotation " + pair_str(op.a, op.b) +
+                            " disagrees with replayed occupants " +
+                            pair_str(la, lb));
+        if (op.kind == circuit::OpKind::Compute) {
+            if (la == kInvalidQubit || lb == kInvalidQubit) {
+                flag(index, "compute touches empty position " +
+                                pair_str(op.p, op.q));
+                ++report.spurious_computes;
+            } else if (!problem.has_edge(la, lb)) {
+                flag(index, "compute applies non-edge logical pair " +
+                                pair_str(la, lb));
+                ++report.spurious_computes;
+            } else {
+                ++count[VertexPair(la, lb)];
+            }
+        } else {
+            replay.apply_swap(op.p, op.q);
+        }
+    }
+
+    if (!(replay == circ.final_mapping()))
+        flag(-1, "circuit final mapping disagrees with replayed mapping");
+
+    for (const auto& e : problem.edges()) {
+        auto it = count.find(e);
+        std::int64_t applied = it == count.end() ? 0 : it->second;
+        if (applied == 1)
+            ++report.edges_covered;
+        else if (applied == 0)
+            flag(-1, "problem edge " + pair_str(e.a, e.b) +
+                         " never executed");
+        else
+            flag(-1, "problem edge " + pair_str(e.a, e.b) + " executed " +
+                         std::to_string(applied) + " times");
+    }
+
+    report.ok = report.violations.empty();
+    return report;
+}
+
+std::map<VertexPair, std::int64_t>
+applied_term_multiset(const circuit::Circuit& circ)
+{
+    std::map<VertexPair, std::int64_t> terms;
+    circuit::Mapping replay = circ.initial_mapping();
+    for (const auto& op : circ.ops()) {
+        if (op.kind == circuit::OpKind::Compute)
+            ++terms[VertexPair(replay.logical_at(op.p),
+                               replay.logical_at(op.q))];
+        else
+            replay.apply_swap(op.p, op.q);
+    }
+    return terms;
+}
+
+ExactReport
+check_exact(const arch::CouplingGraph& device, const graph::Graph& problem,
+            const circuit::Circuit& circ, const ExactOptions& options)
+{
+    ExactReport report;
+    const std::int32_t n_phys = circ.initial_mapping().num_physical();
+    const std::int32_t n_logical = circ.initial_mapping().num_logical();
+    if (n_phys > options.max_qubits) {
+        report.skipped = true;
+        report.message = "device too large for the exact tier";
+        return report;
+    }
+    if (n_phys != device.num_qubits() ||
+        n_logical != problem.num_vertices()) {
+        report.ok = false;
+        report.message = "circuit sizes do not match device/problem";
+        return report;
+    }
+
+    const auto theta =
+        edge_angles(problem.num_edges(), options.angle_seed);
+    std::unordered_map<VertexPair, double, VertexPairHash> angle_of;
+    for (std::size_t e = 0; e < problem.edges().size(); ++e)
+        angle_of.emplace(problem.edges()[e], theta[e]);
+
+    // Ideal program: one ZZ interaction per problem edge, in the
+    // *logical* space.
+    sim::DiagonalBatch ideal;
+    for (std::size_t e = 0; e < problem.edges().size(); ++e)
+        ideal.add_rzz(problem.edges()[e].a, problem.edges()[e].b,
+                      theta[e]);
+
+    // Compiled program, lifted to the logical space by an independent
+    // mapping replay; simultaneously replayed gate by gate on a
+    // physical-space statevector through the sim kernels.
+    sim::DiagonalBatch compiled;
+    sim::Statevector state(n_phys);
+    state.reset_to_plus();
+    circuit::Mapping replay = circ.initial_mapping();
+    for (const auto& op : circ.ops()) {
+        if (op.kind == circuit::OpKind::Swap) {
+            state.apply_swap(op.p, op.q);
+            replay.apply_swap(op.p, op.q);
+            continue;
+        }
+        LogicalQubit la = replay.logical_at(op.p);
+        LogicalQubit lb = replay.logical_at(op.q);
+        if (la == kInvalidQubit || lb == kInvalidQubit ||
+            !problem.has_edge(la, lb)) {
+            // No ideal angle exists for this interaction: the circuit
+            // applies a term outside the problem, so it cannot be
+            // equivalent for generic angles.
+            report.ok = false;
+            report.message = "compute applies non-problem pair " +
+                             pair_str(la, lb);
+            return report;
+        }
+        double t = angle_of.at(VertexPair(la, lb));
+        compiled.add_rzz(la, lb, t);
+        state.apply_rzz(op.p, op.q, t);
+    }
+
+    // Spectrum comparison in the logical space, up to a global phase
+    // (the offset at basis state 0).
+    const auto ideal_spec = ideal.bake(n_logical);
+    const auto compiled_spec = compiled.bake(n_logical);
+    const double offset = wrap_angle(compiled_spec[0] - ideal_spec[0]);
+    for (std::size_t z = 0; z < ideal_spec.size(); ++z) {
+        double d = std::fabs(wrap_angle(compiled_spec[z] - ideal_spec[z] -
+                                        offset));
+        report.spectrum_error = std::max(report.spectrum_error, d);
+    }
+
+    // State comparison: the compiled state must equal the ideal logical
+    // state re-indexed through the *replayed* final mapping, with every
+    // empty position still in |+>. Both start from |+>^n_phys and all
+    // gates are diagonal or permutations, so applying the ideal batch
+    // at the final physical coordinates reproduces the ideal target.
+    sim::DiagonalBatch target;
+    for (std::size_t e = 0; e < problem.edges().size(); ++e) {
+        const auto& edge = problem.edges()[e];
+        target.add_rzz(replay.physical_of(edge.a),
+                       replay.physical_of(edge.b), theta[e]);
+    }
+    sim::Statevector ideal_state(n_phys);
+    ideal_state.reset_to_plus();
+    target.apply(ideal_state);
+
+    std::complex<double> overlap = 0.0;
+    const auto& a = ideal_state.amplitudes();
+    const auto& b = state.amplitudes();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        overlap += std::conj(a[i]) * b[i];
+    report.state_infidelity = 1.0 - std::abs(overlap);
+
+    report.ok = report.spectrum_error <= options.tolerance &&
+                report.state_infidelity <= options.tolerance;
+    if (!report.ok) {
+        std::ostringstream os;
+        os << "spectrum error " << report.spectrum_error
+           << ", state infidelity " << report.state_infidelity;
+        report.message = os.str();
+    }
+    return report;
+}
+
+} // namespace permuq::verify

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Semantic equivalence checking of compiled circuits (differential
+ * verification subsystem).
+ *
+ * A compiled circuit is a correct compilation of a problem graph iff it
+ * implements the same diagonal operator as the ideal program (one ZZ
+ * interaction per problem edge) up to the final qubit permutation and a
+ * global phase. Two independent tiers establish this:
+ *
+ *  - Tier B (symbolic, any size): replay the op stream through a fresh
+ *    Mapping replica and prove every problem edge is applied exactly
+ *    once on correctly mapped physical qubits, that every op sits on a
+ *    coupler, that the circuit's own logical annotations and final
+ *    mapping agree with the replay, and that nothing spurious appears.
+ *    This subsumes circuit::validate() and additionally audits the
+ *    circuit's internal mapping bookkeeping.
+ *
+ *  - Tier A (exact, small devices): assign each problem edge a distinct
+ *    interaction angle, lift both the ideal program and the compiled
+ *    circuit to their diagonal phase spectra (sim::DiagonalBatch), and
+ *    compare pointwise modulo 2*pi and a global phase; additionally
+ *    replay the compiled circuit gate by gate on a physical-space
+ *    statevector (sim kernels: apply_rzz / apply_swap) and check unit
+ *    overlap with the permuted ideal state. Because ZZ parity functions
+ *    are linearly independent, spectrum equality is *exact* semantic
+ *    equivalence, not a probabilistic fingerprint.
+ *
+ * The two tiers share no replay code with the compiler or with each
+ * other's hot path, which is what makes their agreement a differential
+ * signal rather than a tautology.
+ */
+#ifndef PERMUQ_VERIFY_EQUIVALENCE_H
+#define PERMUQ_VERIFY_EQUIVALENCE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "circuit/circuit.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace permuq::verify {
+
+/** One rule violation, anchored to an op index (-1 = whole circuit). */
+struct Violation
+{
+    /** Index into circuit.ops(), or -1 for circuit-level violations
+     *  (missing edges, mapping-size mismatches). */
+    std::int64_t op_index = -1;
+    std::string message;
+};
+
+/** Outcome of the Tier B symbolic check. */
+struct SymbolicReport
+{
+    bool ok = true;
+    /** Every violation found (the replay never stops early). */
+    std::vector<Violation> violations;
+    /** Problem edges applied exactly once (== num_edges when ok). */
+    std::int64_t edges_covered = 0;
+    /** Compute gates whose logical pair was not a problem edge. */
+    std::int64_t spurious_computes = 0;
+
+    /** One-line summary: "ok" or the first violation + count. */
+    std::string summary() const;
+};
+
+/**
+ * Tier B: symbolic permutation-tracking equivalence check. Scales to
+ * any device size (O(ops) time, O(qubits + edges) space).
+ */
+SymbolicReport check_symbolic(const arch::CouplingGraph& device,
+                              const graph::Graph& problem,
+                              const circuit::Circuit& circ);
+
+/** Knobs of the Tier A exact check. */
+struct ExactOptions
+{
+    /** Skip (report.skipped = true) above this many *physical* qubits;
+     *  2^n phase-spectrum entries and amplitudes are materialized. */
+    std::int32_t max_qubits = 14;
+    /** Tolerance on spectrum angles (radians, mod 2*pi) and on state
+     *  infidelity. Angles accumulate over |E| terms in double
+     *  precision, so exact equality is not expected. */
+    double tolerance = 1e-9;
+    /** Seed of the per-edge distinct-angle assignment. */
+    std::uint64_t angle_seed = 0x5eed5eedULL;
+};
+
+/** Outcome of the Tier A exact check. */
+struct ExactReport
+{
+    bool ok = true;
+    /** True when the device exceeded ExactOptions::max_qubits and no
+     *  check ran (ok stays true; callers needing a verdict must gate
+     *  on !skipped). */
+    bool skipped = false;
+    /** Max |compiled - ideal| spectrum angle, mod 2*pi, after removing
+     *  the global-phase offset. */
+    double spectrum_error = 0.0;
+    /** 1 - |<ideal permuted state | compiled state>|. */
+    double state_infidelity = 0.0;
+    std::string message;
+};
+
+/**
+ * Tier A: exact equivalence up to the final qubit permutation and a
+ * global phase, on devices of at most ExactOptions::max_qubits
+ * physical qubits.
+ */
+ExactReport check_exact(const arch::CouplingGraph& device,
+                        const graph::Graph& problem,
+                        const circuit::Circuit& circ,
+                        const ExactOptions& options = {});
+
+/**
+ * The multiset of logical interaction terms a circuit applies, derived
+ * by an independent mapping replay (the circuit's own op annotations
+ * are not trusted). Key = logical pair, value = application count.
+ * Pairs touching an empty position appear as (kInvalidQubit, x).
+ */
+std::map<VertexPair, std::int64_t>
+applied_term_multiset(const circuit::Circuit& circ);
+
+} // namespace permuq::verify
+
+#endif // PERMUQ_VERIFY_EQUIVALENCE_H

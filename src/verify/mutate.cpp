@@ -1,0 +1,179 @@
+#include "mutate.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "verify/equivalence.h"
+
+namespace permuq::verify {
+
+const char*
+to_string(Mutation m)
+{
+    switch (m) {
+      case Mutation::DropGate: return "drop-gate";
+      case Mutation::DuplicateGate: return "duplicate-gate";
+      case Mutation::CorruptMapping: return "corrupt-mapping";
+      case Mutation::MisdirectSwap: return "misdirect-swap";
+    }
+    return "unknown";
+}
+
+bool
+parse_mutation(const std::string& name, Mutation& out)
+{
+    for (Mutation m : kAllMutations) {
+        if (name == to_string(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+/** Re-append @p ops onto @p initial with at most one edit applied:
+ *  drop op @p drop, duplicate op @p dup, or redirect swap @p redirect
+ *  to (op.p, @p redirect_to). Indices are -1 when unused. */
+circuit::Circuit
+rebuild(const circuit::Mapping& initial,
+        const std::vector<circuit::ScheduledOp>& ops, std::int64_t drop,
+        std::int64_t dup, std::int64_t redirect,
+        PhysicalQubit redirect_to)
+{
+    circuit::Circuit out(initial);
+    out.reserve(ops.size() + 1);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        const auto index = static_cast<std::int64_t>(i);
+        if (op.kind == circuit::OpKind::Swap) {
+            out.add_swap(op.p, index == redirect ? redirect_to : op.q);
+        } else {
+            if (index == drop)
+                continue;
+            out.add_compute(op.p, op.q);
+            if (index == dup)
+                out.add_compute(op.p, op.q);
+        }
+    }
+    return out;
+}
+
+/** Indices of ops of @p kind, in append order. */
+std::vector<std::int64_t>
+indices_of(const std::vector<circuit::ScheduledOp>& ops,
+           circuit::OpKind kind)
+{
+    std::vector<std::int64_t> out;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        if (ops[i].kind == kind)
+            out.push_back(static_cast<std::int64_t>(i));
+    return out;
+}
+
+} // namespace
+
+circuit::Circuit
+inject_mutation(const arch::CouplingGraph& device,
+                const circuit::Circuit& circ, Mutation mutation,
+                Xoshiro256& rng)
+{
+    const auto& ops = circ.ops();
+    const auto original_terms = applied_term_multiset(circ);
+    const auto differs = [&](const circuit::Circuit& mutant) {
+        return applied_term_multiset(mutant) != original_terms;
+    };
+
+    switch (mutation) {
+      case Mutation::DropGate:
+      case Mutation::DuplicateGate: {
+        auto computes = indices_of(ops, circuit::OpKind::Compute);
+        panic_unless(!computes.empty(),
+                     "cannot mutate a circuit with no compute gates");
+        std::int64_t pick = static_cast<std::int64_t>(
+            rng.next_below(computes.size()));
+        bool drop = mutation == Mutation::DropGate;
+        auto mutant =
+            rebuild(circ.initial_mapping(), ops,
+                    drop ? computes[static_cast<std::size_t>(pick)] : -1,
+                    drop ? -1 : computes[static_cast<std::size_t>(pick)],
+                    -1, kInvalidQubit);
+        panic_unless(differs(mutant),
+                     "drop/duplicate mutation left the term multiset "
+                     "unchanged");
+        return mutant;
+      }
+
+      case Mutation::CorruptMapping: {
+        // Transpose the positions of two logical qubits; the occupied
+        // position set is unchanged, so the original physical op
+        // stream replays without touching empty slots.
+        const auto& initial = circ.initial_mapping();
+        std::int32_t n = initial.num_logical();
+        panic_unless(n >= 2, "corrupt-mapping needs two logical qubits");
+        std::int64_t total =
+            static_cast<std::int64_t>(n) * (n - 1) / 2;
+        std::int64_t start =
+            static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(total)));
+        for (std::int64_t k = 0; k < total; ++k) {
+            std::int64_t flat = (start + k) % total;
+            // Unrank flat -> (a, b) with a < b.
+            std::int32_t a = 0;
+            std::int64_t row = n - 1;
+            while (flat >= row) {
+                flat -= row;
+                --row;
+                ++a;
+            }
+            std::int32_t b = a + 1 + static_cast<std::int32_t>(flat);
+            circuit::Mapping corrupted = initial;
+            corrupted.apply_swap(initial.physical_of(a),
+                                 initial.physical_of(b));
+            auto mutant = rebuild(corrupted, ops, -1, -1, -1,
+                                  kInvalidQubit);
+            if (differs(mutant))
+                return mutant;
+        }
+        throw PanicError(
+            "no mapping transposition changes the term multiset "
+            "(problem is label-symmetric along this circuit)");
+      }
+
+      case Mutation::MisdirectSwap: {
+        auto swaps = indices_of(ops, circuit::OpKind::Swap);
+        panic_unless(!swaps.empty(),
+                     "misdirect-swap needs at least one SWAP");
+        std::size_t start = static_cast<std::size_t>(
+            rng.next_below(swaps.size()));
+        for (std::size_t k = 0; k < swaps.size(); ++k) {
+            std::int64_t i =
+                swaps[(start + k) % swaps.size()];
+            const auto& op = ops[static_cast<std::size_t>(i)];
+            for (PhysicalQubit r :
+                 device.connectivity().neighbors(op.p)) {
+                if (r == op.q)
+                    continue;
+                // Replaying the tail over the diverged mapping can put
+                // a compute on an empty position, which the Circuit IR
+                // itself rejects; such choices are skipped (the IR
+                // already guards that miscompile class by construction).
+                try {
+                    auto mutant = rebuild(circ.initial_mapping(), ops,
+                                          -1, -1, i, r);
+                    if (differs(mutant))
+                        return mutant;
+                } catch (const PanicError&) {
+                }
+            }
+        }
+        throw PanicError("no swap redirection yields a "
+                         "constructible, semantically distinct mutant");
+      }
+    }
+    throw PanicError("unknown mutation kind");
+}
+
+} // namespace permuq::verify

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Known-miscompile injection for mutation-testing the equivalence
+ * checkers: every mutation produces a circuit whose applied logical
+ * term multiset provably differs from the original's, so any checker
+ * that misses it has a false negative.
+ */
+#ifndef PERMUQ_VERIFY_MUTATE_H
+#define PERMUQ_VERIFY_MUTATE_H
+
+#include <string>
+
+#include "arch/coupling_graph.h"
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace permuq::verify {
+
+/** The miscompile families the mutation suite injects. */
+enum class Mutation
+{
+    /** Drop one compute gate (a problem edge is never applied). */
+    DropGate,
+    /** Re-apply one compute gate (a problem edge applied twice). */
+    DuplicateGate,
+    /** Transpose two entries of the initial mapping while keeping the
+     *  physical op stream (computes act on wrong logical pairs). */
+    CorruptMapping,
+    /** Redirect one SWAP to a different neighboring coupler (the
+     *  mapping trajectory diverges mid-circuit). */
+    MisdirectSwap,
+};
+
+/** All mutation kinds, for iteration in tests and the fuzz driver. */
+inline constexpr Mutation kAllMutations[] = {
+    Mutation::DropGate,
+    Mutation::DuplicateGate,
+    Mutation::CorruptMapping,
+    Mutation::MisdirectSwap,
+};
+
+/** Kebab-case name used by reproducer files and --inject. */
+const char* to_string(Mutation m);
+
+/** Parse a kebab-case mutation name; returns false on unknown. */
+bool parse_mutation(const std::string& name, Mutation& out);
+
+/**
+ * Rebuild @p circ with @p mutation applied; random choices (which gate,
+ * which mapping entries) draw from @p rng. The injector retries its
+ * choices until the mutant's applied_term_multiset() differs from the
+ * original's, guaranteeing the mutant is semantically wrong; it throws
+ * PanicError when the circuit admits no such mutant (e.g. MisdirectSwap
+ * on a swap-free circuit).
+ */
+circuit::Circuit inject_mutation(const arch::CouplingGraph& device,
+                                 const circuit::Circuit& circ,
+                                 Mutation mutation, Xoshiro256& rng);
+
+} // namespace permuq::verify
+
+#endif // PERMUQ_VERIFY_MUTATE_H

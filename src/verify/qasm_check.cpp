@@ -1,0 +1,191 @@
+#include "qasm_check.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "circuit/metrics.h"
+
+namespace permuq::verify {
+
+namespace {
+
+/** Cursor over one QASM line with tiny combinators; every parse
+ *  failure surfaces as a lint message rather than an exception. */
+struct LineParser
+{
+    const std::string& s;
+    std::size_t pos = 0;
+
+    explicit LineParser(const std::string& line) : s(line) {}
+
+    bool
+    literal(const char* lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (s.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    /** Parse a non-negative integer. */
+    bool
+    integer(std::int32_t& out)
+    {
+        std::size_t start = pos;
+        while (pos < s.size() && std::isdigit(static_cast<unsigned char>(
+                                     s[pos])))
+            ++pos;
+        if (pos == start)
+            return false;
+        out = std::atoi(s.substr(start, pos - start).c_str());
+        return true;
+    }
+
+    /** Parse a floating-point literal (sign, digits, dot, exponent). */
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        auto ok = [&](char c) {
+            return std::isdigit(static_cast<unsigned char>(c)) ||
+                   c == '+' || c == '-' || c == '.' || c == 'e' ||
+                   c == 'E';
+        };
+        while (pos < s.size() && ok(s[pos]))
+            ++pos;
+        return pos != start;
+    }
+
+    /** Parse "q[<i>]" and range-check the index. */
+    bool
+    qubit(std::int32_t n, std::int32_t& out)
+    {
+        return literal("q[") && integer(out) && literal("]") && out < n;
+    }
+
+    bool done() const { return pos == s.size(); }
+};
+
+} // namespace
+
+std::string
+qasm_lint(const std::string& text, const arch::CouplingGraph& device,
+          const circuit::Circuit& circ,
+          const circuit::QasmOptions& options)
+{
+    const std::int32_t n = circ.initial_mapping().num_physical();
+    const std::int32_t logical = circ.initial_mapping().num_logical();
+
+    std::vector<std::string> lines;
+    {
+        std::istringstream in(text);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    auto fail = [&](std::size_t index, const std::string& why) {
+        std::ostringstream os;
+        os << "qasm line " << index + 1 << ": " << why;
+        if (index < lines.size())
+            os << " [" << lines[index] << "]";
+        return os.str();
+    };
+
+    std::size_t i = 0;
+    auto expect = [&](const std::string& exact) -> std::string {
+        if (i >= lines.size())
+            return fail(i, "missing \"" + exact + "\"");
+        if (lines[i] != exact)
+            return fail(i, "expected \"" + exact + "\"");
+        ++i;
+        return "";
+    };
+    if (auto e = expect("OPENQASM 2.0;"); !e.empty())
+        return e;
+    if (auto e = expect("include \"qelib1.inc\";"); !e.empty())
+        return e;
+    if (auto e = expect("qreg q[" + std::to_string(n) + "];"); !e.empty())
+        return e;
+    if (options.full_qaoa) {
+        if (auto e = expect("creg c[" + std::to_string(logical) + "];");
+            !e.empty())
+            return e;
+    }
+
+    std::int64_t cx = 0, rz = 0, rx = 0, h = 0, measure = 0;
+    std::vector<bool> measured(static_cast<std::size_t>(logical), false);
+    for (; i < lines.size(); ++i) {
+        LineParser p(lines[i]);
+        std::int32_t a = 0, b = 0;
+        if (p.literal("cx ")) {
+            if (!p.qubit(n, a) || !p.literal(",") || !p.qubit(n, b) ||
+                !p.literal(";") || !p.done())
+                return fail(i, "malformed cx");
+            if (a == b)
+                return fail(i, "cx with identical operands");
+            if (!device.coupled(a, b))
+                return fail(i, "cx on non-coupler");
+            ++cx;
+        } else if (p.literal("rz(")) {
+            if (!p.number() || !p.literal(") ") || !p.qubit(n, a) ||
+                !p.literal(";") || !p.done())
+                return fail(i, "malformed rz");
+            ++rz;
+        } else if (p.literal("rx(")) {
+            if (!p.number() || !p.literal(") ") || !p.qubit(n, a) ||
+                !p.literal(";") || !p.done())
+                return fail(i, "malformed rx");
+            ++rx;
+        } else if (p.literal("h ")) {
+            if (!p.qubit(n, a) || !p.literal(";") || !p.done())
+                return fail(i, "malformed h");
+            ++h;
+        } else if (p.literal("measure ")) {
+            if (!p.qubit(n, a) || !p.literal(" -> c[") ||
+                !p.integer(b) || !p.literal("];") || !p.done())
+                return fail(i, "malformed measure");
+            if (b >= logical)
+                return fail(i, "classical bit out of range");
+            if (measured[static_cast<std::size_t>(b)])
+                return fail(i, "classical bit measured twice");
+            measured[static_cast<std::size_t>(b)] = true;
+            ++measure;
+        } else {
+            return fail(i, "unrecognized statement");
+        }
+    }
+
+    // Cross-accounting against the metrics module. Each compute op
+    // lowers to exactly one rz regardless of merging; CX totals must
+    // agree with compute_metrics' independent merge billing.
+    if (rz != circ.num_compute())
+        return "qasm rz count " + std::to_string(rz) +
+               " != compute gates " + std::to_string(circ.num_compute());
+    if (options.merge_pairs) {
+        auto m = circuit::compute_metrics(circ);
+        if (cx != m.cx_count)
+            return "qasm cx count " + std::to_string(cx) +
+                   " != metrics cx count " + std::to_string(m.cx_count);
+    } else {
+        std::int64_t expected =
+            2 * circ.num_compute() + 3 * circ.num_swaps();
+        if (cx != expected)
+            return "qasm cx count " + std::to_string(cx) +
+                   " != unmerged expectation " + std::to_string(expected);
+    }
+    if (options.full_qaoa) {
+        if (h != logical || rx != logical || measure != logical)
+            return "full-qaoa surround incomplete: h=" +
+                   std::to_string(h) + " rx=" + std::to_string(rx) +
+                   " measure=" + std::to_string(measure) +
+                   " for logical=" + std::to_string(logical);
+    } else if (h != 0 || rx != 0 || measure != 0) {
+        return "unexpected full-qaoa statements in bare export";
+    }
+    return "";
+}
+
+} // namespace permuq::verify

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Well-formedness linting of exported OpenQASM 2.0, checked
+ * differentially against the circuit it was lowered from: the gate
+ * stream must parse, indices must stay in range, two-qubit gates must
+ * sit on couplers, and the CX count must equal the metrics module's
+ * independent accounting (qasm.cpp's merge_partner lowering vs
+ * metrics.cpp's merged_with_previous billing).
+ */
+#ifndef PERMUQ_VERIFY_QASM_CHECK_H
+#define PERMUQ_VERIFY_QASM_CHECK_H
+
+#include <string>
+
+#include "arch/coupling_graph.h"
+#include "circuit/circuit.h"
+#include "circuit/qasm.h"
+
+namespace permuq::verify {
+
+/**
+ * Lint @p text, which must be to_qasm(@p circ, @p options) output for a
+ * circuit compiled onto @p device. Returns an empty string when well
+ * formed, else a one-line description of the first problem.
+ */
+std::string qasm_lint(const std::string& text,
+                      const arch::CouplingGraph& device,
+                      const circuit::Circuit& circ,
+                      const circuit::QasmOptions& options);
+
+} // namespace permuq::verify
+
+#endif // PERMUQ_VERIFY_QASM_CHECK_H

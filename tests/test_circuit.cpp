@@ -223,5 +223,52 @@ TEST(ValidateTest, DetectsDuplicateGate)
     EXPECT_NE(report.message.find("2 times"), std::string::npos);
 }
 
+TEST(ValidateTest, CollectsAllViolationsWithOpIndices)
+{
+    // One circuit breaking three rules at once: a duplicated edge, a
+    // spurious (non-edge) compute, and a never-executed edge.
+    auto dev = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 1);
+    problem.add_edge(2, 3);
+    Circuit c(Mapping(4, 4));
+    c.add_compute(0, 1); // ok: edge (0,1)
+    c.add_compute(0, 1); // duplicate of (0,1)
+    c.add_compute(1, 2); // logicals (1,2): not a problem edge
+    // edge (2,3) never executed
+
+    auto report = validate(c, dev, problem);
+    EXPECT_FALSE(report.ok);
+    ASSERT_EQ(report.violations.size(), 3u);
+
+    // Op-stream violations first, with the offending op's index.
+    EXPECT_EQ(report.violations[0].op_index, 2);
+    EXPECT_NE(report.violations[0].message.find("non-edge"),
+              std::string::npos);
+    // Then per-edge accounting, anchored to the whole circuit.
+    EXPECT_EQ(report.violations[1].op_index, -1);
+    EXPECT_NE(report.violations[1].message.find("2 times"),
+              std::string::npos);
+    EXPECT_EQ(report.violations[2].op_index, -1);
+    EXPECT_NE(report.violations[2].message.find("never executed"),
+              std::string::npos);
+
+    // The historical single-message interface mirrors the first entry.
+    EXPECT_EQ(report.message, report.violations[0].message);
+}
+
+TEST(ValidateTest, ViolationListEmptyWhenValid)
+{
+    auto dev = arch::make_line(2);
+    graph::Graph problem(2);
+    problem.add_edge(0, 1);
+    Circuit c(Mapping(2, 2));
+    c.add_compute(0, 1);
+    auto report = validate(c, dev, problem);
+    EXPECT_TRUE(report.ok);
+    EXPECT_TRUE(report.violations.empty());
+    EXPECT_TRUE(report.message.empty());
+}
+
 } // namespace
 } // namespace permuq::circuit

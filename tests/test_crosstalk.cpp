@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of the crosstalk model: the "close and parallel" coupler-pair
+ * relation on architectures where the answer is enumerable by hand,
+ * plus structural invariants (symmetry, dedup) on larger devices.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "arch/coupling_graph.h"
+#include "core/crosstalk.h"
+
+namespace permuq::core {
+namespace {
+
+/** All unordered crosstalk pairs, recovered from the neighbor lists. */
+std::set<std::pair<std::int32_t, std::int32_t>>
+pair_set(const CrosstalkMap& map, std::int32_t num_couplers)
+{
+    std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+    for (std::int32_t c = 0; c < num_couplers; ++c)
+        for (std::int32_t d : map.neighbors(c))
+            pairs.emplace(std::min(c, d), std::max(c, d));
+    return pairs;
+}
+
+TEST(CrosstalkTest, LineHasNoParallelCouplers)
+{
+    // On a line, couplers adjacent to coupler (i,i+1) share one of its
+    // endpoints, so no disjoint close-and-parallel pair exists.
+    auto device = arch::make_line(8);
+    CrosstalkMap map(device);
+    EXPECT_EQ(map.total_pairs(), 0);
+    auto n = static_cast<std::int32_t>(device.couplers().size());
+    for (std::int32_t c = 0; c < n; ++c)
+        EXPECT_TRUE(map.neighbors(c).empty()) << "coupler " << c;
+}
+
+TEST(CrosstalkTest, FourCycleHasTwoOpposingPairs)
+{
+    // A 2x2 grid is a 4-cycle: each edge crosstalks with exactly the
+    // opposite edge, giving 2 unordered pairs.
+    auto device = arch::make_grid(2, 2);
+    ASSERT_EQ(device.couplers().size(), 4u);
+    CrosstalkMap map(device);
+    EXPECT_EQ(map.total_pairs(), 2);
+    for (std::int32_t c = 0; c < 4; ++c)
+        EXPECT_EQ(map.neighbors(c).size(), 1u) << "coupler " << c;
+}
+
+TEST(CrosstalkTest, TwoByThreeGridCountedByHand)
+{
+    // 2x3 grid, 7 couplers. By enumeration the crosstalk pairs are the
+    // two stacked horizontal pairs and the two adjacent vertical pairs:
+    // 4 in total, with the middle vertical coupler in two of them.
+    auto device = arch::make_grid(2, 3);
+    ASSERT_EQ(device.couplers().size(), 7u);
+    CrosstalkMap map(device);
+    EXPECT_EQ(map.total_pairs(), 4);
+
+    // Degree profile: one coupler (the middle rung) has 2 partners,
+    // six couplers have 1, none have more.
+    std::map<std::size_t, std::int32_t> degree_histogram;
+    for (std::int32_t c = 0; c < 7; ++c)
+        ++degree_histogram[map.neighbors(c).size()];
+    EXPECT_EQ(degree_histogram[1], 6);
+    EXPECT_EQ(degree_histogram[2], 1);
+}
+
+TEST(CrosstalkTest, PairsAreDisjointAndEndpointAdjacent)
+{
+    // The defining property, checked directly on a nontrivial device:
+    // every reported pair is vertex-disjoint with pairwise-adjacent
+    // endpoints, in one of the two orientations.
+    auto device = arch::smallest_arch(arch::ArchKind::Sycamore, 12);
+    CrosstalkMap map(device);
+    const auto& couplers = device.couplers();
+    const auto& g = device.connectivity();
+    auto n = static_cast<std::int32_t>(couplers.size());
+    std::int64_t seen = 0;
+    for (std::int32_t c = 0; c < n; ++c) {
+        const auto& e = couplers[static_cast<std::size_t>(c)];
+        for (std::int32_t d : map.neighbors(c)) {
+            const auto& f = couplers[static_cast<std::size_t>(d)];
+            EXPECT_TRUE(e.a != f.a && e.a != f.b && e.b != f.a &&
+                        e.b != f.b)
+                << "couplers " << c << " and " << d << " share a qubit";
+            bool straight = g.has_edge(e.a, f.a) && g.has_edge(e.b, f.b);
+            bool crossed = g.has_edge(e.a, f.b) && g.has_edge(e.b, f.a);
+            EXPECT_TRUE(straight || crossed)
+                << "couplers " << c << " and " << d << " not parallel";
+            ++seen;
+        }
+    }
+    // Each unordered pair appears once per direction.
+    EXPECT_EQ(seen, 2 * map.total_pairs());
+    EXPECT_GT(map.total_pairs(), 0);
+}
+
+TEST(CrosstalkTest, ListsAreSymmetricSortedAndDeduplicated)
+{
+    for (arch::ArchKind kind :
+         {arch::ArchKind::Grid, arch::ArchKind::HeavyHex,
+          arch::ArchKind::Hexagon}) {
+        auto device = arch::smallest_arch(kind, 10);
+        CrosstalkMap map(device);
+        auto n = static_cast<std::int32_t>(device.couplers().size());
+        for (std::int32_t c = 0; c < n; ++c) {
+            const auto& list = map.neighbors(c);
+            EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+            EXPECT_EQ(std::adjacent_find(list.begin(), list.end()),
+                      list.end())
+                << "duplicates in coupler " << c << "'s list";
+            for (std::int32_t d : list) {
+                const auto& back = map.neighbors(d);
+                EXPECT_NE(std::find(back.begin(), back.end(), c),
+                          back.end())
+                    << "asymmetric pair (" << c << "," << d << ")";
+            }
+        }
+        // total_pairs counts each unordered pair exactly once.
+        EXPECT_EQ(static_cast<std::int64_t>(
+                      pair_set(map, n).size()),
+                  map.total_pairs());
+    }
+}
+
+} // namespace
+} // namespace permuq::core

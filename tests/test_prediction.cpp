@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests of the ATA pattern-prediction component: range detection over
+ * the remaining problem graph (component finding, region merging), the
+ * region-restricted tail schedule, and the closed-form depth/CX
+ * estimates used to rank snapshot candidates.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "circuit/mapping.h"
+#include "common/error.h"
+#include "core/prediction.h"
+#include "graph/graph.h"
+
+namespace permuq::core {
+namespace {
+
+TEST(DetectRegionsTest, RejectsWrongDoneBitmapSize)
+{
+    auto device = arch::make_line(4);
+    auto problem = graph::Graph::clique(3);
+    circuit::Mapping mapping(3, 4);
+    std::vector<bool> done(2, false); // clique(3) has 3 edges
+    EXPECT_THROW(detect_regions(device, problem, done, mapping),
+                 FatalError);
+}
+
+TEST(DetectRegionsTest, AllDoneYieldsEmptyPlan)
+{
+    auto device = arch::make_line(4);
+    auto problem = graph::Graph::clique(3);
+    circuit::Mapping mapping(3, 4);
+    std::vector<bool> done(3, true);
+    auto plan = detect_regions(device, problem, done, mapping);
+    EXPECT_TRUE(plan.regions.empty());
+    EXPECT_EQ(plan.max_positions, 0);
+    EXPECT_EQ(plan.total_positions, 0);
+}
+
+TEST(DetectRegionsTest, SingleComponentBoundsItsPositions)
+{
+    // Remaining clique on logicals {0,1,2} mapped to positions 0..2 of
+    // a 6-line: one region of exactly those 3 positions.
+    auto device = arch::make_line(6);
+    auto problem = graph::Graph::clique(3);
+    circuit::Mapping mapping(3, 6);
+    std::vector<bool> done(3, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 1u);
+    EXPECT_EQ(plan.max_positions, 3);
+    EXPECT_EQ(plan.total_positions, 3);
+}
+
+TEST(DetectRegionsTest, DisjointComponentsStaySeparate)
+{
+    // Edges (0,1) and (4,5) under the identity mapping occupy the two
+    // ends of a 6-line: two non-overlapping 2-position regions.
+    auto device = arch::make_line(6);
+    graph::Graph problem(6);
+    problem.add_edge(0, 1);
+    problem.add_edge(4, 5);
+    circuit::Mapping mapping(6, 6);
+    std::vector<bool> done(2, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 2u);
+    EXPECT_EQ(plan.max_positions, 2);
+    EXPECT_EQ(plan.total_positions, 4);
+}
+
+TEST(DetectRegionsTest, OverlappingRegionsMergeToFixpoint)
+{
+    // Components {0,2} and {1,3} interleave on the line; their bounding
+    // intervals [0,2] and [1,3] overlap, so they merge into one region
+    // spanning all 4 positions.
+    auto device = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 2);
+    problem.add_edge(1, 3);
+    circuit::Mapping mapping(4, 4);
+    std::vector<bool> done(2, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 1u);
+    EXPECT_EQ(plan.max_positions, 4);
+    EXPECT_EQ(plan.total_positions, 4);
+}
+
+TEST(DetectRegionsTest, DoneBitmapSelectsTheRemainingSubgraph)
+{
+    // Of clique(4)'s 6 edges, finish everything touching vertex 3: the
+    // remaining triangle {0,1,2} defines the region, not the whole
+    // problem.
+    auto device = arch::make_line(6);
+    auto problem = graph::Graph::clique(4);
+    circuit::Mapping mapping(4, 6);
+    std::vector<bool> done(6, false);
+    const auto& edges = problem.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        if (edges[e].a == 3 || edges[e].b == 3)
+            done[e] = true;
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 1u);
+    EXPECT_EQ(plan.max_positions, 3);
+}
+
+TEST(DetectRegionsTest, MappingDeterminesThePositions)
+{
+    // The same remaining edge under a spread-out placement bounds a
+    // larger interval: logicals {0,1} at positions 0 and 3 of a line
+    // yield a 4-position region.
+    auto device = arch::make_line(4);
+    graph::Graph problem(2);
+    problem.add_edge(0, 1);
+    circuit::Mapping mapping({0, 3}, 4);
+    std::vector<bool> done(1, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 1u);
+    EXPECT_EQ(plan.max_positions, 4);
+}
+
+TEST(TailScheduleTest, EmptyPlanYieldsEmptySchedule)
+{
+    auto device = arch::make_line(4);
+    RegionPlan plan;
+    EXPECT_EQ(tail_schedule(device, plan).num_slots(), 0);
+}
+
+TEST(TailScheduleTest, ConcatenatesPerRegionCliqueSchedules)
+{
+    // Two disjoint 2-position regions: each contributes its region's
+    // ATA schedule; slots add up.
+    auto device = arch::make_line(6);
+    graph::Graph problem(6);
+    problem.add_edge(0, 1);
+    problem.add_edge(4, 5);
+    circuit::Mapping mapping(6, 6);
+    std::vector<bool> done(2, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 2u);
+    auto combined = tail_schedule(device, plan);
+    auto first = ata::ata_schedule(device, plan.regions[0]);
+    auto second = ata::ata_schedule(device, plan.regions[1]);
+    EXPECT_EQ(combined.num_slots(),
+              first.num_slots() + second.num_slots());
+    EXPECT_GT(combined.num_slots(), 0);
+}
+
+TEST(EstimateTest, DepthScalesWithLargestRegionOnly)
+{
+    // Depth constant for Line is 2.0 and disjoint regions replay in
+    // parallel, so the estimate is 2.0 * max_positions.
+    auto device = arch::make_line(8);
+    graph::Graph problem(8);
+    problem.add_edge(0, 3); // region of 4 positions
+    problem.add_edge(6, 7); // region of 2 positions
+    circuit::Mapping mapping(8, 8);
+    std::vector<bool> done(2, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.regions.size(), 2u);
+    ASSERT_EQ(plan.max_positions, 4);
+    EXPECT_DOUBLE_EQ(estimate_tail_depth(device, plan), 2.0 * 4);
+}
+
+TEST(EstimateTest, PerArchitectureDepthConstants)
+{
+    // Same 3-position single-region plan on each architecture family;
+    // only the measured per-architecture constant changes.
+    const std::vector<std::pair<arch::ArchKind, double>> expected = {
+        {arch::ArchKind::Line, 2.0},     {arch::ArchKind::Grid, 1.7},
+        {arch::ArchKind::Sycamore, 3.6}, {arch::ArchKind::HeavyHex, 4.8},
+        {arch::ArchKind::Hexagon, 4.2},
+    };
+    for (auto [kind, constant] : expected) {
+        auto device = arch::smallest_arch(kind, 6);
+        auto problem = graph::Graph::clique(3);
+        circuit::Mapping mapping(3, device.num_qubits());
+        std::vector<bool> done(3, false);
+        auto plan = detect_regions(device, problem, done, mapping);
+        ASSERT_FALSE(plan.regions.empty()) << arch::to_string(kind);
+        EXPECT_DOUBLE_EQ(estimate_tail_depth(device, plan),
+                         constant * plan.max_positions)
+            << arch::to_string(kind);
+    }
+}
+
+TEST(EstimateTest, CxCountsComputesAndQuadraticSwapTerm)
+{
+    // estimate_tail_cx = 2 * remaining + 3 * sum(0.5 * k^2) over the
+    // region sizes k.
+    auto device = arch::make_line(6);
+    graph::Graph problem(6);
+    problem.add_edge(0, 1);
+    problem.add_edge(4, 5);
+    circuit::Mapping mapping(6, 6);
+    std::vector<bool> done(2, false);
+    auto plan = detect_regions(device, problem, done, mapping);
+    ASSERT_EQ(plan.total_positions, 4); // two regions of size 2
+    double expected = 2.0 * 2 + 3.0 * (0.5 * 4 + 0.5 * 4);
+    EXPECT_DOUBLE_EQ(estimate_tail_cx(device, plan, 2), expected);
+}
+
+} // namespace
+} // namespace permuq::core

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests of the differential verification subsystem: both equivalence
+ * tiers accept sound compilations, both flag every injected known
+ * miscompile (mutation testing — a missed mutant is a checker false
+ * negative), the tiers agree with each other and with the legacy
+ * validator on random instances, and reproducer files round-trip.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "circuit/metrics.h"
+#include "circuit/qasm.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "verify/equivalence.h"
+#include "verify/fuzz.h"
+#include "verify/mutate.h"
+#include "verify/qasm_check.h"
+
+namespace permuq::verify {
+namespace {
+
+const std::vector<arch::ArchKind> kRegularKinds = {
+    arch::ArchKind::Line,     arch::ArchKind::Grid,
+    arch::ArchKind::Sycamore, arch::ArchKind::HeavyHex,
+    arch::ArchKind::Hexagon,
+};
+
+circuit::Circuit
+compile_on(const arch::CouplingGraph& device, const graph::Graph& problem)
+{
+    return core::compile(device, problem).circuit;
+}
+
+TEST(TierB, AcceptsCompiledCircuitsOnEveryTopology)
+{
+    for (arch::ArchKind kind : kRegularKinds) {
+        auto device = arch::smallest_arch(kind, 6);
+        auto problem = problem::random_graph(6, 0.6, 17);
+        auto circ = compile_on(device, problem);
+        auto report = check_symbolic(device, problem, circ);
+        EXPECT_TRUE(report.ok) << arch::to_string(kind) << ": "
+                               << report.summary();
+        EXPECT_EQ(report.edges_covered, problem.num_edges());
+        EXPECT_EQ(report.spurious_computes, 0);
+    }
+}
+
+TEST(TierB, FlagsMissingEdgeWithoutStoppingEarly)
+{
+    auto device = arch::make_line(4);
+    graph::Graph problem(4);
+    problem.add_edge(0, 1);
+    problem.add_edge(1, 2);
+    problem.add_edge(2, 3);
+    circuit::Circuit circ(circuit::Mapping(4, 4));
+    circ.add_compute(0, 1); // only one of three edges
+    auto report = check_symbolic(device, problem, circ);
+    EXPECT_FALSE(report.ok);
+    // Both missing edges are reported, not just the first.
+    EXPECT_EQ(report.violations.size(), 2u);
+    for (const auto& v : report.violations) {
+        EXPECT_EQ(v.op_index, -1);
+        EXPECT_NE(v.message.find("never executed"), std::string::npos);
+    }
+}
+
+TEST(TierB, FlagsSizeMismatch)
+{
+    auto device = arch::make_line(4);
+    auto problem = graph::Graph::clique(3);
+    circuit::Circuit circ(circuit::Mapping(3, 3)); // wrong device size
+    auto report = check_symbolic(device, problem, circ);
+    EXPECT_FALSE(report.ok);
+}
+
+TEST(TierA, AcceptsCompiledCircuitsOnEveryTopology)
+{
+    for (arch::ArchKind kind : kRegularKinds) {
+        auto device = arch::smallest_arch(kind, 5);
+        if (device.num_qubits() > 14)
+            continue; // heavy-hex may round up past the exact tier
+        auto problem = problem::random_graph(5, 0.7, 23);
+        auto circ = compile_on(device, problem);
+        auto report = check_exact(device, problem, circ);
+        ASSERT_FALSE(report.skipped) << arch::to_string(kind);
+        EXPECT_TRUE(report.ok) << arch::to_string(kind) << ": "
+                               << report.message;
+        EXPECT_LE(report.spectrum_error, 1e-9);
+        EXPECT_LE(report.state_infidelity, 1e-9);
+    }
+}
+
+TEST(TierA, SkipsLargeDevices)
+{
+    auto device = arch::make_mumbai(); // 27 qubits
+    auto problem = problem::clique(4);
+    auto circ = compile_on(device, problem);
+    auto report = check_exact(device, problem, circ);
+    EXPECT_TRUE(report.skipped);
+    EXPECT_TRUE(report.ok);
+}
+
+TEST(TierA, AngleSeedDoesNotChangeTheVerdict)
+{
+    auto device = arch::make_grid(2, 3);
+    auto problem = problem::random_graph(5, 0.6, 5);
+    auto circ = compile_on(device, problem);
+    for (std::uint64_t seed : {1ull, 99ull, 0xdeadbeefull}) {
+        ExactOptions options;
+        options.angle_seed = seed;
+        EXPECT_TRUE(check_exact(device, problem, circ, options).ok);
+    }
+}
+
+TEST(AppliedTermMultiset, TracksTermsThroughSwaps)
+{
+    auto problem = graph::Graph::clique(3);
+    circuit::Circuit circ(circuit::Mapping(3, 3));
+    circ.add_compute(0, 1); // logicals (0,1)
+    circ.add_swap(1, 2);    // logical 1 -> position 2
+    circ.add_compute(0, 1); // logicals (0,2)
+    circ.add_compute(1, 2); // logicals (2,1)
+    auto terms = applied_term_multiset(circ);
+    std::map<VertexPair, std::int64_t> expected = {
+        {VertexPair(0, 1), 1},
+        {VertexPair(0, 2), 1},
+        {VertexPair(1, 2), 1},
+    };
+    EXPECT_EQ(terms, expected);
+}
+
+// The central mutation-testing matrix: every mutation kind on every
+// topology must be flagged by BOTH tiers (zero false negatives). The
+// problems are chosen so every mutation is applicable (cliques force
+// SWAPs for misdirect-swap; ER graphs break the label symmetry that
+// corrupt-mapping needs).
+TEST(Mutations, BothTiersFlagEveryInjectedMiscompile)
+{
+    std::map<std::string, std::int64_t> tested;
+    Xoshiro256 rng(0xfeedface);
+    for (arch::ArchKind kind : kRegularKinds) {
+        auto device = arch::smallest_arch(kind, 6);
+        if (device.num_qubits() > 14)
+            continue;
+        for (int dense = 0; dense < 2; ++dense) {
+            auto problem = dense ? problem::clique(6)
+                                 : problem::random_graph(6, 0.5, 31);
+            auto circ = compile_on(device, problem);
+            for (Mutation m : kAllMutations) {
+                circuit::Circuit mutant;
+                try {
+                    mutant = inject_mutation(device, circ, m, rng);
+                } catch (const PanicError&) {
+                    continue; // e.g. misdirect-swap on swap-free circuit
+                }
+                ++tested[to_string(m)];
+                const std::string label =
+                    std::string(arch::to_string(kind)) + "/" +
+                    (dense ? "clique" : "er") + "/" + to_string(m);
+                auto symbolic = check_symbolic(device, problem, mutant);
+                EXPECT_FALSE(symbolic.ok)
+                    << "tier B missed mutant: " << label;
+                auto exact = check_exact(device, problem, mutant);
+                ASSERT_FALSE(exact.skipped) << label;
+                EXPECT_FALSE(exact.ok)
+                    << "tier A missed mutant: " << label;
+                // The legacy validator must agree with tier B.
+                auto legacy = circuit::validate(mutant, device, problem);
+                EXPECT_FALSE(legacy.ok)
+                    << "validate() missed mutant: " << label;
+            }
+        }
+    }
+    // Every mutation kind was exercised at least once per family.
+    for (Mutation m : kAllMutations)
+        EXPECT_GE(tested[to_string(m)], 2) << to_string(m);
+}
+
+TEST(Mutations, InjectorGuaranteesSemanticDifference)
+{
+    auto device = arch::make_grid(2, 3);
+    auto problem = problem::random_graph(6, 0.5, 7);
+    auto circ = compile_on(device, problem);
+    auto original = applied_term_multiset(circ);
+    Xoshiro256 rng(11);
+    for (Mutation m : kAllMutations) {
+        try {
+            auto mutant = inject_mutation(device, circ, m, rng);
+            EXPECT_NE(applied_term_multiset(mutant), original)
+                << to_string(m);
+        } catch (const PanicError&) {
+        }
+    }
+}
+
+TEST(Mutations, NamesRoundTrip)
+{
+    for (Mutation m : kAllMutations) {
+        Mutation parsed;
+        ASSERT_TRUE(parse_mutation(to_string(m), parsed));
+        EXPECT_EQ(parsed, m);
+    }
+    Mutation out;
+    EXPECT_FALSE(parse_mutation("no-such-mutation", out));
+}
+
+// Satellite requirement: tier A vs tier B agreement on 50 random small
+// instances spanning every topology and every compiler. run_config()
+// itself fails with kind "disagree" whenever the tiers (or the legacy
+// validator) contradict each other, so a clean run is the assertion.
+TEST(Agreement, FiftyRandomInstancesAllCheckersAgree)
+{
+    std::int64_t tier_a_runs = 0;
+    std::map<std::string, std::int64_t> archs_seen;
+    for (std::int64_t index = 0; index < 50; ++index) {
+        auto config = random_config(0x5eed, index, 8);
+        auto result = run_config(config);
+        EXPECT_TRUE(result.ok)
+            << "config " << index << " (" << config.compiler << " on "
+            << config.arch << "): [" << result.kind << "] "
+            << result.failure;
+        tier_a_runs += result.tier_a_ran ? 1 : 0;
+        ++archs_seen[config.arch];
+    }
+    // The stream must actually exercise the exact tier and span
+    // several architectures (guards against a silently-skipping run).
+    EXPECT_GE(tier_a_runs, 25);
+    EXPECT_GE(archs_seen.size(), 4u);
+}
+
+TEST(QasmLint, AcceptsBothLoweringsAndFullQaoa)
+{
+    auto device = arch::smallest_arch(arch::ArchKind::Hexagon, 6);
+    auto problem = problem::random_graph(6, 0.6, 3);
+    auto circ = compile_on(device, problem);
+    for (bool merge : {true, false}) {
+        for (bool full : {true, false}) {
+            circuit::QasmOptions options;
+            options.merge_pairs = merge;
+            options.full_qaoa = full;
+            auto text = circuit::to_qasm(circ, options);
+            EXPECT_EQ(qasm_lint(text, device, circ, options), "")
+                << "merge=" << merge << " full=" << full;
+        }
+    }
+}
+
+TEST(QasmLint, FlagsTamperedPrograms)
+{
+    auto device = arch::make_line(3);
+    auto problem = graph::Graph::clique(3);
+    auto circ = compile_on(device, problem);
+    circuit::QasmOptions options;
+    const auto good = circuit::to_qasm(circ, options);
+    ASSERT_EQ(qasm_lint(good, device, circ, options), "");
+
+    // A dropped trailing gate breaks the CX accounting.
+    auto truncated = good.substr(0, good.rfind("cx"));
+    EXPECT_NE(qasm_lint(truncated, device, circ, options), "");
+    // An extra single-qubit gate does not belong in a bare export.
+    EXPECT_NE(qasm_lint(good + "h q[0];\n", device, circ, options), "");
+    // A two-qubit gate off the line's couplers.
+    EXPECT_NE(qasm_lint(good + "cx q[0],q[2];\n", device, circ, options),
+              "");
+    // Garbage statements are rejected, not skipped.
+    EXPECT_NE(qasm_lint(good + "banana;\n", device, circ, options), "");
+    // Out-of-range qubit index.
+    EXPECT_NE(qasm_lint(good + "cx q[1],q[9];\n", device, circ, options),
+              "");
+}
+
+TEST(Reproducer, SerializationRoundTrips)
+{
+    auto config = random_config(0xabc, 4, 8);
+    config.inject = "drop-gate";
+    CheckResult result;
+    result.ok = false;
+    result.kind = "tier-b";
+    result.failure = "problem edge (0,1) never executed";
+    const auto text = serialize_reproducer(config, result);
+
+    std::istringstream in(text);
+    FuzzConfig parsed;
+    std::string error;
+    ASSERT_TRUE(parse_reproducer(in, parsed, &error)) << error;
+    // Serializing the parsed config reproduces the identical file.
+    EXPECT_EQ(serialize_reproducer(parsed, result), text);
+    EXPECT_EQ(parsed.arch, config.arch);
+    EXPECT_EQ(parsed.num_vertices, config.num_vertices);
+    EXPECT_EQ(parsed.edges, config.edges);
+    EXPECT_EQ(parsed.compiler, config.compiler);
+    EXPECT_EQ(parsed.inject, config.inject);
+}
+
+TEST(Reproducer, ParserRejectsMalformedInput)
+{
+    auto reject = [](const std::string& text) {
+        std::istringstream in(text);
+        FuzzConfig config;
+        std::string error;
+        bool ok = parse_reproducer(in, config, &error);
+        EXPECT_FALSE(ok) << text;
+        EXPECT_FALSE(error.empty());
+    };
+    reject("");                                    // missing version
+    reject("version 2\n");                         // unsupported
+    reject("version 1\nfrobnicate 3\n");           // unknown key
+    reject("version 1\narch line\nvertices 4\n");  // no edges
+    reject("version 1\narch line\nvertices 4\n"
+           "edge 0 9\ncompiler ours\n");           // edge out of range
+    reject("version 1\narch line\nvertices 4\n"
+           "edge 0 1\nedge 0 1\ncompiler ours\n"); // duplicate edge
+    reject("version 1\narch warp\nvertices 4\n"
+           "edge 0 1\ncompiler ours\n");           // unknown arch
+    reject("version 1\narch line\nvertices 4\n"
+           "edge 0 1\ncompiler magic\n");          // unknown compiler
+    reject("version 1\narch line\nvertices 4\n"
+           "edge 0 1\ncompiler ours\ninject bad\n"); // unknown mutation
+}
+
+// End-to-end corpus flow: a failing (mutated) config shrinks while
+// preserving the failure kind, serializes, parses back, and still
+// fails the same way from the file contents alone.
+TEST(Reproducer, ShrunkMutantReplaysFromFileAlone)
+{
+    FuzzConfig config;
+    config.arch = "line";
+    config.num_vertices = 5;
+    config.edges = problem::clique(5).edges();
+    config.compiler = "ours";
+    config.inject = "drop-gate";
+    config.inject_seed = 3;
+
+    const auto original = run_config(config);
+    ASSERT_FALSE(original.ok);
+    // The 5-qubit line is within the exact tier, which reports first.
+    ASSERT_EQ(original.kind, "tier-a");
+
+    std::int64_t steps = 0;
+    const auto shrunk = shrink_config(config, original, &steps);
+    EXPECT_GT(steps, 0);
+    EXPECT_LE(shrunk.edges.size(), config.edges.size());
+
+    const auto text = serialize_reproducer(shrunk, original);
+    std::istringstream in(text);
+    FuzzConfig replayed;
+    std::string error;
+    ASSERT_TRUE(parse_reproducer(in, replayed, &error)) << error;
+    const auto result = run_config(replayed);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.kind, original.kind);
+}
+
+TEST(RunConfig, DeterministicAcrossCalls)
+{
+    auto config = random_config(77, 5, 8);
+    auto first = run_config(config);
+    auto second = run_config(config);
+    EXPECT_EQ(first.ok, second.ok);
+    EXPECT_EQ(first.kind, second.kind);
+    EXPECT_EQ(first.failure, second.failure);
+    EXPECT_EQ(first.tier_a_ran, second.tier_a_ran);
+}
+
+TEST(RunConfig, ExceptionsBecomeResultsNotCrashes)
+{
+    FuzzConfig config;
+    config.arch = "line";
+    config.num_vertices = 4;
+    config.edges = {VertexPair(0, 1)};
+    config.compiler = "nonexistent";
+    auto result = run_config(config);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.kind, "exception");
+    EXPECT_NE(result.failure.find("unknown compiler"), std::string::npos);
+}
+
+} // namespace
+} // namespace permuq::verify

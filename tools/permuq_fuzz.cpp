@@ -1,0 +1,294 @@
+/**
+ * @file
+ * permuq-fuzz — randomized differential testing of the compilers.
+ *
+ * Modes:
+ *   (default)        run N seeded random configurations through every
+ *                    applicable check; failures are shrunk and written
+ *                    as reproducer files into the corpus directory.
+ *   --replay FILE    re-run one reproducer; exits non-zero while the
+ *                    failure still reproduces.
+ *   --inject         mutation-testing mode: for every configuration,
+ *                    inject each known-miscompile mutation and demand
+ *                    the checkers flag it (a missed mutant is a checker
+ *                    false negative and fails the run).
+ *
+ * Everything is deterministic from --seed; the tool never reads the
+ * clock except to honor --time-budget.
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz.h"
+#include "verify/mutate.h"
+
+namespace {
+
+using namespace permuq;
+
+struct CliOptions
+{
+    std::uint64_t seed = 1;
+    std::int64_t configs = 200;
+    double time_budget_seconds = 0.0; // 0 = unlimited
+    std::int32_t max_vertices = 10;
+    std::string corpus = "tests/corpus";
+    std::string replay;
+    bool inject = false;
+    bool verbose = false;
+};
+
+int
+usage(int code)
+{
+    std::ostream& out = code == 0 ? std::cout : std::cerr;
+    out << "usage: permuq-fuzz [options]\n"
+           "  --seed N          base seed of the config stream "
+           "(default 1)\n"
+           "  --configs N       number of configurations (default 200)\n"
+           "  --time-budget S   stop after S wall-clock seconds\n"
+           "  --max-qubits N    largest problem size drawn "
+           "(default 10)\n"
+           "  --corpus DIR      where reproducers are written "
+           "(default tests/corpus)\n"
+           "  --replay FILE     re-run one reproducer file and exit\n"
+           "  --inject          mutation-testing mode (checkers must "
+           "catch every injected miscompile)\n"
+           "  --verbose         print every configuration\n"
+           "  --help            this text\n";
+    return code;
+}
+
+bool
+parse_cli(int argc, char** argv, CliOptions& options, int& exit_code)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&](auto parse) {
+            if (++i >= argc) {
+                std::cerr << "permuq-fuzz: " << flag
+                          << " needs a value\n";
+                exit_code = usage(2);
+                return false;
+            }
+            return parse(std::string(argv[i]));
+        };
+        bool ok = true;
+        if (flag == "--help" || flag == "-h") {
+            exit_code = usage(0);
+            return false;
+        } else if (flag == "--seed") {
+            ok = value([&](const std::string& v) {
+                options.seed = std::strtoull(v.c_str(), nullptr, 10);
+                return true;
+            });
+        } else if (flag == "--configs") {
+            ok = value([&](const std::string& v) {
+                options.configs = std::atoll(v.c_str());
+                return true;
+            });
+        } else if (flag == "--time-budget") {
+            ok = value([&](const std::string& v) {
+                options.time_budget_seconds = std::atof(v.c_str());
+                return true;
+            });
+        } else if (flag == "--max-qubits") {
+            ok = value([&](const std::string& v) {
+                options.max_vertices = std::atoi(v.c_str());
+                return true;
+            });
+        } else if (flag == "--corpus") {
+            ok = value([&](const std::string& v) {
+                options.corpus = v;
+                return true;
+            });
+        } else if (flag == "--replay") {
+            ok = value([&](const std::string& v) {
+                options.replay = v;
+                return true;
+            });
+        } else if (flag == "--inject") {
+            options.inject = true;
+        } else if (flag == "--verbose") {
+            options.verbose = true;
+        } else {
+            std::cerr << "permuq-fuzz: unknown flag " << flag << "\n";
+            exit_code = usage(2);
+            return false;
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+describe(const verify::FuzzConfig& config)
+{
+    std::ostringstream os;
+    os << config.compiler << " on " << config.arch << ", "
+       << config.num_vertices << " vertices / " << config.edges.size()
+       << " edges";
+    if (config.inject != "none")
+        os << ", inject " << config.inject;
+    return os.str();
+}
+
+int
+replay_mode(const CliOptions& options)
+{
+    std::ifstream in(options.replay);
+    if (!in) {
+        std::cerr << "permuq-fuzz: cannot open " << options.replay
+                  << "\n";
+        return 2;
+    }
+    verify::FuzzConfig config;
+    std::string error;
+    if (!verify::parse_reproducer(in, config, &error)) {
+        std::cerr << "permuq-fuzz: " << options.replay << ": " << error
+                  << "\n";
+        return 2;
+    }
+    std::cout << "replaying " << describe(config) << "\n";
+    const auto result = verify::run_config(config);
+    if (result.ok) {
+        std::cout << "PASS: all checks clean (tier A "
+                  << (result.tier_a_ran ? "ran" : "skipped") << ")\n";
+        return 0;
+    }
+    std::cout << "FAIL [" << result.kind << "] " << result.failure
+              << "\n";
+    return 1;
+}
+
+/** Write a shrunk reproducer; returns the path (or "" on I/O error). */
+std::string
+write_reproducer(const CliOptions& options,
+                 const verify::FuzzConfig& config,
+                 const verify::CheckResult& result, std::int64_t index)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(options.corpus, ec);
+    std::ostringstream name;
+    name << "fuzz-" << options.seed << "-" << index << ".repro";
+    const auto path =
+        std::filesystem::path(options.corpus) / name.str();
+    std::ofstream out(path);
+    if (!out)
+        return "";
+    out << verify::serialize_reproducer(config, result);
+    return path.string();
+}
+
+int
+fuzz_mode(const CliOptions& options)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto out_of_time = [&] {
+        if (options.time_budget_seconds <= 0.0)
+            return false;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return elapsed.count() >= options.time_budget_seconds;
+    };
+
+    std::int64_t ran = 0, failures = 0, missed_mutants = 0,
+                 unsupported = 0, tier_a_runs = 0;
+    for (std::int64_t index = 0; index < options.configs; ++index) {
+        if (out_of_time()) {
+            std::cout << "time budget reached after " << ran
+                      << " configuration(s)\n";
+            break;
+        }
+        auto config = verify::random_config(options.seed, index,
+                                            options.max_vertices);
+        if (options.verbose)
+            std::cout << "[" << index << "] " << describe(config)
+                      << "\n";
+
+        if (options.inject) {
+            // Every mutation must be caught by a semantic tier.
+            for (verify::Mutation m : verify::kAllMutations) {
+                config.inject = verify::to_string(m);
+                config.inject_seed = options.seed + 977 *
+                    static_cast<std::uint64_t>(index);
+                ++ran;
+                const auto result = verify::run_config(config);
+                if (result.kind == "inject-unsupported") {
+                    ++unsupported;
+                    continue;
+                }
+                if (result.tier_a_ran)
+                    ++tier_a_runs;
+                const bool caught = !result.ok &&
+                                    (result.kind == "tier-a" ||
+                                     result.kind == "tier-b");
+                if (!caught) {
+                    ++missed_mutants;
+                    std::cout << "MISSED MUTANT [" << index << "] "
+                              << describe(config) << ": result "
+                              << (result.ok ? "ok"
+                                            : result.kind + ": " +
+                                                  result.failure)
+                              << "\n";
+                }
+            }
+            continue;
+        }
+
+        ++ran;
+        const auto result = verify::run_config(config);
+        if (result.tier_a_ran)
+            ++tier_a_runs;
+        if (result.ok)
+            continue;
+        ++failures;
+        std::cout << "FAIL [" << index << "] " << describe(config)
+                  << "\n  [" << result.kind << "] " << result.failure
+                  << "\n";
+        std::int64_t shrink_steps = 0;
+        const auto shrunk =
+            verify::shrink_config(config, result, &shrink_steps);
+        const auto shrunk_result = verify::run_config(shrunk);
+        const auto path =
+            write_reproducer(options, shrunk, shrunk_result, index);
+        std::cout << "  shrunk to " << shrunk.edges.size()
+                  << " edge(s) in " << shrink_steps << " step(s)";
+        if (!path.empty())
+            std::cout << "; reproducer: " << path;
+        std::cout << "\n";
+    }
+
+    std::cout << "ran " << ran << " configuration(s), " << tier_a_runs
+              << " with the exact tier";
+    if (options.inject) {
+        std::cout << ", " << unsupported
+                  << " mutation(s) unsupported, " << missed_mutants
+                  << " missed mutant(s)\n";
+        return missed_mutants == 0 ? 0 : 1;
+    }
+    std::cout << ", " << failures << " failure(s)\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions options;
+    int exit_code = 0;
+    if (!parse_cli(argc, argv, options, exit_code))
+        return exit_code;
+    if (!options.replay.empty())
+        return replay_mode(options);
+    return fuzz_mode(options);
+}
