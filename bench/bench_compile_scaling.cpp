@@ -11,9 +11,17 @@
  * exactly what the rework replaced; both compilers must produce
  * bit-identical circuits (verified in-binary by hashing).
  *
+ * A second section measures region-sharded compilation on fabric-scale
+ * grids with locality-structured problems (fabric_local_graph):
+ * sharded vs unsharded wall time at 1024/4096 qubits, sharded-only
+ * completion at 16384, bit-identical output across thread counts, and
+ * (full runs only) a 102400-qubit streaming-QASM compile whose peak
+ * RSS must stay inside the documented 512 MiB budget.
+ *
  * Emits BENCH_compile.json in the working directory. Pass --smoke to
- * cap the sweep at 256 qubits (CI); the >=3x acceptance gate applies
- * only to the full 1024-qubit run.
+ * cap the sweep at 256 qubits (CI); the >=3x acceptance gates (legacy
+ * vs incremental at 1024, unsharded vs sharded at 4096) apply only to
+ * the full run.
  *
  * Knobs: PERMUQ_COMPILE_REPS (timing repetitions, best-of, default 2),
  * PERMUQ_COMPILE_DENSITY_PCT (ER density in percent, default 30).
@@ -23,19 +31,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "arch/coupling_graph.h"
 #include "bench_util.h"
 #include "circuit/metrics.h"
+#include "circuit/qasm.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/compiler.h"
 #include "core/crosstalk.h"
 #include "core/prediction.h"
+#include "core/shard.h"
 #include "graph/coloring.h"
 #include "graph/matching.h"
 #include "problem/generators.h"
@@ -762,6 +775,24 @@ struct Row
     bool hash_match = false;
 };
 
+struct FabricRow
+{
+    std::int32_t qubits = 0;
+    std::int32_t edges = 0;
+    std::int32_t regions = 0;
+    double unsharded_seconds = 0.0; // 0 = not measured at this size
+    double sharded_seconds = 0.0;
+    bool thread_identical = false;
+};
+
+long
+peak_rss_kib()
+{
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return usage.ru_maxrss;
+}
+
 } // namespace
 
 int
@@ -779,6 +810,44 @@ main(int argc, char** argv)
     const double density =
         env_int("PERMUQ_COMPILE_DENSITY_PCT", 30) / 100.0;
     const std::int32_t hw_threads = common::num_threads();
+
+    // Fabric-scale streaming compile (full runs only): 102400 qubits,
+    // QASM streamed band-by-band to a sink so no materialized circuit
+    // or dense distance table ever exists. Runs FIRST because
+    // ru_maxrss is a process-lifetime high-water mark -- any earlier
+    // unsharded compile would mask the streaming footprint. The
+    // 512 MiB peak-RSS budget is the documented bound
+    // (EXPERIMENTS.md); measured usage is ~120 MiB, most of it the
+    // coupling graph and the per-band circuits.
+    constexpr long kStreamRssBudgetKib = 512 * 1024;
+    double stream_seconds = 0.0;
+    long stream_rss_kib = 0;
+    core::ShardStreamResult stream;
+    if (!smoke) {
+        arch::CouplingGraph device = arch::make_grid(320, 320);
+        auto problem = problem::fabric_local_graph(320, 320, 0.3, 1, 99);
+        core::CompilerOptions options;
+        options.shard_regions = 80;
+        std::ofstream sink("/dev/null");
+        circuit::QasmStreamWriter writer(sink, circuit::QasmOptions{});
+        Timer timer;
+        stream = core::shard_compile_stream(device, problem, options,
+                                            writer);
+        stream_seconds = timer.elapsed_seconds();
+        stream_rss_kib = peak_rss_kib();
+        std::printf("streaming 102400-qubit compile: %.1f s, "
+                    "%lld ops, %d regions, %lld stitched edges, "
+                    "peak circuit %.1f MiB, peak RSS %ld MiB "
+                    "(budget %ld MiB)\n\n",
+                    stream_seconds,
+                    static_cast<long long>(stream.total_ops),
+                    stream.regions,
+                    static_cast<long long>(stream.stitched_edges),
+                    static_cast<double>(stream.peak_circuit_bytes) /
+                        (1024.0 * 1024.0),
+                    stream_rss_kib / 1024,
+                    kStreamRssBudgetKib / 1024);
+    }
 
     const arch::ArchKind kinds[] = {arch::ArchKind::Grid,
                                     arch::ArchKind::HeavyHex,
@@ -865,6 +934,79 @@ main(int argc, char** argv)
                     "(need >= 3x)\n",
                     speedup_1024);
 
+    // Region-sharded fabric scaling: locality-structured problems on
+    // square grids, one band per 8 rows. Unsharded compilation builds
+    // the dense all-pairs distance table, so it is only timed through
+    // 4096 qubits; the 16384-qubit row demonstrates sharded-only
+    // completion. Every sharded compile is hashed at 1 and 4 threads
+    // to hold the bit-identical guarantee.
+    std::vector<std::int32_t> fabric_rows = smoke
+                                                ? std::vector<std::int32_t>{16, 32}
+                                                : std::vector<std::int32_t>{32, 64, 128};
+    std::printf("\nregion-sharded fabric scaling (grid, reach-1 local "
+                "problems)\n");
+    std::printf("| %7s | %7s | %7s | %11s | %9s | %8s |\n", "qubits",
+                "edges", "regions", "unsharded s", "sharded s",
+                "speedup");
+    std::vector<FabricRow> fabric;
+    double fabric_speedup_4096 = 0.0;
+    bool fabric_identical = true;
+    for (std::int32_t rows_n : fabric_rows) {
+        arch::CouplingGraph device = arch::make_grid(rows_n, rows_n);
+        auto problem =
+            problem::fabric_local_graph(rows_n, rows_n, 0.3, 1, 99);
+        FabricRow row;
+        row.qubits = device.num_qubits();
+        row.edges = problem.num_edges();
+        row.regions = rows_n / 8;
+
+        core::CompilerOptions sharded_options;
+        sharded_options.shard_regions = row.regions;
+        std::uint64_t hash_thr1 = 0, hash_thr4 = 0;
+        common::set_num_threads(1);
+        row.sharded_seconds = time_best(reps, [&] {
+            auto r = core::compile(device, problem, sharded_options);
+            hash_thr1 = circuit_hash(r.circuit);
+        });
+        common::set_num_threads(4);
+        {
+            auto r = core::compile(device, problem, sharded_options);
+            hash_thr4 = circuit_hash(r.circuit);
+        }
+        common::set_num_threads(hw_threads);
+        row.thread_identical = hash_thr1 == hash_thr4;
+        fabric_identical = fabric_identical && row.thread_identical;
+
+        if (row.qubits <= 4096) {
+            core::CompilerOptions unsharded_options;
+            row.unsharded_seconds = time_best(reps, [&] {
+                auto r = core::compile(device, problem,
+                                       unsharded_options);
+                (void)r;
+            });
+        }
+        double speedup = row.unsharded_seconds > 0.0
+                             ? row.unsharded_seconds / row.sharded_seconds
+                             : 0.0;
+        if (!smoke && row.qubits == 4096)
+            fabric_speedup_4096 = speedup;
+        if (row.unsharded_seconds > 0.0)
+            std::printf("| %7d | %7d | %7d | %11.3f | %9.3f | %7.2fx |%s\n",
+                        row.qubits, row.edges, row.regions,
+                        row.unsharded_seconds, row.sharded_seconds,
+                        speedup,
+                        row.thread_identical ? "" : "  THREAD MISMATCH");
+        else
+            std::printf("| %7d | %7d | %7d | %11s | %9.3f | %8s |%s\n",
+                        row.qubits, row.edges, row.regions, "-",
+                        row.sharded_seconds, "-",
+                        row.thread_identical ? "" : "  THREAD MISMATCH");
+        fabric.push_back(row);
+    }
+    if (!smoke)
+        std::printf("sharded speedup at 4096 qubits: %.2fx (need >= 3x)\n",
+                    fabric_speedup_4096);
+
     std::FILE* json = std::fopen("BENCH_compile.json", "w");
     if (json != nullptr) {
         std::fprintf(json,
@@ -896,20 +1038,68 @@ main(int argc, char** argv)
                      "\"parallel_seconds\": %.6f, "
                      "\"thread_speedup\": %.3f, "
                      "\"bit_identical\": %s},\n"
+                     "  \"fabric\": [\n",
+                     ms_serial, ms_parallel, ms_serial / ms_parallel,
+                     ms_match ? "true" : "false");
+        for (std::size_t i = 0; i < fabric.size(); ++i) {
+            const FabricRow& r = fabric[i];
+            std::fprintf(json,
+                         "    {\"qubits\": %d, \"edges\": %d, "
+                         "\"regions\": %d, ",
+                         r.qubits, r.edges, r.regions);
+            if (r.unsharded_seconds > 0.0)
+                std::fprintf(json,
+                             "\"unsharded_seconds\": %.6f, "
+                             "\"sharded_seconds\": %.6f, "
+                             "\"speedup\": %.3f, ",
+                             r.unsharded_seconds, r.sharded_seconds,
+                             r.unsharded_seconds / r.sharded_seconds);
+            else
+                std::fprintf(json,
+                             "\"unsharded_seconds\": null, "
+                             "\"sharded_seconds\": %.6f, "
+                             "\"speedup\": null, ",
+                             r.sharded_seconds);
+            std::fprintf(json, "\"thread_identical\": %s}%s\n",
+                         r.thread_identical ? "true" : "false",
+                         i + 1 < fabric.size() ? "," : "");
+        }
+        std::fprintf(json, "  ],\n");
+        if (smoke)
+            std::fprintf(json, "  \"stream_100k\": null,\n");
+        else
+            std::fprintf(json,
+                         "  \"stream_100k\": {\"qubits\": 102400, "
+                         "\"regions\": %d, \"seconds\": %.3f, "
+                         "\"total_ops\": %lld, "
+                         "\"stitched_edges\": %lld, "
+                         "\"peak_circuit_bytes\": %lld, "
+                         "\"peak_rss_kib\": %ld, "
+                         "\"rss_budget_kib\": %ld},\n",
+                         stream.regions, stream_seconds,
+                         static_cast<long long>(stream.total_ops),
+                         static_cast<long long>(stream.stitched_edges),
+                         static_cast<long long>(stream.peak_circuit_bytes),
+                         stream_rss_kib, kStreamRssBudgetKib);
+        std::fprintf(json,
                      "  \"speedup_1024_min\": %.3f,\n"
+                     "  \"fabric_speedup_4096\": %.3f,\n"
                      "  \"all_bit_identical\": %s\n"
                      "}\n",
-                     ms_serial, ms_parallel, ms_serial / ms_parallel,
-                     ms_match ? "true" : "false", speedup_1024,
-                     all_match ? "true" : "false");
+                     speedup_1024, fabric_speedup_4096,
+                     all_match && fabric_identical ? "true" : "false");
         std::fclose(json);
         std::printf("wrote BENCH_compile.json\n");
     }
     bench::write_metrics_sidecar("compile_scaling");
 
-    if (!all_match)
+    if (!all_match || !fabric_identical)
         return 1;
     if (!smoke && speedup_1024 < 3.0)
+        return 1;
+    if (!smoke && fabric_speedup_4096 < 3.0)
+        return 1;
+    if (!smoke && stream_rss_kib > kStreamRssBudgetKib)
         return 1;
     return 0;
 }

@@ -18,6 +18,7 @@
 
 #include "circuit/gate.h"
 #include "circuit/mapping.h"
+#include "circuit/op_arena.h"
 #include "common/error.h"
 #include "common/types.h"
 
@@ -74,7 +75,7 @@ class Circuit
 
     /** All ops in append order (cycle values are non-decreasing per
      *  qubit but not globally sorted). */
-    const std::vector<ScheduledOp>& ops() const { return ops_; }
+    const OpArena& ops() const { return ops_; }
 
     /** Critical-path depth in cycles. */
     Cycle depth() const { return depth_; }
@@ -98,6 +99,14 @@ class Circuit
         return busy_[static_cast<std::size_t>(p)];
     }
 
+    /** Exact heap bytes held: op arena + busy table + both mappings. */
+    std::size_t
+    memory_bytes() const
+    {
+        return ops_.memory_bytes() + busy_.capacity() * sizeof(Cycle) +
+               initial_.memory_bytes() + current_.memory_bytes();
+    }
+
   private:
     ScheduledOp&
     push(OpKind kind, PhysicalQubit p, PhysicalQubit q)
@@ -117,13 +126,12 @@ class Circuit
         busy_[static_cast<std::size_t>(p)] = start + 1;
         busy_[static_cast<std::size_t>(q)] = start + 1;
         depth_ = std::max(depth_, start + 1);
-        ops_.push_back(op);
-        return ops_.back();
+        return ops_.push_back(op);
     }
 
     Mapping initial_;
     Mapping current_;
-    std::vector<ScheduledOp> ops_;
+    OpArena ops_;
     std::vector<Cycle> busy_;
     Cycle depth_ = 0;
     std::int64_t num_compute_ = 0;

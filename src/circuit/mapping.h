@@ -104,6 +104,14 @@ class Mapping
 
     friend bool operator==(const Mapping&, const Mapping&) = default;
 
+    /** Exact heap bytes held by the two direction tables. */
+    std::size_t
+    memory_bytes() const
+    {
+        return phys_of_.capacity() * sizeof(PhysicalQubit) +
+               logical_at_.capacity() * sizeof(LogicalQubit);
+    }
+
   private:
     std::vector<PhysicalQubit> phys_of_;  // logical -> physical
     std::vector<LogicalQubit> logical_at_; // physical -> logical

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Chunked arena storage for scheduled ops.
+ *
+ * A fabric-scale compile appends tens of millions of ScheduledOps. A
+ * plain std::vector doubles on growth, which transiently holds 1.5x
+ * the final size (a multi-GB spike at 100k qubits) and copies every
+ * element on each doubling. The arena instead allocates fixed-size
+ * chunks and never relocates an op once written, so peak memory equals
+ * live memory (rounded up to one chunk) and references returned by
+ * push_back() stay valid forever.
+ *
+ * The read API mirrors the std::vector surface the rest of the
+ * codebase uses on Circuit::ops(): size() / empty() / operator[] /
+ * back() and random-access iteration (range-for and indexed loops).
+ */
+#ifndef PERMUQ_CIRCUIT_OP_ARENA_H
+#define PERMUQ_CIRCUIT_OP_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace permuq::circuit {
+
+/** Append-only chunked container of ScheduledOp. */
+class OpArena
+{
+  public:
+    /** Ops per chunk; 8192 * 24 B = 192 KiB, large enough that the
+     *  chunk-pointer table stays tiny even at 10^8 ops. */
+    static constexpr std::size_t kChunkOps = 8192;
+
+    OpArena() = default;
+
+    OpArena(const OpArena& other) { *this = other; }
+
+    OpArena&
+    operator=(const OpArena& other)
+    {
+        if (this == &other)
+            return *this;
+        chunks_.clear();
+        chunks_.reserve(other.chunks_.size());
+        size_ = other.size_;
+        for (std::size_t c = 0; c < other.chunks_.size(); ++c) {
+            chunks_.push_back(
+                std::make_unique<ScheduledOp[]>(kChunkOps));
+            const std::size_t used =
+                c + 1 < other.chunks_.size() ? kChunkOps
+                                             : size_ - c * kChunkOps;
+            for (std::size_t i = 0; i < used; ++i)
+                chunks_[c][i] = other.chunks_[c][i];
+        }
+        recache_tail();
+        return *this;
+    }
+
+    OpArena(OpArena&& other) noexcept { *this = std::move(other); }
+
+    OpArena&
+    operator=(OpArena&& other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        chunks_ = std::move(other.chunks_);
+        size_ = other.size_;
+        tail_ = other.tail_;
+        tail_left_ = other.tail_left_;
+        other.chunks_.clear();
+        other.size_ = 0;
+        other.tail_ = nullptr;
+        other.tail_left_ = 0;
+        return *this;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const ScheduledOp&
+    operator[](std::size_t i) const
+    {
+        return chunks_[i / kChunkOps][i % kChunkOps];
+    }
+
+    const ScheduledOp& back() const { return (*this)[size_ - 1]; }
+
+    /** Append a copy of @p op; the returned reference never moves. */
+    ScheduledOp&
+    push_back(const ScheduledOp& op)
+    {
+        if (tail_left_ == 0) {
+            chunks_.push_back(
+                std::make_unique<ScheduledOp[]>(kChunkOps));
+            tail_ = chunks_.back().get();
+            tail_left_ = kChunkOps;
+        }
+        ScheduledOp& slot = *tail_++;
+        --tail_left_;
+        slot = op;
+        ++size_;
+        return slot;
+    }
+
+    /** Pre-size the chunk-pointer table (chunks stay lazy). */
+    void
+    reserve(std::size_t num_ops)
+    {
+        chunks_.reserve((num_ops + kChunkOps - 1) / kChunkOps);
+    }
+
+    /** Release every chunk. */
+    void
+    clear()
+    {
+        chunks_.clear();
+        size_ = 0;
+        tail_ = nullptr;
+        tail_left_ = 0;
+    }
+
+    /** Exact heap bytes held (allocated chunks + pointer table). */
+    std::size_t
+    memory_bytes() const
+    {
+        return chunks_.size() * kChunkOps * sizeof(ScheduledOp) +
+               chunks_.capacity() * sizeof(chunks_[0]);
+    }
+
+    /** Random-access const iterator over the arena. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::random_access_iterator_tag;
+        using value_type = ScheduledOp;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const ScheduledOp*;
+        using reference = const ScheduledOp&;
+
+        const_iterator() = default;
+        const_iterator(const OpArena* arena, std::size_t index)
+            : arena_(arena), index_(index)
+        {
+            recache();
+        }
+
+        reference operator*() const { return *cur_; }
+        pointer operator->() const { return cur_; }
+        reference
+        operator[](difference_type d) const
+        {
+            return (*arena_)[index_ + static_cast<std::size_t>(d)];
+        }
+
+        const_iterator&
+        operator++()
+        {
+            // Fast path: stay inside the cached chunk; recache only on
+            // a chunk boundary (every kChunkOps steps).
+            ++index_;
+            if (++cur_ == chunk_end_)
+                recache();
+            return *this;
+        }
+        const_iterator
+        operator++(int)
+        {
+            const_iterator old = *this;
+            ++(*this);
+            return old;
+        }
+        const_iterator&
+        operator--()
+        {
+            --index_;
+            recache();
+            return *this;
+        }
+        const_iterator
+        operator--(int)
+        {
+            const_iterator old = *this;
+            --(*this);
+            return old;
+        }
+        const_iterator&
+        operator+=(difference_type d)
+        {
+            index_ += static_cast<std::size_t>(d);
+            recache();
+            return *this;
+        }
+        const_iterator&
+        operator-=(difference_type d)
+        {
+            index_ -= static_cast<std::size_t>(d);
+            recache();
+            return *this;
+        }
+        friend const_iterator
+        operator+(const_iterator it, difference_type d)
+        {
+            return it += d;
+        }
+        friend const_iterator
+        operator+(difference_type d, const_iterator it)
+        {
+            return it += d;
+        }
+        friend const_iterator
+        operator-(const_iterator it, difference_type d)
+        {
+            return it -= d;
+        }
+        friend difference_type
+        operator-(const_iterator a, const_iterator b)
+        {
+            return static_cast<difference_type>(a.index_) -
+                   static_cast<difference_type>(b.index_);
+        }
+        friend bool
+        operator==(const_iterator a, const_iterator b)
+        {
+            return a.index_ == b.index_;
+        }
+        friend bool
+        operator!=(const_iterator a, const_iterator b)
+        {
+            return a.index_ != b.index_;
+        }
+        friend bool
+        operator<(const_iterator a, const_iterator b)
+        {
+            return a.index_ < b.index_;
+        }
+        friend bool
+        operator>(const_iterator a, const_iterator b)
+        {
+            return a.index_ > b.index_;
+        }
+        friend bool
+        operator<=(const_iterator a, const_iterator b)
+        {
+            return a.index_ <= b.index_;
+        }
+        friend bool
+        operator>=(const_iterator a, const_iterator b)
+        {
+            return a.index_ >= b.index_;
+        }
+
+      private:
+        /** Point cur_/chunk_end_ into the chunk holding index_ (null
+         *  past the end; comparisons only ever use index_). */
+        void
+        recache()
+        {
+            if (arena_ != nullptr && index_ < arena_->size_) {
+                const ScheduledOp* chunk =
+                    arena_->chunks_[index_ / kChunkOps].get();
+                cur_ = chunk + index_ % kChunkOps;
+                chunk_end_ = chunk + kChunkOps;
+            } else {
+                cur_ = nullptr;
+                chunk_end_ = nullptr;
+            }
+        }
+
+        const OpArena* arena_ = nullptr;
+        std::size_t index_ = 0;
+        const ScheduledOp* cur_ = nullptr;
+        const ScheduledOp* chunk_end_ = nullptr;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size_}; }
+
+  private:
+    /** Rederive the push_back cursor from chunks_/size_ (after a copy
+     *  assignment changed them behind the cache). */
+    void
+    recache_tail()
+    {
+        const std::size_t used = size_ % kChunkOps;
+        if (!chunks_.empty() && used != 0) {
+            tail_ = chunks_.back().get() + used;
+            tail_left_ = kChunkOps - used;
+        } else {
+            tail_ = nullptr;
+            tail_left_ = 0;
+        }
+    }
+
+    std::vector<std::unique_ptr<ScheduledOp[]>> chunks_;
+    std::size_t size_ = 0;
+    ScheduledOp* tail_ = nullptr;
+    std::size_t tail_left_ = 0;
+};
+
+} // namespace permuq::circuit
+
+#endif // PERMUQ_CIRCUIT_OP_ARENA_H

@@ -1,5 +1,6 @@
 #include "qasm.h"
 
+#include <ostream>
 #include <sstream>
 
 #include "circuit/metrics.h"
@@ -7,66 +8,96 @@
 
 namespace permuq::circuit {
 
-std::string
-to_qasm(const Circuit& circ, const QasmOptions& options)
+QasmStreamWriter::QasmStreamWriter(std::ostream& out,
+                                   const QasmOptions& options)
+    : out_(&out), options_(options)
 {
-    std::ostringstream out;
-    std::int32_t n = circ.initial_mapping().num_physical();
-    std::int32_t logical = circ.initial_mapping().num_logical();
+}
+
+void
+QasmStreamWriter::begin(const Mapping& initial)
+{
+    fatal_unless(!begun_, "QasmStreamWriter::begin called twice");
+    begun_ = true;
+    std::ostream& out = *out_;
     out << "OPENQASM 2.0;\n"
         << "include \"qelib1.inc\";\n"
-        << "qreg q[" << n << "];\n";
-    if (options.full_qaoa)
-        out << "creg c[" << logical << "];\n";
-
-    if (options.full_qaoa) {
+        << "qreg q[" << initial.num_physical() << "];\n";
+    if (options_.full_qaoa) {
+        out << "creg c[" << initial.num_logical() << "];\n";
         // Initial |+> on every position holding a program qubit.
-        for (std::int32_t l = 0; l < logical; ++l)
-            out << "h q[" << circ.initial_mapping().physical_of(l)
-                << "];\n";
+        for (std::int32_t l = 0; l < initial.num_logical(); ++l)
+            out << "h q[" << initial.physical_of(l) << "];\n";
     }
+}
 
-    std::vector<std::int64_t> partner(
-        circ.ops().size(), -1);
-    if (options.merge_pairs)
-        partner = merge_partner(circ);
-    const auto& ops = circ.ops();
+void
+QasmStreamWriter::chunk(const Circuit& fragment, std::int32_t offset)
+{
+    fatal_unless(begun_ && !finished_,
+                 "QasmStreamWriter::chunk outside begin/finish");
+    std::ostream& out = *out_;
+    std::vector<std::int64_t> partner(fragment.ops().size(), -1);
+    if (options_.merge_pairs)
+        partner = merge_partner(fragment);
+    const auto& ops = fragment.ops();
     std::vector<bool> consumed(ops.size(), false);
     for (std::size_t i = 0; i < ops.size(); ++i) {
         if (consumed[i])
             continue;
         const auto& op = ops[i];
+        const std::int32_t p = op.p + offset;
+        const std::int32_t q = op.q + offset;
         std::int64_t pair = partner[i];
         if (pair >= 0) {
             // Merged ZZ+SWAP (either order; the two commute):
             //   SWAP*RZZ(t) = CX(a,b) CX(b,a) RZ_b(t) CX(a,b),
             // i.e. in circuit order cx; rz; cx reversed; cx.
             consumed[static_cast<std::size_t>(pair)] = true;
-            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
-            out << "rz(" << 2.0 * options.gamma << ") q[" << op.q
+            out << "cx q[" << p << "],q[" << q << "];\n";
+            out << "rz(" << 2.0 * options_.gamma << ") q[" << q
                 << "];\n";
-            out << "cx q[" << op.q << "],q[" << op.p << "];\n";
-            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+            out << "cx q[" << q << "],q[" << p << "];\n";
+            out << "cx q[" << p << "],q[" << q << "];\n";
         } else if (op.kind == OpKind::Compute) {
-            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
-            out << "rz(" << 2.0 * options.gamma << ") q[" << op.q
+            out << "cx q[" << p << "],q[" << q << "];\n";
+            out << "rz(" << 2.0 * options_.gamma << ") q[" << q
                 << "];\n";
-            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+            out << "cx q[" << p << "],q[" << q << "];\n";
         } else {
-            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
-            out << "cx q[" << op.q << "],q[" << op.p << "];\n";
-            out << "cx q[" << op.p << "],q[" << op.q << "];\n";
+            out << "cx q[" << p << "],q[" << q << "];\n";
+            out << "cx q[" << q << "],q[" << p << "];\n";
+            out << "cx q[" << p << "],q[" << q << "];\n";
         }
     }
+}
 
-    if (options.full_qaoa) {
-        for (std::int32_t l = 0; l < logical; ++l)
-            out << "rx(" << 2.0 * options.beta << ") q["
-                << circ.final_mapping().physical_of(l) << "];\n";
-        for (std::int32_t l = 0; l < logical; ++l)
-            out << "measure q[" << circ.final_mapping().physical_of(l)
+void
+QasmStreamWriter::finish(const Mapping& final_mapping)
+{
+    fatal_unless(begun_ && !finished_,
+                 "QasmStreamWriter::finish outside begin");
+    finished_ = true;
+    std::ostream& out = *out_;
+    if (options_.full_qaoa) {
+        for (std::int32_t l = 0; l < final_mapping.num_logical(); ++l)
+            out << "rx(" << 2.0 * options_.beta << ") q["
+                << final_mapping.physical_of(l) << "];\n";
+        for (std::int32_t l = 0; l < final_mapping.num_logical(); ++l)
+            out << "measure q[" << final_mapping.physical_of(l)
                 << "] -> c[" << l << "];\n";
     }
+    out.flush();
+}
+
+std::string
+to_qasm(const Circuit& circ, const QasmOptions& options)
+{
+    std::ostringstream out;
+    QasmStreamWriter writer(out, options);
+    writer.begin(circ.initial_mapping());
+    writer.chunk(circ);
+    writer.finish(circ.final_mapping());
     return out.str();
 }
 

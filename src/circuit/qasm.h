@@ -18,6 +18,7 @@
 #ifndef PERMUQ_CIRCUIT_QASM_H
 #define PERMUQ_CIRCUIT_QASM_H
 
+#include <iosfwd>
 #include <string>
 
 #include "circuit/circuit.h"
@@ -39,6 +40,48 @@ struct QasmOptions
 
 /** Serialize @p circ as an OpenQASM 2.0 program. */
 std::string to_qasm(const Circuit& circ, const QasmOptions& options = {});
+
+/**
+ * Incremental OpenQASM 2.0 emission: the program is written to an
+ * ostream in chunks as parts of the compilation complete, so a
+ * fabric-scale (100k-qubit) compile never materializes the whole
+ * program text — or even the whole circuit — in memory.
+ *
+ * Protocol: begin(global initial mapping), then chunk() once per
+ * circuit fragment in program order, then finish(global final
+ * mapping). CPHASE+SWAP pair merging is chunk-local (a merge never
+ * spans a chunk boundary); the sharded compiler's canonical QASM is
+ * defined as one chunk per region plus one stitch chunk, and a
+ * single-chunk emission is byte-identical to to_qasm().
+ */
+class QasmStreamWriter
+{
+  public:
+    /** @p out must outlive the writer. */
+    explicit QasmStreamWriter(std::ostream& out,
+                              const QasmOptions& options = {});
+
+    /** Emit the header (and the |+> prelude when full_qaoa). */
+    void begin(const Mapping& initial);
+
+    /**
+     * Lower and emit all ops of @p fragment, shifting every physical
+     * qubit id by @p offset (region chunks are compiled in a local id
+     * space; contiguous banding makes the translation a single add).
+     */
+    void chunk(const Circuit& fragment, std::int32_t offset = 0);
+
+    /** Emit the RX mixer + measurements (full_qaoa) and flush. */
+    void finish(const Mapping& final_mapping);
+
+    const QasmOptions& options() const { return options_; }
+
+  private:
+    std::ostream* out_;
+    QasmOptions options_;
+    bool begun_ = false;
+    bool finished_ = false;
+};
 
 /**
  * Render a fixed-width text diagram of the circuit, one line per

@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "core/crosstalk.h"
 #include "core/placement.h"
+#include "core/shard.h"
 #include "core/prediction.h"
 #include "graph/coloring.h"
 #include "graph/matching.h"
@@ -1021,6 +1022,12 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
 {
     fatal_unless(problem.num_vertices() <= device.num_qubits(),
                  "problem does not fit on the device");
+    // Sharded mode routes away before distances() below ever builds
+    // the dense all-pairs table (prohibitive at fabric scale); it
+    // re-enters here per band, and for unshardable devices, with
+    // shard_regions cleared.
+    if (options_in.shard_regions >= 2)
+        return shard_compile(device, problem, options_in);
     Timer timer;
     telemetry::ScopedSpan span("compile");
     span.arg("qubits", problem.num_vertices());

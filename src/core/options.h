@@ -77,6 +77,28 @@ struct CompilerOptions
 
     /** Base seed for the perturbed placement trials' jump streams. */
     std::uint64_t placement_seed = 0x9d2c5680f00dull;
+
+    /**
+     * Region-sharded hierarchical compilation (fabric scale). 0 = off
+     * (the historical whole-device compiler, bit for bit). A value
+     * k >= 2 asks the sharder to partition the device into ~k
+     * contiguous unit bands, compile them concurrently, and stitch the
+     * cross-band problem edges with the inter-region router. Only
+     * Line/Grid/Sycamore devices band exactly; other architectures
+     * fall back to the unsharded path. Fixed seed + fixed region count
+     * gives bit-identical output at any thread count.
+     */
+    std::int32_t shard_regions = 0;
+
+    /**
+     * Minimum extra band height in units (boundary width): every band
+     * must span at least 1 + shard_margin device units, and the
+     * partitioner reduces the region count until that holds. Taller
+     * bands keep more problem edges internal (fewer stitched ZZ terms,
+     * shorter boundary routes) at the cost of larger per-region
+     * compiles.
+     */
+    std::int32_t shard_margin = 0;
 };
 
 } // namespace permuq::core

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+
+#include "common/error.h"
 
 namespace permuq::graph {
 
@@ -90,9 +93,18 @@ connected_components(const Graph& g, bool skip_isolated)
 Components
 edge_subset_components(std::int32_t n, const std::vector<VertexPair>& edges)
 {
+    fatal_unless(n >= 0, "edge_subset_components: negative vertex count");
     DisjointSet dsu(n);
     std::vector<bool> touched(static_cast<std::size_t>(n), false);
     for (const auto& e : edges) {
+        // Build the message only on failure; this loop runs once per
+        // problem edge per prediction snapshot.
+        if (e.a < 0 || e.b >= n)
+            throw FatalError("edge_subset_components: edge (" +
+                             std::to_string(e.a) + "," +
+                             std::to_string(e.b) +
+                             ") outside vertex range [0," +
+                             std::to_string(n) + ")");
         dsu.unite(e.a, e.b);
         touched[static_cast<std::size_t>(e.a)] = true;
         touched[static_cast<std::size_t>(e.b)] = true;

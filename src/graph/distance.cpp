@@ -1,5 +1,6 @@
 #include "distance.h"
 
+#include <algorithm>
 #include <deque>
 #include <string>
 
@@ -61,6 +62,66 @@ DistanceMatrix::diameter() const
         if (table_[i] != kRawUnreachable)
             best = std::max(best, static_cast<std::int32_t>(table_[i]));
     return best;
+}
+
+FlatAdjacency::FlatAdjacency(const Graph& g)
+{
+    const std::int32_t n = g.num_vertices();
+    offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    neighbors_.reserve(static_cast<std::size_t>(g.num_edges()) * 2);
+    for (std::int32_t v = 0; v < n; ++v) {
+        for (std::int32_t w : g.neighbors(v))
+            neighbors_.push_back(w);
+        offsets_[static_cast<std::size_t>(v) + 1] =
+            static_cast<std::int32_t>(neighbors_.size());
+    }
+}
+
+BfsOracle::BfsOracle(const FlatAdjacency& adj)
+    : adj_(&adj),
+      dist_(static_cast<std::size_t>(adj.num_vertices()), kUnreachable)
+{
+    queue_.reserve(dist_.size());
+}
+
+void
+BfsOracle::run(std::int32_t source, std::int32_t target)
+{
+    fatal_unless(source >= 0 && source < adj_->num_vertices(),
+                 "BFS source out of range");
+    std::fill(dist_.begin(), dist_.end(), kUnreachable);
+    queue_.clear();
+    dist_[static_cast<std::size_t>(source)] = 0;
+    queue_.push_back(source);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+        std::int32_t v = queue_[head];
+        if (v == target)
+            return;
+        std::int32_t next = dist_[static_cast<std::size_t>(v)] + 1;
+        for (const std::int32_t* w = adj_->neighbors_begin(v);
+             w != adj_->neighbors_end(v); ++w) {
+            if (dist_[static_cast<std::size_t>(*w)] == kUnreachable) {
+                dist_[static_cast<std::size_t>(*w)] = next;
+                queue_.push_back(*w);
+            }
+        }
+    }
+}
+
+std::int32_t
+BfsOracle::distance(std::int32_t source, std::int32_t target)
+{
+    fatal_unless(target >= 0 && target < adj_->num_vertices(),
+                 "BFS target out of range");
+    run(source, target);
+    return dist_[static_cast<std::size_t>(target)];
+}
+
+const std::vector<std::int32_t>&
+BfsOracle::distances_from(std::int32_t source)
+{
+    run(source, /*target=*/-1);
+    return dist_;
 }
 
 } // namespace permuq::graph

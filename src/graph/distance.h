@@ -77,6 +77,97 @@ class DistanceMatrix
     std::vector<std::uint16_t> table_;
 };
 
+/**
+ * Int32-indexed CSR adjacency: the whole graph flattened into two
+ * arrays (offsets + neighbor ids), with neighbors of each vertex in
+ * ascending order. A 100k-qubit fabric is ~200k edges = ~1.6 MB here,
+ * versus ~20 GB for a dense DistanceMatrix — this is the adjacency
+ * representation every fabric-scale path must use.
+ */
+class FlatAdjacency
+{
+  public:
+    FlatAdjacency() = default;
+
+    /** Flatten @p g (neighbors already sorted by Graph's invariant). */
+    explicit FlatAdjacency(const Graph& g);
+
+    std::int32_t
+    num_vertices() const
+    {
+        return static_cast<std::int32_t>(offsets_.size()) - 1;
+    }
+
+    /** Degree of @p v. */
+    std::int32_t
+    degree(std::int32_t v) const
+    {
+        return offsets_[static_cast<std::size_t>(v) + 1] -
+               offsets_[static_cast<std::size_t>(v)];
+    }
+
+    /** Pointer to the first neighbor of @p v (ascending order). */
+    const std::int32_t*
+    neighbors_begin(std::int32_t v) const
+    {
+        return neighbors_.data() + offsets_[static_cast<std::size_t>(v)];
+    }
+
+    const std::int32_t*
+    neighbors_end(std::int32_t v) const
+    {
+        return neighbors_.data() +
+               offsets_[static_cast<std::size_t>(v) + 1];
+    }
+
+    /** Exact heap bytes held by the two flat arrays. */
+    std::size_t
+    memory_bytes() const
+    {
+        return offsets_.capacity() * sizeof(std::int32_t) +
+               neighbors_.capacity() * sizeof(std::int32_t);
+    }
+
+  private:
+    std::vector<std::int32_t> offsets_{0};
+    std::vector<std::int32_t> neighbors_;
+};
+
+/**
+ * On-demand single-source BFS distances over a FlatAdjacency, with an
+ * early exit once a target is settled. Memory is O(n) scratch reused
+ * across queries (never a dense n^2 table), so it scales to 100k-qubit
+ * fabrics. Not thread-safe: each thread owns its own oracle.
+ */
+class BfsOracle
+{
+  public:
+    /** @p adj must outlive the oracle. */
+    explicit BfsOracle(const FlatAdjacency& adj);
+
+    /**
+     * Distance from @p source to @p target; kUnreachable when
+     * disconnected. The BFS stops as soon as @p target is settled.
+     */
+    std::int32_t distance(std::int32_t source, std::int32_t target);
+
+    /**
+     * Full distance row from @p source (entry per vertex,
+     * kUnreachable for disconnected ones). The returned reference is
+     * the internal scratch row — valid until the next query.
+     */
+    const std::vector<std::int32_t>& distances_from(std::int32_t source);
+
+  private:
+    /** BFS from @p source; stops early when @p target (>= 0) settles. */
+    void run(std::int32_t source, std::int32_t target);
+
+    const FlatAdjacency* adj_;
+    /** Scratch distance row; stamp_ marks entries valid this query. */
+    std::vector<std::int32_t> dist_;
+    std::vector<std::int32_t> queue_;
+};
+
 } // namespace permuq::graph
 
 #endif // PERMUQ_GRAPH_DISTANCE_H

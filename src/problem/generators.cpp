@@ -170,4 +170,39 @@ clique(std::int32_t n)
     return graph::Graph::clique(n);
 }
 
+graph::Graph
+fabric_local_graph(std::int32_t rows, std::int32_t cols, double density,
+                   std::int32_t reach, std::uint64_t seed)
+{
+    fatal_unless(rows >= 1 && cols >= 1,
+                 "fabric needs positive dimensions");
+    fatal_unless(density >= 0.0 && density <= 1.0,
+                 "density must lie in [0, 1]");
+    fatal_unless(reach >= 1, "reach must be positive");
+    const std::int32_t n = rows * cols;
+    graph::Graph g(n);
+    Xoshiro256 rng(seed);
+    auto id = [cols](std::int32_t r, std::int32_t c) {
+        return r * cols + c;
+    };
+    // Candidate pairs in ascending (vertex, partner) order, each drawn
+    // once: the graph is a pure function of the parameters.
+    for (std::int32_t r = 0; r < rows; ++r) {
+        for (std::int32_t c = 0; c < cols; ++c) {
+            const std::int32_t v = id(r, c);
+            for (std::int32_t r2 = r; r2 <= std::min(rows - 1, r + reach);
+                 ++r2) {
+                const std::int32_t c_lo =
+                    r2 == r ? c + 1 : std::max(0, c - reach);
+                for (std::int32_t c2 = c_lo;
+                     c2 <= std::min(cols - 1, c + reach); ++c2) {
+                    if (rng.next_double() < density)
+                        g.add_edge(v, id(r2, c2));
+                }
+            }
+        }
+    }
+    return g;
+}
+
 } // namespace permuq::problem

@@ -42,6 +42,19 @@ graph::Graph regular_graph_with_density(std::int32_t n, double density,
 /** Complete graph (the special case solved by the ATA patterns). */
 graph::Graph clique(std::int32_t n);
 
+/**
+ * Locality-structured random problem for fabric-scale benchmarks:
+ * vertices live on a rows x cols grid (row-major ids) and each vertex
+ * pair within Chebyshev distance @p reach is an edge with probability
+ * @p density. Models the bounded-range interactions of hardware-aware
+ * ansatz/lattice workloads; unlike Erdős–Rényi (whose edge count grows
+ * with n^2 at fixed density), edges grow linearly in n, which is the
+ * regime where region sharding applies.
+ */
+graph::Graph fabric_local_graph(std::int32_t rows, std::int32_t cols,
+                                double density, std::int32_t reach,
+                                std::uint64_t seed);
+
 } // namespace permuq::problem
 
 #endif // PERMUQ_PROBLEM_GENERATORS_H

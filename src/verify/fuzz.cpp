@@ -93,6 +93,8 @@ compile_circuit(const arch::CouplingGraph& device,
         opts.smart_placement = config.smart_placement;
         opts.num_placement_trials = config.placement_trials;
         opts.placement_seed = config.compiler_seed;
+        opts.shard_regions = config.shard_regions;
+        opts.shard_margin = config.shard_margin;
         return core::compile(device, problem, opts).circuit;
     }
     if (name == "greedy")
@@ -426,6 +428,20 @@ random_config(std::uint64_t seed, std::int64_t index,
     static const std::int32_t trial_counts[] = {1, 2, 4};
     config.placement_trials = trial_counts[rng.next_below(3)];
     config.compiler_seed = rng();
+    // Sharded compilation only applies to "ours" on bandable fabrics;
+    // eligible configs are rare (~5% of the stream), so draw sharding
+    // for half of them to keep the stitcher under steady differential
+    // coverage.
+    const bool bandable = config.arch == "line" ||
+                          config.arch == "grid" ||
+                          config.arch == "sycamore";
+    if (config.compiler == "ours" && bandable &&
+        rng.next_double() < 0.5) {
+        static const std::int32_t region_counts[] = {2, 3, 4};
+        config.shard_regions = region_counts[rng.next_below(3)];
+        config.shard_margin =
+            rng.next_double() < 0.5 ? 0 : 1;
+    }
     config.full_qaoa_qasm = rng.next_double() < 0.5;
     config.check_optimal = config.num_vertices <= 6 &&
                            config.edges.size() <= 9 &&
@@ -509,6 +525,14 @@ shrink_config(const FuzzConfig& config, const CheckResult& original,
             simplify([&](FuzzConfig& c) {
                 c.snapshot_fraction = defaults.snapshot_fraction;
             });
+        if (best.shard_regions != defaults.shard_regions)
+            simplify([&](FuzzConfig& c) {
+                c.shard_regions = defaults.shard_regions;
+            });
+        if (best.shard_margin != defaults.shard_margin)
+            simplify([&](FuzzConfig& c) {
+                c.shard_margin = defaults.shard_margin;
+            });
         if (best.alpha != defaults.alpha)
             simplify([&](FuzzConfig& c) { c.alpha = defaults.alpha; });
         if (!best.smart_placement)
@@ -546,6 +570,8 @@ serialize_reproducer(const FuzzConfig& config, const CheckResult& result)
         << "\n"
         << "placement_trials " << config.placement_trials << "\n"
         << "compiler_seed " << config.compiler_seed << "\n"
+        << "shard_regions " << config.shard_regions << "\n"
+        << "shard_margin " << config.shard_margin << "\n"
         << "full_qaoa_qasm " << static_cast<int>(config.full_qaoa_qasm)
         << "\n"
         << "check_optimal " << static_cast<int>(config.check_optimal)
@@ -622,6 +648,10 @@ parse_reproducer(std::istream& in, FuzzConfig& out, std::string* error)
             parsed = take(config.placement_trials);
         } else if (key == "compiler_seed") {
             parsed = take(config.compiler_seed);
+        } else if (key == "shard_regions") {
+            parsed = take(config.shard_regions);
+        } else if (key == "shard_margin") {
+            parsed = take(config.shard_margin);
         } else if (key == "full_qaoa_qasm") {
             parsed = take(config.full_qaoa_qasm);
         } else if (key == "check_optimal") {

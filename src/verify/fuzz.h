@@ -50,6 +50,12 @@ struct FuzzConfig
     std::int32_t placement_trials = 1;
     /** Placement seed for "ours", annealing seed for "2qan". */
     std::uint64_t compiler_seed = 1;
+    /** Region-sharded compilation ("ours" on line/grid/sycamore only;
+     *  0 disables). Exercised so Tier A/B differential checks and
+     *  shrinking cover the sharded path and its boundary stitcher. */
+    std::int32_t shard_regions = 0;
+    /** Minimum extra band height (boundary width) under sharding. */
+    std::int32_t shard_margin = 0;
     /** @} */
 
     /** Also lint the full-QAOA QASM surround (H / RX / measure). */

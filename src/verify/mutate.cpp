@@ -39,7 +39,7 @@ namespace {
  *  to (op.p, @p redirect_to). Indices are -1 when unused. */
 circuit::Circuit
 rebuild(const circuit::Mapping& initial,
-        const std::vector<circuit::ScheduledOp>& ops, std::int64_t drop,
+        const circuit::OpArena& ops, std::int64_t drop,
         std::int64_t dup, std::int64_t redirect,
         PhysicalQubit redirect_to)
 {
@@ -63,7 +63,7 @@ rebuild(const circuit::Mapping& initial,
 
 /** Indices of ops of @p kind, in append order. */
 std::vector<std::int64_t>
-indices_of(const std::vector<circuit::ScheduledOp>& ops,
+indices_of(const circuit::OpArena& ops,
            circuit::OpKind kind)
 {
     std::vector<std::int64_t> out;

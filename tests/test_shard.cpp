@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Region-sharded hierarchical compilation: band planning on the
+ * regular architectures (including the Sycamore parity clamp and the
+ * degenerate-device edge cases), semantic correctness of sharded
+ * output under the Tier B symbolic checker, determinism across thread
+ * counts and across repeated runs, the fallback contract on
+ * unshardable devices, streaming QASM emission agreeing with the
+ * materialized circuit, and the arena/BFS building blocks underneath.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "circuit/metrics.h"
+#include "circuit/op_arena.h"
+#include "circuit/qasm.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "core/compiler.h"
+#include "core/shard.h"
+#include "graph/components.h"
+#include "graph/distance.h"
+#include "problem/generators.h"
+#include "verify/equivalence.h"
+
+namespace permuq {
+namespace {
+
+std::uint64_t
+circuit_hash(const circuit::Circuit& c)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    for (const auto& op : c.ops()) {
+        mix(static_cast<std::uint64_t>(op.kind));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.p)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.q)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.a)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.b)));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(op.cycle)));
+    }
+    mix(static_cast<std::uint64_t>(c.depth()));
+    return h;
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(ShardPlan, GridBandsAreContiguousAndCoverTheDevice)
+{
+    auto device = arch::make_grid(8, 8);
+    auto plan = core::plan_shards(device, 4, 0);
+    ASSERT_TRUE(plan.shardable);
+    ASSERT_EQ(plan.regions.size(), 4u);
+    std::int32_t next = 0;
+    for (const auto& region : plan.regions) {
+        EXPECT_EQ(region.first_qubit, next);
+        EXPECT_EQ(region.num_qubits, region.num_units * 8);
+        next += region.num_qubits;
+    }
+    EXPECT_EQ(next, device.num_qubits());
+}
+
+TEST(ShardPlan, SycamoreBandsStartOnEvenRows)
+{
+    auto device = arch::make_sycamore(10, 6);
+    auto plan = core::plan_shards(device, 3, 0);
+    ASSERT_TRUE(plan.shardable);
+    ASSERT_GE(plan.regions.size(), 2u);
+    for (const auto& region : plan.regions)
+        EXPECT_EQ(region.first_unit % 2, 0) << "zig-zag parity clamp";
+}
+
+TEST(ShardPlan, LineBandsByQubitRange)
+{
+    auto device = arch::make_line(20);
+    auto plan = core::plan_shards(device, 4, 0);
+    ASSERT_TRUE(plan.shardable);
+    EXPECT_EQ(plan.regions.size(), 4u);
+    EXPECT_EQ(plan.regions[0].num_qubits, 5);
+}
+
+TEST(ShardPlan, MarginRaisesMinimumBandHeight)
+{
+    auto device = arch::make_grid(8, 4);
+    // Margin 3 => bands of >= 4 rows => at most 2 regions.
+    auto plan = core::plan_shards(device, 8, 3);
+    ASSERT_TRUE(plan.shardable);
+    EXPECT_EQ(plan.regions.size(), 2u);
+    for (const auto& region : plan.regions)
+        EXPECT_GE(region.num_units, 4);
+}
+
+TEST(ShardPlan, UnshardableDevicesAndDegenerateCounts)
+{
+    // Irregular and bridge-qubit architectures never band.
+    EXPECT_FALSE(core::plan_shards(arch::make_heavy_hex(3, 7), 2, 0)
+                     .shardable);
+    // A single row cannot make two bands.
+    EXPECT_FALSE(core::plan_shards(arch::make_grid(1, 16), 4, 0)
+                     .shardable);
+    // A single-qubit device cannot shard at all.
+    EXPECT_FALSE(core::plan_shards(arch::make_line(1), 2, 0).shardable);
+    // Region count below two means "off".
+    EXPECT_FALSE(core::plan_shards(arch::make_grid(8, 8), 1, 0)
+                     .shardable);
+}
+
+TEST(ShardPlan, BandDevicesAreExactSubfabrics)
+{
+    auto device = arch::make_sycamore(8, 5);
+    auto plan = core::plan_shards(device, 4, 0);
+    ASSERT_TRUE(plan.shardable);
+    for (const auto& region : plan.regions) {
+        auto band = core::make_band_device(device, region);
+        ASSERT_EQ(band.num_qubits(), region.num_qubits);
+        // Every band coupler must be a device coupler under the
+        // offset translation (exact sub-device, not an approximation).
+        for (const auto& link : band.connectivity().edges()) {
+            EXPECT_TRUE(device.connectivity().has_edge(
+                link.a + region.first_qubit,
+                link.b + region.first_qubit))
+                << "band coupler " << link.a << "-" << link.b
+                << " missing at offset " << region.first_qubit;
+        }
+    }
+}
+
+// ------------------------------------------------------- compile + verify
+
+TEST(ShardCompile, SymbolicallyCorrectOnGrid)
+{
+    auto device = arch::make_grid(8, 8);
+    auto problem = problem::fabric_local_graph(8, 8, 0.5, 2, 7);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+    auto result = core::compile(device, problem, options);
+    EXPECT_EQ(result.selected, "sharded");
+    auto report = verify::check_symbolic(device, problem, result.circuit);
+    EXPECT_TRUE(report.ok) << report.summary();
+    circuit::expect_valid(result.circuit, device, problem);
+}
+
+TEST(ShardCompile, SymbolicallyCorrectOnSycamoreAndLine)
+{
+    {
+        auto device = arch::make_sycamore(8, 4);
+        auto problem = problem::fabric_local_graph(8, 4, 0.6, 2, 11);
+        core::CompilerOptions options;
+        options.shard_regions = 3;
+        auto result = core::compile(device, problem, options);
+        EXPECT_EQ(result.selected, "sharded");
+        auto report =
+            verify::check_symbolic(device, problem, result.circuit);
+        EXPECT_TRUE(report.ok) << report.summary();
+    }
+    {
+        auto device = arch::make_line(24);
+        auto problem = problem::fabric_local_graph(1, 24, 0.5, 3, 13);
+        core::CompilerOptions options;
+        options.shard_regions = 3;
+        auto result = core::compile(device, problem, options);
+        EXPECT_EQ(result.selected, "sharded");
+        auto report =
+            verify::check_symbolic(device, problem, result.circuit);
+        EXPECT_TRUE(report.ok) << report.summary();
+    }
+}
+
+TEST(ShardCompile, ProblemSmallerThanDeviceLeavesEmptyBands)
+{
+    auto device = arch::make_grid(8, 4);
+    // Only 6 program qubits: bands 2..3 own no logicals at all.
+    auto problem = problem::fabric_local_graph(2, 3, 0.9, 2, 3);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+    auto result = core::compile(device, problem, options);
+    EXPECT_EQ(result.selected, "sharded");
+    auto report = verify::check_symbolic(device, problem, result.circuit);
+    EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(ShardCompile, DisconnectedProblemStitches)
+{
+    auto device = arch::make_grid(6, 4);
+    // Two far-apart cliques plus isolated vertices in between.
+    graph::Graph problem(24);
+    problem.add_edge(0, 1);
+    problem.add_edge(1, 2);
+    problem.add_edge(0, 2);
+    problem.add_edge(21, 22);
+    problem.add_edge(22, 23);
+    // One long-range cross-band edge forces a multi-hop stitch route.
+    problem.add_edge(2, 21);
+    core::CompilerOptions options;
+    options.shard_regions = 3;
+    auto result = core::compile(device, problem, options);
+    auto report = verify::check_symbolic(device, problem, result.circuit);
+    EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(ShardCompile, FallsBackOnUnshardableDevice)
+{
+    auto device = arch::make_heavy_hex(3, 7);
+    auto problem = problem::random_graph(12, 0.3, 5);
+    core::CompilerOptions sharded;
+    sharded.shard_regions = 4;
+    core::CompilerOptions off;
+    auto a = core::compile(device, problem, sharded);
+    auto b = core::compile(device, problem, off);
+    EXPECT_EQ(circuit_hash(a.circuit), circuit_hash(b.circuit));
+    EXPECT_NE(a.selected, "sharded");
+}
+
+TEST(ShardCompile, DeterministicAcrossThreadCountsAndReruns)
+{
+    auto device = arch::make_grid(8, 6);
+    auto problem = problem::fabric_local_graph(8, 6, 0.5, 2, 3);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+    options.num_placement_trials = 3;
+
+    const int saved = common::num_threads();
+    common::set_num_threads(1);
+    auto serial = core::compile(device, problem, options);
+    common::set_num_threads(4);
+    auto parallel = core::compile(device, problem, options);
+    auto parallel2 = core::compile(device, problem, options);
+    common::set_num_threads(saved);
+
+    EXPECT_EQ(circuit_hash(serial.circuit), circuit_hash(parallel.circuit));
+    EXPECT_EQ(circuit_hash(parallel.circuit),
+              circuit_hash(parallel2.circuit));
+}
+
+TEST(ShardCompile, MetricsMatchAssembledCircuit)
+{
+    auto device = arch::make_grid(6, 6);
+    auto problem = problem::fabric_local_graph(6, 6, 0.4, 2, 17);
+    core::CompilerOptions options;
+    options.shard_regions = 3;
+    auto result = core::compile(device, problem, options);
+    auto recomputed = circuit::compute_metrics(result.circuit, nullptr);
+    EXPECT_EQ(result.metrics.depth, recomputed.depth);
+    EXPECT_EQ(result.metrics.compute_gates, recomputed.compute_gates);
+    EXPECT_EQ(result.metrics.swap_gates, recomputed.swap_gates);
+    EXPECT_EQ(result.metrics.cx_count, recomputed.cx_count);
+}
+
+// ----------------------------------------------------------- streaming
+
+TEST(ShardStream, ByteIdenticalToMaterializedLowering)
+{
+    auto device = arch::make_grid(8, 4);
+    auto problem = problem::fabric_local_graph(8, 4, 0.5, 2, 29);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+
+    // Merging is chunk-local, so compare unmerged lowering, where the
+    // materialized circuit's single-chunk emission must match the
+    // streamed chunks byte for byte.
+    circuit::QasmOptions qasm;
+    qasm.merge_pairs = false;
+
+    std::ostringstream streamed;
+    circuit::QasmStreamWriter writer(streamed, qasm);
+    auto stream_result =
+        core::shard_compile_stream(device, problem, options, writer);
+
+    auto materialized = core::compile(device, problem, options);
+    EXPECT_EQ(streamed.str(), circuit::to_qasm(materialized.circuit, qasm));
+
+    EXPECT_EQ(stream_result.total_ops,
+              static_cast<std::int64_t>(materialized.circuit.ops().size()));
+    EXPECT_EQ(stream_result.metrics.depth, materialized.metrics.depth);
+    EXPECT_EQ(stream_result.metrics.cx_count,
+              circuit::compute_metrics(materialized.circuit, nullptr)
+                  .cx_count);
+    EXPECT_GT(stream_result.peak_circuit_bytes, 0u);
+    // Streaming keeps at most one band + stitch tail alive.
+    EXPECT_LT(stream_result.peak_circuit_bytes,
+              materialized.circuit.memory_bytes() +
+                  circuit::OpArena::kChunkOps * sizeof(circuit::ScheduledOp));
+}
+
+TEST(ShardStream, MergedLoweringIsChunkCanonical)
+{
+    auto device = arch::make_grid(6, 4);
+    auto problem = problem::fabric_local_graph(6, 4, 0.6, 2, 31);
+    core::CompilerOptions options;
+    options.shard_regions = 3;
+    std::ostringstream streamed;
+    circuit::QasmStreamWriter writer(streamed, {});
+    auto result =
+        core::shard_compile_stream(device, problem, options, writer);
+    // Header + at least one gate per problem edge.
+    EXPECT_NE(streamed.str().find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_GE(result.metrics.compute_gates, problem.num_edges());
+    EXPECT_EQ(result.regions, 3);
+}
+
+TEST(ShardStream, RejectsFullQaoaHeaders)
+{
+    auto device = arch::make_grid(4, 4);
+    auto problem = problem::fabric_local_graph(4, 4, 0.5, 2, 37);
+    core::CompilerOptions options;
+    options.shard_regions = 2;
+    circuit::QasmOptions qasm;
+    qasm.full_qaoa = true;
+    std::ostringstream out;
+    circuit::QasmStreamWriter writer(out, qasm);
+    EXPECT_THROW(
+        core::shard_compile_stream(device, problem, options, writer),
+        FatalError);
+}
+
+// ------------------------------------------------------ building blocks
+
+TEST(BfsOracle, MatchesDenseDistanceMatrix)
+{
+    auto device = arch::make_sycamore(5, 4);
+    const auto& g = device.connectivity();
+    graph::DistanceMatrix dense(g);
+    graph::FlatAdjacency adjacency(g);
+    graph::BfsOracle oracle(adjacency);
+    for (std::int32_t u = 0; u < g.num_vertices(); ++u) {
+        const auto& row = oracle.distances_from(u);
+        for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+            EXPECT_EQ(row[static_cast<std::size_t>(v)], dense.at(u, v));
+    }
+    // Early-exit point queries agree too.
+    EXPECT_EQ(oracle.distance(0, g.num_vertices() - 1),
+              dense.at(0, g.num_vertices() - 1));
+    EXPECT_EQ(oracle.distance(3, 3), 0);
+}
+
+TEST(BfsOracle, DisconnectedVerticesAreUnreachable)
+{
+    graph::Graph g(4);
+    g.add_edge(0, 1);
+    graph::FlatAdjacency adjacency(g);
+    graph::BfsOracle oracle(adjacency);
+    EXPECT_EQ(oracle.distance(0, 3), kUnreachable);
+    EXPECT_EQ(oracle.distance(0, 1), 1);
+}
+
+TEST(OpArena, PushIndexIterateAndCopy)
+{
+    circuit::OpArena arena;
+    EXPECT_TRUE(arena.empty());
+    const std::size_t count = circuit::OpArena::kChunkOps * 2 + 17;
+    for (std::size_t i = 0; i < count; ++i) {
+        circuit::ScheduledOp op;
+        op.kind = circuit::OpKind::Compute;
+        op.p = static_cast<PhysicalQubit>(i % 97);
+        op.q = static_cast<PhysicalQubit>(i % 89 + 100);
+        op.cycle = static_cast<Cycle>(i);
+        arena.push_back(op);
+    }
+    EXPECT_EQ(arena.size(), count);
+    EXPECT_EQ(arena[0].cycle, 0);
+    EXPECT_EQ(arena.back().cycle, static_cast<Cycle>(count - 1));
+    std::size_t seen = 0;
+    for (const auto& op : arena) {
+        EXPECT_EQ(op.cycle, static_cast<Cycle>(seen));
+        ++seen;
+    }
+    EXPECT_EQ(seen, count);
+    // Copies are deep and element-exact.
+    circuit::OpArena copy = arena;
+    EXPECT_EQ(copy.size(), arena.size());
+    EXPECT_EQ(copy[circuit::OpArena::kChunkOps].cycle,
+              arena[circuit::OpArena::kChunkOps].cycle);
+    EXPECT_GE(arena.memory_bytes(),
+              count * sizeof(circuit::ScheduledOp));
+}
+
+TEST(OpArena, ReferencesStableAcrossGrowth)
+{
+    circuit::OpArena arena;
+    circuit::ScheduledOp op;
+    op.cycle = 42;
+    const circuit::ScheduledOp& first = arena.push_back(op);
+    for (std::size_t i = 0; i < circuit::OpArena::kChunkOps * 3; ++i)
+        arena.push_back(op);
+    EXPECT_EQ(first.cycle, 42) << "push_back must never relocate ops";
+}
+
+TEST(Components, OutOfRangeEdgesAreRejected)
+{
+    std::vector<VertexPair> edges{VertexPair(0, 5)};
+    EXPECT_THROW(graph::edge_subset_components(3, edges), FatalError);
+    EXPECT_THROW(graph::edge_subset_components(-1, {}), FatalError);
+}
+
+TEST(Components, EmptyAndIsolatedInputs)
+{
+    auto none = graph::edge_subset_components(0, {});
+    EXPECT_TRUE(none.members.empty());
+    auto isolated = graph::edge_subset_components(4, {});
+    EXPECT_TRUE(isolated.members.empty());
+    EXPECT_EQ(isolated.component_of,
+              (std::vector<std::int32_t>{-1, -1, -1, -1}));
+    graph::Graph g(1);
+    auto single = graph::connected_components(g, /*skip_isolated=*/false);
+    ASSERT_EQ(single.members.size(), 1u);
+    EXPECT_EQ(single.members[0], (std::vector<std::int32_t>{0}));
+}
+
+TEST(CircuitMemory, MemoryBytesTracksArena)
+{
+    circuit::Circuit circ(circuit::Mapping(4, 4));
+    const std::size_t before = circ.memory_bytes();
+    circ.add_compute(0, 1);
+    circ.add_swap(1, 2);
+    EXPECT_GT(circ.memory_bytes(), before);
+    EXPECT_GE(circ.memory_bytes(), circ.ops().memory_bytes());
+}
+
+} // namespace
+} // namespace permuq

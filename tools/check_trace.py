@@ -13,11 +13,14 @@ PERMUQ_TRACE) and optionally a metrics JSON (`permuqc --metrics`):
     exists (substring match, so `--require-span placement` accepts
     `placement.connectivity`);
   * with --require-counter NAME, the metrics JSON has a counter whose
-    name contains NAME with a nonzero value.
+    name contains NAME with a nonzero value;
+  * with --require-histogram NAME, the metrics JSON has a histogram
+    whose name contains NAME with a nonzero sample count.
 
 Usage:
   tools/check_trace.py trace.json [--metrics metrics.json]
       [--require-span NAME ...] [--require-counter NAME ...]
+      [--require-histogram NAME ...]
 
 Exits 0 when every check passes, 1 otherwise.
 """
@@ -77,7 +80,7 @@ def check_trace(path, require_spans):
     return 0
 
 
-def check_metrics(path, require_counters):
+def check_metrics(path, require_counters, require_histograms):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -98,6 +101,17 @@ def check_metrics(path, require_counters):
             )
         if all(v == 0 for v in hits.values()):
             return fail(f"{path}: counters {sorted(hits)} are all zero")
+
+    histograms = doc["histograms"]
+    for want in require_histograms:
+        hits = {k: v for k, v in histograms.items() if want in k}
+        if not hits:
+            return fail(
+                f"{path}: no histogram matching '{want}' "
+                f"(have: {sorted(histograms)})"
+            )
+        if all(v.get("count", 0) == 0 for v in hits.values()):
+            return fail(f"{path}: histograms {sorted(hits)} are empty")
 
     print(
         f"check_trace: {path}: {len(counters)} counter(s), "
@@ -126,13 +140,23 @@ def main():
         help="require a nonzero counter whose name contains NAME "
         "(needs --metrics)",
     )
+    parser.add_argument(
+        "--require-histogram",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require a non-empty histogram whose name contains NAME "
+        "(needs --metrics)",
+    )
     args = parser.parse_args()
 
     status = check_trace(args.trace, args.require_span)
     if args.metrics:
-        status |= check_metrics(args.metrics, args.require_counter)
-    elif args.require_counter:
-        return fail("--require-counter needs --metrics")
+        status |= check_metrics(
+            args.metrics, args.require_counter, args.require_histogram
+        )
+    elif args.require_counter or args.require_histogram:
+        return fail("--require-counter/--require-histogram need --metrics")
     return status
 
 

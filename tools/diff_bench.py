@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Diff a freshly produced bench JSON against a committed baseline.
+
+Timings are machine-dependent, so the diff checks what must NOT drift
+between runs:
+
+  * the two files share the same schema (same key sets, recursively on
+    the structure: top-level keys, per-row keys inside list sections);
+  * every correctness flag in the candidate is true (bit_identical /
+    thread_identical / samplers_agree and friends -- boolean keys whose
+    name contains "identical" or "agree"; mode flags like "smoke" are
+    ignored);
+  * structural fields in rows matched across files agree exactly:
+    BENCH_compile.json "cases" rows are matched on (arch, requested_n)
+    and compared on qubits/edges; "fabric" rows are matched on qubits
+    and compared on edges/regions. Rows present in only one file (the
+    committed baseline is a full run, CI produces --smoke) are skipped.
+
+Timing fields are reported for context but never fail the diff.
+
+Usage:
+  tools/diff_bench.py BASELINE CANDIDATE
+
+Exits 0 when the candidate is consistent with the baseline,
+1 otherwise.
+"""
+
+import json
+import sys
+
+# List sections with (match-key fields, structural fields to compare).
+ROW_SECTIONS = {
+    "cases": (("arch", "requested_n"), ("qubits", "edges")),
+    "fabric": (("qubits",), ("edges", "regions")),
+}
+
+
+def fail(message):
+    print(f"diff_bench: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def schema_keys(doc):
+    keys = set(doc)
+    for section, rows in doc.items():
+        if isinstance(rows, list):
+            for row in rows:
+                if isinstance(row, dict):
+                    keys.update(f"{section}[].{k}" for k in row)
+        elif isinstance(rows, dict):
+            keys.update(f"{section}.{k}" for k in rows)
+    return keys
+
+
+def boolean_flags(doc, prefix=""):
+    """Flatten every boolean field to a dotted path -> value map."""
+    flags = {}
+    if isinstance(doc, bool):
+        flags[prefix] = doc
+    elif isinstance(doc, dict):
+        for k, v in doc.items():
+            flags.update(boolean_flags(v, f"{prefix}.{k}" if prefix else k))
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            flags.update(boolean_flags(v, f"{prefix}[{i}]"))
+    return flags
+
+
+def diff(baseline_path, candidate_path):
+    try:
+        baseline = load(baseline_path)
+        candidate = load(candidate_path)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"not readable JSON: {e}")
+
+    status = 0
+
+    base_keys = schema_keys(baseline)
+    cand_keys = schema_keys(candidate)
+    # A section may legitimately be null on one side (e.g. stream_100k
+    # is only produced by full runs); ignore its nested keys.
+    for doc in (baseline, candidate):
+        for key, value in doc.items():
+            if value is None:
+                base_keys = {
+                    k
+                    for k in base_keys
+                    if not k.startswith(f"{key}.")
+                    and not k.startswith(f"{key}[]")
+                }
+                cand_keys = {
+                    k
+                    for k in cand_keys
+                    if not k.startswith(f"{key}.")
+                    and not k.startswith(f"{key}[]")
+                }
+    if base_keys != cand_keys:
+        only_base = sorted(base_keys - cand_keys)
+        only_cand = sorted(cand_keys - base_keys)
+        status |= fail(
+            f"schema drift: baseline-only keys {only_base}, "
+            f"candidate-only keys {only_cand}"
+        )
+
+    for path, value in boolean_flags(candidate).items():
+        if value is False and ("identical" in path or "agree" in path):
+            status |= fail(f"correctness flag {path} is false")
+
+    for section, (match_on, compare) in ROW_SECTIONS.items():
+        base_rows = baseline.get(section) or []
+        cand_rows = candidate.get(section) or []
+        if not isinstance(base_rows, list) or not isinstance(cand_rows, list):
+            continue
+        index = {
+            tuple(row.get(k) for k in match_on): row for row in base_rows
+        }
+        matched = 0
+        for row in cand_rows:
+            key = tuple(row.get(k) for k in match_on)
+            base_row = index.get(key)
+            if base_row is None:
+                continue  # baseline is a full run, candidate may be smoke
+            matched += 1
+            for field in compare:
+                if row.get(field) != base_row.get(field):
+                    status |= fail(
+                        f"{section} row {key}: {field} = "
+                        f"{row.get(field)!r}, baseline has "
+                        f"{base_row.get(field)!r}"
+                    )
+        print(
+            f"diff_bench: {section}: {matched}/{len(cand_rows)} "
+            f"candidate row(s) matched against the baseline"
+        )
+
+    if status == 0:
+        print(f"diff_bench: {candidate_path} consistent with {baseline_path}")
+    return status
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return diff(sys.argv[1], sys.argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,14 @@
  */
 #include <cstdio>
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include <sys/resource.h>
 
 #include "arch/coupling_graph.h"
 #include "arch/noise_model.h"
@@ -58,8 +61,13 @@ struct Cli
     bool crosstalk = false;
     bool diagram = false;
     bool full_qaoa = false;
+    bool mem_stats = false;
     std::int32_t qaoa_layers = 0;
     std::int32_t qaoa_rounds = 60;
+    /** Region count for sharded compilation; 0 = off. Seeded from the
+     *  PERMUQ_SHARD env var, overridden by --shard. */
+    std::int32_t shard = 0;
+    std::int32_t shard_margin = 0;
 };
 
 /** Every flag permuqc understands, for the did-you-mean hint. */
@@ -68,6 +76,7 @@ constexpr const char* kKnownFlags[] = {
     "--input",     "--compiler", "--noise",   "--alpha",
     "--crosstalk", "--qasm",     "--full-qaoa", "--diagram",
     "--qaoa",      "--qaoa-rounds", "--trace", "--metrics",
+    "--shard",     "--shard-margin", "--mem-stats",
     "--log-level", "--version",  "--help",
 };
 
@@ -94,6 +103,12 @@ usage(std::FILE* out)
         "                  circuit (simulated; noisy when --noise is\n"
         "                  given, ideal otherwise; n <= 26)\n"
         "  --qaoa-rounds N objective-evaluation budget (default 60)\n"
+        "  --shard K       region-sharded compilation with ~K bands\n"
+        "                  (line/grid/sycamore; 0 = off; the\n"
+        "                  PERMUQ_SHARD env var sets the default)\n"
+        "  --shard-margin W  minimum extra band height in units\n"
+        "  --mem-stats     report peak RSS and the exact-byte circuit\n"
+        "                  memory breakdown after compiling\n"
         "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
         "                  (the PERMUQ_TRACE env var does the same)\n"
         "  --metrics FILE  write a metrics-snapshot JSON\n"
@@ -172,6 +187,8 @@ int
 main(int argc, char** argv)
 {
     Cli cli;
+    if (const char* env = std::getenv("PERMUQ_SHARD"))
+        cli.shard = std::atoi(env);
     for (int i = 1; i < argc; ++i) {
         auto is = [&](const char* flag) {
             return std::strcmp(argv[i], flag) == 0;
@@ -219,6 +236,12 @@ main(int argc, char** argv)
             cli.qaoa_rounds = std::atoi(value());
         else if (is("--diagram"))
             cli.diagram = true;
+        else if (is("--shard"))
+            cli.shard = std::atoi(value());
+        else if (is("--shard-margin"))
+            cli.shard_margin = std::atoi(value());
+        else if (is("--mem-stats"))
+            cli.mem_stats = true;
         else if (is("--trace"))
             cli.trace_out = value();
         else if (is("--metrics"))
@@ -297,6 +320,8 @@ main(int argc, char** argv)
             options.alpha = cli.alpha;
             options.crosstalk_aware = cli.crosstalk;
             options.noise = noise ? &*noise : nullptr;
+            options.shard_regions = cli.shard;
+            options.shard_margin = cli.shard_margin;
             auto result = core::compile(device, problem, options);
             circuit = std::move(result.circuit);
             seconds = result.compile_seconds;
@@ -339,11 +364,35 @@ main(int argc, char** argv)
         if (noise)
             std::printf("est. fidelity: %.4g\n", metrics.fidelity);
 
+        if (cli.mem_stats) {
+            struct rusage usage{};
+            getrusage(RUSAGE_SELF, &usage);
+            const std::size_t arena = circuit.ops().memory_bytes();
+            const std::size_t mappings =
+                circuit.initial_mapping().memory_bytes() +
+                circuit.final_mapping().memory_bytes();
+            const std::size_t total = circuit.memory_bytes();
+            std::printf("peak rss  : %lld KiB\n",
+                        static_cast<long long>(usage.ru_maxrss));
+            std::printf("circuit   : %zu bytes (%zu ops)\n", total,
+                        circuit.ops().size());
+            std::printf("  op arena: %zu bytes\n", arena);
+            std::printf("  mappings: %zu bytes\n", mappings);
+            std::printf("  schedule: %zu bytes\n",
+                        total - arena - mappings);
+        }
+
         if (!cli.qasm_out.empty()) {
             circuit::QasmOptions qasm;
             qasm.full_qaoa = cli.full_qaoa;
+            // Stream straight into the file: the program text is never
+            // materialized in memory (it dwarfs the circuit at fabric
+            // scale).
             std::ofstream out(cli.qasm_out);
-            out << circuit::to_qasm(circuit, qasm);
+            circuit::QasmStreamWriter writer(out, qasm);
+            writer.begin(circuit.initial_mapping());
+            writer.chunk(circuit);
+            writer.finish(circuit.final_mapping());
             std::printf("qasm      : wrote %s\n", cli.qasm_out.c_str());
         }
         if (cli.diagram)
