@@ -20,6 +20,8 @@ greedy_only(const arch::CouplingGraph& device, const graph::Graph& problem,
     core::CompilerOptions options;
     options.use_ata_prediction = false;
     options.noise = noise;
+    // A reference baseline must not shift under PERMUQ_TIER.
+    options.tier = core::CompileTier::Best;
     auto compiled = core::compile(device, problem, options);
     BaselineResult result;
     result.circuit = std::move(compiled.circuit);

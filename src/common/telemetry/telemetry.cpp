@@ -401,7 +401,14 @@ Registry::trace_json() const
                     os << ",";
                 os << "\"";
                 json_escape_into(os, ev.arg_keys[i]);
-                os << "\":" << ev.arg_values[i];
+                os << "\":";
+                if (ev.arg_strs[i] != nullptr) {
+                    os << "\"";
+                    json_escape_into(os, ev.arg_strs[i]);
+                    os << "\"";
+                } else {
+                    os << ev.arg_values[i];
+                }
             }
             os << "}";
         }

@@ -215,8 +215,11 @@ struct SpanEvent
     std::uint32_t tid = 0;   ///< telemetry thread id (1-based)
     std::uint16_t depth = 0; ///< nesting level on its thread
     std::uint8_t num_args = 0;
-    std::array<const char*, 2> arg_keys{};
-    std::array<std::int64_t, 2> arg_values{};
+    std::array<const char*, 3> arg_keys{};
+    std::array<std::int64_t, 3> arg_values{};
+    /** Non-null entry: the arg is the pointed-at string (static
+     *  storage), not arg_values[i]. */
+    std::array<const char*, 3> arg_strs{};
 };
 
 /**
@@ -244,7 +247,7 @@ class ScopedSpan
     ScopedSpan(const ScopedSpan&) = delete;
     ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-    /** Attach up to two integer args (shown in the trace viewer).
+    /** Attach up to three integer args (shown in the trace viewer).
      *  @p key must point at static storage. No-op when disabled. */
     void
     arg(const char* key, std::int64_t value)
@@ -253,6 +256,18 @@ class ScopedSpan
             return;
         ev_.arg_keys[ev_.num_args] = key;
         ev_.arg_values[ev_.num_args] = value;
+        ++ev_.num_args;
+    }
+
+    /** String-valued variant (e.g. the compile tier label). Both
+     *  @p key and @p value must point at static storage. */
+    void
+    arg(const char* key, const char* value)
+    {
+        if (!live_ || ev_.num_args >= ev_.arg_keys.size())
+            return;
+        ev_.arg_keys[ev_.num_args] = key;
+        ev_.arg_strs[ev_.num_args] = value;
         ++ev_.num_args;
     }
 

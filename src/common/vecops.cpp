@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Runtime tier selection for the integer vector kernels (see
+ * common/vecops.h). Detection uses the compiler's CPU-feature builtin
+ * on x86; every request is clamped to what both the build and the
+ * running CPU support, so the AVX2 tier can never be dispatched on a
+ * machine that would fault on it. PERMUQ_SIMD is shared with the
+ * statevector kernels so one knob controls all SIMD in the process.
+ */
+#include "common/vecops.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace permuq::common::vecops {
+
+namespace {
+
+bool
+cpu_has_avx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+/** Clamp a requested tier to what this binary + CPU can run. */
+VecTier
+clamp_tier(VecTier tier)
+{
+    if (tier == VecTier::Avx2 && (!vec_compiled_in() || !cpu_has_avx2()))
+        return VecTier::Scalar;
+    return tier;
+}
+
+VecTier
+initial_tier()
+{
+    if (const char* env = std::getenv("PERMUQ_SIMD")) {
+        if (std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "scalar") == 0)
+            return VecTier::Scalar;
+        if (std::strcmp(env, "avx2") == 0)
+            return clamp_tier(VecTier::Avx2);
+        // Unknown values (including "auto") fall through to detection.
+    }
+    return detected_vec_tier();
+}
+
+std::atomic<VecTier>&
+tier_slot()
+{
+    static std::atomic<VecTier> tier{initial_tier()};
+    return tier;
+}
+
+} // namespace
+
+VecTier
+detected_vec_tier()
+{
+    return clamp_tier(VecTier::Avx2);
+}
+
+VecTier
+active_vec_tier()
+{
+    return tier_slot().load(std::memory_order_relaxed);
+}
+
+void
+set_vec_tier(VecTier tier)
+{
+    tier_slot().store(clamp_tier(tier), std::memory_order_relaxed);
+}
+
+const char*
+vec_tier_name(VecTier tier)
+{
+    return tier == VecTier::Avx2 ? "avx2" : "scalar";
+}
+
+const Table&
+active()
+{
+    return active_vec_tier() == VecTier::Avx2 ? avx2_table()
+                                              : scalar_table();
+}
+
+} // namespace permuq::common::vecops

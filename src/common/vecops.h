@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime-dispatched integer vector kernels for the compiler's hot
+ * loops (placement closeness sums, candidate-score accumulation,
+ * masked argmin). Mirrors the sim/simd.h idiom: a scalar tier and a
+ * hand-vectorized AVX2 tier behind one kernel table, chosen once at
+ * startup from CPU detection and overridable with PERMUQ_SIMD
+ * (off|scalar|avx2|auto — the same variable the statevector kernels
+ * honor).
+ *
+ * Determinism contract: every kernel is *integer-exact* — both tiers
+ * compute the same mathematical integer result (sums are exact,
+ * argmin returns the first strict minimum in ascending index order),
+ * so the compiler's golden hashes are bit-identical across tiers and
+ * thread counts. tests/test_tier.cpp holds this as an exact-equality
+ * invariant.
+ */
+#ifndef PERMUQ_COMMON_VECOPS_H
+#define PERMUQ_COMMON_VECOPS_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace permuq::common::vecops {
+
+/** Kernel implementation tiers, worst to best. */
+enum class VecTier
+{
+    Scalar = 0,
+    Avx2 = 1,
+};
+
+/** True when the AVX2 tier was compiled into this binary. */
+bool vec_compiled_in();
+
+/** Best tier the running CPU supports (ignores PERMUQ_SIMD). */
+VecTier detected_vec_tier();
+
+/** The tier kernels currently dispatch to. Initialized once from
+ *  detection + PERMUQ_SIMD; tests override it via set_vec_tier(). */
+VecTier active_vec_tier();
+
+/**
+ * Select the dispatch tier at runtime (tests/benchmarks compare the
+ * tiers in-process). Requests above the detected capability clamp to
+ * the best supported tier. Not thread-safe against concurrently
+ * running kernels; call from quiescent points.
+ */
+void set_vec_tier(VecTier tier);
+
+/** Human-readable tier name ("scalar" / "avx2"). */
+const char* vec_tier_name(VecTier tier);
+
+/**
+ * The kernel table. All kernels are integer-exact: the AVX2 tier is
+ * required to return byte-identical results to the scalar tier for
+ * every input satisfying the stated preconditions.
+ */
+struct Table
+{
+    /**
+     * Sum of the raw u16 values v[0..n) as a u64, plus (optionally)
+     * the number of entries equal to @p sentinel written through
+     * @p sentinel_count. Used on DistanceMatrix rows where the raw
+     * unreachable marker must be counted so callers can re-bias it.
+     */
+    std::uint64_t (*sum_u16)(const std::uint16_t* v, std::size_t n,
+                             std::uint16_t sentinel,
+                             std::int64_t* sentinel_count);
+
+    /** acc[i] += v[i] (zero-extended) for i in [0, n). Exact. */
+    void (*add_u16_to_i32)(std::int32_t* acc, const std::uint16_t* v,
+                           std::size_t n);
+
+    /**
+     * Index of the first strict minimum of v[0..n) among entries with
+     * skip[i] == 0, i.e. the lowest index attaining the minimum value
+     * over unmasked entries; -1 when every entry is masked.
+     * Precondition: every unmasked v[i] < INT32_MAX (the AVX2 tier
+     * uses INT32_MAX as the masked-lane sentinel).
+     */
+    std::int64_t (*argmin_masked_i32)(const std::int32_t* v,
+                                      const std::uint8_t* skip,
+                                      std::size_t n);
+};
+
+/** The scalar tier (always available). */
+const Table& scalar_table();
+
+/** The AVX2 tier; aliases the scalar table when not compiled in. */
+const Table& avx2_table();
+
+/** The table for the active tier. */
+const Table& active();
+
+} // namespace permuq::common::vecops
+
+#endif // PERMUQ_COMMON_VECOPS_H

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * AVX2 tier of the integer vector kernels. Built with -mavx2 (this TU
+ * only); when the toolchain lacks AVX2 support the __AVX2__ guard
+ * below makes the tier alias the scalar table, and runtime dispatch
+ * (common/vecops.cpp) never selects it on CPUs without AVX2.
+ *
+ * Exactness: every kernel here computes the same integer result as
+ * the scalar tier. Sums widen u16 lanes into 32-bit accumulators that
+ * are folded into the 64-bit total before they can wrap (block bound
+ * below), and the masked argmin reduces lane-wise first-strict-minima
+ * by (value, index) order, which reproduces the scalar tier's
+ * first-occurrence-of-the-minimum semantics exactly.
+ */
+#include "common/vecops.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <climits>
+
+namespace permuq::common::vecops {
+
+namespace {
+
+std::uint64_t
+sum_u16_avx2(const std::uint16_t* v, std::size_t n,
+             std::uint16_t sentinel, std::int64_t* sentinel_count)
+{
+    // Each 32-bit lane accumulates two u16 values per iteration; a
+    // block of 32768 iterations tops out at 65536 * 65535 < 2^32, so
+    // lanes are folded into the 64-bit total before they can wrap.
+    // Sentinel hits accumulate as u16 lanes (cmpeq gives -1 per hit),
+    // bounded by the same block length.
+    constexpr std::size_t kBlockIters = 32768;
+    const __m256i sent =
+        _mm256_set1_epi16(static_cast<short>(sentinel));
+    std::uint64_t sum = 0;
+    std::int64_t hits = 0;
+    std::size_t i = 0;
+    while (i + 16 <= n) {
+        const std::size_t iters =
+            std::min((n - i) / 16, kBlockIters);
+        __m256i acc32 = _mm256_setzero_si256();
+        __m256i hits16 = _mm256_setzero_si256();
+        for (std::size_t it = 0; it < iters; ++it, i += 16) {
+            const __m256i x = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(v + i));
+            acc32 = _mm256_add_epi32(
+                acc32,
+                _mm256_cvtepu16_epi32(_mm256_castsi256_si128(x)));
+            acc32 = _mm256_add_epi32(
+                acc32,
+                _mm256_cvtepu16_epi32(_mm256_extracti128_si256(x, 1)));
+            hits16 = _mm256_sub_epi16(hits16,
+                                      _mm256_cmpeq_epi16(x, sent));
+        }
+        alignas(32) std::uint32_t sum_lanes[8];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(sum_lanes),
+                           acc32);
+        for (int k = 0; k < 8; ++k)
+            sum += sum_lanes[k];
+        alignas(32) std::uint16_t hit_lanes[16];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(hit_lanes),
+                           hits16);
+        for (int k = 0; k < 16; ++k)
+            hits += hit_lanes[k];
+    }
+    for (; i < n; ++i) {
+        sum += v[i];
+        hits += v[i] == sentinel;
+    }
+    if (sentinel_count != nullptr)
+        *sentinel_count = hits;
+    return sum;
+}
+
+void
+add_u16_to_i32_avx2(std::int32_t* acc, const std::uint16_t* v,
+                    std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(v + i));
+        const __m256i lo =
+            _mm256_cvtepu16_epi32(_mm256_castsi256_si128(x));
+        const __m256i hi =
+            _mm256_cvtepu16_epi32(_mm256_extracti128_si256(x, 1));
+        __m256i* a0 = reinterpret_cast<__m256i*>(acc + i);
+        __m256i* a1 = reinterpret_cast<__m256i*>(acc + i + 8);
+        _mm256_storeu_si256(a0,
+                            _mm256_add_epi32(_mm256_loadu_si256(a0),
+                                             lo));
+        _mm256_storeu_si256(a1,
+                            _mm256_add_epi32(_mm256_loadu_si256(a1),
+                                             hi));
+    }
+    for (; i < n; ++i)
+        acc[i] += static_cast<std::int32_t>(v[i]);
+}
+
+std::int64_t
+argmin_masked_i32_avx2(const std::int32_t* v, const std::uint8_t* skip,
+                       std::size_t n)
+{
+    // Masked lanes are replaced by INT32_MAX (callers guarantee real
+    // values stay below it) and each lane tracks the first strict
+    // minimum of its stride class; the cross-lane reduction then
+    // takes the (value, index)-lexicographic minimum, which is
+    // exactly the scalar tier's first occurrence of the minimum.
+    const __m256i int_max = _mm256_set1_epi32(INT_MAX);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i eight = _mm256_set1_epi32(8);
+    __m256i best = int_max;
+    __m256i best_idx = _mm256_set1_epi32(-1);
+    __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(v + i));
+        const __m128i skip8 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(skip + i));
+        const __m256i keep =
+            _mm256_cmpeq_epi32(_mm256_cvtepu8_epi32(skip8), zero);
+        const __m256i cand = _mm256_blendv_epi8(int_max, x, keep);
+        const __m256i lt = _mm256_cmpgt_epi32(best, cand);
+        best = _mm256_blendv_epi8(best, cand, lt);
+        best_idx = _mm256_blendv_epi8(best_idx, idx, lt);
+        idx = _mm256_add_epi32(idx, eight);
+    }
+    alignas(32) std::int32_t lane_value[8];
+    alignas(32) std::int32_t lane_index[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_value), best);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_index),
+                       best_idx);
+    std::int64_t best_i = -1;
+    std::int32_t best_value = INT_MAX;
+    for (int k = 0; k < 8; ++k) {
+        if (lane_index[k] < 0)
+            continue;
+        if (best_i < 0 || lane_value[k] < best_value ||
+            (lane_value[k] == best_value && lane_index[k] < best_i)) {
+            best_i = lane_index[k];
+            best_value = lane_value[k];
+        }
+    }
+    for (; i < n; ++i) {
+        if (skip[i] != 0)
+            continue;
+        if (best_i < 0 || v[i] < best_value) {
+            best_i = static_cast<std::int64_t>(i);
+            best_value = v[i];
+        }
+    }
+    return best_i;
+}
+
+} // namespace
+
+bool
+vec_compiled_in()
+{
+    return true;
+}
+
+const Table&
+avx2_table()
+{
+    static const Table table{
+        sum_u16_avx2,
+        add_u16_to_i32_avx2,
+        argmin_masked_i32_avx2,
+    };
+    return table;
+}
+
+} // namespace permuq::common::vecops
+
+#else // !defined(__AVX2__)
+
+namespace permuq::common::vecops {
+
+bool
+vec_compiled_in()
+{
+    return false;
+}
+
+const Table&
+avx2_table()
+{
+    return scalar_table();
+}
+
+} // namespace permuq::common::vecops
+
+#endif // defined(__AVX2__)

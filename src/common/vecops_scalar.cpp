@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Portable scalar tier of the integer vector kernels. This is the
+ * reference semantics: the AVX2 tier must match it byte for byte.
+ */
+#include "common/vecops.h"
+
+#include <climits>
+
+namespace permuq::common::vecops {
+
+namespace {
+
+std::uint64_t
+sum_u16_scalar(const std::uint16_t* v, std::size_t n,
+               std::uint16_t sentinel, std::int64_t* sentinel_count)
+{
+    std::uint64_t sum = 0;
+    std::int64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += v[i];
+        hits += v[i] == sentinel;
+    }
+    if (sentinel_count != nullptr)
+        *sentinel_count = hits;
+    return sum;
+}
+
+void
+add_u16_to_i32_scalar(std::int32_t* acc, const std::uint16_t* v,
+                      std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        acc[i] += static_cast<std::int32_t>(v[i]);
+}
+
+std::int64_t
+argmin_masked_i32_scalar(const std::int32_t* v, const std::uint8_t* skip,
+                         std::size_t n)
+{
+    std::int64_t best = -1;
+    std::int32_t best_value = INT_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (skip[i] != 0)
+            continue;
+        if (best < 0 || v[i] < best_value) {
+            best = static_cast<std::int64_t>(i);
+            best_value = v[i];
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+const Table&
+scalar_table()
+{
+    static const Table table{
+        sum_u16_scalar,
+        add_u16_to_i32_scalar,
+        argmin_masked_i32_scalar,
+    };
+    return table;
+}
+
+} // namespace permuq::common::vecops

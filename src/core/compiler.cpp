@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 
@@ -12,6 +13,8 @@
 #include "common/telemetry/telemetry.h"
 #include "common/timer.h"
 #include "core/crosstalk.h"
+#include "core/engine_util.h"
+#include "core/fast_tier.h"
 #include "core/placement.h"
 #include "core/shard.h"
 #include "core/prediction.h"
@@ -29,94 +32,6 @@ struct Snapshot
     std::int64_t prefix_ops = 0;
     double est_depth = 0.0;
     double est_cx = 0.0;
-};
-
-/**
- * Flat n*n lookup of problem-edge ids by logical endpoint pair (-1 =
- * no such edge). One O(1) array read replaces the unordered_map find
- * that used to sit on the executable-gate path of every cycle; built
- * once per compilation and shared by all placement trials and by the
- * hybrid materializer.
- */
-class EdgeTable
-{
-  public:
-    explicit EdgeTable(const graph::Graph& problem)
-        : n_(static_cast<std::size_t>(problem.num_vertices())),
-          table_(n_ * n_, -1)
-    {
-        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
-            const auto& edge =
-                problem.edges()[static_cast<std::size_t>(e)];
-            table_[index(edge.a, edge.b)] = e;
-            table_[index(edge.b, edge.a)] = e;
-        }
-    }
-
-    std::int32_t
-    at(LogicalQubit a, LogicalQubit b) const
-    {
-        return table_[index(a, b)];
-    }
-
-  private:
-    std::size_t
-    index(std::int32_t a, std::int32_t b) const
-    {
-        return static_cast<std::size_t>(a) * n_ +
-               static_cast<std::size_t>(b);
-    }
-
-    std::size_t n_;
-    std::vector<std::int32_t> table_;
-};
-
-/**
- * Per-physical-qubit incident-coupler lists, sorted by neighbor so
- * iterating one mirrors Graph's sorted adjacency order. Replaces the
- * physical-pair -> coupler-id hash lookups of the SWAP-weight loop.
- */
-class DeviceIndex
-{
-  public:
-    explicit DeviceIndex(const arch::CouplingGraph& device)
-        : incident_(static_cast<std::size_t>(device.num_qubits()))
-    {
-        const auto& couplers = device.couplers();
-        for (std::int32_t c = 0;
-             c < static_cast<std::int32_t>(couplers.size()); ++c) {
-            const auto& link = couplers[static_cast<std::size_t>(c)];
-            incident_[static_cast<std::size_t>(link.a)].push_back(
-                {link.b, c});
-            incident_[static_cast<std::size_t>(link.b)].push_back(
-                {link.a, c});
-        }
-        for (auto& list : incident_)
-            std::sort(list.begin(), list.end());
-    }
-
-    /** (neighbor, coupler id) pairs of @p p in ascending neighbor
-     *  order — the same order as connectivity().neighbors(p). */
-    const std::vector<std::pair<PhysicalQubit, std::int32_t>>&
-    incident(PhysicalQubit p) const
-    {
-        return incident_[static_cast<std::size_t>(p)];
-    }
-
-    /** Coupler id joining the adjacent positions @p p and @p q. */
-    std::int32_t
-    coupler_at(PhysicalQubit p, PhysicalQubit q) const
-    {
-        for (const auto& [nb, c] : incident_[static_cast<std::size_t>(p)])
-            if (nb == q)
-                return c;
-        panic_unless(false, "adjacent positions without a coupler");
-        return -1;
-    }
-
-  private:
-    std::vector<std::vector<std::pair<PhysicalQubit, std::int32_t>>>
-        incident_;
 };
 
 /**
@@ -998,6 +913,19 @@ compile_single(const arch::CouplingGraph& device,
 
 } // namespace
 
+CompileTier
+resolve_tier(CompileTier requested)
+{
+    if (requested != CompileTier::Auto)
+        return requested;
+    if (const char* env = std::getenv("PERMUQ_TIER")) {
+        CompileTier parsed;
+        if (parse_tier(env, parsed) && parsed != CompileTier::Auto)
+            return parsed;
+    }
+    return CompileTier::Best;
+}
+
 double
 selector_cost(const circuit::Metrics& m, const circuit::Metrics& reference,
               const arch::NoiseModel* noise, double alpha)
@@ -1034,6 +962,39 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
     span.arg("edges", problem.num_edges());
 
     CompilerOptions options = options_in;
+    CompileTier tier = resolve_tier(options.tier);
+    if (tier == CompileTier::Fast && !fast_tier_supported(device)) {
+        // No ATA pattern on irregular devices -> no search-free
+        // pipeline; serve the request from the balanced tier instead.
+        static telemetry::Counter& fallbacks =
+            telemetry::counter("permuq.compile.fast.fallback");
+        fallbacks.add();
+        tier = CompileTier::Balanced;
+    }
+    options.tier = tier;
+    span.arg("tier", tier_name(tier));
+
+    if (tier == CompileTier::Fast) {
+        // Single-pass search-free pipeline; shares nothing with the
+        // multi-start machinery below. distances() is forced here for
+        // the same lazily-built-cache reason as in the general path.
+        device.distances();
+        CompileResult result = fast_compile(device, problem, options);
+        result.tier = tier_name(tier);
+        result.compile_seconds = timer.elapsed_seconds();
+        return result;
+    }
+    if (tier == CompileTier::Balanced) {
+        // Reduced search budget: one placement start, fewer
+        // materialized hybrid candidates, sparser snapshots. Same
+        // pipeline shape as Best, so determinism carries over.
+        options.num_placement_trials = 1;
+        options.max_materialized_candidates =
+            std::min(options.max_materialized_candidates, 2);
+        options.snapshot_fraction =
+            std::max(options.snapshot_fraction, 0.1);
+    }
+
     if (device.kind() == arch::ArchKind::Custom &&
         options.use_ata_prediction) {
         // Irregular devices have no ATA decomposition (paper §6.5);
@@ -1100,6 +1061,7 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
         result = std::move(trial_results[best]);
     }
 
+    result.tier = tier_name(tier);
     result.compile_seconds = timer.elapsed_seconds();
     return result;
 }

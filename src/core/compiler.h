@@ -24,8 +24,13 @@ struct CompileResult
 {
     circuit::Circuit circuit;
     circuit::Metrics metrics;
-    /** Which candidate won: "greedy", "ata" (cc0) or "hybrid". */
+    /** Which candidate won: "greedy", "ata" (cc0), "hybrid", or
+     *  "fast" (the single-pass fast tier has no selector). */
     std::string selected;
+    /** Tier the request was actually served at ("fast", "balanced",
+     *  "best") — differs from the requested tier when fast falls
+     *  back to balanced on a custom device. */
+    std::string tier;
     /** Number of hybrid snapshots recorded along the greedy run. */
     std::int32_t snapshots = 0;
     /** Wall-clock compilation time in seconds. */
@@ -51,6 +56,15 @@ CompileResult compile(const arch::CouplingGraph& device,
 double selector_cost(const circuit::Metrics& m,
                      const circuit::Metrics& reference,
                      const arch::NoiseModel* noise, double alpha);
+
+/**
+ * The tier a request would actually run at: CompileTier::Auto
+ * resolves from the PERMUQ_TIER environment variable
+ * ("fast" | "balanced" | "best"), defaulting to Best; explicit tiers
+ * pass through. compile() applies this at entry; exposed so CLI
+ * diagnostics and tests can report the effective tier.
+ */
+CompileTier resolve_tier(CompileTier requested);
 
 } // namespace permuq::core
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Flat lookup structures shared by the scheduling engines (the full
+ * greedy/hybrid pipeline in compiler.cpp and the single-pass fast
+ * tier in fast_tier.cpp). Built once per compilation.
+ */
+#ifndef PERMUQ_CORE_ENGINE_UTIL_H
+#define PERMUQ_CORE_ENGINE_UTIL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "common/error.h"
+#include "graph/graph.h"
+
+namespace permuq::core {
+
+/**
+ * Flat n*n lookup of problem-edge ids by logical endpoint pair (-1 =
+ * no such edge). One O(1) array read replaces the unordered_map find
+ * that used to sit on the executable-gate path of every cycle; built
+ * once per compilation and shared by all placement trials and by the
+ * hybrid materializer.
+ */
+class EdgeTable
+{
+  public:
+    explicit EdgeTable(const graph::Graph& problem)
+        : n_(static_cast<std::size_t>(problem.num_vertices())),
+          table_(n_ * n_, -1)
+    {
+        for (std::int32_t e = 0; e < problem.num_edges(); ++e) {
+            const auto& edge =
+                problem.edges()[static_cast<std::size_t>(e)];
+            table_[index(edge.a, edge.b)] = e;
+            table_[index(edge.b, edge.a)] = e;
+        }
+    }
+
+    std::int32_t
+    at(LogicalQubit a, LogicalQubit b) const
+    {
+        return table_[index(a, b)];
+    }
+
+  private:
+    std::size_t
+    index(std::int32_t a, std::int32_t b) const
+    {
+        return static_cast<std::size_t>(a) * n_ +
+               static_cast<std::size_t>(b);
+    }
+
+    std::size_t n_;
+    std::vector<std::int32_t> table_;
+};
+
+/**
+ * Per-physical-qubit incident-coupler lists, sorted by neighbor so
+ * iterating one mirrors Graph's sorted adjacency order. Replaces the
+ * physical-pair -> coupler-id hash lookups of the SWAP-weight loop.
+ */
+class DeviceIndex
+{
+  public:
+    explicit DeviceIndex(const arch::CouplingGraph& device)
+        : incident_(static_cast<std::size_t>(device.num_qubits()))
+    {
+        const auto& couplers = device.couplers();
+        for (std::int32_t c = 0;
+             c < static_cast<std::int32_t>(couplers.size()); ++c) {
+            const auto& link = couplers[static_cast<std::size_t>(c)];
+            incident_[static_cast<std::size_t>(link.a)].push_back(
+                {link.b, c});
+            incident_[static_cast<std::size_t>(link.b)].push_back(
+                {link.a, c});
+        }
+        for (auto& list : incident_)
+            std::sort(list.begin(), list.end());
+    }
+
+    /** (neighbor, coupler id) pairs of @p p in ascending neighbor
+     *  order — the same order as connectivity().neighbors(p). */
+    const std::vector<std::pair<PhysicalQubit, std::int32_t>>&
+    incident(PhysicalQubit p) const
+    {
+        return incident_[static_cast<std::size_t>(p)];
+    }
+
+    /** Coupler id joining the adjacent positions @p p and @p q. */
+    std::int32_t
+    coupler_at(PhysicalQubit p, PhysicalQubit q) const
+    {
+        for (const auto& [nb, c] : incident_[static_cast<std::size_t>(p)])
+            if (nb == q)
+                return c;
+        panic_unless(false, "adjacent positions without a coupler");
+        return -1;
+    }
+
+  private:
+    std::vector<std::vector<std::pair<PhysicalQubit, std::int32_t>>>
+        incident_;
+};
+
+} // namespace permuq::core
+
+#endif // PERMUQ_CORE_ENGINE_UTIL_H

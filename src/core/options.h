@@ -6,14 +6,82 @@
 #define PERMUQ_CORE_OPTIONS_H
 
 #include <cstdint>
+#include <string>
 
 #include "arch/noise_model.h"
 
 namespace permuq::core {
 
+/**
+ * Latency/quality dial for one compilation (ROADMAP item 3, in the
+ * spirit of Coqa's search-free pass vs Quilc's optimization levels):
+ *
+ *   Fast      single-pass, search-free pipeline: O(n + E) BFS-
+ *             locality placement, one bounded greedy scheduling
+ *             burst, one ATA-tail replay. No multi-start, no
+ *             snapshot/restore, no candidate selector. Sub-
+ *             millisecond at hundreds of qubits; falls back to
+ *             Balanced on custom topologies (no ATA pattern).
+ *   Balanced  the hybrid pipeline with a reduced search budget
+ *             (single placement start, fewer materialized
+ *             candidates, sparser snapshots).
+ *   Best      the full multi-start hybrid (paper-faithful; the
+ *             historical default, bit for bit).
+ *   Auto      resolve from the PERMUQ_TIER environment variable
+ *             ("fast" | "balanced" | "best"), defaulting to Best.
+ */
+enum class CompileTier : std::int32_t
+{
+    Auto = 0,
+    Fast,
+    Balanced,
+    Best,
+};
+
+/** Parse "fast|balanced|best|auto" into @p out; false otherwise. */
+inline bool
+parse_tier(const std::string& name, CompileTier& out)
+{
+    if (name == "fast")
+        out = CompileTier::Fast;
+    else if (name == "balanced")
+        out = CompileTier::Balanced;
+    else if (name == "best")
+        out = CompileTier::Best;
+    else if (name == "auto")
+        out = CompileTier::Auto;
+    else
+        return false;
+    return true;
+}
+
+/** Human-readable tier name. */
+inline const char*
+tier_name(CompileTier tier)
+{
+    switch (tier) {
+    case CompileTier::Fast:
+        return "fast";
+    case CompileTier::Balanced:
+        return "balanced";
+    case CompileTier::Best:
+        return "best";
+    case CompileTier::Auto:
+        break;
+    }
+    return "auto";
+}
+
 /** Tunables for one compilation. */
 struct CompilerOptions
 {
+    /**
+     * Latency/quality tier (see CompileTier). Auto resolves from
+     * PERMUQ_TIER at compile() entry and defaults to Best, so the
+     * historical behavior is untouched unless explicitly requested.
+     */
+    CompileTier tier = CompileTier::Auto;
+
     /**
      * Enable the ATA pattern-prediction component and the compiled-
      * circuit selector (§6.3/§6.4). Off = the pure greedy baseline of

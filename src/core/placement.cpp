@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/telemetry/telemetry.h"
+#include "common/vecops.h"
 
 namespace permuq::core {
 
@@ -19,27 +20,34 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
     const auto& dist = device.distances();
 
     // Physical centrality: degree, tie-broken by closeness. Row-wise
-    // accumulation over the raw distance table: at 1024 qubits the
-    // naive at(p, q) double loop was a measurable slice of every
-    // compilation.
+    // accumulation over the raw distance table via the vecops kernels
+    // (integer-exact on every SIMD tier): the raw u16 sum plus the
+    // unreachable-sentinel count rebuilds the decoded sum exactly,
+    // since decode() only rewrites the sentinel value.
+    const auto& vk = common::vecops::active();
+    constexpr std::int64_t kDecodeBias =
+        static_cast<std::int64_t>(kUnreachable) -
+        graph::DistanceMatrix::kRawUnreachable;
     std::vector<std::int64_t> closeness(
         static_cast<std::size_t>(num_phys), 0);
     bool disconnected = false;
     for (std::int32_t p = 0; p < num_phys; ++p) {
-        const std::uint16_t* row = dist.row(p);
-        std::int64_t sum = 0;
-        for (std::int32_t q = 0; q < num_phys; ++q) {
-            std::uint16_t raw = row[static_cast<std::size_t>(q)];
-            disconnected |= raw == graph::DistanceMatrix::kRawUnreachable;
-            sum += graph::DistanceMatrix::decode(raw);
-        }
-        closeness[static_cast<std::size_t>(p)] = sum;
+        std::int64_t unreachable = 0;
+        std::uint64_t raw_sum = vk.sum_u16(
+            dist.row(p), static_cast<std::size_t>(num_phys),
+            graph::DistanceMatrix::kRawUnreachable, &unreachable);
+        disconnected |= unreachable != 0;
+        closeness[static_cast<std::size_t>(p)] =
+            static_cast<std::int64_t>(raw_sum) +
+            kDecodeBias * unreachable;
     }
 
     std::vector<PhysicalQubit> phys_of(
         static_cast<std::size_t>(n), kInvalidQubit);
-    std::vector<bool> pos_used(
-        static_cast<std::size_t>(num_phys), false);
+    // Bytes, not vector<bool>: the masked-argmin kernel reads this as
+    // the skip mask directly.
+    std::vector<std::uint8_t> pos_used(
+        static_cast<std::size_t>(num_phys), 0);
     std::vector<bool> placed(static_cast<std::size_t>(n), false);
     // Number of already-placed problem neighbors of each vertex,
     // maintained incrementally instead of recounted per step.
@@ -59,7 +67,7 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
     auto best_free_central = [&] {
         PhysicalQubit best = kInvalidQubit;
         for (std::int32_t p = 0; p < num_phys; ++p) {
-            if (pos_used[static_cast<std::size_t>(p)])
+            if (pos_used[static_cast<std::size_t>(p)] != 0)
                 continue;
             if (best == kInvalidQubit ||
                 device.connectivity().degree(p) >
@@ -98,26 +106,25 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
             // min scan reproduce the original at(p, w) loop bit for
             // bit.
             if (narrow_acc) {
+                // Vectorized accumulate + masked first-strict-min
+                // argmin (vecops kernels, integer-exact: identical
+                // result on every SIMD tier). Sums stay below
+                // num_phys^2 < 46000^2 < INT32_MAX, the AVX2 kernel's
+                // masked-lane sentinel.
                 std::fill(acc32.begin(), acc32.end(), 0);
                 for (std::int32_t w : problem.neighbors(pick)) {
                     if (!placed[static_cast<std::size_t>(w)])
                         continue;
-                    const std::uint16_t* row =
-                        dist.row(phys_of[static_cast<std::size_t>(w)]);
-                    for (std::int32_t p = 0; p < num_phys; ++p)
-                        acc32[static_cast<std::size_t>(p)] +=
-                            row[static_cast<std::size_t>(p)];
+                    vk.add_u16_to_i32(
+                        acc32.data(),
+                        dist.row(phys_of[static_cast<std::size_t>(w)]),
+                        static_cast<std::size_t>(num_phys));
                 }
-                std::int32_t best_sum = -1;
-                for (std::int32_t p = 0; p < num_phys; ++p) {
-                    if (pos_used[static_cast<std::size_t>(p)])
-                        continue;
-                    if (best_sum < 0 ||
-                        acc32[static_cast<std::size_t>(p)] < best_sum) {
-                        best_sum = acc32[static_cast<std::size_t>(p)];
-                        where = p;
-                    }
-                }
+                std::int64_t found = vk.argmin_masked_i32(
+                    acc32.data(), pos_used.data(),
+                    static_cast<std::size_t>(num_phys));
+                if (found >= 0)
+                    where = static_cast<PhysicalQubit>(found);
             } else {
                 std::fill(acc.begin(), acc.end(), 0);
                 constexpr std::int64_t kUnreachBias =
@@ -142,7 +149,7 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
                 }
                 std::int64_t best_sum = -1;
                 for (std::int32_t p = 0; p < num_phys; ++p) {
-                    if (pos_used[static_cast<std::size_t>(p)])
+                    if (pos_used[static_cast<std::size_t>(p)] != 0)
                         continue;
                     if (best_sum < 0 ||
                         acc[static_cast<std::size_t>(p)] < best_sum) {
@@ -154,7 +161,7 @@ connectivity_strength_placement(const arch::CouplingGraph& device,
         }
         panic_unless(where != kInvalidQubit, "placement ran out of qubits");
         phys_of[static_cast<std::size_t>(pick)] = where;
-        pos_used[static_cast<std::size_t>(where)] = true;
+        pos_used[static_cast<std::size_t>(where)] = 1;
         placed[static_cast<std::size_t>(pick)] = true;
         for (std::int32_t w : problem.neighbors(pick))
             ++placed_nbrs[static_cast<std::size_t>(w)];

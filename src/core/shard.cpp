@@ -326,6 +326,7 @@ shard_compile(const arch::CouplingGraph& device,
     result.metrics = circuit::compute_metrics(assembled, options.noise);
     result.circuit = std::move(assembled);
     result.selected = "sharded";
+    result.tier = tier_name(resolve_tier(options.tier));
     result.compile_seconds = timer.elapsed_seconds();
     return result;
 }

@@ -95,6 +95,11 @@ compile_circuit(const arch::CouplingGraph& device,
         opts.placement_seed = config.compiler_seed;
         opts.shard_regions = config.shard_regions;
         opts.shard_margin = config.shard_margin;
+        core::CompileTier tier = core::CompileTier::Best;
+        if (!core::parse_tier(config.tier, tier) ||
+            tier == core::CompileTier::Auto)
+            throw FatalError("unknown tier: " + config.tier);
+        opts.tier = tier;
         return core::compile(device, problem, opts).circuit;
     }
     if (name == "greedy")
@@ -428,6 +433,15 @@ random_config(std::uint64_t seed, std::int64_t index,
     static const std::int32_t trial_counts[] = {1, 2, 4};
     config.placement_trials = trial_counts[rng.next_below(3)];
     config.compiler_seed = rng();
+    // Tier axis for "ours": best keeps most of the stream so the deep
+    // hybrid pipeline retains its coverage; fast/balanced ride along
+    // so the single-pass pipeline and the reduced-budget clamps stay
+    // under the same differential checks.
+    if (config.compiler == "ours") {
+        static const char* const tiers[] = {"best", "best", "balanced",
+                                            "fast"};
+        config.tier = tiers[rng.next_below(4)];
+    }
     // Sharded compilation only applies to "ours" on bandable fabrics;
     // eligible configs are rare (~5% of the stream), so draw sharding
     // for half of them to keep the stitcher under steady differential
@@ -533,6 +547,8 @@ shrink_config(const FuzzConfig& config, const CheckResult& original,
             simplify([&](FuzzConfig& c) {
                 c.shard_margin = defaults.shard_margin;
             });
+        if (best.tier != defaults.tier)
+            simplify([&](FuzzConfig& c) { c.tier = defaults.tier; });
         if (best.alpha != defaults.alpha)
             simplify([&](FuzzConfig& c) { c.alpha = defaults.alpha; });
         if (!best.smart_placement)
@@ -572,6 +588,7 @@ serialize_reproducer(const FuzzConfig& config, const CheckResult& result)
         << "compiler_seed " << config.compiler_seed << "\n"
         << "shard_regions " << config.shard_regions << "\n"
         << "shard_margin " << config.shard_margin << "\n"
+        << "tier " << config.tier << "\n"
         << "full_qaoa_qasm " << static_cast<int>(config.full_qaoa_qasm)
         << "\n"
         << "check_optimal " << static_cast<int>(config.check_optimal)
@@ -652,6 +669,8 @@ parse_reproducer(std::istream& in, FuzzConfig& out, std::string* error)
             parsed = take(config.shard_regions);
         } else if (key == "shard_margin") {
             parsed = take(config.shard_margin);
+        } else if (key == "tier") {
+            parsed = take(config.tier);
         } else if (key == "full_qaoa_qasm") {
             parsed = take(config.full_qaoa_qasm);
         } else if (key == "check_optimal") {
@@ -678,6 +697,9 @@ parse_reproducer(std::istream& in, FuzzConfig& out, std::string* error)
     if (std::find(compilers.begin(), compilers.end(), config.compiler) ==
         compilers.end())
         return bad("unknown compiler \"" + config.compiler + "\"");
+    if (config.tier != "fast" && config.tier != "balanced" &&
+        config.tier != "best")
+        return bad("unknown tier \"" + config.tier + "\"");
     if (config.num_vertices < 2 || config.num_vertices > 4096)
         return bad("vertices out of range");
     if (config.edges.empty())

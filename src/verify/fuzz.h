@@ -56,6 +56,12 @@ struct FuzzConfig
     std::int32_t shard_regions = 0;
     /** Minimum extra band height (boundary width) under sharding. */
     std::int32_t shard_margin = 0;
+    /** Latency/quality tier for "ours": "fast", "balanced", or
+     *  "best". Keeps the single-pass fast pipeline and the balanced
+     *  budget clamps under the same differential checks as the full
+     *  hybrid ("auto" is excluded: it reads PERMUQ_TIER, which would
+     *  make reproducers environment-dependent). */
+    std::string tier = "best";
     /** @} */
 
     /** Also lint the full-QAOA QASM surround (H / RX / measure). */

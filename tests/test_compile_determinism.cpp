@@ -99,6 +99,8 @@ std::uint64_t
 compile_case_hash(const GoldenCase& c, std::int32_t trials)
 {
     core::CompilerOptions options;
+    // These hashes pin the Best pipeline; stay put under PERMUQ_TIER.
+    options.tier = core::CompileTier::Best;
     arch::CouplingGraph device = c.kind == arch::ArchKind::Custom
                                      ? ring_with_chords()
                                      : arch::smallest_arch(c.kind, c.n);
@@ -163,6 +165,7 @@ TEST(CompileDeterminismTest, MultiStartTrialZeroIsSingleStart)
     // the single-start baseline unless a perturbed trial wins.
     const GoldenCase& c = kGolden[3];
     core::CompilerOptions options;
+    options.tier = core::CompileTier::Best;
     auto device = arch::smallest_arch(c.kind, c.n);
     auto problem = problem::random_graph(c.n, c.density, c.seed);
     auto single = core::compile(device, problem, options);

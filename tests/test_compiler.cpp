@@ -55,6 +55,10 @@ TEST_P(CompileTest, NeverWorseThanPureAta)
     auto device = arch::smallest_arch(c.kind, c.n);
     auto problem = problem::random_graph(c.n, c.density, 29);
     CompilerOptions options;
+    // The theorem is about the full hybrid (the selector always holds
+    // the cc0 candidate); the fast tier never materializes cc0, so the
+    // bound must not shift under PERMUQ_TIER.
+    options.tier = CompileTier::Best;
     auto ours = compile(device, problem, options);
     auto ata = baselines::ata_only(device, problem);
     double ours_cost = selector_cost(ours.metrics, ours.metrics, nullptr,

@@ -50,7 +50,10 @@ TEST(IntegrationTest, OursBeatsWeakBaselinesOnCx)
         SCOPED_TRACE(arch::to_string(kind));
         auto device = arch::smallest_arch(kind, 96);
         auto problem = problem::random_graph(96, 0.3, 103);
-        auto ours = core::compile(device, problem);
+        // Fig 20-23 are about the full hybrid; pin against PERMUQ_TIER.
+        core::CompilerOptions options;
+        options.tier = core::CompileTier::Best;
+        auto ours = core::compile(device, problem, options);
         auto qaim = baselines::qaim_like(device, problem);
         auto pauli = baselines::paulihedral_like(device, problem);
         EXPECT_LT(ours.metrics.cx_count, qaim.metrics.cx_count);
@@ -77,7 +80,9 @@ TEST(IntegrationTest, NoisySimulationAgreesWithMetricsOrdering)
     auto device = arch::make_mumbai();
     auto noise = arch::NoiseModel::calibrated(device, 11, 0.02);
     auto problem = problem::random_graph(10, 0.4, 107);
-    auto ours = core::compile(device, problem);
+    core::CompilerOptions best;
+    best.tier = core::CompileTier::Best;
+    auto ours = core::compile(device, problem, best);
     auto pauli = baselines::paulihedral_like(device, problem);
     ASSERT_LT(ours.metrics.cx_count, pauli.metrics.cx_count);
     sim::QaoaAngles angles{{0.5}, {0.4}};

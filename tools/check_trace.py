@@ -12,6 +12,11 @@ PERMUQ_TRACE) and optionally a metrics JSON (`permuqc --metrics`):
   * with --require-span NAME, at least one event with that name
     exists (substring match, so `--require-span placement` accepts
     `placement.connectivity`);
+  * with --require-span-arg NAME:KEY or NAME:KEY=VALUE, at least one
+    event whose name contains NAME carries an args entry KEY (and,
+    with =VALUE, whose stringified value equals VALUE) -- e.g.
+    `--require-span-arg compile:tier=fast` checks that the top-level
+    compile span was labelled with the fast tier;
   * with --require-counter NAME, the metrics JSON has a counter whose
     name contains NAME with a nonzero value;
   * with --require-histogram NAME, the metrics JSON has a histogram
@@ -19,8 +24,8 @@ PERMUQ_TRACE) and optionally a metrics JSON (`permuqc --metrics`):
 
 Usage:
   tools/check_trace.py trace.json [--metrics metrics.json]
-      [--require-span NAME ...] [--require-counter NAME ...]
-      [--require-histogram NAME ...]
+      [--require-span NAME ...] [--require-span-arg NAME:KEY[=VALUE] ...]
+      [--require-counter NAME ...] [--require-histogram NAME ...]
 
 Exits 0 when every check passes, 1 otherwise.
 """
@@ -37,7 +42,16 @@ def fail(message):
     return 1
 
 
-def check_trace(path, require_spans):
+def parse_span_arg(spec):
+    """Split NAME:KEY or NAME:KEY=VALUE into (name, key, value|None)."""
+    name, sep, rest = spec.partition(":")
+    if not sep or not rest:
+        raise ValueError(f"bad --require-span-arg '{spec}' (want NAME:KEY)")
+    key, sep, value = rest.partition("=")
+    return name, key, value if sep else None
+
+
+def check_trace(path, require_spans, require_span_args):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -71,6 +85,30 @@ def check_trace(path, require_spans):
             return fail(
                 f"{path}: no span matching '{want}' "
                 f"(have: {sorted(names)})"
+            )
+
+    for spec in require_span_args:
+        try:
+            name, key, value = parse_span_arg(spec)
+        except ValueError as e:
+            return fail(str(e))
+        seen = []
+        hit = False
+        for ev in events:
+            if name not in ev["name"]:
+                continue
+            args = ev.get("args")
+            if not isinstance(args, dict) or key not in args:
+                continue
+            seen.append(args[key])
+            if value is None or str(args[key]) == value:
+                hit = True
+                break
+        if not hit:
+            return fail(
+                f"{path}: no span matching '{name}' with arg "
+                f"'{key}'{'' if value is None else f' = {value!r}'} "
+                f"(saw values: {seen})"
             )
 
     print(
@@ -133,6 +171,14 @@ def main():
         help="require at least one span whose name contains NAME",
     )
     parser.add_argument(
+        "--require-span-arg",
+        action="append",
+        default=[],
+        metavar="NAME:KEY[=VALUE]",
+        help="require a span whose name contains NAME and whose args "
+        "carry KEY (optionally with stringified value VALUE)",
+    )
+    parser.add_argument(
         "--require-counter",
         action="append",
         default=[],
@@ -150,7 +196,7 @@ def main():
     )
     args = parser.parse_args()
 
-    status = check_trace(args.trace, args.require_span)
+    status = check_trace(args.trace, args.require_span, args.require_span_arg)
     if args.metrics:
         status |= check_metrics(
             args.metrics, args.require_counter, args.require_histogram

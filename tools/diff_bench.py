@@ -7,14 +7,16 @@ between runs:
   * the two files share the same schema (same key sets, recursively on
     the structure: top-level keys, per-row keys inside list sections);
   * every correctness flag in the candidate is true (bit_identical /
-    thread_identical / samplers_agree and friends -- boolean keys whose
-    name contains "identical" or "agree"; mode flags like "smoke" are
-    ignored);
+    thread_identical / samplers_agree / verified and friends -- boolean
+    keys whose name contains "identical", "agree" or "verified"; mode
+    flags like "smoke" are ignored);
   * structural fields in rows matched across files agree exactly:
     BENCH_compile.json "cases" rows are matched on (arch, requested_n)
     and compared on qubits/edges; "fabric" rows are matched on qubits
-    and compared on edges/regions. Rows present in only one file (the
-    committed baseline is a full run, CI produces --smoke) are skipped.
+    and compared on edges/regions; "tiers" rows are matched on
+    (arch, requested_n, tier) and compared on qubits/edges. Rows
+    present in only one file (the committed baseline is a full run,
+    CI produces --smoke) are skipped.
 
 Timing fields are reported for context but never fail the diff.
 
@@ -32,6 +34,7 @@ import sys
 ROW_SECTIONS = {
     "cases": (("arch", "requested_n"), ("qubits", "edges")),
     "fabric": (("qubits",), ("edges", "regions")),
+    "tiers": (("arch", "requested_n", "tier"), ("qubits", "edges")),
 }
 
 
@@ -108,7 +111,9 @@ def diff(baseline_path, candidate_path):
         )
 
     for path, value in boolean_flags(candidate).items():
-        if value is False and ("identical" in path or "agree" in path):
+        if value is False and (
+            "identical" in path or "agree" in path or "verified" in path
+        ):
             status |= fail(f"correctness flag {path} is false")
 
     for section, (match_on, compare) in ROW_SECTIONS.items():

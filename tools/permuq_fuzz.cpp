@@ -41,6 +41,9 @@ struct CliOptions
     std::int32_t max_vertices = 10;
     std::string corpus = "tests/corpus";
     std::string replay;
+    /** Non-empty: pin every "ours" configuration to this compiler
+     *  tier (fast|balanced|best) instead of the drawn one. */
+    std::string force_tier;
     bool inject = false;
     bool verbose = false;
 };
@@ -59,6 +62,8 @@ usage(int code)
            "  --corpus DIR      where reproducers are written "
            "(default tests/corpus)\n"
            "  --replay FILE     re-run one reproducer file and exit\n"
+           "  --force-tier T    pin \"ours\" configs to compiler tier "
+           "fast|balanced|best\n"
            "  --inject          mutation-testing mode (checkers must "
            "catch every injected miscompile)\n"
            "  --verbose         print every configuration\n"
@@ -114,6 +119,17 @@ parse_cli(int argc, char** argv, CliOptions& options, int& exit_code)
                 options.replay = v;
                 return true;
             });
+        } else if (flag == "--force-tier") {
+            ok = value([&](const std::string& v) {
+                if (v != "fast" && v != "balanced" && v != "best") {
+                    std::cerr << "permuq-fuzz: --force-tier needs "
+                                 "fast, balanced, or best\n";
+                    exit_code = usage(2);
+                    return false;
+                }
+                options.force_tier = v;
+                return true;
+            });
         } else if (flag == "--inject") {
             options.inject = true;
         } else if (flag == "--verbose") {
@@ -136,6 +152,8 @@ describe(const verify::FuzzConfig& config)
     os << config.compiler << " on " << config.arch << ", "
        << config.num_vertices << " vertices / " << config.edges.size()
        << " edges";
+    if (config.compiler == "ours" && config.tier != "best")
+        os << ", tier " << config.tier;
     if (config.inject != "none")
         os << ", inject " << config.inject;
     return os.str();
@@ -210,6 +228,8 @@ fuzz_mode(const CliOptions& options)
         }
         auto config = verify::random_config(options.seed, index,
                                             options.max_vertices);
+        if (!options.force_tier.empty() && config.compiler == "ours")
+            config.tier = options.force_tier;
         if (options.verbose)
             std::cout << "[" << index << "] " << describe(config)
                       << "\n";

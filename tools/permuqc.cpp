@@ -30,6 +30,7 @@
 #include "circuit/qasm.h"
 #include "common/error.h"
 #include "common/telemetry/telemetry.h"
+#include "common/vecops.h"
 #include "core/compiler.h"
 #include "problem/generators.h"
 #include "sim/nelder_mead.h"
@@ -48,6 +49,8 @@ using namespace permuq;
 struct Cli
 {
     std::string arch = "heavyhex";
+    /** Custom device: coupler edge-list file (overrides --arch). */
+    std::string arch_file;
     std::string compiler = "ours";
     std::string input;
     std::string qasm_out;
@@ -68,17 +71,34 @@ struct Cli
      *  PERMUQ_SHARD env var, overridden by --shard. */
     std::int32_t shard = 0;
     std::int32_t shard_margin = 0;
+    /** Latency/quality tier; Auto resolves PERMUQ_TIER in compile(). */
+    core::CompileTier tier = core::CompileTier::Auto;
 };
 
 /** Every flag permuqc understands, for the did-you-mean hint. */
 constexpr const char* kKnownFlags[] = {
-    "--arch",      "--qubits",   "--density", "--seed",
+    "--arch",      "--arch-file", "--qubits",  "--density", "--seed",
     "--input",     "--compiler", "--noise",   "--alpha",
     "--crosstalk", "--qasm",     "--full-qaoa", "--diagram",
     "--qaoa",      "--qaoa-rounds", "--trace", "--metrics",
-    "--shard",     "--shard-margin", "--mem-stats",
+    "--shard",     "--shard-margin", "--tier",    "--mem-stats",
     "--log-level", "--version",  "--help",
 };
+
+/** One line per env knob, for --version / --mem-stats diagnostics. */
+void
+print_env_knobs(std::FILE* out)
+{
+    for (const char* knob : {"PERMUQ_TIER", "PERMUQ_SHARD",
+                             "PERMUQ_SIMD", "PERMUQ_TRACE"}) {
+        const char* value = std::getenv(knob);
+        std::fprintf(out, "  %-12s = %s\n", knob,
+                     value ? value : "(unset)");
+    }
+    std::fprintf(out, "  simd tier    : %s\n",
+                 common::vecops::vec_tier_name(
+                     common::vecops::active_vec_tier()));
+}
 
 void
 usage(std::FILE* out)
@@ -88,6 +108,10 @@ usage(std::FILE* out)
         "usage: permuqc [options]\n"
         "  --arch A        heavyhex|sycamore|grid|hexagon|line|"
         "lattice3d|mumbai (default heavyhex)\n"
+        "  --arch-file F   custom device from a coupler edge list\n"
+        "                  (same format as --input; such devices have\n"
+        "                  no ATA pattern, so --tier fast falls back\n"
+        "                  to balanced)\n"
         "  --qubits N      problem size for random graphs (default 64)\n"
         "  --density D     random-graph density (default 0.3)\n"
         "  --seed S        random-graph seed (default 1)\n"
@@ -107,6 +131,10 @@ usage(std::FILE* out)
         "                  (line/grid/sycamore; 0 = off; the\n"
         "                  PERMUQ_SHARD env var sets the default)\n"
         "  --shard-margin W  minimum extra band height in units\n"
+        "  --tier T        latency/quality tier: fast|balanced|best|"
+        "auto\n"
+        "                  (default auto: the PERMUQ_TIER env var,\n"
+        "                  else best)\n"
         "  --mem-stats     report peak RSS and the exact-byte circuit\n"
         "                  memory breakdown after compiling\n"
         "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
@@ -206,9 +234,12 @@ main(int argc, char** argv)
             return 0;
         } else if (is("--version")) {
             std::printf("permuqc %s\n", PERMUQ_VERSION);
+            print_env_knobs(stdout);
             return 0;
         } else if (is("--arch"))
             cli.arch = value();
+        else if (is("--arch-file"))
+            cli.arch_file = value();
         else if (is("--qubits"))
             cli.qubits = std::atoi(value());
         else if (is("--density"))
@@ -240,6 +271,15 @@ main(int argc, char** argv)
             cli.shard = std::atoi(value());
         else if (is("--shard-margin"))
             cli.shard_margin = std::atoi(value());
+        else if (is("--tier")) {
+            if (!core::parse_tier(value(), cli.tier)) {
+                std::fprintf(stderr,
+                             "permuqc: bad --tier %s (want "
+                             "fast|balanced|best|auto)\n",
+                             argv[i]);
+                return 2;
+            }
+        }
         else if (is("--mem-stats"))
             cli.mem_stats = true;
         else if (is("--trace"))
@@ -286,6 +326,18 @@ main(int argc, char** argv)
 
         // Device.
         arch::CouplingGraph device = [&] {
+            if (!cli.arch_file.empty()) {
+                auto couplers = load_edge_list(cli.arch_file);
+                if (!couplers)
+                    throw FatalError("cannot read --arch-file " +
+                                     cli.arch_file);
+                arch::CouplingGraphBuilder builder(
+                    couplers->num_vertices(), arch::ArchKind::Custom,
+                    "custom:" + cli.arch_file);
+                for (const auto& link : couplers->edges())
+                    builder.add_coupler(link.a, link.b);
+                return builder.build();
+            }
             if (cli.arch == "mumbai")
                 return arch::make_mumbai();
             arch::ArchKind kind;
@@ -322,11 +374,15 @@ main(int argc, char** argv)
             options.noise = noise ? &*noise : nullptr;
             options.shard_regions = cli.shard;
             options.shard_margin = cli.shard_margin;
+            options.tier = cli.tier;
             auto result = core::compile(device, problem, options);
             circuit = std::move(result.circuit);
             seconds = result.compile_seconds;
             if (cli.compiler == "ours")
-                selected = "ours(" + result.selected + ")";
+                // result.tier is the tier actually served (fast falls
+                // back to balanced on custom devices).
+                selected = "ours(" + result.selected + ", tier " +
+                           result.tier + ")";
         } else {
             baselines::BaselineResult result;
             if (cli.compiler == "ata")
@@ -380,6 +436,8 @@ main(int argc, char** argv)
             std::printf("  mappings: %zu bytes\n", mappings);
             std::printf("  schedule: %zu bytes\n",
                         total - arena - mappings);
+            std::printf("env knobs :\n");
+            print_env_knobs(stdout);
         }
 
         if (!cli.qasm_out.empty()) {
