@@ -50,6 +50,7 @@
 #include "bench_util.h"
 #include "circuit/metrics.h"
 #include "circuit/qasm.h"
+#include "common/log/log.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/compiler.h"
@@ -1145,6 +1146,57 @@ main(int argc, char** argv)
                 "1 thr %.3f s, %d thr %.3f s (%.2fx, identical: %s)\n",
                 ms_serial, hw_threads, ms_parallel,
                 ms_serial / ms_parallel, ms_match ? "yes" : "NO");
+
+    // Observability cost: the same compile timed with the telemetry/
+    // logging stack cold (recording off, logging off) and hot (spans,
+    // counters, and debug logging to a file sink all live). The hot
+    // run must produce a bit-identical circuit, and the hot/cold wall
+    // ratio is the exported "observability tax" that diff_bench.py
+    // gates against the committed budget.
+    constexpr double kObsBudgetRatio = 1.25;
+    core::CompilerOptions obs_options; // default single-trial compile
+    std::uint64_t obs_off_hash = 0, obs_on_hash = 0;
+    double obs_off_seconds = 0.0, obs_on_seconds = 0.0;
+    auto measure_obs = [&] {
+        telemetry::set_enabled(false);
+        logging::set_level(logging::Level::Off);
+        double off = time_best(reps, [&] {
+            auto r = core::compile(ms_device, ms_problem, obs_options);
+            obs_off_hash = circuit_hash(r.circuit);
+        });
+        telemetry::set_enabled(true);
+        logging::set_level(logging::Level::Debug);
+        logging::set_sink_file("/dev/null");
+        double on = time_best(reps, [&] {
+            auto r = core::compile(ms_device, ms_problem, obs_options);
+            obs_on_hash = circuit_hash(r.circuit);
+        });
+        logging::flush();
+        logging::set_sink_stderr();
+        logging::set_level(logging::Level::Warn);
+        telemetry::set_enabled(false);
+        telemetry::Registry::instance().reset();
+        obs_off_seconds = obs_off_seconds == 0.0
+                              ? off
+                              : std::min(obs_off_seconds, off);
+        obs_on_seconds =
+            obs_on_seconds == 0.0 ? on : std::min(obs_on_seconds, on);
+    };
+    measure_obs();
+    // Like the tier gates, tolerate an unlucky timeslice: re-measure
+    // (min-of-attempts on both sides) while the ratio is failing.
+    for (int attempt = 0;
+         attempt < 2 &&
+         obs_on_seconds > kObsBudgetRatio * obs_off_seconds;
+         ++attempt)
+        measure_obs();
+    const double obs_ratio = obs_on_seconds / obs_off_seconds;
+    const bool obs_match = obs_off_hash == obs_on_hash;
+    all_match = all_match && obs_match;
+    std::printf("telemetry overhead (heavy-hex 256): off %.3f s, "
+                "on %.3f s (%.3fx, budget %.2fx, identical: %s)\n",
+                obs_off_seconds, obs_on_seconds, obs_ratio,
+                kObsBudgetRatio, obs_match ? "yes" : "NO");
     if (!smoke)
         std::printf("speedup at 1024 qubits (min over archs): %.2fx "
                     "(need >= 3x)\n",
@@ -1257,9 +1309,17 @@ main(int argc, char** argv)
                      "\"parallel_seconds\": %.6f, "
                      "\"thread_speedup\": %.3f, "
                      "\"bit_identical\": %s},\n"
+                     "  \"telemetry_overhead\": {"
+                     "\"off_seconds\": %.6f, "
+                     "\"on_seconds\": %.6f, "
+                     "\"overhead_ratio\": %.4f, "
+                     "\"budget_ratio\": %.2f, "
+                     "\"bit_identical\": %s},\n"
                      "  \"fabric\": [\n",
                      ms_serial, ms_parallel, ms_serial / ms_parallel,
-                     ms_match ? "true" : "false");
+                     ms_match ? "true" : "false", obs_off_seconds,
+                     obs_on_seconds, obs_ratio, kObsBudgetRatio,
+                     obs_match ? "true" : "false");
         for (std::size_t i = 0; i < fabric.size(); ++i) {
             const FabricRow& r = fabric[i];
             std::fprintf(json,
@@ -1335,6 +1395,8 @@ main(int argc, char** argv)
     bench::write_metrics_sidecar("compile_scaling");
 
     if (!all_match || !fabric_identical)
+        return 1;
+    if (obs_ratio > kObsBudgetRatio)
         return 1;
     if (!tier_gates.ok())
         return 1;

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Flight-recorder ring, JSON dump, and crash-signal handlers.
+ */
+#include "common/log/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace permuq::flight {
+
+namespace {
+
+constexpr std::size_t kNameWords = kNameBytes / 8;
+constexpr std::size_t kDetailWords = kDetailBytes / 8;
+
+/**
+ * One ring slot. Every payload field is an atomic accessed with
+ * relaxed ordering, so a dump racing a writer is race-free (TSan-
+ * clean); the per-slot seqlock word detects torn records so the
+ * reader can skip them. A record torn across a full ring wrap-around
+ * race can in principle slip through as garbled text — harmless in a
+ * best-effort crash artifact, and never undefined behavior.
+ */
+struct Record
+{
+    std::atomic<std::uint64_t> seq{0}; ///< 2t+1 writing, 2t+2 stable
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> meta{0}; ///< tid<<16 | kind<<8 | extra
+    std::atomic<std::int64_t> value{0};
+    std::array<std::atomic<std::uint64_t>, kNameWords> name{};
+    std::array<std::atomic<std::uint64_t>, kDetailWords> detail{};
+};
+
+Record g_ring[kRecords];
+std::atomic<std::uint64_t> g_ticket{0};
+std::atomic<std::uint32_t> g_next_tid{1};
+
+/** Stopwatch shared by all flight timestamps, pinned at load. */
+Timer&
+flight_epoch()
+{
+    static Timer epoch;
+    return epoch;
+}
+
+/** Zero-init TLS slot (no dynamic initializer), safe to touch from a
+ *  signal handler once the thread exists. */
+thread_local std::uint32_t t_tid = 0;
+
+std::uint32_t
+local_tid()
+{
+    if (t_tid == 0)
+        t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return t_tid;
+}
+
+/** Copy a NUL-terminated string into atomic words, truncating. */
+template <std::size_t N>
+void
+store_words(std::array<std::atomic<std::uint64_t>, N>& dst,
+            const char* src)
+{
+    char buf[N * 8];
+    std::memset(buf, 0, sizeof buf);
+    if (src != nullptr) {
+        std::size_t i = 0;
+        for (; i + 1 < sizeof buf && src[i] != '\0'; ++i)
+            buf[i] = src[i];
+    }
+    for (std::size_t w = 0; w < N; ++w) {
+        std::uint64_t word;
+        std::memcpy(&word, buf + w * 8, 8);
+        dst[w].store(word, std::memory_order_relaxed);
+    }
+}
+
+template <std::size_t N>
+void
+load_words(const std::array<std::atomic<std::uint64_t>, N>& src,
+           char* dst)
+{
+    for (std::size_t w = 0; w < N; ++w) {
+        const std::uint64_t word =
+            src[w].load(std::memory_order_relaxed);
+        std::memcpy(dst + w * 8, &word, 8);
+    }
+    dst[N * 8 - 1] = '\0';
+}
+
+// Captured at load so the signal handler never calls getenv().
+char g_dump_path[512] = "permuq_flight.json";
+
+const bool g_path_init = [] {
+    flight_epoch();
+    const char* p = std::getenv("PERMUQ_FLIGHT");
+    if (p != nullptr && p[0] != '\0') {
+        std::size_t i = 0;
+        for (; i + 1 < sizeof g_dump_path && p[i] != '\0'; ++i)
+            g_dump_path[i] = p[i];
+        g_dump_path[i] = '\0';
+    }
+    return true;
+}();
+
+// ------------------------------------------- async-signal-safe emit
+
+/** Tiny buffered writer over write(2); everything is signal-safe. */
+struct Emitter
+{
+    explicit Emitter(int fd) : fd(fd) {}
+    ~Emitter() { flush(); }
+
+    void
+    put(char c)
+    {
+        if (len == sizeof buf)
+            flush();
+        buf[len++] = c;
+    }
+
+    void
+    str(const char* s)
+    {
+        for (; *s != '\0'; ++s)
+            put(*s);
+    }
+
+    /** JSON string body: escapes quote/backslash, maps control
+     *  characters to spaces (no \u formatting needed in a dump). */
+    void
+    escaped(const char* s)
+    {
+        for (; *s != '\0'; ++s) {
+            const unsigned char c = static_cast<unsigned char>(*s);
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put(static_cast<char>(c));
+            } else if (c < 0x20) {
+                put(' ');
+            } else {
+                put(static_cast<char>(c));
+            }
+        }
+    }
+
+    void
+    dec(std::int64_t v)
+    {
+        char tmp[24];
+        std::size_t n = 0;
+        std::uint64_t u = v < 0 ? std::uint64_t(0) - std::uint64_t(v)
+                                : std::uint64_t(v);
+        do {
+            tmp[n++] = static_cast<char>('0' + u % 10);
+            u /= 10;
+        } while (u != 0);
+        if (v < 0)
+            put('-');
+        while (n > 0)
+            put(tmp[--n]);
+    }
+
+    void
+    flush()
+    {
+        std::size_t off = 0;
+        while (off < len) {
+            const ssize_t w = ::write(fd, buf + off, len - off);
+            if (w <= 0)
+                break;
+            off += static_cast<std::size_t>(w);
+        }
+        len = 0;
+    }
+
+    int fd;
+    std::size_t len = 0;
+    char buf[1024];
+};
+
+const char*
+kind_name(std::uint8_t k)
+{
+    switch (static_cast<Kind>(k)) {
+    case Kind::Log: return "log";
+    case Kind::Span: return "span";
+    case Kind::Note: return "note";
+    case Kind::Fatal: return "fatal";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------- signal handling
+
+struct sigaction g_old_actions[32];
+const int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+
+void
+crash_handler(int sig)
+{
+    // Record the signal itself, then dump and re-raise with default
+    // disposition so the exit status still reflects the crash.
+    note(Kind::Fatal, "signal", nullptr, sig);
+    dump(g_dump_path, sig);
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+void
+note(Kind kind, const char* name, const char* detail, std::int64_t value)
+{
+    const std::uint64_t t =
+        g_ticket.fetch_add(1, std::memory_order_relaxed);
+    Record& r = g_ring[t % kRecords];
+    r.seq.store(2 * t + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    r.ns.store(
+        static_cast<std::uint64_t>(flight_epoch().elapsed_ns()),
+        std::memory_order_relaxed);
+    r.meta.store((std::uint64_t(local_tid()) << 16) |
+                     (std::uint64_t(kind) << 8),
+                 std::memory_order_relaxed);
+    r.value.store(value, std::memory_order_relaxed);
+    store_words(r.name, name);
+    store_words(r.detail, detail);
+    r.seq.store(2 * t + 2, std::memory_order_release);
+}
+
+void
+note(Kind kind, const char* name, const std::string& detail,
+     std::int64_t value)
+{
+    note(kind, name, detail.c_str(), value);
+}
+
+std::uint64_t
+sequence()
+{
+    return g_ticket.load(std::memory_order_relaxed);
+}
+
+bool
+dump(const char* path, int signal)
+{
+    const int fd =
+        ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    Emitter out(fd);
+    out.str("{\"permuq_flight\": 1, \"signal\": ");
+    out.dec(signal);
+    out.str(", \"records\": [");
+
+    const std::uint64_t end =
+        g_ticket.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        end > kRecords ? end - kRecords : 0;
+    bool first = true;
+    for (std::uint64_t t = begin; t < end; ++t) {
+        const Record& r = g_ring[t % kRecords];
+        const std::uint64_t s1 =
+            r.seq.load(std::memory_order_acquire);
+        if (s1 != 2 * t + 2)
+            continue; // being written, or already overwritten
+        char name[kNameBytes];
+        char detail[kDetailBytes];
+        const std::uint64_t ns =
+            r.ns.load(std::memory_order_relaxed);
+        const std::uint64_t meta =
+            r.meta.load(std::memory_order_relaxed);
+        const std::int64_t value =
+            r.value.load(std::memory_order_relaxed);
+        load_words(r.name, name);
+        load_words(r.detail, detail);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (r.seq.load(std::memory_order_relaxed) != s1)
+            continue; // torn by a concurrent wrap-around
+        if (!first)
+            out.put(',');
+        first = false;
+        out.str("\n{\"seq\": ");
+        out.dec(static_cast<std::int64_t>(t));
+        out.str(", \"ns\": ");
+        out.dec(static_cast<std::int64_t>(ns));
+        out.str(", \"tid\": ");
+        out.dec(static_cast<std::int64_t>(meta >> 16));
+        out.str(", \"kind\": \"");
+        out.str(kind_name(static_cast<std::uint8_t>(meta >> 8)));
+        out.str("\", \"name\": \"");
+        out.escaped(name);
+        out.str("\", \"detail\": \"");
+        out.escaped(detail);
+        out.str("\", \"value\": ");
+        out.dec(value);
+        out.put('}');
+    }
+    out.str("\n]}\n");
+    out.flush();
+    ::close(fd);
+    return true;
+}
+
+bool
+dump()
+{
+    return dump(g_dump_path, 0);
+}
+
+const char*
+dump_path()
+{
+    return g_dump_path;
+}
+
+void
+install_crash_handler()
+{
+    static std::atomic<bool> installed{false};
+    if (installed.exchange(true))
+        return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = crash_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    for (int sig : kSignals)
+        ::sigaction(sig, &sa,
+                    &g_old_actions[sig % 32]);
+}
+
+} // namespace permuq::flight

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Crash-safe flight recorder: an always-on, lock-free ring of the
+ * most recent observability events (completed trace spans, log
+ * records, free-form notes, fatal errors), dumpable to JSON from a
+ * signal handler.
+ *
+ * Why it exists: trace/metrics export (telemetry.h) only runs at a
+ * clean process exit. When the fuzzer — or, later, the permuqd
+ * daemon — dies on SIGSEGV/SIGABRT, the flight recorder is what
+ * ships with the corpse: install_crash_handler() registers handlers
+ * that write the last kRecords events to `permuq_flight.json`
+ * (override with PERMUQ_FLIGHT) before re-raising the signal, so the
+ * exit status still reflects the crash.
+ *
+ * Implementation notes:
+ *
+ *  - Recording is wait-free: a ticket fetch_add claims a slot, the
+ *    payload is copied as relaxed atomic words, and a per-slot
+ *    sequence word publishes the record (seqlock). All-atomic
+ *    payloads keep the concurrent dump race-free under TSan; a
+ *    reader that observes a torn or stale slot skips it.
+ *
+ *  - dump() is async-signal-safe: open/write/close only, hand-rolled
+ *    integer formatting, zero allocation and zero locks. It may run
+ *    concurrently with writers from any thread or from the handler.
+ *
+ *  - Strings are truncated into fixed slots (kNameBytes/kDetailBytes)
+ *    at record time, so nothing in the dump path chases pointers.
+ *
+ * Determinism contract: like the rest of the observability layer the
+ * recorder is write-only from the compiler's point of view — it never
+ * feeds back into compilation.
+ */
+#ifndef PERMUQ_COMMON_LOG_FLIGHT_RECORDER_H
+#define PERMUQ_COMMON_LOG_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <string>
+
+namespace permuq::flight {
+
+/** Ring capacity (records retained at crash time). */
+inline constexpr std::size_t kRecords = 256;
+inline constexpr std::size_t kNameBytes = 48;
+inline constexpr std::size_t kDetailBytes = 160;
+
+enum class Kind : std::uint8_t {
+    Log = 1,   ///< a log record (value = level)
+    Span = 2,  ///< a completed trace span (value = duration ns)
+    Note = 3,  ///< free-form context, e.g. the fuzz config being run
+    Fatal = 4, ///< fatal error / signal (value = signal number)
+};
+
+/**
+ * Record one event. Wait-free, safe from any thread and from signal
+ * handlers. Strings are truncated to the fixed slot widths.
+ */
+void note(Kind kind, const char* name, const char* detail,
+          std::int64_t value = 0);
+void note(Kind kind, const char* name, const std::string& detail,
+          std::int64_t value = 0);
+
+/** Total records ever written (monotonic ticket; for tests). */
+std::uint64_t sequence();
+
+/**
+ * Write the ring to @p path as JSON, oldest record first. Async-
+ * signal-safe. @p signal, when nonzero, is recorded in the header.
+ * Returns false if the file cannot be opened.
+ */
+bool dump(const char* path, int signal = 0);
+
+/** dump() to dump_path(). */
+bool dump();
+
+/** PERMUQ_FLIGHT if set at load, else "permuq_flight.json". */
+const char* dump_path();
+
+/**
+ * Install SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump() and
+ * re-raise. Idempotent; call early in main() of any long-running or
+ * crash-prone surface (permuqc, permuq-fuzz, future permuqd).
+ */
+void install_crash_handler();
+
+} // namespace permuq::flight
+
+#endif // PERMUQ_COMMON_LOG_FLIGHT_RECORDER_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Structured, leveled logging for PermuQ.
+ *
+ * Replaces the ad-hoc stderr prints that used to live in the library
+ * and tools with a single process-wide logger:
+ *
+ *  - *Leveled.* debug/info/warn/error with an atomic threshold; a
+ *    suppressed call site costs exactly one relaxed atomic load and a
+ *    branch — the message string is never built. Library code must
+ *    therefore route every diagnostic through the level-checked
+ *    helpers below, never straight to stderr.
+ *
+ *  - *Two sink formats.* Human-readable text ("[12.345s info core]
+ *    msg") or JSON-lines ({"ts_ns":..,"level":"info",...}), selected
+ *    by set_format() / PERMUQ_LOG_FORMAT.
+ *
+ *  - *Async ring-buffered file writer.* When the sink is a file
+ *    (set_sink_file() / PERMUQ_LOG=path), records are pushed into a
+ *    bounded ring and drained by a background writer thread, so a
+ *    slow disk never stalls a compile. On overflow the oldest records
+ *    are dropped and counted (dropped()); flush() blocks until the
+ *    ring is empty. The stderr sink writes synchronously (one fwrite
+ *    per record) so CLI diagnostics stay ordered with the crash that
+ *    follows them.
+ *
+ *  - *Flight-recorder feed.* Every record that passes the level
+ *    filter is also copied into the crash flight recorder
+ *    (flight_recorder.h), so a post-mortem dump carries the last
+ *    log lines even when the sink was stderr or the writer thread
+ *    never got to run.
+ *
+ * Environment knobs, read once at load (configure_from_env):
+ *   PERMUQ_LOG        sink: a file path, or "stderr" (default)
+ *   PERMUQ_LOG_FORMAT "text" (default) or "json"
+ *   PERMUQ_LOG_LEVEL  "debug|info|warn|error|off" (default "warn")
+ *
+ * Determinism contract: logging is observational only — nothing in
+ * the compiler reads logger state, so any sink/level/format produces
+ * bit-identical compiled circuits.
+ */
+#ifndef PERMUQ_COMMON_LOG_LOG_H
+#define PERMUQ_COMMON_LOG_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace permuq::logging {
+
+enum class Level : std::int32_t { Debug = 0, Info, Warn, Error, Off };
+
+enum class Format : std::int32_t { Text = 0, Json };
+
+namespace detail {
+extern std::atomic<std::int32_t> g_level;
+} // namespace detail
+
+/** Current threshold; records below it are discarded unformatted. */
+inline Level
+level()
+{
+    return static_cast<Level>(
+        detail::g_level.load(std::memory_order_relaxed));
+}
+
+/** One relaxed load: would a record at @p l reach the sink? */
+inline bool
+enabled(Level l)
+{
+    return static_cast<std::int32_t>(l) >=
+           detail::g_level.load(std::memory_order_relaxed);
+}
+
+void set_level(Level level);
+
+/** Parse "debug|info|warn|error|off" (case-sensitive). */
+bool parse_level(const std::string& name, Level& out);
+
+/** Lowercase name of @p l ("debug".."error", "off"). */
+const char* level_name(Level l);
+
+/** Parse "text|json" (case-sensitive). */
+bool parse_format(const std::string& name, Format& out);
+
+void set_format(Format f);
+Format format();
+
+/** Route records to stderr (synchronous). The default sink. */
+void set_sink_stderr();
+
+/**
+ * Route records to @p path (truncating) through the async writer
+ * thread; false if the file cannot be opened (sink is unchanged).
+ */
+bool set_sink_file(const std::string& path);
+
+/**
+ * Emit one record at @p lv. @p component names the subsystem
+ * ("core.compiler", "verify.fuzz", ...) and must point at static
+ * storage; @p message is copied. Callers that build an expensive
+ * message should guard with enabled(lv) first — the convenience
+ * wrappers below do nothing else.
+ */
+void write(Level lv, const char* component, const std::string& message);
+
+inline void
+debug(const char* component, const std::string& message)
+{
+    if (enabled(Level::Debug))
+        write(Level::Debug, component, message);
+}
+
+inline void
+info(const char* component, const std::string& message)
+{
+    if (enabled(Level::Info))
+        write(Level::Info, component, message);
+}
+
+inline void
+warn(const char* component, const std::string& message)
+{
+    if (enabled(Level::Warn))
+        write(Level::Warn, component, message);
+}
+
+inline void
+error(const char* component, const std::string& message)
+{
+    if (enabled(Level::Error))
+        write(Level::Error, component, message);
+}
+
+/** Block until every queued record has reached the sink. */
+void flush();
+
+/** Records dropped to ring overflow since process start. */
+std::int64_t dropped();
+
+/**
+ * Apply PERMUQ_LOG / PERMUQ_LOG_FORMAT / PERMUQ_LOG_LEVEL. Runs once
+ * automatically at load; safe to call again (idempotent re-read).
+ */
+void configure_from_env();
+
+} // namespace permuq::logging
+
+#endif // PERMUQ_COMMON_LOG_LOG_H

@@ -10,11 +10,13 @@
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/log/flight_recorder.h"
 #include "common/stats.h"
 
 namespace permuq::telemetry {
@@ -24,9 +26,6 @@ std::atomic<bool> g_enabled{false};
 } // namespace detail
 
 namespace {
-
-std::atomic<std::int32_t> g_log_level{
-    static_cast<std::int32_t>(LogLevel::Warn)};
 
 /**
  * Per-thread span ring buffer. Single writer (the owning thread);
@@ -133,52 +132,26 @@ env_trace_path()
 void
 set_log_level(LogLevel level)
 {
-    g_log_level.store(static_cast<std::int32_t>(level),
-                      std::memory_order_relaxed);
+    logging::set_level(level);
 }
 
 LogLevel
 log_level()
 {
-    return static_cast<LogLevel>(
-        g_log_level.load(std::memory_order_relaxed));
+    return logging::level();
 }
 
 bool
 parse_log_level(const std::string& name, LogLevel& out)
 {
-    if (name == "debug")
-        out = LogLevel::Debug;
-    else if (name == "info")
-        out = LogLevel::Info;
-    else if (name == "warn")
-        out = LogLevel::Warn;
-    else if (name == "error")
-        out = LogLevel::Error;
-    else if (name == "off")
-        out = LogLevel::Off;
-    else
-        return false;
-    return true;
+    return logging::parse_level(name, out);
 }
 
 void
 log(LogLevel level, const std::string& message)
 {
-    if (static_cast<std::int32_t>(level) <
-        g_log_level.load(std::memory_order_relaxed))
-        return;
-    static const char* const kNames[] = {"debug", "info", "warn", "error"};
-    const auto idx = static_cast<std::size_t>(level);
-    if (idx >= std::size(kNames))
-        return;
-    // One stderr write per call so concurrent logs don't interleave.
-    std::string line = "[permuq:";
-    line += kNames[idx];
-    line += "] ";
-    line += message;
-    line += '\n';
-    std::fwrite(line.data(), 1, line.size(), stderr);
+    if (level != LogLevel::Off && logging::enabled(level))
+        logging::write(level, "permuq", message);
 }
 
 // ----------------------------------------------------------- registry
@@ -195,6 +168,9 @@ struct Registry::Impl
     std::deque<std::pair<std::string, Histogram>> histograms;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     std::uint32_t next_tid = 1;
+    /** Constant labels stamped on every Prometheus series (sorted so
+     *  exposition order is deterministic). */
+    std::map<std::string, std::string> labels;
 };
 
 namespace {
@@ -472,6 +448,159 @@ Registry::metrics_json() const
     return os.str();
 }
 
+// --------------------------------------------------- prometheus text
+
+namespace {
+
+/** Prometheus metric name: [a-zA-Z0-9_:], everything else -> '_',
+ *  with the project prefix guaranteed. */
+std::string
+prom_name(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 7);
+    for (char c : raw) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.rfind("permuq_", 0) != 0)
+        out.insert(0, "permuq_");
+    return out;
+}
+
+/** Prometheus label name: [a-zA-Z0-9_], must not start with a digit. */
+std::string
+prom_label_key(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+prom_label_value_into(std::ostringstream& os, const std::string& v)
+{
+    for (char c : v) {
+        switch (c) {
+        case '\\': os << "\\\\"; break;
+        case '"': os << "\\\""; break;
+        case '\n': os << "\\n"; break;
+        default: os << c;
+        }
+    }
+}
+
+/** Render `{base_labels}` or, with @p extra, `{base,extra}`. */
+std::string
+prom_labels(const std::map<std::string, std::string>& labels,
+            const std::string& extra = std::string())
+{
+    if (labels.empty() && extra.empty())
+        return std::string();
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << prom_label_key(k) << "=\"";
+        prom_label_value_into(os, v);
+        os << '"';
+    }
+    if (!extra.empty()) {
+        if (!first)
+            os << ',';
+        os << extra;
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace
+
+void
+Registry::set_export_label(const std::string& key,
+                           const std::string& value)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->labels[key] = value;
+}
+
+std::string
+Registry::prometheus_text() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::map<std::string, std::string> labels;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        labels = impl_->labels;
+    }
+    const std::string base = prom_labels(labels);
+    std::ostringstream os;
+
+    for (const auto& [name, v] : snap.counters) {
+        const std::string n = prom_name(name);
+        os << "# TYPE " << n << " counter\n"
+           << n << base << ' ' << v << '\n';
+    }
+    for (const auto& [name, v] : snap.gauges) {
+        const std::string n = prom_name(name);
+        os << "# TYPE " << n << " gauge\n"
+           << n << base << ' ' << v << '\n';
+    }
+    for (const HistogramSnapshot& h : snap.histograms) {
+        const std::string n = prom_name(h.name);
+        os << "# TYPE " << n << " histogram\n";
+        std::int64_t cumulative = 0;
+        for (const auto& [bound, count] : h.buckets) {
+            cumulative += count;
+            os << n << "_bucket"
+               << prom_labels(labels, "le=\"" +
+                                          format_double(bound) + "\"")
+               << ' ' << cumulative << '\n';
+        }
+        os << n << "_bucket" << prom_labels(labels, "le=\"+Inf\"")
+           << ' ' << h.count << '\n';
+        os << n << "_sum" << base << ' ' << format_double(h.sum)
+           << '\n';
+        os << n << "_count" << base << ' ' << h.count << '\n';
+    }
+    for (const SpanStats& s : snap.spans) {
+        const std::string n =
+            prom_name("permuq_span_" + s.name + "_ms");
+        os << "# TYPE " << n << " summary\n";
+        os << n << prom_labels(labels, "quantile=\"0.5\"") << ' '
+           << format_double(s.p50_ms) << '\n';
+        os << n << prom_labels(labels, "quantile=\"0.95\"") << ' '
+           << format_double(s.p95_ms) << '\n';
+        os << n << "_sum" << base << ' ' << format_double(s.total_ms)
+           << '\n';
+        os << n << "_count" << base << ' ' << s.count << '\n';
+    }
+    return os.str();
+}
+
+bool
+Registry::write_prometheus(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << prometheus_text();
+    return static_cast<bool>(out);
+}
+
 bool
 Registry::write_trace(const std::string& path) const
 {
@@ -508,6 +637,7 @@ Registry::reset()
     }
     for (auto& buf : impl_->buffers)
         buf->clear();
+    impl_->labels.clear();
 }
 
 Counter&
@@ -551,6 +681,14 @@ ScopedSpan::end()
     ThreadBuffer& buf = local_buffer(registry_impl());
     --buf.depth;
     buf.push(ev_);
+    // Mirror coarse completions into the crash flight recorder so a
+    // post-mortem dump shows the phases leading up to the crash.
+    // Deeply nested spans (per-cycle greedy rounds) are skipped: they
+    // would evict the interesting context from the 256-record ring
+    // and double the per-span cost for no diagnostic gain.
+    if (ev_.depth <= 2)
+        flight::note(flight::Kind::Span, ev_.name, nullptr,
+                     static_cast<std::int64_t>(ev_.dur_ns));
     live_ = false;
 }
 

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/log/log.h"
 #include "common/timer.h"
 
 namespace permuq::telemetry {
@@ -81,8 +82,13 @@ void set_enabled(bool on);
 const char* env_trace_path();
 
 // ---------------------------------------------------------------- log
+//
+// Historical entry points, now thin forwarders onto the structured
+// logger in common/log/log.h (which owns the level gate, the sinks,
+// and the async writer). New code should call permuq::logging
+// directly with a component name; these remain for existing sites.
 
-enum class LogLevel : std::int32_t { Debug = 0, Info, Warn, Error, Off };
+using LogLevel = logging::Level;
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
@@ -90,7 +96,8 @@ LogLevel log_level();
 /** Parse "debug|info|warn|error|off" (case-sensitive). */
 bool parse_log_level(const std::string& name, LogLevel& out);
 
-/** Print to stderr when @p level >= the configured threshold. */
+/** Emit via the structured logger (component "permuq") when
+ *  @p level >= the configured threshold. */
 void log(LogLevel level, const std::string& message);
 
 // ------------------------------------------------------------ metrics
@@ -342,10 +349,30 @@ class Registry
     /** Metrics snapshot as JSON. */
     std::string metrics_json() const;
 
-    /** Write trace_json()/metrics_json() to @p path; false on I/O
-     *  failure. */
+    /**
+     * Prometheus text exposition (version 0.0.4) of the snapshot.
+     * Metric names are sanitized to [a-z0-9_] and prefixed with
+     * `permuq_`; histograms emit cumulative `_bucket{le=...}` series
+     * plus `_sum`/`_count`, span aggregates become summaries with
+     * p50/p95 quantile rows. Labels registered via set_export_label
+     * (e.g. tier/topology/shard) are attached to every series —
+     * exactly the payload a future permuqd scrape endpoint serves.
+     */
+    std::string prometheus_text() const;
+
+    /**
+     * Attach a constant label to every exported Prometheus series;
+     * re-setting a key overwrites it. Keys/values are sanitized on
+     * write-out.
+     */
+    void set_export_label(const std::string& key,
+                          const std::string& value);
+
+    /** Write trace_json()/metrics_json()/prometheus_text() to
+     *  @p path; false on I/O failure. */
     bool write_trace(const std::string& path) const;
     bool write_metrics(const std::string& path) const;
+    bool write_prometheus(const std::string& path) const;
 
     /** Zero every metric and drop all buffered spans (tests; call at
      *  a quiescent point). Registered names stay registered. */

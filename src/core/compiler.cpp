@@ -1,6 +1,7 @@
 #include "compiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdlib>
@@ -56,9 +57,11 @@ class ScheduleCache
         for (const auto& [r, s] : entries_)
             if (r == region) {
                 hits.add();
+                hits_.fetch_add(1, std::memory_order_relaxed);
                 return s;
             }
         misses.add();
+        misses_.fetch_add(1, std::memory_order_relaxed);
         entries_.emplace_back(region, ata::ata_schedule(device, region));
         return entries_.back().second;
     }
@@ -82,10 +85,12 @@ class ScheduleCache
             for (const auto& [regions, s] : tails_)
                 if (regions == plan.regions) {
                     hits.add();
+                    hits_.fetch_add(1, std::memory_order_relaxed);
                     return s;
                 }
         }
         misses.add();
+        misses_.fetch_add(1, std::memory_order_relaxed);
         ata::SwapSchedule out;
         for (const auto& region : plan.regions)
             out.append(get(device, region));
@@ -99,8 +104,25 @@ class ScheduleCache
         return tails_.back().second;
     }
 
+    // Compile-local tallies for the explain report. The telemetry
+    // counters above are process-wide and gated on enabled(); these
+    // are per-compile and unconditional.
+    std::int64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::mutex mu_;
+    std::atomic<std::int64_t> hits_{0};
+    std::atomic<std::int64_t> misses_{0};
     // Deque: references handed out stay valid as entries accumulate.
     std::deque<std::pair<ata::Region, ata::SwapSchedule>> entries_;
     std::deque<std::pair<std::vector<ata::Region>, ata::SwapSchedule>>
@@ -238,11 +260,17 @@ class GreedyEngine
             .add(circ_.num_swaps());
         telemetry::counter("permuq.core.greedy.gates_scheduled")
             .add(circ_.num_compute());
+        telemetry::counter("permuq.core.greedy.pull_cache.hit")
+            .add(pull_hits_);
+        telemetry::counter("permuq.core.greedy.pull_cache.miss")
+            .add(pull_misses_);
         span.arg("swaps", circ_.num_swaps());
     }
 
     const circuit::Circuit& circuit() const { return circ_; }
     const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+    std::int64_t pull_hits() const { return pull_hits_; }
+    std::int64_t pull_misses() const { return pull_misses_; }
 
   private:
     /** Recompute whether coupler @p c hosts an executable pending gate
@@ -526,9 +554,11 @@ class GreedyEngine
             PhysicalQubit target;
             if (cache.expires > cycle && cache.partner >= 0 &&
                 done8_[static_cast<std::size_t>(cache.edge)] == 0) {
+                ++pull_hits_;
                 target = mapping.physical_of(cache.partner);
                 best_d = dist.at(pa, target);
             } else {
+                ++pull_misses_;
                 best_d = kUnreachable;
                 target = kInvalidQubit;
                 LogicalQubit partner = kInvalidQubit;
@@ -765,6 +795,10 @@ class GreedyEngine
     };
     std::vector<PullCache> pull_cache_;
     std::vector<LogicalQubit> active_;
+    // Pull-cache tallies for the explain report; plain ints (the
+    // engine is single-threaded) flushed to telemetry once per run.
+    std::int64_t pull_hits_ = 0;
+    std::int64_t pull_misses_ = 0;
     std::int64_t pending_ = 0;
     std::int64_t last_compute_cycle_ = 0;
     double median_error_ = 1e-2;
@@ -833,9 +867,13 @@ compile_single(const arch::CouplingGraph& device,
 {
     CompileResult result;
     telemetry::ScopedSpan span("compile.trial");
+    Timer greedy_timer;
     GreedyEngine engine(device, problem, options, crosstalk, edge_table,
                         device_index, sched_cache, std::move(initial));
     engine.run();
+    result.report.greedy_seconds = greedy_timer.elapsed_seconds();
+    result.report.pull_cache_hits = engine.pull_hits();
+    result.report.pull_cache_misses = engine.pull_misses();
     const circuit::Circuit& greedy = engine.circuit();
     auto greedy_metrics = circuit::compute_metrics(greedy, options.noise);
 
@@ -844,6 +882,9 @@ compile_single(const arch::CouplingGraph& device,
     result.selected = "greedy";
     result.snapshots =
         static_cast<std::int32_t>(engine.snapshots().size());
+    // Pure greedy has no ATA tail: the whole circuit is "prefix".
+    std::int64_t winning_prefix =
+        static_cast<std::int64_t>(greedy.ops().size());
 
     if (options.use_ata_prediction && problem.num_edges() > 0) {
         // Rank snapshots by estimated F and materialize the best few;
@@ -881,6 +922,9 @@ compile_single(const arch::CouplingGraph& device,
         // is independent), then select sequentially in the original
         // candidate order so the winner is exactly the one the serial
         // loop would have picked.
+        Timer materialize_timer;
+        result.report.candidates =
+            static_cast<std::int32_t>(to_materialize.size());
         std::vector<circuit::Circuit> cand(to_materialize.size());
         std::vector<circuit::Metrics> cand_metrics(to_materialize.size());
         common::parallel_tasks(
@@ -905,9 +949,15 @@ compile_single(const arch::CouplingGraph& device,
                 result.metrics = cand_metrics[i];
                 result.selected =
                     to_materialize[i] == 0 ? "ata" : "hybrid";
+                winning_prefix = to_materialize[i];
             }
         }
+        result.report.materialize_seconds =
+            materialize_timer.elapsed_seconds();
     }
+    attribute_prefix_tail(result.circuit, winning_prefix, result.report);
+    result.report.snapshots = result.snapshots;
+    result.report.selected = result.selected;
     return result;
 }
 
@@ -963,6 +1013,8 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
 
     CompilerOptions options = options_in;
     CompileTier tier = resolve_tier(options.tier);
+    const CompileTier tier_requested = tier;
+    std::string fallback_reason;
     if (tier == CompileTier::Fast && !fast_tier_supported(device)) {
         // No ATA pattern on irregular devices -> no search-free
         // pipeline; serve the request from the balanced tier instead.
@@ -970,9 +1022,39 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
             telemetry::counter("permuq.compile.fast.fallback");
         fallbacks.add();
         tier = CompileTier::Balanced;
+        fallback_reason =
+            "no ATA pattern on a custom device; served as balanced";
+        logging::info("compile", fallback_reason);
     }
     options.tier = tier;
     span.arg("tier", tier_name(tier));
+
+    // Shared tail of every return path below: tier provenance, problem
+    // shape, final metrics, and the one debug summary line.
+    auto finish_report = [&](CompileResult& result) {
+        CompileReport& rep = result.report;
+        rep.tier_requested = tier_name(tier_requested);
+        rep.tier_served = tier_name(tier);
+        rep.fallback_reason = fallback_reason;
+        rep.selected = result.selected;
+        rep.problem_qubits = problem.num_vertices();
+        rep.problem_edges = problem.num_edges();
+        rep.device_qubits = device.num_qubits();
+        rep.depth = static_cast<std::int64_t>(result.metrics.depth);
+        rep.cx_count = result.metrics.cx_count;
+        rep.swap_count = result.metrics.swap_gates;
+        rep.fidelity = result.metrics.fidelity;
+        rep.total_seconds = result.compile_seconds;
+        if (logging::enabled(logging::Level::Debug))
+            logging::debug(
+                "compile",
+                "tier=" + rep.tier_served + " selected=" + rep.selected +
+                    " qubits=" + std::to_string(rep.problem_qubits) +
+                    " depth=" + std::to_string(rep.depth) +
+                    " cx=" + std::to_string(rep.cx_count) +
+                    " swaps=" + std::to_string(rep.swap_count) +
+                    " seconds=" + std::to_string(rep.total_seconds));
+    };
 
     if (tier == CompileTier::Fast) {
         // Single-pass search-free pipeline; shares nothing with the
@@ -982,6 +1064,8 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
         CompileResult result = fast_compile(device, problem, options);
         result.tier = tier_name(tier);
         result.compile_seconds = timer.elapsed_seconds();
+        result.report.trials = 1;
+        finish_report(result);
         return result;
     }
     if (tier == CompileTier::Balanced) {
@@ -1014,19 +1098,29 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
     const DeviceIndex device_index(device);
     ScheduleCache sched_cache;
 
+    // Placement time is summed across trials (they fan out on the
+    // pool, hence the atomic) for the report's phase breakdown.
+    std::atomic<std::int64_t> placement_ns{0};
     auto initial_for_trial = [&](std::int32_t trial) {
-        if (trial == 0)
-            return options.smart_placement
-                       ? connectivity_strength_placement(device, problem)
-                       : circuit::Mapping(problem.num_vertices(),
-                                          device.num_qubits());
-        // Per-trial jump streams: trial k draws from the k-times-
-        // jumped generator, so its randomness is independent of how
-        // trials are scheduled across threads.
-        Xoshiro256 rng(options.placement_seed);
-        for (std::int32_t k = 0; k < trial; ++k)
-            rng.jump();
-        return perturbed_placement(device, problem, rng);
+        Timer placement_timer;
+        circuit::Mapping m = [&]() -> circuit::Mapping {
+            if (trial == 0)
+                return options.smart_placement
+                           ? connectivity_strength_placement(device,
+                                                             problem)
+                           : circuit::Mapping(problem.num_vertices(),
+                                              device.num_qubits());
+            // Per-trial jump streams: trial k draws from the k-times-
+            // jumped generator, so its randomness is independent of
+            // how trials are scheduled across threads.
+            Xoshiro256 rng(options.placement_seed);
+            for (std::int32_t k = 0; k < trial; ++k)
+                rng.jump();
+            return perturbed_placement(device, problem, rng);
+        }();
+        placement_ns.fetch_add(placement_timer.elapsed_ns(),
+                               std::memory_order_relaxed);
+        return m;
     };
 
     std::int32_t trials = std::max(1, options.num_placement_trials);
@@ -1063,6 +1157,14 @@ compile(const arch::CouplingGraph& device, const graph::Graph& problem,
 
     result.tier = tier_name(tier);
     result.compile_seconds = timer.elapsed_seconds();
+    result.report.trials = trials;
+    result.report.placement_seconds =
+        static_cast<double>(
+            placement_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    result.report.schedule_cache_hits = sched_cache.hits();
+    result.report.schedule_cache_misses = sched_cache.misses();
+    finish_report(result);
     return result;
 }
 

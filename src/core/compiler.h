@@ -15,6 +15,7 @@
 #include "circuit/circuit.h"
 #include "circuit/metrics.h"
 #include "core/options.h"
+#include "core/report.h"
 #include "graph/graph.h"
 
 namespace permuq::core {
@@ -35,6 +36,8 @@ struct CompileResult
     std::int32_t snapshots = 0;
     /** Wall-clock compilation time in seconds. */
     double compile_seconds = 0.0;
+    /** Per-compile explain report (always populated; see report.h). */
+    CompileReport report;
 };
 
 /**

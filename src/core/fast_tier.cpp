@@ -18,6 +18,7 @@
 #include "ata/replay.h"
 #include "common/error.h"
 #include "common/telemetry/telemetry.h"
+#include "common/timer.h"
 #include "core/crosstalk.h"
 #include "core/engine_util.h"
 #include "core/prediction.h"
@@ -185,6 +186,8 @@ class FastEngine
                 route_remaining();
             } else {
                 telemetry::ScopedSpan replay_span("ata.replay");
+                prefix_ops_ =
+                    static_cast<std::int64_t>(circ_.ops().size());
                 auto plan = detect_regions(device_, problem_, done_,
                                            circ_.final_mapping());
                 auto sched = tail_schedule(device_, plan);
@@ -199,11 +202,27 @@ class FastEngine
             .add(circ_.num_swaps());
         telemetry::counter("permuq.core.greedy.gates_scheduled")
             .add(circ_.num_compute());
+        telemetry::counter("permuq.core.greedy.pull_cache.hit")
+            .add(pull_hits_);
+        telemetry::counter("permuq.core.greedy.pull_cache.miss")
+            .add(pull_misses_);
         span.arg("burst_cycles", cycle);
         span.arg("swaps", circ_.num_swaps());
     }
 
     circuit::Circuit take_circuit() && { return std::move(circ_); }
+
+    /** Ops before the ATA tail (everything, when no tail ran). */
+    std::int64_t
+    prefix_ops() const
+    {
+        return prefix_ops_ >= 0
+                   ? prefix_ops_
+                   : static_cast<std::int64_t>(circ_.ops().size());
+    }
+
+    std::int64_t pull_hits() const { return pull_hits_; }
+    std::int64_t pull_misses() const { return pull_misses_; }
 
   private:
     /** Recompute whether coupler @p c hosts an executable pending gate
@@ -438,9 +457,11 @@ class FastEngine
             PhysicalQubit target;
             if (cache.expires > cycle && cache.partner >= 0 &&
                 done8_[static_cast<std::size_t>(cache.edge)] == 0) {
+                ++pull_hits_;
                 target = mapping.physical_of(cache.partner);
                 best_d = dist.at(pa, target);
             } else {
+                ++pull_misses_;
                 best_d = kUnreachable;
                 target = kInvalidQubit;
                 LogicalQubit partner = kInvalidQubit;
@@ -657,6 +678,11 @@ class FastEngine
     };
     std::vector<PullCache> pull_cache_;
     std::vector<LogicalQubit> active_;
+    // Explain-report tallies (plain ints; the engine is
+    // single-threaded).
+    std::int64_t pull_hits_ = 0;
+    std::int64_t pull_misses_ = 0;
+    std::int64_t prefix_ops_ = -1; ///< -1 = no ATA tail appended
     std::int64_t pending_ = 0;
 };
 
@@ -677,19 +703,30 @@ fast_compile(const arch::CouplingGraph& device,
         crosstalk = std::make_unique<CrosstalkMap>(device);
     const EdgeTable edge_table(problem);
     const DeviceIndex device_index(device);
+    Timer placement_timer;
+    circuit::Mapping initial =
+        options.smart_placement
+            ? bfs_locality_placement(device, problem)
+            : circuit::Mapping(problem.num_vertices(),
+                               device.num_qubits());
+    const double placement_seconds = placement_timer.elapsed_seconds();
     FastEngine engine(device, problem, options, crosstalk.get(),
-                      edge_table, device_index,
-                      options.smart_placement
-                          ? bfs_locality_placement(device, problem)
-                          : circuit::Mapping(problem.num_vertices(),
-                                             device.num_qubits()));
+                      edge_table, device_index, std::move(initial));
+    Timer greedy_timer;
     engine.run();
     CompileResult result;
+    result.report.placement_seconds = placement_seconds;
+    result.report.greedy_seconds = greedy_timer.elapsed_seconds();
+    result.report.pull_cache_hits = engine.pull_hits();
+    result.report.pull_cache_misses = engine.pull_misses();
+    const std::int64_t prefix_ops = engine.prefix_ops();
     result.circuit = std::move(engine).take_circuit();
     result.metrics = circuit::compute_metrics(result.circuit,
                                               options.noise);
     result.selected = "fast";
     result.snapshots = 0;
+    attribute_prefix_tail(result.circuit, prefix_ops, result.report);
+    result.report.selected = result.selected;
     return result;
 }
 

@@ -94,11 +94,36 @@ compile_band(const arch::CouplingGraph& device, const ShardRegion& region,
              const graph::Graph& problem, const CompilerOptions& options,
              std::size_t index)
 {
+    telemetry::ScopedSpan span("compile.shard.band");
+    span.arg("band", static_cast<std::int64_t>(index));
+    span.arg("band_qubits",
+             static_cast<std::int64_t>(region.num_qubits));
     const graph::Graph sub_problem = band_problem(problem, region);
     if (sub_problem.num_vertices() == 0)
         return {};
     const arch::CouplingGraph sub_device = make_band_device(device, region);
     return compile(sub_device, sub_problem, region_options(options, index));
+}
+
+/** Per-band explain rows from the compiled band results. */
+std::vector<CompileReport::Band>
+band_rows(const std::vector<CompileResult>& bands, const ShardPlan& plan)
+{
+    std::vector<CompileReport::Band> rows;
+    rows.reserve(bands.size());
+    for (std::size_t r = 0; r < bands.size(); ++r) {
+        CompileReport::Band row;
+        row.index = static_cast<std::int32_t>(r);
+        row.qubits = plan.regions[r].num_qubits;
+        row.edges = bands[r].report.problem_edges;
+        row.depth = static_cast<std::int64_t>(bands[r].metrics.depth);
+        row.swaps = bands[r].metrics.swap_gates;
+        row.cx = bands[r].metrics.cx_count;
+        row.seconds = bands[r].compile_seconds;
+        row.selected = bands[r].selected;
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 /** Global initial mapping composed from the band-local placements. */
@@ -320,14 +345,61 @@ shard_compile(const arch::CouplingGraph& device,
         append_band(assembled, bands[r].circuit,
                     plan.regions[r].first_qubit);
     assembled.barrier();
-    stitch_edges(assembled, device, cross_band_edges(problem, plan));
+    const std::int64_t pre_stitch_swaps = assembled.num_swaps();
+    const auto pre_stitch_depth = assembled.depth();
+    const auto cross = cross_band_edges(problem, plan);
+    Timer stitch_timer;
+    stitch_edges(assembled, device, cross);
 
     CompileResult result;
+    result.report.stitch_seconds = stitch_timer.elapsed_seconds();
+    result.report.stitched_edges =
+        static_cast<std::int64_t>(cross.size());
+    result.report.stitch_swaps =
+        assembled.num_swaps() - pre_stitch_swaps;
+    result.report.stitch_depth =
+        static_cast<std::int64_t>(assembled.depth() - pre_stitch_depth);
     result.metrics = circuit::compute_metrics(assembled, options.noise);
     result.circuit = std::move(assembled);
     result.selected = "sharded";
     result.tier = tier_name(resolve_tier(options.tier));
     result.compile_seconds = timer.elapsed_seconds();
+
+    CompileReport& rep = result.report;
+    rep.tier_served = result.tier;
+    rep.tier_requested = result.tier;
+    rep.selected = result.selected;
+    rep.problem_qubits = problem.num_vertices();
+    rep.problem_edges = problem.num_edges();
+    rep.device_qubits = device.num_qubits();
+    rep.shard_regions = static_cast<std::int32_t>(plan.regions.size());
+    rep.bands = band_rows(bands, plan);
+    for (const auto& band : bands) {
+        rep.trials += band.report.trials;
+        rep.snapshots += band.report.snapshots;
+        rep.candidates += band.report.candidates;
+        rep.placement_seconds += band.report.placement_seconds;
+        rep.greedy_seconds += band.report.greedy_seconds;
+        rep.materialize_seconds += band.report.materialize_seconds;
+        rep.schedule_cache_hits += band.report.schedule_cache_hits;
+        rep.schedule_cache_misses += band.report.schedule_cache_misses;
+        rep.pull_cache_hits += band.report.pull_cache_hits;
+        rep.pull_cache_misses += band.report.pull_cache_misses;
+    }
+    rep.depth = static_cast<std::int64_t>(result.metrics.depth);
+    rep.cx_count = result.metrics.cx_count;
+    rep.swap_count = result.metrics.swap_gates;
+    rep.fidelity = result.metrics.fidelity;
+    rep.total_seconds = result.compile_seconds;
+    if (logging::enabled(logging::Level::Debug))
+        logging::debug(
+            "core.shard",
+            "regions=" + std::to_string(rep.shard_regions) +
+                " stitched_edges=" +
+                std::to_string(rep.stitched_edges) +
+                " depth=" + std::to_string(rep.depth) +
+                " cx=" + std::to_string(rep.cx_count) +
+                " seconds=" + std::to_string(rep.total_seconds));
     return result;
 }
 
@@ -387,6 +459,30 @@ shard_compile_stream(const arch::CouplingGraph& device,
         out.peak_circuit_bytes = std::max(out.peak_circuit_bytes,
                                           band.circuit.memory_bytes());
         writer.chunk(band.circuit, region.first_qubit);
+        CompileReport::Band row;
+        row.index = static_cast<std::int32_t>(r);
+        row.qubits = region.num_qubits;
+        row.edges = band.report.problem_edges;
+        row.depth = static_cast<std::int64_t>(band.metrics.depth);
+        row.swaps = band.metrics.swap_gates;
+        row.cx = band.metrics.cx_count;
+        row.seconds = band.compile_seconds;
+        row.selected = band.selected;
+        out.report.bands.push_back(std::move(row));
+        out.report.trials += band.report.trials;
+        out.report.snapshots += band.report.snapshots;
+        out.report.candidates += band.report.candidates;
+        out.report.placement_seconds +=
+            band.report.placement_seconds;
+        out.report.greedy_seconds += band.report.greedy_seconds;
+        out.report.materialize_seconds +=
+            band.report.materialize_seconds;
+        out.report.schedule_cache_hits +=
+            band.report.schedule_cache_hits;
+        out.report.schedule_cache_misses +=
+            band.report.schedule_cache_misses;
+        out.report.pull_cache_hits += band.report.pull_cache_hits;
+        out.report.pull_cache_misses += band.report.pull_cache_misses;
         // band goes out of scope here: its arena is freed before the
         // next region compiles.
     }
@@ -406,7 +502,9 @@ shard_compile_stream(const arch::CouplingGraph& device,
                                              device.num_qubits()));
     const auto cross = cross_band_edges(problem, plan);
     out.stitched_edges = static_cast<std::int64_t>(cross.size());
+    Timer stitch_timer;
     stitch_edges(stitch, device, cross);
+    out.report.stitch_seconds = stitch_timer.elapsed_seconds();
     out.total_ops += static_cast<std::int64_t>(stitch.ops().size());
     out.peak_circuit_bytes =
         std::max(out.peak_circuit_bytes, stitch.memory_bytes());
@@ -433,6 +531,23 @@ shard_compile_stream(const arch::CouplingGraph& device,
     }
     out.metrics = total;
     out.compile_seconds = timer.elapsed_seconds();
+
+    CompileReport& rep = out.report;
+    rep.tier_served = tier_name(resolve_tier(options.tier));
+    rep.tier_requested = rep.tier_served;
+    rep.selected = "sharded";
+    rep.problem_qubits = problem.num_vertices();
+    rep.problem_edges = problem.num_edges();
+    rep.device_qubits = device.num_qubits();
+    rep.shard_regions = static_cast<std::int32_t>(plan.regions.size());
+    rep.stitched_edges = out.stitched_edges;
+    rep.stitch_swaps = stitch_metrics.swap_gates;
+    rep.stitch_depth = static_cast<std::int64_t>(stitch_metrics.depth);
+    rep.depth = static_cast<std::int64_t>(total.depth);
+    rep.cx_count = total.cx_count;
+    rep.swap_count = total.swap_gates;
+    rep.fidelity = total.fidelity;
+    rep.total_seconds = out.compile_seconds;
     return out;
 }
 

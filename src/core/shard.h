@@ -111,6 +111,9 @@ struct ShardStreamResult
     /** Cross-band problem edges routed by the stitcher. */
     std::int64_t stitched_edges = 0;
     double compile_seconds = 0.0;
+    /** Per-compile explain report (band rows, stitch attribution,
+     *  cache rates) — same shape as CompileResult::report. */
+    CompileReport report;
 };
 
 /**

@@ -12,6 +12,7 @@
 #include "circuit/metrics.h"
 #include "circuit/qasm.h"
 #include "common/error.h"
+#include "common/log/flight_recorder.h"
 #include "common/rng.h"
 #include "core/compiler.h"
 #include "problem/generators.h"
@@ -223,6 +224,10 @@ run_config(const FuzzConfig& config)
         const arch::NoiseModel* noise_ptr =
             noise ? &*noise : nullptr;
 
+        // Flight-recorder phase markers: if the compiler or a checker
+        // crashes, the dump's last verify.phase note names the stage.
+        flight::note(flight::Kind::Note, "verify.phase", "compile",
+                     config.num_vertices);
         circuit::Circuit circ =
             compile_circuit(device, problem, config, noise_ptr);
 
@@ -260,6 +265,8 @@ run_config(const FuzzConfig& config)
         }
 
         // Tier B and the legacy structural validator, cross-checked.
+        flight::note(flight::Kind::Note, "verify.phase", "tier-b",
+                     config.num_vertices);
         const auto symbolic = check_symbolic(device, checked, circ);
         const auto legacy = circuit::validate(circ, device, checked);
         if (symbolic.ok != legacy.ok) {
@@ -272,6 +279,8 @@ run_config(const FuzzConfig& config)
 
         // Tier A, cross-checked against Tier B.
         if (device.num_qubits() <= config.tier_a_max) {
+            flight::note(flight::Kind::Note, "verify.phase", "tier-a",
+                         config.num_vertices);
             ExactOptions exact_options;
             exact_options.max_qubits = config.tier_a_max;
             const auto exact =

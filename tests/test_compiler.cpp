@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "arch/coupling_graph.h"
 #include "arch/noise_model.h"
 #include "baselines/baselines.h"
 #include "circuit/metrics.h"
+#include "common/log/log.h"
+#include "common/telemetry/telemetry.h"
 #include "core/compiler.h"
 #include "core/crosstalk.h"
 #include "core/placement.h"
@@ -101,6 +104,114 @@ INSTANTIATE_TEST_SUITE_P(
                       CompileCase{arch::ArchKind::Grid, 64, 0.7},
                       CompileCase{arch::ArchKind::Hexagon, 36, 0.3},
                       CompileCase{arch::ArchKind::Line, 16, 0.4}));
+
+TEST(CompileTest, ReportAttributesPhasesPrefixTailAndCaches)
+{
+    auto device = arch::smallest_arch(arch::ArchKind::Sycamore, 32);
+    auto problem = problem::random_graph(32, 0.3, 17);
+    // Pin the tier: this test asserts balanced-path attribution
+    // (schedule caches, greedy timing), which PERMUQ_TIER=fast would
+    // route around. The fast tier has its own report test below.
+    CompilerOptions options;
+    options.tier = CompileTier::Best;
+    auto result = compile(device, problem, options);
+    const CompileReport& rep = result.report;
+
+    EXPECT_FALSE(rep.tier_requested.empty());
+    EXPECT_FALSE(rep.tier_served.empty());
+    EXPECT_EQ(rep.selected, result.selected);
+    EXPECT_EQ(rep.problem_qubits, problem.num_vertices());
+    EXPECT_EQ(rep.problem_edges, problem.num_edges());
+    EXPECT_EQ(rep.device_qubits, device.num_qubits());
+    EXPECT_GT(rep.trials, 0);
+    EXPECT_GT(rep.total_seconds, 0.0);
+    EXPECT_GT(rep.greedy_seconds, 0.0);
+
+    // Prefix + tail partition the op stream and its metrics exactly.
+    const auto total_ops =
+        static_cast<std::int64_t>(result.circuit.ops().size());
+    EXPECT_EQ(rep.prefix_swaps + rep.prefix_computes, rep.prefix_ops);
+    EXPECT_EQ(rep.prefix_ops + rep.tail_swaps + rep.tail_computes,
+              total_ops);
+    EXPECT_EQ(rep.prefix_swaps + rep.tail_swaps,
+              result.metrics.swap_gates);
+    EXPECT_EQ(rep.prefix_computes + rep.tail_computes,
+              result.metrics.compute_gates);
+    EXPECT_EQ(rep.prefix_depth + rep.tail_depth, result.metrics.depth);
+    // The per-round rows account for the whole tail (when present).
+    std::int64_t round_swaps = 0, round_computes = 0;
+    for (const auto& round : rep.rounds) {
+        round_swaps += round.swaps;
+        round_computes += round.computes;
+    }
+    if (rep.ata_rounds ==
+        static_cast<std::int64_t>(rep.rounds.size())) {
+        EXPECT_EQ(round_swaps, rep.tail_swaps);
+        EXPECT_EQ(round_computes, rep.tail_computes);
+    }
+
+    // A 32-qubit hybrid compile exercises the schedule cache.
+    EXPECT_GT(rep.schedule_cache_hits + rep.schedule_cache_misses, 0);
+    EXPECT_GT(rep.pull_cache_hits + rep.pull_cache_misses, 0);
+
+    EXPECT_EQ(rep.depth, result.metrics.depth);
+    EXPECT_EQ(rep.cx_count, result.metrics.cx_count);
+    EXPECT_EQ(rep.swap_count, result.metrics.swap_gates);
+
+    const std::string json = rep.to_json();
+    EXPECT_NE(json.find("\"permuq_report\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"caches\""), std::string::npos);
+}
+
+TEST(CompileTest, FastTierReportCoversPrefixAndTail)
+{
+    auto device = arch::smallest_arch(arch::ArchKind::Grid, 36);
+    auto problem = problem::random_graph(36, 0.4, 23);
+    CompilerOptions options;
+    options.tier = CompileTier::Fast;
+    auto result = compile(device, problem, options);
+    const CompileReport& rep = result.report;
+    EXPECT_EQ(rep.tier_served, "fast");
+    EXPECT_EQ(rep.prefix_ops + rep.tail_swaps + rep.tail_computes,
+              static_cast<std::int64_t>(result.circuit.ops().size()));
+    EXPECT_EQ(rep.prefix_depth + rep.tail_depth, result.metrics.depth);
+    EXPECT_GT(rep.total_seconds, 0.0);
+}
+
+TEST(CompileTest, OutputBitIdenticalWithObservabilityEnabled)
+{
+    // The acceptance bar for the observability layer: debug logging
+    // and telemetry recording must not perturb compilation.
+    auto device = arch::smallest_arch(arch::ArchKind::Sycamore, 32);
+    auto problem = problem::random_graph(32, 0.5, 29);
+    auto quiet = compile(device, problem);
+
+    const logging::Level level_before = logging::level();
+    logging::set_level(logging::Level::Debug);
+    const std::string sink = ::testing::TempDir() +
+                             "permuq_obs_identity.log";
+    logging::set_sink_file(sink);
+    telemetry::set_enabled(true);
+    auto loud = compile(device, problem);
+    telemetry::set_enabled(false);
+    telemetry::Registry::instance().reset();
+    logging::flush();
+    logging::set_sink_stderr();
+    logging::set_level(level_before);
+    std::remove(sink.c_str());
+
+    const auto& a = quiet.circuit.ops();
+    const auto& b = loud.circuit.ops();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].p, b[i].p);
+        EXPECT_EQ(a[i].q, b[i].q);
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+    }
+    EXPECT_EQ(quiet.metrics.depth, loud.metrics.depth);
+}
 
 TEST(CompileTest, CliqueSelectsStructuredSolution)
 {

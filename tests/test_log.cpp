@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the structured logging module and the crash flight
+ * recorder: level parsing/filtering, text and JSON-lines sinks, the
+ * async file writer, flight-ring recording and JSON dumps, and a
+ * fork()-based end-to-end crash test (child segfaults, parent parses
+ * the dump the signal handler wrote).
+ */
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log/flight_recorder.h"
+#include "common/log/log.h"
+
+using namespace permuq;
+
+namespace {
+
+/** Restores logger level/format/sink after each test. */
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        level_before_ = logging::level();
+        format_before_ = logging::format();
+    }
+
+    void
+    TearDown() override
+    {
+        logging::flush();
+        logging::set_sink_stderr();
+        logging::set_level(level_before_);
+        logging::set_format(format_before_);
+        for (const auto& path : cleanup_)
+            std::remove(path.c_str());
+    }
+
+    std::string
+    temp_file(const char* tag)
+    {
+        std::ostringstream os;
+        os << ::testing::TempDir() << "permuq_log_test_" << tag << "_"
+           << ::getpid() << ".log";
+        cleanup_.push_back(os.str());
+        return os.str();
+    }
+
+    std::vector<std::string>
+    read_lines(const std::string& path)
+    {
+        std::ifstream in(path);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+        return lines;
+    }
+
+  private:
+    logging::Level level_before_;
+    logging::Format format_before_;
+    std::vector<std::string> cleanup_;
+};
+
+} // namespace
+
+TEST_F(LogTest, LevelParseRoundTrips)
+{
+    using logging::Level;
+    const std::pair<const char*, Level> table[] = {
+        {"debug", Level::Debug}, {"info", Level::Info},
+        {"warn", Level::Warn},   {"error", Level::Error},
+        {"off", Level::Off},
+    };
+    for (const auto& [name, want] : table) {
+        Level got;
+        EXPECT_TRUE(logging::parse_level(name, got)) << name;
+        EXPECT_EQ(got, want) << name;
+        EXPECT_STREQ(logging::level_name(want), name);
+    }
+    Level ignored;
+    EXPECT_FALSE(logging::parse_level("verbose", ignored));
+    EXPECT_FALSE(logging::parse_level("", ignored));
+    EXPECT_FALSE(logging::parse_level("Debug", ignored));
+}
+
+TEST_F(LogTest, EnabledFollowsThreshold)
+{
+    using logging::Level;
+    logging::set_level(Level::Warn);
+    EXPECT_FALSE(logging::enabled(Level::Debug));
+    EXPECT_FALSE(logging::enabled(Level::Info));
+    EXPECT_TRUE(logging::enabled(Level::Warn));
+    EXPECT_TRUE(logging::enabled(Level::Error));
+    logging::set_level(Level::Off);
+    EXPECT_FALSE(logging::enabled(Level::Error));
+    logging::set_level(Level::Debug);
+    EXPECT_TRUE(logging::enabled(Level::Debug));
+}
+
+TEST_F(LogTest, FormatParse)
+{
+    logging::Format f;
+    EXPECT_TRUE(logging::parse_format("text", f));
+    EXPECT_EQ(f, logging::Format::Text);
+    EXPECT_TRUE(logging::parse_format("json", f));
+    EXPECT_EQ(f, logging::Format::Json);
+    EXPECT_FALSE(logging::parse_format("xml", f));
+}
+
+TEST_F(LogTest, FileSinkFiltersBelowThreshold)
+{
+    const std::string path = temp_file("filter");
+    ASSERT_TRUE(logging::set_sink_file(path));
+    logging::set_format(logging::Format::Text);
+    logging::set_level(logging::Level::Warn);
+
+    logging::debug("test", "dropped-debug");
+    logging::info("test", "dropped-info");
+    logging::warn("test", "kept-warn");
+    logging::error("test", "kept-error");
+    logging::flush();
+    logging::set_sink_stderr();
+
+    const auto lines = read_lines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("kept-warn"), std::string::npos);
+    EXPECT_NE(lines[0].find("warn"), std::string::npos);
+    EXPECT_NE(lines[1].find("kept-error"), std::string::npos);
+    for (const auto& line : lines)
+        EXPECT_EQ(line.find("dropped-"), std::string::npos);
+}
+
+TEST_F(LogTest, JsonSinkEmitsOneObjectPerLine)
+{
+    const std::string path = temp_file("json");
+    ASSERT_TRUE(logging::set_sink_file(path));
+    logging::set_format(logging::Format::Json);
+    logging::set_level(logging::Level::Info);
+
+    logging::info("core.compiler", "plain message");
+    // Quotes, backslash, and a control byte must be escaped.
+    logging::warn("test", "quote \" backslash \\ tab \t end");
+    logging::flush();
+    logging::set_sink_stderr();
+
+    const auto lines = read_lines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const auto& line : lines) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"ts_ns\": "), std::string::npos);
+        EXPECT_NE(line.find("\"level\": "), std::string::npos);
+    }
+    EXPECT_NE(lines[0].find("\"core.compiler\""), std::string::npos);
+    EXPECT_NE(lines[0].find("plain message"), std::string::npos);
+    EXPECT_NE(lines[1].find("quote \\\" backslash \\\\ tab \\t end"),
+              std::string::npos);
+    // The raw control byte must not survive into the sink.
+    EXPECT_EQ(lines[1].find('\t'), std::string::npos);
+}
+
+TEST_F(LogTest, AsyncWriterKeepsEveryRecordInOrder)
+{
+    const std::string path = temp_file("order");
+    ASSERT_TRUE(logging::set_sink_file(path));
+    logging::set_format(logging::Format::Text);
+    logging::set_level(logging::Level::Info);
+
+    constexpr int kRecords = 2000; // larger than the writer ring
+    const std::int64_t dropped_before = logging::dropped();
+    for (int i = 0; i < kRecords; ++i)
+        logging::info("test.order", "record " + std::to_string(i));
+    logging::flush();
+    logging::set_sink_stderr();
+
+    const auto lines = read_lines(path);
+    const std::int64_t dropped_here =
+        logging::dropped() - dropped_before;
+    ASSERT_EQ(static_cast<std::int64_t>(lines.size()) + dropped_here,
+              kRecords);
+    // Whatever survived overflow must still appear in push order.
+    std::int64_t last = -1;
+    for (const auto& line : lines) {
+        const auto pos = line.find("record ");
+        ASSERT_NE(pos, std::string::npos) << line;
+        const std::int64_t n = std::atoll(line.c_str() + pos + 7);
+        EXPECT_GT(n, last);
+        last = n;
+    }
+}
+
+TEST(FlightRecorderTest, NoteAdvancesSequence)
+{
+    const std::uint64_t before = flight::sequence();
+    flight::note(flight::Kind::Note, "test.seq", "first", 1);
+    flight::note(flight::Kind::Note, "test.seq", std::string("second"),
+                 2);
+    EXPECT_EQ(flight::sequence(), before + 2);
+}
+
+TEST(FlightRecorderTest, DumpIsParseableAndHoldsRecentRecords)
+{
+    flight::note(flight::Kind::Note, "test.dump", "needle-detail", 42);
+    // A long detail must truncate, not corrupt the ring.
+    flight::note(flight::Kind::Note, "test.dump.long",
+                 std::string(4 * flight::kDetailBytes, 'x'), 0);
+
+    const std::string path =
+        ::testing::TempDir() + "permuq_flight_test_" +
+        std::to_string(::getpid()) + ".json";
+    ASSERT_TRUE(flight::dump(path.c_str()));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(doc.find("\"permuq_flight\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"test.dump\""), std::string::npos);
+    EXPECT_NE(doc.find("\"needle-detail\""), std::string::npos);
+    EXPECT_NE(doc.find("\"value\": 42"), std::string::npos);
+    // Braces balance, so the dump at least nests like JSON.
+    std::int64_t depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const char c = doc[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+        } else if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            --depth;
+            EXPECT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(FlightRecorderTest, LogRecordsFeedTheRing)
+{
+    const std::uint64_t before = flight::sequence();
+    const logging::Level level_before = logging::level();
+    logging::set_level(logging::Level::Error);
+    logging::error("test.flight", "error reaches the flight ring");
+    logging::set_level(level_before);
+    EXPECT_GT(flight::sequence(), before);
+}
+
+TEST(FlightRecorderTest, CrashHandlerWritesDumpOnSigsegv)
+{
+    // The dump path is fixed at load; relative paths resolve against
+    // the cwd at crash time, so point the child at a temp directory.
+    const std::string flight_name = flight::dump_path();
+    const bool relative = flight_name.empty() || flight_name[0] != '/';
+    const std::string dir = ::testing::TempDir();
+    const std::string dump_file =
+        relative ? dir + flight_name : flight_name;
+    std::remove(dump_file.c_str());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        if (relative && ::chdir(dir.c_str()) != 0)
+            ::_exit(90);
+        flight::install_crash_handler();
+        flight::note(flight::Kind::Note, "crash.marker",
+                     "written before the deliberate segfault", 7);
+        std::raise(SIGSEGV);
+        ::_exit(91); // not reached: the handler re-raises
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited with " << WEXITSTATUS(status);
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+    std::ifstream in(dump_file);
+    ASSERT_TRUE(in.good()) << "no crash dump at " << dump_file;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    std::remove(dump_file.c_str());
+
+    EXPECT_NE(doc.find("\"permuq_flight\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"signal\": 11"), std::string::npos);
+    EXPECT_NE(doc.find("\"crash.marker\""), std::string::npos);
+    EXPECT_NE(doc.find("\"fatal\""), std::string::npos);
+}

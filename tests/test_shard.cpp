@@ -239,6 +239,75 @@ TEST(ShardCompile, DeterministicAcrossThreadCountsAndReruns)
               circuit_hash(parallel2.circuit));
 }
 
+TEST(ShardCompile, ReportAttributesBandsAndStitch)
+{
+    auto device = arch::make_grid(8, 8);
+    auto problem = problem::fabric_local_graph(8, 8, 0.5, 2, 7);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+    auto result = core::compile(device, problem, options);
+    ASSERT_EQ(result.selected, "sharded");
+    const core::CompileReport& rep = result.report;
+
+    EXPECT_EQ(rep.selected, "sharded");
+    EXPECT_EQ(rep.shard_regions, 4);
+    ASSERT_EQ(rep.bands.size(), 4u);
+    std::int64_t band_swaps = 0, band_edges = 0;
+    for (std::size_t i = 0; i < rep.bands.size(); ++i) {
+        const auto& band = rep.bands[i];
+        EXPECT_EQ(band.index, static_cast<std::int32_t>(i));
+        EXPECT_GT(band.qubits, 0);
+        if (band.cx > 0) {
+            EXPECT_GT(band.depth, 0) << "band " << i;
+        }
+        band_swaps += band.swaps;
+        band_edges += band.edges;
+    }
+    // Bands plus the stitch tail account for every swap, and band
+    // edges plus stitched cross-band edges cover the problem.
+    EXPECT_EQ(band_swaps + rep.stitch_swaps,
+              result.metrics.swap_gates);
+    EXPECT_EQ(band_edges + rep.stitched_edges,
+              static_cast<std::int64_t>(problem.num_edges()));
+    EXPECT_GT(rep.stitched_edges, 0);
+    EXPECT_GT(rep.schedule_cache_hits + rep.schedule_cache_misses +
+                  rep.pull_cache_hits + rep.pull_cache_misses,
+              0);
+    EXPECT_GT(rep.trials, 0);
+    EXPECT_GT(rep.total_seconds, 0.0);
+    EXPECT_EQ(rep.depth, result.metrics.depth);
+
+    const std::string json = rep.to_json();
+    EXPECT_NE(json.find("\"bands\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"stitched_edges\""), std::string::npos);
+}
+
+TEST(ShardStream, ReportMatchesMaterializedAttribution)
+{
+    auto device = arch::make_grid(8, 8);
+    auto problem = problem::fabric_local_graph(8, 8, 0.5, 2, 7);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+    auto materialized = core::compile(device, problem, options);
+
+    std::ostringstream qasm;
+    circuit::QasmStreamWriter writer(qasm, {});
+    auto streamed =
+        core::shard_compile_stream(device, problem, options, writer);
+
+    const auto& a = materialized.report;
+    const auto& b = streamed.report;
+    ASSERT_EQ(a.bands.size(), b.bands.size());
+    for (std::size_t i = 0; i < a.bands.size(); ++i) {
+        EXPECT_EQ(a.bands[i].depth, b.bands[i].depth) << "band " << i;
+        EXPECT_EQ(a.bands[i].swaps, b.bands[i].swaps) << "band " << i;
+        EXPECT_EQ(a.bands[i].cx, b.bands[i].cx) << "band " << i;
+    }
+    EXPECT_EQ(a.stitched_edges, b.stitched_edges);
+    EXPECT_EQ(a.stitch_swaps, b.stitch_swaps);
+    EXPECT_EQ(a.trials, b.trials);
+}
+
 TEST(ShardCompile, MetricsMatchAssembledCircuit)
 {
     auto device = arch::make_grid(6, 6);

@@ -7,8 +7,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
+#include "common/log/flight_recorder.h"
 #include "common/parallel.h"
 #include "common/telemetry/telemetry.h"
 
@@ -237,6 +241,92 @@ TEST_F(TelemetryTest, ResetClearsValuesButKeepsNames)
     EXPECT_EQ(c.value(), 0);
     EXPECT_TRUE(events_named("reset.span").empty());
     EXPECT_EQ(&counter("test.reset.counter"), &c);
+}
+
+TEST_F(TelemetryTest, PrometheusTextFormatAndLabels)
+{
+    counter("test.prom.counter").add(5);
+    gauge("test.prom.gauge").set(-3);
+    Histogram& h = histogram("test.prom.hist");
+    h.record(0.5);
+    h.record(3.0);
+    h.record(100.0);
+    Registry::instance().set_export_label("tier", "fast");
+    Registry::instance().set_export_label("arch", "grid");
+
+    const std::string text = Registry::instance().prometheus_text();
+    // Names are sanitized into the permuq_ namespace with TYPE lines.
+    EXPECT_NE(text.find("# TYPE permuq_test_prom_counter counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE permuq_test_prom_gauge gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE permuq_test_prom_hist histogram"),
+              std::string::npos);
+    // Registered labels ride on every sample.
+    EXPECT_NE(text.find("tier=\"fast\""), std::string::npos);
+    EXPECT_NE(text.find("arch=\"grid\""), std::string::npos);
+    // Histogram closes with the +Inf bucket and count/sum rows.
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(text.find("permuq_test_prom_hist_count"),
+              std::string::npos);
+    EXPECT_NE(text.find("permuq_test_prom_hist_sum"),
+              std::string::npos);
+    // Cumulative buckets: the +Inf bucket equals the sample count.
+    const auto inf_pos = text.find("le=\"+Inf\"");
+    const auto value_pos = text.find("} ", inf_pos);
+    ASSERT_NE(value_pos, std::string::npos);
+    EXPECT_EQ(std::atoll(text.c_str() + value_pos + 2), 3);
+}
+
+/**
+ * Satellite stress for the export paths (run under the TSan CI job):
+ * pool workers hammer spans, counters, and histograms while another
+ * worker repeatedly snapshots the Prometheus text and fires flight
+ * dumps. Nothing here asserts on timing — the point is that a
+ * concurrent snapshot neither tears nor races recording.
+ */
+TEST_F(TelemetryTest, ConcurrentExportWhileRecording)
+{
+    constexpr std::int64_t kWorkers = 8;
+    constexpr std::int64_t kRounds = 200;
+    Counter& c = counter("test.stress.counter");
+    Histogram& h = histogram("test.stress.hist");
+    Registry::instance().set_export_label("tier", "stress");
+
+    const std::string dump_path =
+        ::testing::TempDir() + "permuq_stress_flight.json";
+    std::atomic<std::int64_t> exports{0};
+    common::parallel_tasks(kWorkers + 1, [&](std::int64_t t) {
+        if (t == kWorkers) {
+            // Exporter: snapshot everything while the others write.
+            for (int i = 0; i < 20; ++i) {
+                const std::string text =
+                    Registry::instance().prometheus_text();
+                EXPECT_NE(text.find("permuq_"), std::string::npos);
+                EXPECT_TRUE(flight::dump(dump_path.c_str()));
+                exports.fetch_add(1, std::memory_order_relaxed);
+            }
+            return;
+        }
+        for (std::int64_t i = 0; i < kRounds; ++i) {
+            ScopedSpan span("stress.task");
+            span.arg("worker", t);
+            c.add();
+            h.record(static_cast<double>(i));
+            flight::note(flight::Kind::Note, "stress.note",
+                         "concurrent writer", t);
+        }
+    });
+    std::remove(dump_path.c_str());
+
+    EXPECT_EQ(exports.load(), 20);
+    EXPECT_EQ(c.value(), kWorkers * kRounds);
+    EXPECT_EQ(h.count(), kWorkers * kRounds);
+    // A final quiescent export still parses and carries the labels.
+    const std::string text = Registry::instance().prometheus_text();
+    EXPECT_NE(text.find("tier=\"stress\""), std::string::npos);
+    EXPECT_NE(text.find("permuq_test_stress_counter"),
+              std::string::npos);
 }
 
 TEST(TelemetryLogTest, LevelsParseAndFilter)

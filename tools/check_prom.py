@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-format output from `permuqc --prom`.
+
+Checks the exposition format (version 0.0.4) rules that matter for a
+scrape to succeed, plus PermuQ's own conventions:
+
+  * every non-comment line parses as  name{labels} value  or
+    name value;
+  * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every metric family name starts with the permuq_ prefix;
+  * label values are properly quoted and escaped;
+  * each # TYPE line names a valid type (counter|gauge|histogram|
+    summary|untyped) and no family is TYPE-declared twice;
+  * samples of a family appear after its TYPE line (when present)
+    and families are not interleaved;
+  * histogram bucket counts are cumulative (non-decreasing in le
+    order) and the le="+Inf" bucket equals the family's _count;
+  * values parse as floats (NaN/+Inf/-Inf allowed).
+
+Usage:
+  tools/check_prom.py prom.txt [--require-metric NAME ...]
+      [--require-label KEY=VALUE ...]
+
+--require-metric NAME demands at least one sample whose family name
+contains NAME.  --require-label KEY=VALUE demands at least one sample
+carrying that exact label pair (e.g. --require-label tier=fast).
+
+Exits 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  |  name value   (timestamps are not emitted)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+SUFFIXES = ("_bucket", "_count", "_sum", "_total")
+
+
+def fail(message):
+    print(f"check_prom: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def family_of(name):
+    """Strip the sample suffix to recover the metric family name."""
+    for suffix in SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw, lineno):
+    """Parse the inside of {...}; returns (dict, error|None)."""
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            return labels, f"line {lineno}: bad label syntax near {rest!r}"
+        key, value = m.group(1), m.group(2)
+        labels[key] = (
+            value.replace(r"\"", '"').replace(r"\n", "\n").replace("\\\\", "\\")
+        )
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return labels, f"line {lineno}: expected ',' near {rest!r}"
+    return labels, None
+
+
+def parse_value(raw):
+    try:
+        return float(raw), None
+    except ValueError:
+        return None, f"unparseable value {raw!r}"
+
+
+def check(path, require_metrics, require_labels):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(f"{path}: {e}")
+
+    typed = {}          # family -> declared type
+    samples = []        # (family, name, labels, value, lineno)
+    family_order = []   # families in first-sample order
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    return fail(f"{path}: line {lineno}: malformed TYPE line")
+                family, kind = parts[2], parts[3].strip()
+                if not NAME_RE.match(family):
+                    return fail(
+                        f"{path}: line {lineno}: bad family name {family!r}"
+                    )
+                if kind not in VALID_TYPES:
+                    return fail(
+                        f"{path}: line {lineno}: bad type {kind!r} "
+                        f"(want one of {sorted(VALID_TYPES)})"
+                    )
+                if family in typed:
+                    return fail(
+                        f"{path}: line {lineno}: duplicate TYPE for {family}"
+                    )
+                typed[family] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(f"{path}: line {lineno}: unparseable sample: {line!r}")
+        name = m.group("name")
+        if not name.startswith("permuq_"):
+            return fail(
+                f"{path}: line {lineno}: {name} lacks the permuq_ prefix"
+            )
+        labels, err = ({}, None)
+        if m.group("labels") is not None:
+            labels, err = parse_labels(m.group("labels"), lineno)
+            if err:
+                return fail(f"{path}: {err}")
+        value, err = parse_value(m.group("value"))
+        if err:
+            return fail(f"{path}: line {lineno}: {err}")
+        family = family_of(name)
+        if family not in family_order:
+            family_order.append(family)
+        elif family_order[-1] != family:
+            return fail(
+                f"{path}: line {lineno}: samples of {family} are "
+                f"interleaved with another family"
+            )
+        samples.append((family, name, labels, value, lineno))
+
+    if not samples:
+        return fail(f"{path}: no samples found")
+
+    # Histogram invariants: cumulative buckets, +Inf bucket == _count.
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = []  # (le, value, lineno)
+        count = None
+        for fam, name, labels, value, lineno in samples:
+            if fam != family:
+                continue
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    return fail(
+                        f"{path}: line {lineno}: {name} lacks an le label"
+                    )
+                buckets.append((math.inf if le == "+Inf" else float(le),
+                                value, lineno))
+            elif name.endswith("_count"):
+                count = value
+        if not buckets:
+            return fail(f"{path}: histogram {family} has no buckets")
+        buckets.sort(key=lambda b: b[0])
+        prev = -math.inf
+        for le, value, lineno in buckets:
+            if value < prev:
+                return fail(
+                    f"{path}: line {lineno}: {family} bucket le={le} "
+                    f"count {value} < previous bucket {prev} "
+                    f"(buckets must be cumulative)"
+                )
+            prev = value
+        if buckets[-1][0] != math.inf:
+            return fail(f"{path}: histogram {family} lacks an le=\"+Inf\" bucket")
+        if count is not None and buckets[-1][1] != count:
+            return fail(
+                f"{path}: histogram {family}: +Inf bucket "
+                f"{buckets[-1][1]} != _count {count}"
+            )
+
+    for want in require_metrics:
+        if not any(want in fam for fam, *_ in samples):
+            return fail(
+                f"{path}: no metric matching '{want}' "
+                f"(have: {sorted(set(fam for fam, *_ in samples))})"
+            )
+    for spec in require_labels:
+        key, sep, value = spec.partition("=")
+        if not sep:
+            return fail(f"bad --require-label '{spec}' (want KEY=VALUE)")
+        if not any(labels.get(key) == value
+                   for _, _, labels, _, _ in samples):
+            return fail(f"{path}: no sample labelled {key}={value!r}")
+
+    print(
+        f"check_prom: {path}: {len(samples)} sample(s) across "
+        f"{len(family_order)} family(ies), {len(typed)} TYPE'd OK"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prom", help="Prometheus text-format file")
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require a metric family whose name contains NAME",
+    )
+    parser.add_argument(
+        "--require-label",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="require at least one sample carrying this label pair",
+    )
+    args = parser.parse_args()
+    return check(args.prom, args.require_metric, args.require_label)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,9 +16,13 @@ between runs:
     and compared on edges/regions; "tiers" rows are matched on
     (arch, requested_n, tier) and compared on qubits/edges. Rows
     present in only one file (the committed baseline is a full run,
-    CI produces --smoke) are skipped.
+    CI produces --smoke) are skipped;
+  * the "telemetry_overhead" section's overhead_ratio stays within
+    its own budget_ratio and the budget has not been silently raised
+    above the committed baseline's -- an observability-cost
+    regression fails the diff even though it is a timing.
 
-Timing fields are reported for context but never fail the diff.
+Other timing fields are reported for context but never fail the diff.
 
 Usage:
   tools/diff_bench.py BASELINE CANDIDATE
@@ -72,6 +76,43 @@ def boolean_flags(doc, prefix=""):
         for i, v in enumerate(doc):
             flags.update(boolean_flags(v, f"{prefix}[{i}]"))
     return flags
+
+
+def diff_telemetry_overhead(base, cand):
+    """Gate the observability tax: unlike other timings, the hot/cold
+    compile ratio is a product guarantee, so a candidate over its
+    budget (or a quietly loosened budget) fails the diff."""
+    if cand is None:
+        # The baseline predates the section, or vice versa -- the
+        # schema check already reported any asymmetry.
+        return 0
+    ratio = cand.get("overhead_ratio")
+    budget = cand.get("budget_ratio")
+    if not isinstance(ratio, (int, float)) or not isinstance(
+        budget, (int, float)
+    ):
+        return fail("telemetry_overhead lacks numeric ratio/budget")
+    status = 0
+    if ratio > budget:
+        status |= fail(
+            f"telemetry overhead ratio {ratio:.3f} exceeds its "
+            f"budget {budget:.2f}"
+        )
+    if base is not None:
+        base_budget = base.get("budget_ratio")
+        if isinstance(base_budget, (int, float)) and budget > base_budget:
+            status |= fail(
+                f"telemetry overhead budget raised from "
+                f"{base_budget:.2f} to {budget:.2f} without a "
+                f"baseline update"
+            )
+        base_ratio = base.get("overhead_ratio")
+        if isinstance(base_ratio, (int, float)):
+            print(
+                f"diff_bench: telemetry overhead {ratio:.3f}x "
+                f"(baseline {base_ratio:.3f}x, budget {budget:.2f}x)"
+            )
+    return status
 
 
 def diff(baseline_path, candidate_path):
@@ -142,6 +183,11 @@ def diff(baseline_path, candidate_path):
             f"diff_bench: {section}: {matched}/{len(cand_rows)} "
             f"candidate row(s) matched against the baseline"
         )
+
+    status |= diff_telemetry_overhead(
+        baseline.get("telemetry_overhead"),
+        candidate.get("telemetry_overhead"),
+    )
 
     if status == 0:
         print(f"diff_bench: {candidate_path} consistent with {baseline_path}")

@@ -17,6 +17,7 @@
  * clock except to honor --time-budget.
  */
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log/flight_recorder.h"
 #include "verify/fuzz.h"
 #include "verify/mutate.h"
 
@@ -46,6 +48,10 @@ struct CliOptions
     std::string force_tier;
     bool inject = false;
     bool verbose = false;
+    /** Deliberately crash (SIGSEGV) after noting a few records, to
+     *  exercise the flight-recorder dump path end to end (CI uses
+     *  this to produce a crash artifact). */
+    bool crash_test = false;
 };
 
 int
@@ -66,6 +72,8 @@ usage(int code)
            "fast|balanced|best\n"
            "  --inject          mutation-testing mode (checkers must "
            "catch every injected miscompile)\n"
+           "  --crash-test      raise SIGSEGV to exercise the flight-"
+           "recorder crash dump\n"
            "  --verbose         print every configuration\n"
            "  --help            this text\n";
     return code;
@@ -132,6 +140,8 @@ parse_cli(int argc, char** argv, CliOptions& options, int& exit_code)
             });
         } else if (flag == "--inject") {
             options.inject = true;
+        } else if (flag == "--crash-test") {
+            options.crash_test = true;
         } else if (flag == "--verbose") {
             options.verbose = true;
         } else {
@@ -176,6 +186,7 @@ replay_mode(const CliOptions& options)
         return 2;
     }
     std::cout << "replaying " << describe(config) << "\n";
+    flight::note(flight::Kind::Note, "fuzz.config", describe(config), 0);
     const auto result = verify::run_config(config);
     if (result.ok) {
         std::cout << "PASS: all checks clean (tier A "
@@ -241,6 +252,8 @@ fuzz_mode(const CliOptions& options)
                 config.inject_seed = options.seed + 977 *
                     static_cast<std::uint64_t>(index);
                 ++ran;
+                flight::note(flight::Kind::Note, "fuzz.config",
+                             describe(config), index);
                 const auto result = verify::run_config(config);
                 if (result.kind == "inject-unsupported") {
                     ++unsupported;
@@ -265,6 +278,10 @@ fuzz_mode(const CliOptions& options)
         }
 
         ++ran;
+        // Note the config before running it: if the compiler crashes,
+        // the flight dump identifies the configuration that killed it.
+        flight::note(flight::Kind::Note, "fuzz.config", describe(config),
+                     index);
         const auto result = verify::run_config(config);
         if (result.tier_a_ran)
             ++tier_a_runs;
@@ -304,10 +321,17 @@ fuzz_mode(const CliOptions& options)
 int
 main(int argc, char** argv)
 {
+    flight::install_crash_handler();
     CliOptions options;
     int exit_code = 0;
     if (!parse_cli(argc, argv, options, exit_code))
         return exit_code;
+    if (options.crash_test) {
+        flight::note(flight::Kind::Note, "fuzz.crash_test",
+                     "deliberate SIGSEGV requested via --crash-test", 0);
+        std::raise(SIGSEGV);
+        return 3; // unreachable: the handler dumps and re-raises
+    }
     if (!options.replay.empty())
         return replay_mode(options);
     return fuzz_mode(options);

@@ -29,6 +29,8 @@
 #include "circuit/metrics.h"
 #include "circuit/qasm.h"
 #include "common/error.h"
+#include "common/log/flight_recorder.h"
+#include "common/log/log.h"
 #include "common/telemetry/telemetry.h"
 #include "common/vecops.h"
 #include "core/compiler.h"
@@ -56,6 +58,8 @@ struct Cli
     std::string qasm_out;
     std::string trace_out;
     std::string metrics_out;
+    std::string prom_out;
+    std::string report_out;
     std::int32_t qubits = 64;
     double density = 0.3;
     std::uint64_t seed = 1;
@@ -81,21 +85,24 @@ constexpr const char* kKnownFlags[] = {
     "--input",     "--compiler", "--noise",   "--alpha",
     "--crosstalk", "--qasm",     "--full-qaoa", "--diagram",
     "--qaoa",      "--qaoa-rounds", "--trace", "--metrics",
-    "--shard",     "--shard-margin", "--tier",    "--mem-stats",
-    "--log-level", "--version",  "--help",
+    "--prom",      "--report",   "--shard",   "--shard-margin",
+    "--tier",      "--mem-stats", "--log-level", "--version",
+    "--help",
 };
 
 /** One line per env knob, for --version / --mem-stats diagnostics. */
 void
 print_env_knobs(std::FILE* out)
 {
-    for (const char* knob : {"PERMUQ_TIER", "PERMUQ_SHARD",
-                             "PERMUQ_SIMD", "PERMUQ_TRACE"}) {
+    for (const char* knob :
+         {"PERMUQ_TIER", "PERMUQ_SHARD", "PERMUQ_SIMD", "PERMUQ_TRACE",
+          "PERMUQ_LOG", "PERMUQ_LOG_FORMAT", "PERMUQ_LOG_LEVEL",
+          "PERMUQ_FLIGHT"}) {
         const char* value = std::getenv(knob);
-        std::fprintf(out, "  %-12s = %s\n", knob,
+        std::fprintf(out, "  %-17s = %s\n", knob,
                      value ? value : "(unset)");
     }
-    std::fprintf(out, "  simd tier    : %s\n",
+    std::fprintf(out, "  simd tier         : %s\n",
                  common::vecops::vec_tier_name(
                      common::vecops::active_vec_tier()));
 }
@@ -140,7 +147,14 @@ usage(std::FILE* out)
         "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
         "                  (the PERMUQ_TRACE env var does the same)\n"
         "  --metrics FILE  write a metrics-snapshot JSON\n"
-        "  --log-level L   debug|info|warn|error|off (default warn)\n"
+        "  --prom FILE     write the metrics as Prometheus text\n"
+        "                  exposition (with tier/arch/shard labels)\n"
+        "  --report FILE   write the per-compile explain report JSON\n"
+        "                  (phase times, band/tail attribution, cache\n"
+        "                  hit rates; see tools/report_summary.py)\n"
+        "  --log-level L   debug|info|warn|error|off (default warn;\n"
+        "                  PERMUQ_LOG/_FORMAT/_LEVEL configure the\n"
+        "                  sink, format, and threshold)\n"
         "  --version       print the version and exit\n"
         "  --help          print this message and exit\n");
 }
@@ -214,6 +228,9 @@ load_edge_list(const std::string& path)
 int
 main(int argc, char** argv)
 {
+    // Always-on crash forensics: SIGSEGV/SIGABRT/... dump the flight
+    // ring to permuq_flight.json (PERMUQ_FLIGHT overrides the path).
+    flight::install_crash_handler();
     Cli cli;
     if (const char* env = std::getenv("PERMUQ_SHARD"))
         cli.shard = std::atoi(env);
@@ -286,16 +303,20 @@ main(int argc, char** argv)
             cli.trace_out = value();
         else if (is("--metrics"))
             cli.metrics_out = value();
+        else if (is("--prom"))
+            cli.prom_out = value();
+        else if (is("--report"))
+            cli.report_out = value();
         else if (is("--log-level")) {
-            telemetry::LogLevel level;
-            if (!telemetry::parse_log_level(value(), level)) {
+            logging::Level level;
+            if (!logging::parse_level(value(), level)) {
                 std::fprintf(stderr,
                              "permuqc: bad --log-level %s (want "
                              "debug|info|warn|error|off)\n",
                              argv[i]);
                 return 2;
             }
-            telemetry::set_log_level(level);
+            logging::set_level(level);
         } else {
             std::fprintf(stderr, "permuqc: unknown flag %s\n", argv[i]);
             if (const char* hint = closest_flag(argv[i]))
@@ -308,7 +329,8 @@ main(int argc, char** argv)
     if (cli.trace_out.empty())
         if (const char* env = telemetry::env_trace_path())
             cli.trace_out = env;
-    if (!cli.trace_out.empty() || !cli.metrics_out.empty())
+    if (!cli.trace_out.empty() || !cli.metrics_out.empty() ||
+        !cli.prom_out.empty())
         telemetry::set_enabled(true);
 
     try {
@@ -365,6 +387,9 @@ main(int argc, char** argv)
         // Compile.
         circuit::Circuit circuit;
         std::string selected = cli.compiler;
+        std::string tier_served = core::tier_name(
+            core::resolve_tier(cli.tier));
+        core::CompileReport report;
         double seconds = 0.0;
         if (cli.compiler == "ours" || cli.compiler == "greedy") {
             core::CompilerOptions options;
@@ -378,6 +403,8 @@ main(int argc, char** argv)
             auto result = core::compile(device, problem, options);
             circuit = std::move(result.circuit);
             seconds = result.compile_seconds;
+            tier_served = result.tier;
+            report = std::move(result.report);
             if (cli.compiler == "ours")
                 // result.tier is the tier actually served (fast falls
                 // back to balanced on custom devices).
@@ -518,8 +545,41 @@ main(int argc, char** argv)
             std::printf("metrics   : wrote %s\n",
                         cli.metrics_out.c_str());
         }
+        if (!cli.prom_out.empty()) {
+            // Constant export labels: the payload a permuqd scrape
+            // endpoint would serve for this compile.
+            auto& mutable_registry = telemetry::Registry::instance();
+            mutable_registry.set_export_label("tier", tier_served);
+            mutable_registry.set_export_label(
+                "arch", cli.arch_file.empty() ? cli.arch : "custom");
+            mutable_registry.set_export_label(
+                "shard", std::to_string(cli.shard));
+            if (!mutable_registry.write_prometheus(cli.prom_out)) {
+                std::fprintf(stderr, "permuqc: cannot write %s\n",
+                             cli.prom_out.c_str());
+                return 1;
+            }
+            std::printf("prom      : wrote %s\n", cli.prom_out.c_str());
+        }
+        if (!cli.report_out.empty()) {
+            std::ofstream out(cli.report_out);
+            out << report.to_json();
+            if (!out) {
+                std::fprintf(stderr, "permuqc: cannot write %s\n",
+                             cli.report_out.c_str());
+                return 1;
+            }
+            std::printf("report    : wrote %s\n",
+                        cli.report_out.c_str());
+        }
+        logging::flush();
         return 0;
     } catch (const std::exception& e) {
+        // Preserve the last spans/log records for post-mortem before
+        // surfacing the error: fatal errors get the same flight-dump
+        // treatment as crash signals.
+        flight::note(flight::Kind::Fatal, "exception", e.what(), 0);
+        flight::dump();
         std::fprintf(stderr, "permuqc: %s\n", e.what());
         return 1;
     }
