@@ -222,11 +222,11 @@ struct SpanEvent
     std::uint32_t tid = 0;   ///< telemetry thread id (1-based)
     std::uint16_t depth = 0; ///< nesting level on its thread
     std::uint8_t num_args = 0;
-    std::array<const char*, 3> arg_keys{};
-    std::array<std::int64_t, 3> arg_values{};
+    std::array<const char*, 6> arg_keys{};
+    std::array<std::int64_t, 6> arg_values{};
     /** Non-null entry: the arg is the pointed-at string (static
      *  storage), not arg_values[i]. */
-    std::array<const char*, 3> arg_strs{};
+    std::array<const char*, 6> arg_strs{};
 };
 
 /**
@@ -254,8 +254,10 @@ class ScopedSpan
     ScopedSpan(const ScopedSpan&) = delete;
     ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-    /** Attach up to three integer args (shown in the trace viewer).
-     *  @p key must point at static storage. No-op when disabled. */
+    /** Attach up to six integer args (shown in the trace viewer).
+     *  @p key must point at static storage. No-op when disabled.
+     *  Args past the cap are dropped silently — order the calls
+     *  most-important-first (the sweep span leads with tier). */
     void
     arg(const char* key, std::int64_t value)
     {

@@ -160,9 +160,38 @@ CompileReport::to_json() const
         field(out, "seconds", b.seconds);
         out += ", ";
         field(out, "selected", b.selected);
+        out += ", ";
+        field(out, "tier", b.tier);
         out += '}';
     }
-    out += "]},\n  \"result\": {";
+    out += "]},\n  \"sweep\": {";
+    field(out, "points", sweep.points);
+    out += ", ";
+    field(out, "batch", static_cast<std::int64_t>(sweep.batch));
+    out += ", ";
+    field(out, "layers", static_cast<std::int64_t>(sweep.layers));
+    out += ", ";
+    field(out, "mode", sweep.mode);
+    out += ", ";
+    field(out, "best_gamma", sweep.best_gamma);
+    out += ", ";
+    field(out, "best_beta", sweep.best_beta);
+    out += ", ";
+    field(out, "best_value", sweep.best_value);
+    out += ", ";
+    field(out, "seconds", sweep.seconds);
+    out += ", ";
+    field(out, "points_per_sec", sweep.points_per_sec);
+    out += ", ";
+    field(out, "memory_bytes", sweep.memory_bytes);
+    out += ", ";
+    field(out, "problems", static_cast<std::int64_t>(sweep.problems));
+    out += ", ";
+    field(out, "problems_in_flight",
+          static_cast<std::int64_t>(sweep.problems_in_flight));
+    out += ", ";
+    field(out, "peak_memory_bytes", sweep.peak_memory_bytes);
+    out += "},\n  \"result\": {";
     field(out, "depth", depth);
     out += ", ";
     field(out, "cx_count", cx_count);

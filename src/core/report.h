@@ -116,6 +116,12 @@ struct CompileReport
         std::int64_t cx = 0;
         double seconds = 0.0;
         std::string selected;
+        /** Tier the band compile was served at. The sharder resolves
+         *  the tier once and stamps it into every band, so this
+         *  differs from the top-level tier_served only when a band
+         *  individually fell back (e.g. fast on an unbandable
+         *  sub-device shape). */
+        std::string tier;
     };
     /** 0 = unsharded compile. */
     std::int32_t shard_regions = 0;
@@ -123,6 +129,31 @@ struct CompileReport
     std::int64_t stitched_edges = 0;
     std::int64_t stitch_swaps = 0;
     std::int64_t stitch_depth = 0;
+
+    // ------------------------------------------------ sweep summary
+    /** Angle-sweep summary, populated by permuqc --sweep (the
+     *  compiler itself never fills it; points == 0 means no sweep
+     *  ran and the JSON section stays zeroed). */
+    struct Sweep
+    {
+        std::int64_t points = 0;
+        std::int32_t batch = 0;
+        std::int32_t layers = 0;
+        /** "ideal" | "noisy". */
+        std::string mode;
+        double best_gamma = 0.0;
+        double best_beta = 0.0;
+        double best_value = 0.0;
+        double seconds = 0.0;
+        double points_per_sec = 0.0;
+        /** Batched-buffer footprint of one evaluator. */
+        std::int64_t memory_bytes = 0;
+        /** Multi-problem mode (1 = single problem). */
+        std::int32_t problems = 1;
+        std::int32_t problems_in_flight = 1;
+        std::int64_t peak_memory_bytes = 0;
+    };
+    Sweep sweep;
 
     // ------------------------------------------------ final result
     std::int64_t depth = 0;

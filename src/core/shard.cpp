@@ -59,13 +59,17 @@ band_logicals(const ShardRegion& region, std::int32_t num_vertices)
 }
 
 /** Per-band compiler options: no recursive sharding, a band-specific
- *  placement seed, and no noise model (it indexes global links). */
+ *  placement seed, no noise model (it indexes global links), and the
+ *  tier the sharder resolved once at entry — bands must not re-read
+ *  PERMUQ_TIER (Auto) or re-apply a full search budget each. */
 CompilerOptions
-region_options(const CompilerOptions& options, std::size_t region)
+region_options(const CompilerOptions& options, std::size_t region,
+               CompileTier resolved)
 {
     CompilerOptions opts = options;
     opts.shard_regions = 0;
     opts.noise = nullptr;
+    opts.tier = resolved;
     opts.placement_seed =
         options.placement_seed +
         0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(region) + 1);
@@ -92,17 +96,19 @@ band_problem(const graph::Graph& problem, const ShardRegion& region)
 CompileResult
 compile_band(const arch::CouplingGraph& device, const ShardRegion& region,
              const graph::Graph& problem, const CompilerOptions& options,
-             std::size_t index)
+             std::size_t index, CompileTier resolved)
 {
     telemetry::ScopedSpan span("compile.shard.band");
     span.arg("band", static_cast<std::int64_t>(index));
     span.arg("band_qubits",
              static_cast<std::int64_t>(region.num_qubits));
+    span.arg("tier", tier_name(resolved));
     const graph::Graph sub_problem = band_problem(problem, region);
     if (sub_problem.num_vertices() == 0)
         return {};
     const arch::CouplingGraph sub_device = make_band_device(device, region);
-    return compile(sub_device, sub_problem, region_options(options, index));
+    return compile(sub_device, sub_problem,
+                   region_options(options, index, resolved));
 }
 
 /** Per-band explain rows from the compiled band results. */
@@ -121,6 +127,7 @@ band_rows(const std::vector<CompileResult>& bands, const ShardPlan& plan)
         row.cx = bands[r].metrics.cx_count;
         row.seconds = bands[r].compile_seconds;
         row.selected = bands[r].selected;
+        row.tier = bands[r].tier;
         rows.push_back(std::move(row));
     }
     return rows;
@@ -233,7 +240,7 @@ std::vector<CompileResult>
 compile_bands(const arch::CouplingGraph& device,
               const graph::Graph& problem,
               const CompilerOptions& options, const ShardPlan& plan,
-              bool sequential)
+              bool sequential, CompileTier resolved)
 {
     auto& histogram = telemetry::histogram("compile.shard.region_qubits");
     for (const auto& region : plan.regions)
@@ -243,7 +250,8 @@ compile_bands(const arch::CouplingGraph& device,
     auto one = [&](std::int64_t r) {
         bands[static_cast<std::size_t>(r)] =
             compile_band(device, plan.regions[static_cast<std::size_t>(r)],
-                         problem, options, static_cast<std::size_t>(r));
+                         problem, options, static_cast<std::size_t>(r),
+                         resolved);
     };
     if (sequential) {
         for (std::size_t r = 0; r < plan.regions.size(); ++r)
@@ -332,12 +340,17 @@ shard_compile(const arch::CouplingGraph& device,
     }
 
     Timer timer;
+    // Resolve the tier once for the whole sharded compile: every band
+    // serves the same resolved tier instead of re-resolving Auto (and
+    // re-reading PERMUQ_TIER) per band.
+    const CompileTier tier = resolve_tier(options.tier);
     telemetry::ScopedSpan span("compile.shard");
     span.arg("regions", static_cast<std::int64_t>(plan.regions.size()));
     span.arg("qubits", problem.num_vertices());
+    span.arg("tier", tier_name(tier));
 
     const auto bands = compile_bands(device, problem, options, plan,
-                                     /*sequential=*/false);
+                                     /*sequential=*/false, tier);
 
     circuit::Circuit assembled(composed_initial(
         bands, plan, problem.num_vertices(), device.num_qubits()));
@@ -362,7 +375,7 @@ shard_compile(const arch::CouplingGraph& device,
     result.metrics = circuit::compute_metrics(assembled, options.noise);
     result.circuit = std::move(assembled);
     result.selected = "sharded";
-    result.tier = tier_name(resolve_tier(options.tier));
+    result.tier = tier_name(tier);
     result.compile_seconds = timer.elapsed_seconds();
 
     CompileReport& rep = result.report;
@@ -419,9 +432,11 @@ shard_compile_stream(const arch::CouplingGraph& device,
                  "device does not shard; use the materializing path");
 
     Timer timer;
+    const CompileTier tier = resolve_tier(options.tier);
     telemetry::ScopedSpan span("compile.shard");
     span.arg("regions", static_cast<std::int64_t>(plan.regions.size()));
     span.arg("qubits", problem.num_vertices());
+    span.arg("tier", tier_name(tier));
     span.arg("streaming", 1);
 
     // The full-QAOA prelude places H gates at the *composed* initial
@@ -450,7 +465,7 @@ shard_compile_stream(const arch::CouplingGraph& device,
     for (std::size_t r = 0; r < plan.regions.size(); ++r) {
         const ShardRegion& region = plan.regions[r];
         CompileResult band = compile_band(device, region, problem,
-                                          options, r);
+                                          options, r, tier);
         finals[r] = band.circuit.final_mapping();
         band_metrics[r] = band.metrics;
         band_depth = std::max(band_depth, band.circuit.depth());
@@ -468,6 +483,7 @@ shard_compile_stream(const arch::CouplingGraph& device,
         row.cx = band.metrics.cx_count;
         row.seconds = band.compile_seconds;
         row.selected = band.selected;
+        row.tier = band.tier;
         out.report.bands.push_back(std::move(row));
         out.report.trials += band.report.trials;
         out.report.snapshots += band.report.snapshots;
@@ -533,7 +549,7 @@ shard_compile_stream(const arch::CouplingGraph& device,
     out.compile_seconds = timer.elapsed_seconds();
 
     CompileReport& rep = out.report;
-    rep.tier_served = tier_name(resolve_tier(options.tier));
+    rep.tier_served = tier_name(tier);
     rep.tier_requested = rep.tier_served;
     rep.selected = "sharded";
     rep.problem_qubits = problem.num_vertices();

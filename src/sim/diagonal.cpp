@@ -184,6 +184,20 @@ DiagonalBatch::apply(Statevector& sv, double scale) const
     }
 }
 
+DiagonalBatch::BakedView
+DiagonalBatch::baked_view(std::int32_t num_qubits) const
+{
+    ensure_keys(num_qubits);
+    BakedView view;
+    view.uniform = uniform_;
+    view.constant = constant_;
+    view.quantum = quantum_;
+    view.span = static_cast<std::int32_t>(masks_.size());
+    view.keys = keys_.empty() ? nullptr : keys_.data();
+    view.dense = dense_.empty() ? nullptr : dense_.data();
+    return view;
+}
+
 std::vector<double>
 DiagonalBatch::bake(std::int32_t num_qubits) const
 {

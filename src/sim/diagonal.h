@@ -87,6 +87,26 @@ class DiagonalBatch
      */
     std::vector<double> bake(std::int32_t num_qubits) const;
 
+    /**
+     * Read-only view of the lazily baked spectrum, in the exact form
+     * apply() consumes: angle(i) = constant + quantum * keys[i] when
+     * uniform, else constant + dense[i]. The sweep engine
+     * (sim/sweep.h) uses it to build per-point phase tables that
+     * replay apply()'s arithmetic bit-for-bit. Pointers stay valid
+     * until the next add_*()/clear().
+     */
+    struct BakedView
+    {
+        bool uniform = false;
+        double constant = 0.0;
+        double quantum = 0.0;
+        /** Uniform spectrum key range: keys[i] is in [-span, span]. */
+        std::int32_t span = 0;
+        const std::int32_t* keys = nullptr;
+        const double* dense = nullptr;
+    };
+    BakedView baked_view(std::int32_t num_qubits) const;
+
   private:
     void add_term(std::uint64_t mask, double coeff);
     void invalidate_cache();

@@ -6,31 +6,49 @@
  * phase sweeps, probability/expectation reductions, the integrator's
  * blend/scale loops — is a free function over a raw interleaved
  * [re, im] double array, collected into a Table of function pointers.
- * Two tiers provide the table: a portable scalar tier
- * (kernels_scalar.cpp) and a hand-vectorized AVX2 tier
- * (kernels_avx2.cpp). Statevector/DiagonalBatch pick the tier once
- * per gate call through active() and hand each parallel_for chunk to
- * the kernel, so thread partitioning (common/parallel.h) and SIMD
- * width compose without knowing about each other.
+ * Three tiers provide the table: a portable scalar tier
+ * (kernels_scalar.cpp), a hand-vectorized AVX2 tier
+ * (kernels_avx2.cpp), and an AVX-512 tier (kernels_avx512.cpp) that
+ * overrides the hottest entries — the RX butterflies, the diagonal
+ * phase sweep, the expectation reductions, and the batched sweep
+ * kernels — and inherits everything else from AVX2.
+ * Statevector/DiagonalBatch pick the tier once per gate call through
+ * active() and hand each parallel_for chunk to the kernel, so thread
+ * partitioning (common/parallel.h) and SIMD width compose without
+ * knowing about each other.
  *
  * Determinism contract (held by tests/test_kernels.cpp as exact
  * bit-equality):
  *
- *  - Both tiers perform the *same* IEEE-754 operations per element in
+ *  - All tiers perform the *same* IEEE-754 operations per element in
  *    the same order. The shared per-element formulas live in
- *    kernels_inline.h; the AVX2 tier arranges its lanes so each
- *    element sees an identical mul/add/sub sequence (no FMA — both
- *    TUs build with -ffp-contract=off), and falls back to the shared
- *    scalar loop whenever a gate's stride breaks lane contiguity
- *    (qubit index too low for 4 consecutive amplitudes).
+ *    kernels_inline.h; the vector tiers arrange their lanes so each
+ *    element sees an identical mul/add/sub sequence (no FMA — all
+ *    kernel TUs build with -ffp-contract=off), and fall back to the
+ *    shared scalar loop whenever a gate's stride breaks lane
+ *    contiguity (qubit index too low for 4 consecutive amplitudes;
+ *    AVX-512 lacks addsub, so its complex arithmetic negates
+ *    alternate lanes before a plain add — IEEE negation is exact, so
+ *    x - (-y) == x + y bit-for-bit).
  *
- *  - Reductions (norm_sum / weighted_norm_sum) accumulate into four
- *    fixed lanes — element j (relative to the range begin) lands in
- *    lane j mod kReductionLanes — combined as (l0+l1) + (l2+l3).
- *    The scalar tier keeps four explicit accumulators in the same
- *    pattern, so the sum is a pure function of the element range:
- *    invariant to SIMD width and, composed with the fixed-slice
- *    reduction of common/parallel.h, to thread count.
+ *  - Reductions (norm_sum / weighted_norm_sum and their batched
+ *    forms) accumulate into four fixed lanes — element j (relative to
+ *    the range begin) lands in lane j mod kReductionLanes — combined
+ *    as (l0+l1) + (l2+l3). The scalar tier keeps four explicit
+ *    accumulators in the same pattern, and the AVX-512 tier chains
+ *    its two 256-bit half-rows through the accumulator in ascending
+ *    element order instead of keeping eight independent lanes, so the
+ *    sum is a pure function of the element range: invariant to SIMD
+ *    width and, composed with the fixed-slice reduction of
+ *    common/parallel.h, to thread count.
+ *
+ *  - Batched sweep kernels (the b* entries) view one "element" as
+ *    `batch` interleaved [re, im] points — the storage of
+ *    sim/sweep.h's SweepEvaluator, which evaluates many QAOA angle
+ *    points per statevector pass. Per (element, point) they perform
+ *    exactly the arithmetic of the corresponding unbatched kernel, so
+ *    a batched sweep is bit-identical to evaluating each point
+ *    sequentially.
  *
  *  - phase_angles (the mixed-magnitude diagonal fallback) is trig-
  *    bound, not bandwidth-bound; both tiers share one scalar
@@ -54,11 +72,21 @@ namespace permuq::sim::kernels {
 /** Fixed accumulator-lane count of the deterministic reductions. */
 inline constexpr std::size_t kReductionLanes = 4;
 
+/** Hard cap on the point count a batched sweep kernel accepts, so
+ *  kernels can keep fixed-size stack lane buffers. */
+inline constexpr std::size_t kMaxSweepBatch = 16;
+
 /** One tier's kernel set. All `a`/`y`/`x` pointers are interleaved
- *  [re, im] amplitude storage unless a parameter says otherwise. */
+ *  [re, im] amplitude storage unless a parameter says otherwise.
+ *
+ *  Batched (b*) kernels operate on SweepEvaluator storage: batched
+ *  element i is `batch` consecutive [re, im] point slots starting at
+ *  a + 2*batch*i, point b at a + 2*batch*i + 2*b. `batch` is in
+ *  [1, kMaxSweepBatch]. */
 struct Table
 {
-    /** Tier label ("scalar" / "avx2") for telemetry and tests. */
+    /** Tier label ("scalar" / "avx2" / "avx512") for telemetry and
+     *  tests. */
     const char* name;
 
     /** RX(theta) butterfly, c = cos(theta/2), s = sin(theta/2):
@@ -154,6 +182,47 @@ struct Table
     void (*rk4_combine)(double* y, const double* k1, const double* k2,
                         const double* k3, const double* k4, double w,
                         std::size_t b, std::size_t e);
+
+    /**
+     * Batched RX butterfly over the block range [hb, he) of the
+     * 2^(n-1) space: point b of each element pair mixes with
+     * c2[2b]/s2[2b]. c2/s2 hold 2*batch doubles with each point's
+     * cos(theta_b/2)/sin(theta_b/2) duplicated (c2[2b] == c2[2b+1])
+     * so vector tiers can load them packed against [re, im] slots.
+     */
+    void (*brx)(double* a, std::size_t hb, std::size_t he,
+                std::size_t low_mask, std::size_t bit, std::size_t batch,
+                const double* c2, const double* s2);
+
+    /** Batched RX butterfly over two contiguous runs of @p elems
+     *  batched elements each (a0 holds the bit-clear halves) — the
+     *  grouped high-qubit pass of the sweep engine. */
+    void (*brx_pair)(double* a0, double* a1, std::size_t elems,
+                     std::size_t batch, const double* c2,
+                     const double* s2);
+
+    /** Batched fused-diagonal phase sweep over element range [ib, ie):
+     *  point b of element i is multiplied by the [re, im] phase at
+     *  lut + 2*((key[i] + span)*batch + b) — one packed LUT row per
+     *  spectrum key, no gathers needed. */
+    void (*bphase_lut)(double* a, std::size_t ib, std::size_t ie,
+                       const std::int32_t* key, std::int32_t span,
+                       std::size_t batch, const double* lut);
+
+    /** Batched dense phase sweep over [ib, ie): point b of element i
+     *  is multiplied by e^{i * scale[b] * (constant + angle[i])}.
+     *  Trig-bound; shared scalar implementation in every tier. */
+    void (*bphase_angles)(double* a, std::size_t ib, std::size_t ie,
+                          const double* angle, std::size_t batch,
+                          const double* scale, double constant);
+
+    /** Batched objective reduction over [ib, ie): out[b] = sum over i
+     *  of |a_{i,b}|^2 * (table[i] + offset), fixed 4-lane
+     *  accumulation per point (lane (i - ib) mod kReductionLanes). */
+    void (*bweighted_norm_sum)(const double* a, std::size_t batch,
+                               const double* table, double offset,
+                               std::size_t ib, std::size_t ie,
+                               double* out);
 };
 
 /** The portable tier (always available). */
@@ -165,6 +234,14 @@ const Table& avx2_table();
 
 /** True when avx2_table() is a real AVX2 implementation. */
 bool avx2_compiled_in();
+
+/** The AVX-512 tier; overrides the hottest kernels and inherits the
+ *  rest from avx2_table(). Aliases avx2_table() when the build lacks
+ *  AVX-512 support. */
+const Table& avx512_table();
+
+/** True when avx512_table() is a real AVX-512 implementation. */
+bool avx512_compiled_in();
 
 /** The table selected by sim::active_simd_tier(). */
 const Table& active();

@@ -502,6 +502,122 @@ avx2_mul_neg_i(double* a, std::size_t ib, std::size_t ie)
 }
 
 void
+avx2_brx(double* a, std::size_t hb, std::size_t he, std::size_t low_mask,
+         std::size_t bit, std::size_t batch, const double* c2,
+         const double* s2)
+{
+    if (batch < 2) { // a lone point leaves no packed [re, im] pair
+        scalar_table().brx(a, hb, he, low_mask, bit, batch, c2, s2);
+        return;
+    }
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    for (std::size_t h = hb; h < he; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        double* p0 = a + 2 * batch * i0;
+        double* p1 = a + 2 * batch * (i0 | bit);
+        std::size_t b = 0;
+        for (; b + 2 <= batch; b += 2) {
+            const __m256d cv = _mm256_loadu_pd(c2 + 2 * b);
+            const __m256d sv = _mm256_loadu_pd(s2 + 2 * b);
+            const __m256d v0 = _mm256_loadu_pd(p0 + 2 * b);
+            const __m256d v1 = _mm256_loadu_pd(p1 + 2 * b);
+            _mm256_storeu_pd(p0 + 2 * b, rx_mix(v0, v1, cv, sv, sign));
+            _mm256_storeu_pd(p1 + 2 * b, rx_mix(v1, v0, cv, sv, sign));
+        }
+        for (; b < batch; ++b)
+            detail::rx_pair(p0 + 2 * b, p1 + 2 * b, c2[2 * b],
+                            s2[2 * b]);
+    }
+}
+
+void
+avx2_brx_pair(double* a0, double* a1, std::size_t elems,
+              std::size_t batch, const double* c2, const double* s2)
+{
+    if (batch < 2) {
+        scalar_table().brx_pair(a0, a1, elems, batch, c2, s2);
+        return;
+    }
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    for (std::size_t e = 0; e < elems; ++e) {
+        double* p0 = a0 + 2 * batch * e;
+        double* p1 = a1 + 2 * batch * e;
+        std::size_t b = 0;
+        for (; b + 2 <= batch; b += 2) {
+            const __m256d cv = _mm256_loadu_pd(c2 + 2 * b);
+            const __m256d sv = _mm256_loadu_pd(s2 + 2 * b);
+            const __m256d v0 = _mm256_loadu_pd(p0 + 2 * b);
+            const __m256d v1 = _mm256_loadu_pd(p1 + 2 * b);
+            _mm256_storeu_pd(p0 + 2 * b, rx_mix(v0, v1, cv, sv, sign));
+            _mm256_storeu_pd(p1 + 2 * b, rx_mix(v1, v0, cv, sv, sign));
+        }
+        for (; b < batch; ++b)
+            detail::rx_pair(p0 + 2 * b, p1 + 2 * b, c2[2 * b],
+                            s2[2 * b]);
+    }
+}
+
+void
+avx2_bphase_lut(double* a, std::size_t ib, std::size_t ie,
+                const std::int32_t* key, std::int32_t span,
+                std::size_t batch, const double* lut)
+{
+    if (batch < 2) {
+        scalar_table().bphase_lut(a, ib, ie, key, span, batch, lut);
+        return;
+    }
+    for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t k = static_cast<std::size_t>(key[i] + span);
+        const double* ph = lut + 2 * batch * k;
+        double* p = a + 2 * batch * i;
+        std::size_t b = 0;
+        for (; b + 2 <= batch; b += 2)
+            _mm256_storeu_pd(
+                p + 2 * b, cmul_packed(_mm256_loadu_pd(p + 2 * b),
+                                       _mm256_loadu_pd(ph + 2 * b)));
+        for (; b < batch; ++b)
+            detail::cmul(p + 2 * b, ph[2 * b], ph[2 * b + 1]);
+    }
+}
+
+void
+avx2_bweighted_norm_sum(const double* a, std::size_t batch,
+                        const double* table, double offset,
+                        std::size_t ib, std::size_t ie, double* out)
+{
+    if (batch < 4) {
+        scalar_table().bweighted_norm_sum(a, batch, table, offset, ib,
+                                          ie, out);
+        return;
+    }
+    // Accumulator rows indexed [reduction lane][point]; the vector
+    // body adds four points of one lane row at a time, so each
+    // point's lane sequence matches the scalar tier exactly.
+    alignas(32) double lane[kReductionLanes][kMaxSweepBatch] = {};
+    for (std::size_t i = ib; i < ie; ++i) {
+        const double w = table[i] + offset;
+        const __m256d wv = _mm256_set1_pd(w);
+        const double* p = a + 2 * batch * i;
+        double* lrow = lane[(i - ib) & (kReductionLanes - 1)];
+        std::size_t b = 0;
+        for (; b + 4 <= batch; b += 4) {
+            const __m256d n = norm4(_mm256_loadu_pd(p + 2 * b),
+                                    _mm256_loadu_pd(p + 2 * b + 4));
+            _mm256_store_pd(lrow + b,
+                            _mm256_add_pd(_mm256_load_pd(lrow + b),
+                                          _mm256_mul_pd(n, wv)));
+        }
+        for (; b < batch; ++b)
+            lrow[b] += detail::norm2(p + 2 * b) * w;
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+        const double l[kReductionLanes] = {lane[0][b], lane[1][b],
+                                           lane[2][b], lane[3][b]};
+        out[b] = detail::combine_lanes(l);
+    }
+}
+
+void
 avx2_rk4_combine(double* y, const double* k1, const double* k2,
                  const double* k3, const double* k4, double w,
                  std::size_t b, std::size_t e)
@@ -555,6 +671,11 @@ avx2_table()
         avx2_scale,
         avx2_mul_neg_i,
         avx2_rk4_combine,
+        avx2_brx,
+        avx2_brx_pair,
+        avx2_bphase_lut,
+        scalar_table().bphase_angles, // trig-bound; shared (see kernels.h)
+        avx2_bweighted_norm_sum,
     };
     return table;
 }

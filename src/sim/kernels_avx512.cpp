@@ -1,0 +1,455 @@
+/**
+ * @file
+ * AVX-512 tier of the statevector kernels (see sim/kernels.h for the
+ * dispatch design and the determinism contract).
+ *
+ * Only the hottest kernels are reimplemented at 512-bit width — the
+ * RX butterflies, the fused-diagonal phase sweep, the norm/objective
+ * reductions, and the batched sweep kernels; everything else is
+ * inherited from avx2_table(). Two constraints keep the tier
+ * bit-identical to the scalar and AVX2 tiers:
+ *
+ *  - AVX-512 has no addsub instruction, so complex arithmetic negates
+ *    alternate lanes (an exact IEEE operation) and uses a plain add:
+ *    x - y == x + (-y) and x - (-y) == x + y bit-for-bit.
+ *
+ *  - Reductions must keep the fixed 4-lane accumulation order, so the
+ *    512-bit bodies compute eight elements' terms at once but chain
+ *    the two 256-bit halves through one 4-lane accumulator in
+ *    ascending element order — never eight independent lanes, which
+ *    would change the addition tree.
+ *
+ * This TU builds with -mavx512f -mavx512dq -ffp-contract=off; when
+ * the toolchain can't target AVX-512 the #else branch aliases the
+ * AVX2 tier (which itself falls back to scalar when absent).
+ */
+#include "sim/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include "sim/kernel_util.h"
+#include "sim/kernels_inline.h"
+
+namespace permuq::sim::kernels {
+
+namespace {
+
+/** -0.0 in the even (real) lanes: xor then add emulates addsub. */
+inline __m512d
+neg_even()
+{
+    return _mm512_set_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+}
+
+/** -0.0 in the odd (imag) lanes: xor then add emulates the
+ *  negated-operand addsub of the RX mix. */
+inline __m512d
+neg_odd()
+{
+    return _mm512_set_pd(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0);
+}
+
+/** Swap re/im within each complex value. */
+inline __m512d
+swap_halves8(__m512d v)
+{
+    return _mm512_permute_pd(v, 0x55);
+}
+
+/** Four complex multiplies by broadcast-per-complex phases: the lane
+ *  sequence of detail::cmul, with addsub emulated as described in the
+ *  file comment. */
+inline __m512d
+cmul_broadcast8(__m512d v, __m512d pr, __m512d pi)
+{
+    const __m512d t = _mm512_mul_pd(v, pr);
+    const __m512d u = _mm512_mul_pd(swap_halves8(v), pi);
+    return _mm512_add_pd(t, _mm512_xor_pd(u, neg_even()));
+}
+
+/** Four complex multiplies by the phases packed in @p p. */
+inline __m512d
+cmul_packed8(__m512d v, __m512d p)
+{
+    const __m512d pr = _mm512_movedup_pd(p);
+    const __m512d pi = _mm512_permute_pd(p, 0xFF);
+    return cmul_broadcast8(v, pr, pi);
+}
+
+/** Half an RX butterfly, the lane sequence of detail::rx_pair:
+ *  re' = c*ar_self + s*ai_other, im' = c*ai_self - s*ar_other. */
+inline __m512d
+rx_mix8(__m512d self, __m512d other, __m512d c, __m512d s)
+{
+    const __m512d t = _mm512_mul_pd(self, c);
+    const __m512d u = _mm512_mul_pd(swap_halves8(other), s);
+    return _mm512_add_pd(t, _mm512_xor_pd(u, neg_odd()));
+}
+
+/** |a|^2 of eight consecutive complex values from the two 512-bit
+ *  loads @p x (values 0-3) and @p y (values 4-7): per value one
+ *  re*re + im*im add, the sequence of detail::norm2. */
+inline __m512d
+norm8(__m512d x, __m512d y)
+{
+    const __m512i idx_even =
+        _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0);
+    const __m512i idx_odd =
+        _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+    const __m512d sqx = _mm512_mul_pd(x, x);
+    const __m512d sqy = _mm512_mul_pd(y, y);
+    const __m512d re = _mm512_permutex2var_pd(sqx, idx_even, sqy);
+    const __m512d im = _mm512_permutex2var_pd(sqx, idx_odd, sqy);
+    return _mm512_add_pd(re, im);
+}
+
+void
+avx512_rx(double* a, std::size_t hb, std::size_t he,
+          std::size_t low_mask, std::size_t bit, double c, double s)
+{
+    if (low_mask < 3) { // qubits 0/1: pairs are not lane-contiguous
+        scalar_table().rx(a, hb, he, low_mask, bit, c, s);
+        return;
+    }
+    std::size_t h = hb;
+    for (; h < he && (h & 3) != 0; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        detail::rx_pair(a + 2 * i0, a + 2 * (i0 | bit), c, s);
+    }
+    const __m512d cv = _mm512_set1_pd(c);
+    const __m512d sv = _mm512_set1_pd(s);
+    for (; h + 4 <= he; h += 4) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        double* p0 = a + 2 * i0;
+        double* p1 = a + 2 * (i0 | bit);
+        const __m512d v0 = _mm512_loadu_pd(p0);
+        const __m512d v1 = _mm512_loadu_pd(p1);
+        _mm512_storeu_pd(p0, rx_mix8(v0, v1, cv, sv));
+        _mm512_storeu_pd(p1, rx_mix8(v1, v0, cv, sv));
+    }
+    for (; h < he; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        detail::rx_pair(a + 2 * i0, a + 2 * (i0 | bit), c, s);
+    }
+}
+
+void
+avx512_rx2(double* a, std::size_t hb, std::size_t he,
+           std::size_t lo_mask, std::size_t hi_mask, std::size_t pbit,
+           std::size_t qbit, double c, double s)
+{
+    if (lo_mask < 3) {
+        scalar_table().rx2(a, hb, he, lo_mask, hi_mask, pbit, qbit, c,
+                           s);
+        return;
+    }
+    auto one_block = [=](std::size_t h) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p00 = a + 2 * i00;
+        double* pp = a + 2 * (i00 | pbit);
+        double* pq = a + 2 * (i00 | qbit);
+        double* ppq = a + 2 * (i00 | pbit | qbit);
+        detail::rx_pair(p00, pp, c, s);
+        detail::rx_pair(pq, ppq, c, s);
+        detail::rx_pair(p00, pq, c, s);
+        detail::rx_pair(pp, ppq, c, s);
+    };
+    std::size_t h = hb;
+    for (; h < he && (h & 3) != 0; ++h)
+        one_block(h);
+    const __m512d cv = _mm512_set1_pd(c);
+    const __m512d sv = _mm512_set1_pd(s);
+    for (; h + 4 <= he; h += 4) {
+        const std::size_t i00 = insert_two_zeros(h, lo_mask, hi_mask);
+        double* p00 = a + 2 * i00;
+        double* pp = a + 2 * (i00 | pbit);
+        double* pq = a + 2 * (i00 | qbit);
+        double* ppq = a + 2 * (i00 | pbit | qbit);
+        __m512d v00 = _mm512_loadu_pd(p00);
+        __m512d vp = _mm512_loadu_pd(pp);
+        __m512d vq = _mm512_loadu_pd(pq);
+        __m512d vpq = _mm512_loadu_pd(ppq);
+        // RX on the pbit pairs...
+        __m512d t;
+        t = rx_mix8(v00, vp, cv, sv);
+        vp = rx_mix8(vp, v00, cv, sv);
+        v00 = t;
+        t = rx_mix8(vq, vpq, cv, sv);
+        vpq = rx_mix8(vpq, vq, cv, sv);
+        vq = t;
+        // ...then on the qbit pairs, all still in registers.
+        t = rx_mix8(v00, vq, cv, sv);
+        vq = rx_mix8(vq, v00, cv, sv);
+        v00 = t;
+        t = rx_mix8(vp, vpq, cv, sv);
+        vpq = rx_mix8(vpq, vp, cv, sv);
+        vp = t;
+        _mm512_storeu_pd(p00, v00);
+        _mm512_storeu_pd(pp, vp);
+        _mm512_storeu_pd(pq, vq);
+        _mm512_storeu_pd(ppq, vpq);
+    }
+    for (; h < he; ++h)
+        one_block(h);
+}
+
+void
+avx512_phase_lut(double* a, std::size_t ib, std::size_t ie,
+                 const std::int32_t* key, std::int32_t span,
+                 const double* lut_re, const double* lut_im)
+{
+    const __m256i span_v = _mm256_set1_epi32(span);
+    const __m512i idx_lo = _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0);
+    const __m512i idx_hi = _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4);
+    const __m512d zero = _mm512_setzero_pd();
+    std::size_t i = ib;
+    for (; i + 8 <= ie; i += 8) {
+        __m256i k = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(key + i));
+        k = _mm256_add_epi32(k, span_v);
+        // Full-mask gather with a zeroed source: the plain gather
+        // intrinsic expands through an undefined register and trips
+        // -Wmaybe-uninitialized; with mask 0xff every lane is
+        // overwritten, so the result is identical.
+        const __m512d pr8 =
+            _mm512_mask_i32gather_pd(zero, 0xff, k, lut_re, 8);
+        const __m512d pi8 =
+            _mm512_mask_i32gather_pd(zero, 0xff, k, lut_im, 8);
+        const __m512d p_lo = _mm512_permutex2var_pd(pr8, idx_lo, pi8);
+        const __m512d p_hi = _mm512_permutex2var_pd(pr8, idx_hi, pi8);
+        double* p = a + 2 * i;
+        _mm512_storeu_pd(p, cmul_packed8(_mm512_loadu_pd(p), p_lo));
+        _mm512_storeu_pd(p + 8,
+                         cmul_packed8(_mm512_loadu_pd(p + 8), p_hi));
+    }
+    for (; i < ie; ++i) {
+        const std::int32_t k = key[i] + span;
+        detail::cmul(a + 2 * i, lut_re[k], lut_im[k]);
+    }
+}
+
+double
+avx512_norm_sum(const double* a, std::size_t ib, std::size_t ie)
+{
+    const std::size_t len = ie - ib;
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+        const double* p = a + 2 * (ib + j);
+        const __m512d n = norm8(_mm512_loadu_pd(p),
+                                _mm512_loadu_pd(p + 8));
+        // Chain the halves in ascending element order to preserve the
+        // 4-lane accumulation tree.
+        acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(n));
+        acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(n, 1));
+    }
+    alignas(32) double lane[kReductionLanes];
+    _mm256_store_pd(lane, acc);
+    for (; j < len; ++j)
+        lane[j & (kReductionLanes - 1)] +=
+            detail::norm2(a + 2 * (ib + j));
+    return detail::combine_lanes(lane);
+}
+
+double
+avx512_weighted_norm_sum(const double* a, const double* table,
+                         double offset, std::size_t ib, std::size_t ie)
+{
+    const std::size_t len = ie - ib;
+    const __m512d off = _mm512_set1_pd(offset);
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+        const double* p = a + 2 * (ib + j);
+        const __m512d n = norm8(_mm512_loadu_pd(p),
+                                _mm512_loadu_pd(p + 8));
+        const __m512d w =
+            _mm512_add_pd(_mm512_loadu_pd(table + ib + j), off);
+        const __m512d m = _mm512_mul_pd(n, w);
+        acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(m));
+        acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(m, 1));
+    }
+    alignas(32) double lane[kReductionLanes];
+    _mm256_store_pd(lane, acc);
+    for (; j < len; ++j)
+        lane[j & (kReductionLanes - 1)] +=
+            detail::norm2(a + 2 * (ib + j)) * (table[ib + j] + offset);
+    return detail::combine_lanes(lane);
+}
+
+void
+avx512_brx(double* a, std::size_t hb, std::size_t he,
+           std::size_t low_mask, std::size_t bit, std::size_t batch,
+           const double* c2, const double* s2)
+{
+    if (batch < 4) { // not enough points for a 512-bit lane group
+        avx2_table().brx(a, hb, he, low_mask, bit, batch, c2, s2);
+        return;
+    }
+    for (std::size_t h = hb; h < he; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        double* p0 = a + 2 * batch * i0;
+        double* p1 = a + 2 * batch * (i0 | bit);
+        std::size_t b = 0;
+        for (; b + 4 <= batch; b += 4) {
+            const __m512d cv = _mm512_loadu_pd(c2 + 2 * b);
+            const __m512d sv = _mm512_loadu_pd(s2 + 2 * b);
+            const __m512d v0 = _mm512_loadu_pd(p0 + 2 * b);
+            const __m512d v1 = _mm512_loadu_pd(p1 + 2 * b);
+            _mm512_storeu_pd(p0 + 2 * b, rx_mix8(v0, v1, cv, sv));
+            _mm512_storeu_pd(p1 + 2 * b, rx_mix8(v1, v0, cv, sv));
+        }
+        for (; b < batch; ++b)
+            detail::rx_pair(p0 + 2 * b, p1 + 2 * b, c2[2 * b],
+                            s2[2 * b]);
+    }
+}
+
+void
+avx512_brx_pair(double* a0, double* a1, std::size_t elems,
+                std::size_t batch, const double* c2, const double* s2)
+{
+    if (batch < 4) {
+        avx2_table().brx_pair(a0, a1, elems, batch, c2, s2);
+        return;
+    }
+    for (std::size_t e = 0; e < elems; ++e) {
+        double* p0 = a0 + 2 * batch * e;
+        double* p1 = a1 + 2 * batch * e;
+        std::size_t b = 0;
+        for (; b + 4 <= batch; b += 4) {
+            const __m512d cv = _mm512_loadu_pd(c2 + 2 * b);
+            const __m512d sv = _mm512_loadu_pd(s2 + 2 * b);
+            const __m512d v0 = _mm512_loadu_pd(p0 + 2 * b);
+            const __m512d v1 = _mm512_loadu_pd(p1 + 2 * b);
+            _mm512_storeu_pd(p0 + 2 * b, rx_mix8(v0, v1, cv, sv));
+            _mm512_storeu_pd(p1 + 2 * b, rx_mix8(v1, v0, cv, sv));
+        }
+        for (; b < batch; ++b)
+            detail::rx_pair(p0 + 2 * b, p1 + 2 * b, c2[2 * b],
+                            s2[2 * b]);
+    }
+}
+
+void
+avx512_bphase_lut(double* a, std::size_t ib, std::size_t ie,
+                  const std::int32_t* key, std::int32_t span,
+                  std::size_t batch, const double* lut)
+{
+    if (batch < 4) {
+        avx2_table().bphase_lut(a, ib, ie, key, span, batch, lut);
+        return;
+    }
+    for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t k = static_cast<std::size_t>(key[i] + span);
+        const double* ph = lut + 2 * batch * k;
+        double* p = a + 2 * batch * i;
+        std::size_t b = 0;
+        for (; b + 4 <= batch; b += 4)
+            _mm512_storeu_pd(
+                p + 2 * b, cmul_packed8(_mm512_loadu_pd(p + 2 * b),
+                                        _mm512_loadu_pd(ph + 2 * b)));
+        for (; b < batch; ++b)
+            detail::cmul(p + 2 * b, ph[2 * b], ph[2 * b + 1]);
+    }
+}
+
+void
+avx512_bweighted_norm_sum(const double* a, std::size_t batch,
+                          const double* table, double offset,
+                          std::size_t ib, std::size_t ie, double* out)
+{
+    if (batch < 8) {
+        avx2_table().bweighted_norm_sum(a, batch, table, offset, ib,
+                                        ie, out);
+        return;
+    }
+    // Per-point accumulation is element-wise independent across
+    // points, so the vector width only has to respect each point's
+    // 4-lane row assignment — identical to the scalar tier.
+    alignas(64) double lane[kReductionLanes][kMaxSweepBatch] = {};
+    for (std::size_t i = ib; i < ie; ++i) {
+        const double w = table[i] + offset;
+        const __m512d wv = _mm512_set1_pd(w);
+        const double* p = a + 2 * batch * i;
+        double* lrow = lane[(i - ib) & (kReductionLanes - 1)];
+        std::size_t b = 0;
+        for (; b + 8 <= batch; b += 8) {
+            const __m512d n = norm8(_mm512_loadu_pd(p + 2 * b),
+                                    _mm512_loadu_pd(p + 2 * b + 8));
+            _mm512_store_pd(lrow + b,
+                            _mm512_add_pd(_mm512_load_pd(lrow + b),
+                                          _mm512_mul_pd(n, wv)));
+        }
+        for (; b < batch; ++b)
+            lrow[b] += detail::norm2(p + 2 * b) * w;
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+        const double l[kReductionLanes] = {lane[0][b], lane[1][b],
+                                           lane[2][b], lane[3][b]};
+        out[b] = detail::combine_lanes(l);
+    }
+}
+
+} // namespace
+
+bool
+avx512_compiled_in()
+{
+    return true;
+}
+
+const Table&
+avx512_table()
+{
+    static const Table table = {
+        "avx512",
+        avx512_rx,
+        avx2_table().h,
+        avx512_rx2,
+        avx2_table().rz,
+        avx2_table().rzz,
+        avx2_table().cphase,
+        avx2_table().cx,
+        avx2_table().swap,
+        avx512_phase_lut,
+        scalar_table().phase_angles, // trig-bound; shared (see kernels.h)
+        avx2_table().probs,
+        avx512_norm_sum,
+        avx512_weighted_norm_sum,
+        avx2_table().axpy,
+        avx2_table().scale,
+        avx2_table().mul_neg_i,
+        avx2_table().rk4_combine,
+        avx512_brx,
+        avx512_brx_pair,
+        avx512_bphase_lut,
+        scalar_table().bphase_angles, // trig-bound; shared
+        avx512_bweighted_norm_sum,
+    };
+    return table;
+}
+
+} // namespace permuq::sim::kernels
+
+#else // !(__AVX512F__ && __AVX512DQ__)
+
+namespace permuq::sim::kernels {
+
+bool
+avx512_compiled_in()
+{
+    return false;
+}
+
+const Table&
+avx512_table()
+{
+    return avx2_table();
+}
+
+} // namespace permuq::sim::kernels
+
+#endif

@@ -206,6 +206,81 @@ scalar_phase_angles(double* a, std::size_t ib, std::size_t ie,
     }
 }
 
+void
+scalar_brx(double* a, std::size_t hb, std::size_t he,
+           std::size_t low_mask, std::size_t bit, std::size_t batch,
+           const double* c2, const double* s2)
+{
+    for (std::size_t h = hb; h < he; ++h) {
+        const std::size_t i0 = insert_zero(h, low_mask);
+        double* p0 = a + 2 * batch * i0;
+        double* p1 = a + 2 * batch * (i0 | bit);
+        for (std::size_t b = 0; b < batch; ++b)
+            rx_pair(p0 + 2 * b, p1 + 2 * b, c2[2 * b], s2[2 * b]);
+    }
+}
+
+void
+scalar_brx_pair(double* a0, double* a1, std::size_t elems,
+                std::size_t batch, const double* c2, const double* s2)
+{
+    for (std::size_t e = 0; e < elems; ++e) {
+        double* p0 = a0 + 2 * batch * e;
+        double* p1 = a1 + 2 * batch * e;
+        for (std::size_t b = 0; b < batch; ++b)
+            rx_pair(p0 + 2 * b, p1 + 2 * b, c2[2 * b], s2[2 * b]);
+    }
+}
+
+void
+scalar_bphase_lut(double* a, std::size_t ib, std::size_t ie,
+                  const std::int32_t* key, std::int32_t span,
+                  std::size_t batch, const double* lut)
+{
+    for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t k = static_cast<std::size_t>(key[i] + span);
+        const double* ph = lut + 2 * batch * k;
+        double* p = a + 2 * batch * i;
+        for (std::size_t b = 0; b < batch; ++b)
+            cmul(p + 2 * b, ph[2 * b], ph[2 * b + 1]);
+    }
+}
+
+/** Batched dense phase sweep: trig-bound, one implementation shared
+ *  by every tier. The per-point angle replays phase_angles' exact
+ *  scale * (constant + angle[i]) operation sequence. */
+void
+scalar_bphase_angles(double* a, std::size_t ib, std::size_t ie,
+                     const double* angle, std::size_t batch,
+                     const double* scale, double constant)
+{
+    for (std::size_t i = ib; i < ie; ++i) {
+        const double base = constant + angle[i];
+        double* p = a + 2 * batch * i;
+        for (std::size_t b = 0; b < batch; ++b) {
+            const double ang = scale[b] * base;
+            cmul(p + 2 * b, std::cos(ang), std::sin(ang));
+        }
+    }
+}
+
+void
+scalar_bweighted_norm_sum(const double* a, std::size_t batch,
+                          const double* table, double offset,
+                          std::size_t ib, std::size_t ie, double* out)
+{
+    double lane[kMaxSweepBatch][kReductionLanes] = {};
+    for (std::size_t i = ib; i < ie; ++i) {
+        const double w = table[i] + offset;
+        const double* p = a + 2 * batch * i;
+        const std::size_t l = (i - ib) & (kReductionLanes - 1);
+        for (std::size_t b = 0; b < batch; ++b)
+            lane[b][l] += norm2(p + 2 * b) * w;
+    }
+    for (std::size_t b = 0; b < batch; ++b)
+        out[b] = combine_lanes(lane[b]);
+}
+
 } // namespace
 
 const Table&
@@ -230,6 +305,11 @@ scalar_table()
         scalar_scale,
         scalar_mul_neg_i,
         scalar_rk4_combine,
+        scalar_brx,
+        scalar_brx_pair,
+        scalar_bphase_lut,
+        scalar_bphase_angles,
+        scalar_bweighted_norm_sum,
     };
     return table;
 }

@@ -98,6 +98,12 @@ class QaoaObjective
     std::size_t memory_bytes() const;
 
   private:
+    /** The batched sweep engine (sim/sweep.h) replays this context's
+     *  exact evaluation arithmetic across many angle points at once;
+     *  it reads the cost batch, the baked spectrum, and the replay
+     *  plan directly instead of widening the public API. */
+    friend class SweepEvaluator;
+
     void build(const std::vector<double>* weights);
     /** Run the ideal circuit at @p angles into the scratch state. */
     void prepare_ideal(const QaoaAngles& angles);

@@ -2,7 +2,7 @@
  * @file
  * Runtime SIMD tier selection (see sim/simd.h). Detection uses the
  * compiler's CPU-feature builtin on x86; every request is clamped to
- * what both the build and the running CPU support, so the AVX2 tier
+ * what both the build and the running CPU support, so a vector tier
  * can never be dispatched on a machine that would fault on it.
  */
 #include "sim/simd.h"
@@ -28,13 +28,28 @@ cpu_has_avx2()
 #endif
 }
 
-/** Clamp a requested tier to what this binary + CPU can run. */
+bool
+cpu_has_avx512()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq");
+#else
+    return false;
+#endif
+}
+
+/** Clamp a requested tier to what this binary + CPU can run, degrading
+ *  one tier at a time (avx512 -> avx2 -> scalar). */
 SimdTier
 clamp_tier(SimdTier tier)
 {
+    if (tier == SimdTier::Avx512 &&
+        (!kernels::avx512_compiled_in() || !cpu_has_avx512()))
+        tier = SimdTier::Avx2;
     if (tier == SimdTier::Avx2 &&
         (!kernels::avx2_compiled_in() || !cpu_has_avx2()))
-        return SimdTier::Scalar;
+        tier = SimdTier::Scalar;
     return tier;
 }
 
@@ -47,6 +62,8 @@ initial_tier()
             return SimdTier::Scalar;
         if (std::strcmp(env, "avx2") == 0)
             return clamp_tier(SimdTier::Avx2);
+        if (std::strcmp(env, "avx512") == 0)
+            return clamp_tier(SimdTier::Avx512);
         // Unknown values (including "auto") fall through to detection.
     }
     return detected_simd_tier();
@@ -64,13 +81,13 @@ tier_slot()
 bool
 simd_compiled_in()
 {
-    return kernels::avx2_compiled_in();
+    return kernels::avx2_compiled_in() || kernels::avx512_compiled_in();
 }
 
 SimdTier
 detected_simd_tier()
 {
-    return clamp_tier(SimdTier::Avx2);
+    return clamp_tier(SimdTier::Avx512);
 }
 
 SimdTier
@@ -88,7 +105,14 @@ set_simd_tier(SimdTier tier)
 const char*
 simd_tier_name(SimdTier tier)
 {
-    return tier == SimdTier::Avx2 ? "avx2" : "scalar";
+    switch (tier) {
+    case SimdTier::Avx512:
+        return "avx512";
+    case SimdTier::Avx2:
+        return "avx2";
+    default:
+        return "scalar";
+    }
 }
 
 namespace kernels {
@@ -96,8 +120,14 @@ namespace kernels {
 const Table&
 active()
 {
-    return active_simd_tier() == SimdTier::Avx2 ? avx2_table()
-                                                : scalar_table();
+    switch (active_simd_tier()) {
+    case SimdTier::Avx512:
+        return avx512_table();
+    case SimdTier::Avx2:
+        return avx2_table();
+    default:
+        return scalar_table();
+    }
 }
 
 const Table&
@@ -109,7 +139,17 @@ active_counted()
             telemetry::counter("permuq.sim.kernels.scalar");
         static telemetry::Counter& avx2_calls =
             telemetry::counter("permuq.sim.kernels.avx2");
-        (&t == &scalar_table() ? scalar_calls : avx2_calls).add();
+        static telemetry::Counter& avx512_calls =
+            telemetry::counter("permuq.sim.kernels.avx512");
+        // Count by the table actually served (an aliased tier counts
+        // as what it aliases to), keyed on the tier label so fallback
+        // tables are attributed correctly.
+        const char* name = t.name;
+        (std::strcmp(name, "scalar") == 0
+             ? scalar_calls
+             : (std::strcmp(name, "avx512") == 0 ? avx512_calls
+                                                 : avx2_calls))
+            .add();
     }
     return t;
 }

@@ -2,23 +2,26 @@
  * @file
  * Runtime SIMD dispatch for the statevector kernels.
  *
- * The simulator ships two kernel tiers: a portable scalar tier and a
- * hand-vectorized AVX2 tier (see sim/kernels.h). The active tier is
- * chosen once at startup from CPU feature detection, overridable by
- * the PERMUQ_SIMD environment variable:
+ * The simulator ships three kernel tiers: a portable scalar tier, a
+ * hand-vectorized AVX2 tier, and an AVX-512 tier covering the hottest
+ * kernels (see sim/kernels.h). The active tier is chosen once at
+ * startup from CPU feature detection, overridable by the PERMUQ_SIMD
+ * environment variable:
  *
  *   PERMUQ_SIMD=off     force the scalar tier
  *   PERMUQ_SIMD=avx2    request AVX2 (falls back to scalar when the
  *                       CPU or the build lacks it)
+ *   PERMUQ_SIMD=avx512  request AVX-512 (falls back to AVX2, then
+ *                       scalar)
  *   unset / auto        use the best tier the CPU supports
  *
- * Determinism contract: the two tiers execute the *same* IEEE-754
- * operations per amplitude in the same order (both are compiled with
- * FP contraction off, and reductions use the fixed 4-lane scheme of
- * sim/kernels.h), so amplitudes and expectation values are
- * bit-identical across tiers — PERMUQ_SIMD changes speed, never
- * results. tests/test_kernels.cpp holds this as an exact-equality
- * invariant.
+ * Determinism contract: all tiers execute the *same* IEEE-754
+ * operations per amplitude in the same order (every kernel TU is
+ * compiled with FP contraction off, and reductions use the fixed
+ * 4-lane scheme of sim/kernels.h), so amplitudes and expectation
+ * values are bit-identical across tiers — PERMUQ_SIMD changes speed,
+ * never results. tests/test_kernels.cpp holds this as an
+ * exact-equality invariant.
  */
 #ifndef PERMUQ_SIM_SIMD_H
 #define PERMUQ_SIM_SIMD_H
@@ -30,9 +33,10 @@ enum class SimdTier
 {
     Scalar = 0,
     Avx2 = 1,
+    Avx512 = 2,
 };
 
-/** True when the AVX2 tier was compiled into this binary. */
+/** True when any vector tier was compiled into this binary. */
 bool simd_compiled_in();
 
 /** Best tier the running CPU supports (ignores PERMUQ_SIMD). */
@@ -50,7 +54,7 @@ SimdTier active_simd_tier();
  */
 void set_simd_tier(SimdTier tier);
 
-/** Human-readable tier name ("scalar" / "avx2"). */
+/** Human-readable tier name ("scalar" / "avx2" / "avx512"). */
 const char* simd_tier_name(SimdTier tier);
 
 } // namespace permuq::sim

@@ -364,8 +364,17 @@ TEST(Kernels, SimdTierControls)
     EXPECT_EQ(active_simd_tier(), SimdTier::Scalar);
     EXPECT_STREQ(simd_tier_name(SimdTier::Scalar), "scalar");
     EXPECT_STREQ(simd_tier_name(SimdTier::Avx2), "avx2");
-    // Requests clamp to what the build + CPU support.
+    EXPECT_STREQ(simd_tier_name(SimdTier::Avx512), "avx512");
+    // Requests degrade one tier at a time to what the build + CPU
+    // support, and never upgrade: asking for AVX2 on an AVX-512
+    // machine stays on AVX2.
     set_simd_tier(SimdTier::Avx2);
+    if (detected_simd_tier() == SimdTier::Scalar)
+        EXPECT_EQ(active_simd_tier(), SimdTier::Scalar);
+    else
+        EXPECT_EQ(active_simd_tier(), SimdTier::Avx2);
+    // The top request clamps to the detected capability.
+    set_simd_tier(SimdTier::Avx512);
     EXPECT_EQ(active_simd_tier(), detected_simd_tier());
     EXPECT_TRUE(detected_simd_tier() == SimdTier::Scalar ||
                 simd_compiled_in());

@@ -282,6 +282,48 @@ TEST(ShardCompile, ReportAttributesBandsAndStitch)
     EXPECT_NE(json.find("\"stitched_edges\""), std::string::npos);
 }
 
+TEST(ShardCompile, ResolvedTierReachesEveryBand)
+{
+    auto device = arch::make_grid(8, 8);
+    auto problem = problem::fabric_local_graph(8, 8, 0.5, 2, 7);
+    core::CompilerOptions options;
+    options.shard_regions = 4;
+    options.tier = core::CompileTier::Fast;
+    auto result = core::compile(device, problem, options);
+    ASSERT_EQ(result.selected, "sharded");
+    EXPECT_EQ(result.tier, "fast");
+    EXPECT_EQ(result.report.tier_served, "fast");
+    // The sharder resolves the tier once and stamps it into every
+    // band compile: each band runs the single-pass fast pipeline
+    // instead of the full multi-start budget.
+    ASSERT_EQ(result.report.bands.size(), 4u);
+    for (const auto& band : result.report.bands) {
+        EXPECT_EQ(band.tier, "fast") << "band " << band.index;
+        EXPECT_EQ(band.selected, "fast") << "band " << band.index;
+    }
+    EXPECT_NE(result.report.to_json().find("\"tier\": \"fast\""),
+              std::string::npos);
+
+    // The default (Auto -> best) keeps the historical full budget.
+    core::CompilerOptions best = options;
+    best.tier = core::CompileTier::Best;
+    auto full = core::compile(device, problem, best);
+    for (const auto& band : full.report.bands)
+        EXPECT_EQ(band.tier, "best") << "band " << band.index;
+
+    // Streamed and materialized sharding agree on band tiers.
+    std::ostringstream qasm;
+    circuit::QasmStreamWriter writer(qasm, {});
+    auto streamed =
+        core::shard_compile_stream(device, problem, options, writer);
+    ASSERT_EQ(streamed.report.bands.size(),
+              result.report.bands.size());
+    for (std::size_t i = 0; i < streamed.report.bands.size(); ++i)
+        EXPECT_EQ(streamed.report.bands[i].tier,
+                  result.report.bands[i].tier)
+            << "band " << i;
+}
+
 TEST(ShardStream, ReportMatchesMaterializedAttribution)
 {
     auto device = arch::make_grid(8, 8);

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests of the batched multi-angle sweep engine (sim/sweep.h): batched
+ * results bit-identical to a sequential QaoaObjective loop over the
+ * same points across SIMD tiers (scalar / AVX2 / AVX-512 when the CPU
+ * has it) and thread counts, on the ideal, weighted, and noisy paths
+ * (expectation values AND sampled shot histograms); exact
+ * memory_bytes() accounting and batch shrinking under the memory
+ * budget; and multi-problem scheduling invariance.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "arch/coupling_graph.h"
+#include "arch/noise_model.h"
+#include "common/parallel.h"
+#include "core/compiler.h"
+#include "problem/generators.h"
+#include "problem/weighted.h"
+#include "sim/qaoa.h"
+#include "sim/qaoa_objective.h"
+#include "sim/simd.h"
+#include "sim/statevector.h"
+#include "sim/sweep.h"
+
+namespace permuq::sim {
+namespace {
+
+/** Restore the SIMD tier and thread count when a test exits. */
+struct DispatchGuard
+{
+    SimdTier tier = active_simd_tier();
+    int threads = common::num_threads();
+    ~DispatchGuard()
+    {
+        set_simd_tier(tier);
+        common::set_num_threads(threads);
+    }
+};
+
+/** The reference the engine must reproduce exactly: one QaoaObjective
+ *  evaluation per point, sequentially. */
+std::vector<double>
+sequential_ideal(QaoaObjective& context,
+                 const std::vector<QaoaAngles>& points)
+{
+    std::vector<double> values;
+    values.reserve(points.size());
+    for (const QaoaAngles& angles : points)
+        values.push_back(context.ideal_expectation(angles));
+    return values;
+}
+
+void
+expect_bitwise(const std::vector<double>& got,
+               const std::vector<double>& want, const char* label)
+{
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(std::memcmp(&got[i], &want[i], sizeof(double)) == 0)
+            << label << " point " << i << ": " << got[i]
+            << " != " << want[i];
+}
+
+TEST(SweepGrid, ShapeAndAngleFormula)
+{
+    auto grid = sweep_grid(3, 4, 2);
+    ASSERT_EQ(grid.size(), 12u);
+    const double pi = std::acos(-1.0);
+    // Row-major over (gamma_i, beta_j), all layers share the angles.
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            const QaoaAngles& pt = grid[i * 4 + j];
+            ASSERT_EQ(pt.gamma.size(), 2u);
+            ASSERT_EQ(pt.beta.size(), 2u);
+            EXPECT_DOUBLE_EQ(pt.gamma[0], double(i + 1) * pi / 4.0);
+            EXPECT_DOUBLE_EQ(pt.beta[0],
+                             double(j + 1) * (pi / 2.0) / 5.0);
+            EXPECT_EQ(pt.gamma[0], pt.gamma[1]);
+            EXPECT_EQ(pt.beta[0], pt.beta[1]);
+        }
+    }
+}
+
+TEST(SweepIdeal, BitIdenticalAcrossTiersAndThreads)
+{
+    DispatchGuard guard;
+    auto problem = problem::random_graph(10, 0.35, 3);
+    QaoaObjective reference(problem);
+    // 25 points with batch 8 exercises full chunks plus a 1-point tail.
+    auto points = sweep_grid(5, 5, 2);
+    set_simd_tier(SimdTier::Scalar);
+    common::set_num_threads(1);
+    auto want = sequential_ideal(reference, points);
+    for (SimdTier tier :
+         {SimdTier::Scalar, SimdTier::Avx2, detected_simd_tier()}) {
+        for (int threads : {1, 4}) {
+            set_simd_tier(tier);
+            common::set_num_threads(threads);
+            QaoaObjective context(problem);
+            SweepEvaluator evaluator(context);
+            SweepResult result = evaluator.ideal_sweep(points);
+            expect_bitwise(result.values, want, "ideal sweep");
+            EXPECT_EQ(result.points, points.size());
+            EXPECT_EQ(result.batch, evaluator.batch());
+            EXPECT_EQ(result.memory_bytes, evaluator.memory_bytes());
+        }
+    }
+}
+
+TEST(SweepIdeal, BatchEdgeCases)
+{
+    auto problem = problem::random_graph(8, 0.4, 9);
+    QaoaObjective reference(problem);
+    auto points = sweep_grid(3, 3, 1);
+    auto want = sequential_ideal(reference, points);
+    for (std::size_t batch : {std::size_t(1), std::size_t(3),
+                              std::size_t(16)}) {
+        SweepOptions options;
+        options.batch = batch;
+        QaoaObjective context(problem);
+        SweepEvaluator evaluator(context, options);
+        EXPECT_EQ(evaluator.batch(), batch);
+        expect_bitwise(evaluator.ideal_sweep(points).values, want,
+                       "batch width");
+    }
+    // Fewer points than the batch width: one short chunk.
+    std::vector<QaoaAngles> few(points.begin(), points.begin() + 2);
+    SweepOptions wide;
+    wide.batch = 8;
+    QaoaObjective context(problem);
+    SweepResult result = SweepEvaluator(context, wide).ideal_sweep(few);
+    expect_bitwise(result.values,
+                   {want[0], want[1]}, "short chunk");
+}
+
+TEST(SweepIdeal, BestPointIsFirstMaximum)
+{
+    auto problem = problem::random_graph(9, 0.3, 5);
+    QaoaObjective context(problem);
+    auto points = sweep_grid(4, 4, 1);
+    SweepResult result = SweepEvaluator(context).ideal_sweep(points);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.values.size(); ++i)
+        if (result.values[i] > result.values[best])
+            best = i;
+    EXPECT_EQ(result.best_index, best);
+    EXPECT_EQ(result.best_value, result.values[best]);
+    EXPECT_GT(result.points_per_sec, 0.0);
+}
+
+TEST(SweepIdeal, WeightedProblemBitIdentical)
+{
+    // Weighted spectra are dense (non-uniform coefficients); the
+    // batched phase runs out of the baked table, with no LUT.
+    auto wp = problem::weighted_random_graph(9, 0.4, 7);
+    QaoaObjective reference(wp);
+    auto points = sweep_grid(3, 4, 2);
+    auto want = sequential_ideal(reference, points);
+    QaoaObjective context(wp);
+    SweepEvaluator evaluator(context);
+    expect_bitwise(evaluator.ideal_sweep(points).values, want,
+                   "weighted sweep");
+    EXPECT_EQ(evaluator.memory_bytes(),
+              SweepEvaluator::memory_bytes(9, 0, evaluator.batch()));
+}
+
+TEST(SweepMemory, ExactBytesAndBudgetShrink)
+{
+    // The footprint formula itself: interleaved amplitudes plus the
+    // packed per-point LUT for uniform spectra.
+    EXPECT_EQ(SweepEvaluator::memory_bytes(10, 0, 4),
+              (std::size_t(1) << 10) * 2 * 4 * 8);
+    EXPECT_EQ(SweepEvaluator::memory_bytes(10, 6, 4),
+              (std::size_t(1) << 10) * 2 * 4 * 8 + 13 * 2 * 4 * 8);
+
+    auto problem = problem::random_graph(10, 0.35, 3);
+    QaoaObjective context(problem);
+    SweepOptions unlimited;
+    unlimited.batch = 8;
+    // The footprint is linear in the batch width, so the per-batch
+    // unit cost falls out of planned_memory_bytes at batch 1.
+    SweepOptions one;
+    one.batch = 1;
+    std::size_t unit =
+        SweepEvaluator::planned_memory_bytes(context, one);
+    EXPECT_EQ(SweepEvaluator::planned_memory_bytes(context, unlimited),
+              8 * unit);
+    // A budget of three units must shrink the batch to exactly 3.
+    SweepOptions tight;
+    tight.batch = 8;
+    tight.memory_budget_bytes = 3 * unit;
+    EXPECT_EQ(SweepEvaluator::planned_batch(context, tight), 3u);
+    SweepEvaluator evaluator(context, tight);
+    EXPECT_EQ(evaluator.batch(), 3u);
+    EXPECT_LE(evaluator.memory_bytes(), tight.memory_budget_bytes);
+    EXPECT_EQ(evaluator.memory_bytes(),
+              SweepEvaluator::planned_memory_bytes(context, tight));
+    // The budget never shrinks below one point.
+    SweepOptions starved;
+    starved.memory_budget_bytes = 1;
+    EXPECT_EQ(SweepEvaluator::planned_batch(context, starved), 1u);
+}
+
+TEST(SweepNoisy, ExpectationBitIdenticalToSequential)
+{
+    DispatchGuard guard;
+    auto device = arch::make_mumbai();
+    auto noise = arch::NoiseModel::calibrated(device, 11);
+    auto problem = problem::random_graph(8, 0.4, 3);
+    auto compiled = core::compile(device, problem);
+    auto points = sweep_grid(3, 2, 1);
+    NoisySimOptions options;
+    options.trajectories = 5;
+    options.shots = 400;
+    options.seed = 123;
+    set_simd_tier(SimdTier::Scalar);
+    common::set_num_threads(1);
+    QaoaObjective reference(problem);
+    std::vector<double> want;
+    for (const QaoaAngles& angles : points)
+        want.push_back(reference.noisy_expectation(compiled.circuit,
+                                                   noise, angles,
+                                                   options));
+    for (SimdTier tier : {SimdTier::Scalar, detected_simd_tier()}) {
+        for (int threads : {1, 4}) {
+            set_simd_tier(tier);
+            common::set_num_threads(threads);
+            QaoaObjective context(problem);
+            SweepEvaluator evaluator(context);
+            SweepResult result = evaluator.noisy_sweep(
+                compiled.circuit, noise, points, options);
+            expect_bitwise(result.values, want, "noisy sweep");
+        }
+    }
+    // The op-by-op replay path must agree with itself too.
+    NoisySimOptions unfused = options;
+    unfused.fuse_diagonals = false;
+    QaoaObjective context(problem);
+    std::vector<double> want_unfused;
+    for (const QaoaAngles& angles : points)
+        want_unfused.push_back(context.noisy_expectation(
+            compiled.circuit, noise, angles, unfused));
+    QaoaObjective batched(problem);
+    expect_bitwise(SweepEvaluator(batched)
+                       .noisy_sweep(compiled.circuit, noise, points,
+                                    unfused)
+                       .values,
+                   want_unfused, "unfused noisy sweep");
+}
+
+TEST(SweepNoisy, SampledShotHistogramsMatchSequential)
+{
+    DispatchGuard guard;
+    auto device = arch::make_mumbai();
+    auto noise = arch::NoiseModel::calibrated(device, 7);
+    auto problem = problem::random_graph(8, 0.35, 5);
+    auto compiled = core::compile(device, problem);
+    auto points = sweep_grid(2, 2, 1);
+    NoisySimOptions options;
+    options.trajectories = 4;
+    options.shots = 300;
+    options.seed = 29;
+    QaoaObjective reference(problem);
+    std::vector<std::vector<std::int64_t>> want;
+    for (const QaoaAngles& angles : points)
+        want.push_back(reference.noisy_counts(compiled.circuit, noise,
+                                              angles, options));
+    for (int threads : {1, 4}) {
+        common::set_num_threads(threads);
+        QaoaObjective context(problem);
+        auto counts = SweepEvaluator(context).noisy_sweep_counts(
+            compiled.circuit, noise, points, options);
+        ASSERT_EQ(counts.size(), want.size()) << threads << " threads";
+        for (std::size_t p = 0; p < want.size(); ++p)
+            EXPECT_EQ(counts[p], want[p])
+                << "point " << p << ", " << threads << " threads";
+    }
+}
+
+TEST(SweepNoisy, WeightedDelegationBitIdentical)
+{
+    auto device = arch::make_mumbai();
+    auto noise = arch::NoiseModel::calibrated(device, 5);
+    auto wp = problem::weighted_random_graph(8, 0.35, 5);
+    auto compiled = core::compile(device, wp.graph);
+    auto points = sweep_grid(2, 2, 1);
+    NoisySimOptions options;
+    options.trajectories = 3;
+    options.shots = 200;
+    options.seed = 41;
+    QaoaObjective reference(wp);
+    std::vector<double> want;
+    for (const QaoaAngles& angles : points)
+        want.push_back(reference.noisy_expectation(compiled.circuit,
+                                                   noise, angles,
+                                                   options));
+    QaoaObjective context(wp);
+    expect_bitwise(SweepEvaluator(context)
+                       .noisy_sweep(compiled.circuit, noise, points,
+                                    options)
+                       .values,
+                   want, "weighted noisy sweep");
+}
+
+TEST(SweepMultiProblem, ResultsInvariantAcrossSchedules)
+{
+    DispatchGuard guard;
+    std::vector<graph::Graph> graphs;
+    graphs.push_back(problem::random_graph(8, 0.4, 3));
+    graphs.push_back(problem::random_graph(9, 0.35, 5));
+    graphs.push_back(problem::random_graph(10, 0.3, 7));
+    auto points = sweep_grid(3, 3, 2);
+
+    // Standalone reference per problem, single-threaded scalar.
+    set_simd_tier(SimdTier::Scalar);
+    common::set_num_threads(1);
+    std::vector<std::vector<double>> want;
+    for (const auto& g : graphs) {
+        QaoaObjective context(g);
+        want.push_back(SweepEvaluator(context).ideal_sweep(points).values);
+    }
+
+    for (int threads : {1, 4}) {
+        common::set_num_threads(threads);
+        set_simd_tier(detected_simd_tier());
+        std::vector<QaoaObjective> contexts;
+        contexts.reserve(graphs.size());
+        for (const auto& g : graphs)
+            contexts.emplace_back(g);
+        std::vector<QaoaObjective*> objectives;
+        for (auto& c : contexts)
+            objectives.push_back(&c);
+        MultiSweepResult result = sweep_problems(objectives, points);
+        ASSERT_EQ(result.problems.size(), graphs.size());
+        for (std::size_t p = 0; p < graphs.size(); ++p)
+            expect_bitwise(result.problems[p].values, want[p],
+                           "multi-problem sweep");
+        EXPECT_GE(result.problems_in_flight, 1u);
+        EXPECT_GT(result.points_per_sec, 0.0);
+    }
+}
+
+TEST(SweepMultiProblem, RespectsMemoryBudget)
+{
+    auto g0 = problem::random_graph(9, 0.35, 3);
+    auto g1 = problem::random_graph(9, 0.35, 5);
+    QaoaObjective c0(g0), c1(g1);
+    std::vector<QaoaObjective*> objectives{&c0, &c1};
+    auto points = sweep_grid(2, 2, 1);
+    // Budget fits exactly one problem's footprint at batch 1: the
+    // scheduler must fall back to serial waves and report it.
+    SweepOptions one;
+    one.batch = 1;
+    std::size_t unit = SweepEvaluator::planned_memory_bytes(c0, one);
+    SweepOptions tight;
+    tight.batch = 8;
+    tight.memory_budget_bytes = unit;
+    MultiSweepResult result =
+        sweep_problems(objectives, points, tight);
+    EXPECT_EQ(result.problems_in_flight, 1u);
+    EXPECT_LE(result.peak_memory_bytes, tight.memory_budget_bytes);
+    // Results stay bit-identical to the unconstrained schedule.
+    QaoaObjective f0(g0), f1(g1);
+    std::vector<QaoaObjective*> fresh{&f0, &f1};
+    MultiSweepResult loose = sweep_problems(fresh, points);
+    for (std::size_t p = 0; p < 2; ++p)
+        expect_bitwise(result.problems[p].values,
+                       loose.problems[p].values, "budgeted schedule");
+}
+
+} // namespace
+} // namespace permuq::sim

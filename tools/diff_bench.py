@@ -20,7 +20,16 @@ between runs:
   * the "telemetry_overhead" section's overhead_ratio stays within
     its own budget_ratio and the budget has not been silently raised
     above the committed baseline's -- an observability-cost
-    regression fails the diff even though it is a timing.
+    regression fails the diff even though it is a timing;
+  * the BENCH_sim.json "sweep" section (when present) meets its own
+    speedup gates -- single_speedup >= single_speedup_min when
+    single_speedup_gated (the bench arms the gate only at sweep
+    sizes where the statevector spills out of cache), multi_scaling
+    >= multi_scaling_min when multi_scaling_gated -- stays within
+    its memory budget, and has not silently loosened a gate (lower
+    *_min) or raised memory_budget_bytes above the committed
+    baseline's. The values_identical / shots_identical flags are
+    covered by the generic correctness-flag check.
 
 Other timing fields are reported for context but never fail the diff.
 
@@ -115,6 +124,73 @@ def diff_telemetry_overhead(base, cand):
     return status
 
 
+def diff_sweep(base, cand):
+    """Gate the batched-sweep engine the same way: the speedup floors
+    and the memory budget are product guarantees, so a candidate under
+    a floor, over the budget, or with quietly loosened gates fails."""
+    if cand is None:
+        return 0
+    status = 0
+    speedup = cand.get("single_speedup")
+    speedup_min = cand.get("single_speedup_min")
+    if not isinstance(speedup, (int, float)) or not isinstance(
+        speedup_min, (int, float)
+    ):
+        return fail("sweep section lacks numeric speedup/floor")
+    if cand.get("single_speedup_gated") and speedup < speedup_min:
+        status |= fail(
+            f"sweep single-problem speedup {speedup:.3f}x is below "
+            f"its floor {speedup_min:.2f}x"
+        )
+    if cand.get("multi_scaling_gated"):
+        scaling = cand.get("multi_scaling")
+        scaling_min = cand.get("multi_scaling_min")
+        if isinstance(scaling, (int, float)) and isinstance(
+            scaling_min, (int, float)
+        ):
+            if scaling < scaling_min:
+                status |= fail(
+                    f"sweep multi-problem scaling {scaling:.3f}x is "
+                    f"below its floor {scaling_min:.2f}x"
+                )
+        else:
+            status |= fail("sweep section lacks numeric multi scaling")
+    peak = cand.get("peak_memory_bytes")
+    budget = cand.get("memory_budget_bytes")
+    if isinstance(peak, int) and isinstance(budget, int) and peak > budget:
+        status |= fail(
+            f"sweep peak memory {peak} bytes exceeds its budget {budget}"
+        )
+    if base is not None:
+        for floor in ("single_speedup_min", "multi_scaling_min"):
+            b, c = base.get(floor), cand.get(floor)
+            if (
+                isinstance(b, (int, float))
+                and isinstance(c, (int, float))
+                and c < b
+            ):
+                status |= fail(
+                    f"sweep gate {floor} loosened from {b:.2f} to "
+                    f"{c:.2f} without a baseline update"
+                )
+        b, c = base.get("memory_budget_bytes"), cand.get(
+            "memory_budget_bytes"
+        )
+        if isinstance(b, int) and isinstance(c, int) and c > b:
+            status |= fail(
+                f"sweep memory budget raised from {b} to {c} bytes "
+                f"without a baseline update"
+            )
+        base_speedup = base.get("single_speedup")
+        if isinstance(base_speedup, (int, float)):
+            print(
+                f"diff_bench: sweep speedup {speedup:.3f}x "
+                f"(baseline {base_speedup:.3f}x, floor "
+                f"{speedup_min:.2f}x)"
+            )
+    return status
+
+
 def diff(baseline_path, candidate_path):
     try:
         baseline = load(baseline_path)
@@ -188,6 +264,8 @@ def diff(baseline_path, candidate_path):
         baseline.get("telemetry_overhead"),
         candidate.get("telemetry_overhead"),
     )
+
+    status |= diff_sweep(baseline.get("sweep"), candidate.get("sweep"))
 
     if status == 0:
         print(f"diff_bench: {candidate_path} consistent with {baseline_path}")

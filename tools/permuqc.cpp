@@ -39,6 +39,7 @@
 #include "sim/qaoa.h"
 #include "sim/qaoa_objective.h"
 #include "sim/statevector.h"
+#include "sim/sweep.h"
 
 #ifndef PERMUQ_VERSION
 #define PERMUQ_VERSION "unknown"
@@ -71,6 +72,11 @@ struct Cli
     bool mem_stats = false;
     std::int32_t qaoa_layers = 0;
     std::int32_t qaoa_rounds = 60;
+    /** Angle-grid sweep: gammas x betas points (0 = off). */
+    std::int32_t sweep_gammas = 0;
+    std::int32_t sweep_betas = 0;
+    /** Multi-problem sweep width (1 = just the compiled problem). */
+    std::int32_t sweep_problems = 1;
     /** Region count for sharded compilation; 0 = off. Seeded from the
      *  PERMUQ_SHARD env var, overridden by --shard. */
     std::int32_t shard = 0;
@@ -84,7 +90,8 @@ constexpr const char* kKnownFlags[] = {
     "--arch",      "--arch-file", "--qubits",  "--density", "--seed",
     "--input",     "--compiler", "--noise",   "--alpha",
     "--crosstalk", "--qasm",     "--full-qaoa", "--diagram",
-    "--qaoa",      "--qaoa-rounds", "--trace", "--metrics",
+    "--qaoa",      "--qaoa-rounds", "--sweep", "--sweep-problems",
+    "--trace",     "--metrics",
     "--prom",      "--report",   "--shard",   "--shard-margin",
     "--tier",      "--mem-stats", "--log-level", "--version",
     "--help",
@@ -134,6 +141,13 @@ usage(std::FILE* out)
         "                  circuit (simulated; noisy when --noise is\n"
         "                  given, ideal otherwise; n <= 26)\n"
         "  --qaoa-rounds N objective-evaluation budget (default 60)\n"
+        "  --sweep GxB     batched angle-grid sweep over G gamma x B\n"
+        "                  beta points (e.g. 8x8; p from --qaoa, else\n"
+        "                  1; noisy when --noise is given). Prints the\n"
+        "                  best point and the points/sec throughput.\n"
+        "  --sweep-problems N  sweep N independent problems (seeds\n"
+        "                  S..S+N-1) concurrently under one memory\n"
+        "                  budget (ideal sweeps only)\n"
         "  --shard K       region-sharded compilation with ~K bands\n"
         "                  (line/grid/sycamore; 0 = off; the\n"
         "                  PERMUQ_SHARD env var sets the default)\n"
@@ -282,6 +296,28 @@ main(int argc, char** argv)
             cli.qaoa_layers = std::atoi(value());
         else if (is("--qaoa-rounds"))
             cli.qaoa_rounds = std::atoi(value());
+        else if (is("--sweep")) {
+            const char* spec = value();
+            int g = 0, b = 0;
+            if (std::sscanf(spec, "%dx%d", &g, &b) != 2 || g < 1 ||
+                b < 1) {
+                std::fprintf(stderr,
+                             "permuqc: bad --sweep %s (want GxB, e.g. "
+                             "8x8)\n",
+                             spec);
+                return 2;
+            }
+            cli.sweep_gammas = g;
+            cli.sweep_betas = b;
+        } else if (is("--sweep-problems")) {
+            cli.sweep_problems = std::atoi(value());
+            if (cli.sweep_problems < 1) {
+                std::fprintf(stderr,
+                             "permuqc: --sweep-problems wants a count "
+                             ">= 1\n");
+                return 2;
+            }
+        }
         else if (is("--diagram"))
             cli.diagram = true;
         else if (is("--shard"))
@@ -525,6 +561,111 @@ main(int argc, char** argv)
                         cli.qaoa_layers, noise ? "noisy" : "ideal",
                         -r.best_f, cli.qaoa_rounds,
                         sim::max_cut(problem));
+        }
+
+        if (cli.sweep_gammas > 0) {
+            fatal_unless(problem.num_vertices() <= sim::kMaxSimQubits,
+                         "--sweep simulation supports up to " +
+                             std::to_string(sim::kMaxSimQubits) +
+                             " qubits");
+            const std::int32_t layers = std::max(1, cli.qaoa_layers);
+            const auto points = sim::sweep_grid(
+                static_cast<std::size_t>(cli.sweep_gammas),
+                static_cast<std::size_t>(cli.sweep_betas), layers);
+            sim::SweepOptions sweep_options;
+            core::CompileReport::Sweep& summary = report.sweep;
+            summary.layers = layers;
+            summary.problems = cli.sweep_problems;
+            sim::SweepResult best_problem;
+            if (cli.sweep_problems > 1) {
+                // Multi-problem mode: the compiled problem plus
+                // N-1 sibling instances (seeds S+1..S+N-1), swept
+                // concurrently under one memory budget. Ideal only —
+                // the siblings have no compiled circuit to replay.
+                std::vector<graph::Graph> graphs;
+                graphs.reserve(
+                    static_cast<std::size_t>(cli.sweep_problems) - 1);
+                for (std::int32_t k = 1; k < cli.sweep_problems; ++k)
+                    graphs.push_back(problem::random_graph(
+                        problem.num_vertices(), cli.density,
+                        cli.seed + static_cast<std::uint64_t>(k)));
+                std::vector<sim::QaoaObjective> contexts;
+                contexts.reserve(
+                    static_cast<std::size_t>(cli.sweep_problems));
+                contexts.emplace_back(problem);
+                for (const auto& g : graphs)
+                    contexts.emplace_back(g);
+                std::vector<sim::QaoaObjective*> objectives;
+                for (auto& c : contexts)
+                    objectives.push_back(&c);
+                auto multi = sim::sweep_problems(objectives, points,
+                                                 sweep_options);
+                best_problem = std::move(multi.problems.front());
+                summary.mode = "ideal";
+                summary.problems_in_flight = static_cast<std::int32_t>(
+                    multi.problems_in_flight);
+                summary.peak_memory_bytes = static_cast<std::int64_t>(
+                    multi.peak_memory_bytes);
+                summary.seconds = multi.seconds;
+                summary.points_per_sec = multi.points_per_sec;
+                std::printf("sweep     : %d problems x %zu points, "
+                            "%d in flight, %.3g Mpts/s aggregate, "
+                            "peak %lld bytes\n",
+                            cli.sweep_problems, points.size(),
+                            summary.problems_in_flight,
+                            multi.points_per_sec * 1e-6,
+                            static_cast<long long>(
+                                summary.peak_memory_bytes));
+            } else {
+                sim::QaoaObjective context(problem);
+                sim::SweepEvaluator evaluator(context, sweep_options);
+                if (noise) {
+                    sim::NoisySimOptions sim_options;
+                    sim_options.trajectories = 8;
+                    sim_options.shots = 2000;
+                    sim_options.seed = 1000;
+                    best_problem = evaluator.noisy_sweep(
+                        circuit, *noise, points, sim_options);
+                    summary.mode = "noisy";
+                } else {
+                    best_problem = evaluator.ideal_sweep(points);
+                    summary.mode = "ideal";
+                }
+                summary.problems_in_flight = 1;
+                summary.peak_memory_bytes = static_cast<std::int64_t>(
+                    best_problem.memory_bytes);
+                summary.seconds = best_problem.seconds;
+                summary.points_per_sec = best_problem.points_per_sec;
+            }
+            const sim::QaoaAngles& best =
+                points[best_problem.best_index];
+            summary.points =
+                static_cast<std::int64_t>(best_problem.points);
+            summary.batch =
+                static_cast<std::int32_t>(best_problem.batch);
+            summary.best_gamma = best.gamma[0];
+            summary.best_beta = best.beta[0];
+            summary.best_value = best_problem.best_value;
+            summary.memory_bytes =
+                static_cast<std::int64_t>(best_problem.memory_bytes);
+            std::printf("sweep     : %dx%d grid p=%d %s best <C>=%.4f "
+                        "at gamma=%.4f beta=%.4f (%zu points, "
+                        "%.3g pts/s, batch %zu)\n",
+                        cli.sweep_gammas, cli.sweep_betas, layers,
+                        summary.mode.c_str(), best_problem.best_value,
+                        best.gamma[0], best.beta[0],
+                        best_problem.points,
+                        best_problem.points_per_sec,
+                        best_problem.batch);
+            if (cli.mem_stats) {
+                struct rusage usage{};
+                getrusage(RUSAGE_SELF, &usage);
+                std::printf("sweep mem : %zu bytes batched buffers "
+                            "(batch %zu), peak rss %lld KiB\n",
+                            best_problem.memory_bytes,
+                            best_problem.batch,
+                            static_cast<long long>(usage.ru_maxrss));
+            }
         }
 
         const auto& registry = telemetry::Registry::instance();
