@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -260,6 +261,130 @@ ThreadPool::run(std::int64_t num_chunks,
     }
     if (error)
         std::rethrow_exception(error);
+}
+
+struct TaskQueue::Impl
+{
+    mutable std::mutex mutex;
+    std::condition_variable task_cv; ///< wakes workers on a new task
+    std::condition_variable idle_cv; ///< wakes stop() when drained
+    std::deque<std::function<void()>> tasks;
+    std::size_t running = 0;
+    std::int64_t accepted = 0;
+    std::int64_t rejected = 0;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+TaskQueue::TaskQueue(int workers, std::size_t max_pending)
+    : impl_(new Impl),
+      num_workers_(std::max(1, workers)),
+      max_pending_(max_pending)
+{
+    impl_->workers.reserve(static_cast<std::size_t>(num_workers_));
+    for (int i = 0; i < num_workers_; ++i)
+        impl_->workers.emplace_back([this] {
+            for (;;) {
+                std::function<void()> task;
+                {
+                    std::unique_lock<std::mutex> lock(impl_->mutex);
+                    impl_->task_cv.wait(lock, [&] {
+                        return impl_->stopping || !impl_->tasks.empty();
+                    });
+                    if (impl_->tasks.empty()) // stopping and drained
+                        return;
+                    task = std::move(impl_->tasks.front());
+                    impl_->tasks.pop_front();
+                    ++impl_->running;
+                }
+                // Pin the nested-parallelism flag: anything the task
+                // forks (parallel_for, parallel_reduce_sum) executes
+                // inline, so concurrent tasks never race on the
+                // fork-join pool's single job slot (see parallel.h).
+                tls_in_pool_chunk = true;
+                try {
+                    task();
+                } catch (...) {
+                    // Tasks own their error reporting; a throw here
+                    // must not take the worker down.
+                }
+                tls_in_pool_chunk = false;
+                {
+                    std::lock_guard<std::mutex> lock(impl_->mutex);
+                    --impl_->running;
+                    if (impl_->tasks.empty() && impl_->running == 0)
+                        impl_->idle_cv.notify_all();
+                }
+            }
+        });
+}
+
+TaskQueue::~TaskQueue()
+{
+    stop();
+    delete impl_;
+}
+
+bool
+TaskQueue::try_submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (impl_->stopping || impl_->tasks.size() >= max_pending_) {
+            ++impl_->rejected;
+            return false;
+        }
+        impl_->tasks.push_back(std::move(task));
+        ++impl_->accepted;
+    }
+    impl_->task_cv.notify_one();
+    return true;
+}
+
+std::size_t
+TaskQueue::pending() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->tasks.size();
+}
+
+std::size_t
+TaskQueue::in_flight() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->running;
+}
+
+std::int64_t
+TaskQueue::accepted() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->accepted;
+}
+
+std::int64_t
+TaskQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->rejected;
+}
+
+void
+TaskQueue::stop()
+{
+    {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        if (impl_->stopping && impl_->workers.empty())
+            return;
+        impl_->stopping = true;
+        impl_->idle_cv.wait(lock, [&] {
+            return impl_->tasks.empty() && impl_->running == 0;
+        });
+    }
+    impl_->task_cv.notify_all();
+    for (auto& w : impl_->workers)
+        w.join();
+    impl_->workers.clear();
 }
 
 int

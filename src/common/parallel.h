@@ -88,6 +88,80 @@ class ThreadPool
     int num_threads_ = 1;
 };
 
+/**
+ * A bounded multi-producer task queue with persistent worker threads —
+ * the *async* sibling of the fork-join ThreadPool above, added for the
+ * compile service (src/service). Where ThreadPool::run() is a blocking
+ * barrier with a single job slot, TaskQueue accepts detached tasks from
+ * any thread and executes them on its own workers.
+ *
+ * Interaction with the fork-join pool: a TaskQueue worker executes
+ * every task with the nested-parallelism flag pinned (the same
+ * mechanism that makes nested parallel_for calls run inline), so a
+ * task that reaches parallel_for / parallel_reduce_sum executes it
+ * serially instead of re-entering the single-job-slot ThreadPool from
+ * many threads at once. Concurrency therefore comes from running many
+ * tasks at once, not from parallelizing inside one task — the right
+ * trade for a multi-tenant server, and safe by construction (the
+ * fork-join pool's "one run() at a time" invariant is never
+ * violated). PermuQ's compiles are thread-count invariant, so inlined
+ * inner parallelism cannot change any compiled circuit.
+ *
+ * Admission control: the queue holds at most @p max_pending tasks that
+ * have not yet started; try_submit() returns false instead of blocking
+ * when the bound is hit, which is what lets a server turn overload
+ * into a typed error instead of unbounded memory growth.
+ */
+class TaskQueue
+{
+  public:
+    /** @p workers persistent threads (clamped to >= 1); at most
+     *  @p max_pending tasks queued and not yet running. */
+    TaskQueue(int workers, std::size_t max_pending);
+
+    /** Drains and joins (equivalent to stop()). */
+    ~TaskQueue();
+
+    TaskQueue(const TaskQueue&) = delete;
+    TaskQueue& operator=(const TaskQueue&) = delete;
+
+    /**
+     * Enqueue @p task unless the pending bound is hit or the queue is
+     * stopping; false means the task was NOT accepted and will never
+     * run. Tasks may be submitted from any thread. Exceptions escaping
+     * a task are swallowed (tasks own their error reporting).
+     */
+    bool try_submit(std::function<void()> task);
+
+    /** Tasks accepted but not yet started. */
+    std::size_t pending() const;
+
+    /** Tasks currently executing on a worker. */
+    std::size_t in_flight() const;
+
+    /** Total tasks accepted by try_submit() since construction. */
+    std::int64_t accepted() const;
+
+    /** Total tasks rejected by the pending bound since construction. */
+    std::int64_t rejected() const;
+
+    int num_workers() const { return num_workers_; }
+    std::size_t max_pending() const { return max_pending_; }
+
+    /**
+     * Stop accepting new tasks, run every already-accepted task to
+     * completion, and join the workers. Idempotent; must not be
+     * called from inside a task.
+     */
+    void stop();
+
+  private:
+    struct Impl;
+    Impl* impl_;
+    int num_workers_ = 1;
+    std::size_t max_pending_ = 0;
+};
+
 /** Thread count of the global pool. */
 int num_threads();
 

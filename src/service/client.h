@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Blocking client for the permuqd wire protocol (protocol.h): connect
+ * to a loopback daemon, send framed requests, and read framed
+ * responses. One Client == one connection == one user thread; for
+ * concurrent load (the soak test), give each thread its own Client.
+ *
+ * Requests may be pipelined: several send() calls before the first
+ * receive(). Responses carry the request id, and permuqd may answer
+ * out of order (a cache hit overtakes a cold compile), so pipelining
+ * callers match ids themselves; the call() convenience is strictly
+ * one-request-one-response.
+ *
+ * send_raw() writes arbitrary bytes without framing — the protocol
+ * robustness tests and `permuq-fuzz --protocol` use it to hit the
+ * server with truncated/oversized/garbage streams.
+ */
+#ifndef PERMUQ_SERVICE_CLIENT_H
+#define PERMUQ_SERVICE_CLIENT_H
+
+#include <string>
+
+#include "service/protocol.h"
+
+namespace permuq::service {
+
+/** One blocking protocol connection (see file comment). */
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Closes the connection. */
+    ~Client() { close(); }
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Connect to 127.0.0.1:@p port; false + @p error on failure. */
+    bool connect(int port, std::string& error);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one framed request; false + @p error on socket failure. */
+    bool send(const Request& request, std::string& error);
+
+    /** Send raw bytes verbatim (no framing) — malformed-input tests. */
+    bool send_raw(const std::string& bytes, std::string& error);
+
+    /**
+     * Block until the next complete response frame arrives and parse
+     * it. False + @p error on socket close, malformed response, or a
+     * frame-level protocol error.
+     */
+    bool receive(Response& out, std::string& error);
+
+    /**
+     * send() + receive() and check the ids line up. Use only with no
+     * other requests in flight on this connection.
+     */
+    bool call(const Request& request, Response& out, std::string& error);
+
+    /** Half-close the write side (EOF to the server, responses still
+     *  readable) — the mid-frame-disconnect tests use this. */
+    void shutdown_write();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+};
+
+} // namespace permuq::service
+
+#endif // PERMUQ_SERVICE_CLIENT_H

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * PlanCache determinism: hit/miss behavior, key sensitivity (any
+ * single differing option/arch/problem bit is a different key), and
+ * LRU eviction under the byte budget using the exact-footprint
+ * entry_bytes() accounting — eviction points are computed, not
+ * observed.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "service/plan_cache.h"
+#include "service/protocol.h"
+
+namespace permuq::service {
+namespace {
+
+std::shared_ptr<const std::string>
+payload(std::size_t bytes)
+{
+    return std::make_shared<const std::string>(bytes, 'q');
+}
+
+TEST(PlanCache, HitAfterInsertMissBefore)
+{
+    PlanCache cache(1 << 20);
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+    EXPECT_EQ(cache.misses(), 1);
+    cache.insert("k", payload(100));
+    const auto hit = cache.lookup("k");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->size(), 100u);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), PlanCache::entry_bytes("k", *hit));
+}
+
+TEST(PlanCache, AnySingleRequestBitChangesTheKey)
+{
+    Request base;
+    base.arch = "heavyhex";
+    base.problem_n = 32;
+    base.density = 0.3;
+    base.seed = 1;
+    base.alpha = 0.5;
+    const std::string key = PlanCache::make_key(base, "best");
+
+    auto differs = [&](auto mutate) {
+        Request changed = base;
+        mutate(changed);
+        return PlanCache::make_key(changed, "best") != key;
+    };
+    EXPECT_TRUE(differs([](Request& r) { r.arch = "sycamore"; }));
+    EXPECT_TRUE(differs([](Request& r) { r.problem_n = 33; }));
+    EXPECT_TRUE(differs([](Request& r) { r.density = 0.31; }));
+    EXPECT_TRUE(differs([](Request& r) { r.seed = 2; }));
+    EXPECT_TRUE(differs([](Request& r) { r.alpha = 0.51; }));
+    EXPECT_TRUE(differs([](Request& r) { r.crosstalk = true; }));
+    EXPECT_TRUE(differs([](Request& r) { r.shard = 4; }));
+    EXPECT_TRUE(differs([](Request& r) { r.shard_margin = 1; }));
+    EXPECT_TRUE(differs([](Request& r) { r.full_qaoa = true; }));
+    // Resolved tier is part of the key.
+    EXPECT_NE(PlanCache::make_key(base, "fast"), key);
+    // The request id is NOT part of the key (same plan, new id).
+    Request same = base;
+    same.id = 999;
+    EXPECT_EQ(PlanCache::make_key(same, "best"), key);
+
+    // Explicit edges: the exact edge set is the key — one endpoint
+    // moved is a different problem.
+    Request edged = base;
+    edged.has_edges = true;
+    edged.edges = {{0, 1}, {1, 2}};
+    const std::string edge_key = PlanCache::make_key(edged, "best");
+    EXPECT_NE(edge_key, key);
+    Request moved = edged;
+    moved.edges[1] = {1, 3};
+    EXPECT_NE(PlanCache::make_key(moved, "best"), edge_key);
+}
+
+TEST(PlanCache, LruEvictionRespectsTheByteBudgetExactly)
+{
+    // Three equal entries fit; the fourth insertion must evict
+    // exactly the least-recently-used one. Budget is computed from
+    // entry_bytes so the test pins the accounting convention, not an
+    // implementation accident.
+    const std::string k1 = "key-1", k2 = "key-2", k3 = "key-3",
+                      k4 = "key-4";
+    auto p = payload(1000);
+    const std::size_t each = PlanCache::entry_bytes(k1, *p);
+    PlanCache cache(3 * each);
+
+    cache.insert(k1, p);
+    cache.insert(k2, p);
+    cache.insert(k3, p);
+    EXPECT_EQ(cache.entries(), 3u);
+    EXPECT_EQ(cache.bytes(), 3 * each);
+    EXPECT_EQ(cache.evictions(), 0);
+
+    cache.insert(k4, p);
+    EXPECT_EQ(cache.entries(), 3u);
+    EXPECT_EQ(cache.bytes(), 3 * each);
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_EQ(cache.lookup(k1), nullptr); // the LRU victim
+    EXPECT_NE(cache.lookup(k2), nullptr);
+    EXPECT_NE(cache.lookup(k3), nullptr);
+    EXPECT_NE(cache.lookup(k4), nullptr);
+}
+
+TEST(PlanCache, LookupPromotesAgainstEviction)
+{
+    auto p = payload(1000);
+    const std::size_t each = PlanCache::entry_bytes("key-1", *p);
+    PlanCache cache(3 * each);
+    cache.insert("key-1", p);
+    cache.insert("key-2", p);
+    cache.insert("key-3", p);
+    // Touch key-1: key-2 becomes the LRU victim.
+    ASSERT_NE(cache.lookup("key-1"), nullptr);
+    cache.insert("key-4", p);
+    EXPECT_NE(cache.lookup("key-1"), nullptr);
+    EXPECT_EQ(cache.lookup("key-2"), nullptr);
+    EXPECT_NE(cache.lookup("key-3"), nullptr);
+    EXPECT_NE(cache.lookup("key-4"), nullptr);
+}
+
+TEST(PlanCache, OversizedEntryIsNotCachedAndReplaceAccountsBytes)
+{
+    auto small = payload(100);
+    const std::size_t budget =
+        PlanCache::entry_bytes("k", *small) + 10;
+    PlanCache cache(budget);
+
+    // An entry bigger than the whole budget is refused outright
+    // (caching it would evict everything and still blow the budget).
+    cache.insert("big", payload(budget + 1));
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+
+    cache.insert("k", small);
+    EXPECT_EQ(cache.bytes(), PlanCache::entry_bytes("k", *small));
+    // Replacing a key re-accounts its bytes instead of double
+    // counting.
+    auto smaller = payload(50);
+    cache.insert("k", smaller);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), PlanCache::entry_bytes("k", *smaller));
+    const auto hit = cache.lookup("k");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->size(), 50u);
+}
+
+TEST(PlanCache, HandedOutPayloadSurvivesEviction)
+{
+    auto p = payload(500);
+    const std::size_t each = PlanCache::entry_bytes("a", *p);
+    PlanCache cache(each); // room for exactly one entry
+    cache.insert("a", p);
+    const auto held = cache.lookup("a");
+    ASSERT_NE(held, nullptr);
+    cache.insert("b", payload(500)); // evicts "a"
+    EXPECT_EQ(cache.lookup("a"), nullptr);
+    // The shared_ptr handed out earlier is still intact — a response
+    // being written to a slow socket cannot be freed under it.
+    EXPECT_EQ(held->size(), 500u);
+    EXPECT_EQ((*held)[0], 'q');
+}
+
+} // namespace
+} // namespace permuq::service

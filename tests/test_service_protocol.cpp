@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Robustness of the permuqd wire protocol (src/service/protocol.h):
+ *
+ *  - frames and payloads round-trip exactly, at any feed chunking;
+ *  - every malformed input — truncated frame, oversized length
+ *    prefix, bad version, garbage JSON, unknown keys, deep nesting,
+ *    mid-frame disconnect — yields a *typed* error frame or a clean
+ *    connection close, never a crash or a hang;
+ *  - a live server survives all of the above on one connection while
+ *    still serving correct responses on the next (and, for intra-frame
+ *    errors, on the *same* connection);
+ *  - a 500+ stream mutation sweep (the in-process twin of
+ *    `permuq-fuzz --protocol`) leaves the codec standing.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "service/client.h"
+#include "service/plan_cache.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace permuq::service {
+namespace {
+
+// ------------------------------------------------------------ framing
+
+TEST(ServiceProtocol, FrameRoundTripSingleAndChunked)
+{
+    const std::string payload = "{\"v\":1,\"id\":7,\"type\":\"ping\"}";
+    const std::string frame = encode_frame(payload);
+    ASSERT_EQ(frame.size(), payload.size() + 4);
+
+    // Whole-frame feed.
+    {
+        FrameDecoder decoder;
+        decoder.feed(frame.data(), frame.size());
+        std::string out, error;
+        ASSERT_EQ(decoder.next(out, error), FrameDecoder::Status::Frame);
+        EXPECT_EQ(out, payload);
+        EXPECT_EQ(decoder.next(out, error),
+                  FrameDecoder::Status::NeedMore);
+        EXPECT_EQ(decoder.buffered_bytes(), 0u);
+    }
+
+    // Byte-at-a-time feed must produce the identical payload.
+    {
+        FrameDecoder decoder;
+        std::string out, error;
+        for (std::size_t i = 0; i < frame.size(); ++i) {
+            decoder.feed(frame.data() + i, 1);
+            if (i + 1 < frame.size())
+                ASSERT_EQ(decoder.next(out, error),
+                          FrameDecoder::Status::NeedMore);
+        }
+        ASSERT_EQ(decoder.next(out, error), FrameDecoder::Status::Frame);
+        EXPECT_EQ(out, payload);
+    }
+
+    // Several frames in one buffer drain in order.
+    {
+        FrameDecoder decoder;
+        std::string all;
+        for (int k = 0; k < 3; ++k)
+            all += encode_frame(payload + std::to_string(k));
+        decoder.feed(all.data(), all.size());
+        std::string out, error;
+        for (int k = 0; k < 3; ++k) {
+            ASSERT_EQ(decoder.next(out, error),
+                      FrameDecoder::Status::Frame);
+            EXPECT_EQ(out, payload + std::to_string(k));
+        }
+        EXPECT_EQ(decoder.next(out, error),
+                  FrameDecoder::Status::NeedMore);
+    }
+}
+
+TEST(ServiceProtocol, TruncatedFrameIsCleanNeedMore)
+{
+    // A frame cut anywhere leaves the decoder waiting, with the
+    // orphan bytes visible (the server reads buffered_bytes() > 0 at
+    // EOF as "peer died mid-frame" and just closes).
+    const std::string frame =
+        encode_frame("{\"v\":1,\"id\":1,\"type\":\"ping\"}");
+    for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+        FrameDecoder decoder;
+        decoder.feed(frame.data(), cut);
+        std::string out, error;
+        EXPECT_EQ(decoder.next(out, error),
+                  FrameDecoder::Status::NeedMore);
+        EXPECT_EQ(decoder.buffered_bytes(), cut);
+    }
+}
+
+TEST(ServiceProtocol, OversizedPrefixPoisonsTheDecoder)
+{
+    FrameDecoder decoder;
+    const std::uint32_t huge =
+        static_cast<std::uint32_t>(kMaxFrameBytes) + 1;
+    const char prefix[4] = {static_cast<char>(huge >> 24),
+                            static_cast<char>(huge >> 16),
+                            static_cast<char>(huge >> 8),
+                            static_cast<char>(huge)};
+    decoder.feed(prefix, 4);
+    std::string out, error;
+    EXPECT_EQ(decoder.next(out, error), FrameDecoder::Status::Error);
+    EXPECT_NE(error.find("exceeds"), std::string::npos);
+    // Poisoned: even a later well-formed frame is refused.
+    const std::string good = encode_frame("{\"v\":1}");
+    decoder.feed(good.data(), good.size());
+    EXPECT_EQ(decoder.next(out, error), FrameDecoder::Status::Error);
+}
+
+// ----------------------------------------------------------- requests
+
+TEST(ServiceProtocol, RequestPayloadRoundTrip)
+{
+    Request request;
+    request.id = 42;
+    request.arch = "sycamore";
+    request.problem_n = 20;
+    request.has_edges = true;
+    request.edges = {{0, 1}, {1, 2}, {2, 19}};
+    request.tier = "balanced";
+    request.alpha = 0.25;
+    request.crosstalk = true;
+    request.shard = 2;
+    request.shard_margin = 1;
+    request.full_qaoa = true;
+
+    Request parsed;
+    ErrorKind kind;
+    std::string message;
+    ASSERT_TRUE(parse_request(build_request_payload(request), parsed,
+                              kind, message))
+        << message;
+    EXPECT_EQ(parsed.id, 42);
+    EXPECT_EQ(parsed.arch, "sycamore");
+    EXPECT_EQ(parsed.problem_n, 20);
+    ASSERT_TRUE(parsed.has_edges);
+    ASSERT_EQ(parsed.edges.size(), 3u);
+    EXPECT_EQ(parsed.edges[2].b, 19);
+    EXPECT_EQ(parsed.tier, "balanced");
+    EXPECT_DOUBLE_EQ(parsed.alpha, 0.25);
+    EXPECT_TRUE(parsed.crosstalk);
+    EXPECT_EQ(parsed.shard, 2);
+    EXPECT_EQ(parsed.shard_margin, 1);
+    EXPECT_TRUE(parsed.full_qaoa);
+
+    // Random-spec requests round-trip too.
+    Request random;
+    random.id = 7;
+    random.problem_n = 64;
+    random.density = 0.3;
+    random.seed = 12345;
+    random.tier = "fast";
+    ASSERT_TRUE(parse_request(build_request_payload(random), parsed,
+                              kind, message))
+        << message;
+    EXPECT_FALSE(parsed.has_edges);
+    EXPECT_EQ(parsed.problem_n, 64);
+    EXPECT_DOUBLE_EQ(parsed.density, 0.3);
+    EXPECT_EQ(parsed.seed, 12345u);
+}
+
+TEST(ServiceProtocol, MalformedRequestsYieldTypedErrors)
+{
+    Request out;
+    ErrorKind kind;
+    std::string message;
+
+    // Garbage JSON.
+    EXPECT_FALSE(parse_request("{\"v\":1,", out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadJson);
+    EXPECT_FALSE(parse_request("\x01\x02\x03", out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadJson);
+    EXPECT_FALSE(parse_request("[1,2,3]", out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadJson); // top level must be an object
+
+    // Version mismatch / missing version.
+    EXPECT_FALSE(parse_request("{\"id\":1,\"type\":\"ping\"}", out,
+                               kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadVersion);
+    EXPECT_FALSE(parse_request("{\"v\":99,\"id\":1,\"type\":\"ping\"}",
+                               out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadVersion);
+
+    // Unknown keys (version-skew must fail loudly).
+    EXPECT_FALSE(parse_request(
+        "{\"v\":1,\"id\":1,\"type\":\"ping\",\"bogus\":true}", out,
+        kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadRequest);
+    EXPECT_NE(message.find("bogus"), std::string::npos);
+
+    // Unknown type, bad field types, out-of-range values.
+    EXPECT_FALSE(parse_request("{\"v\":1,\"id\":1,\"type\":\"hack\"}",
+                               out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadRequest);
+    EXPECT_FALSE(parse_request("{\"v\":1,\"id\":-3,\"type\":\"ping\"}",
+                               out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadRequest);
+    EXPECT_FALSE(parse_request(
+        "{\"v\":1,\"id\":1,\"type\":\"compile\",\"problem\":"
+        "{\"n\":4,\"edges\":[[0,9]]}}",
+        out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadRequest); // endpoint exceeds n
+    EXPECT_FALSE(parse_request(
+        "{\"v\":1,\"id\":1,\"type\":\"compile\",\"problem\":{\"n\":4},"
+        "\"options\":{\"tier\":\"warp\"}}",
+        out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadRequest);
+
+    // Duplicate keys are a parse error, not last-wins.
+    EXPECT_FALSE(parse_request("{\"v\":1,\"v\":1,\"id\":1}", out, kind,
+                               message));
+    EXPECT_EQ(kind, ErrorKind::BadJson);
+
+    // Nesting past the bound must be rejected, not recursed into.
+    std::string bomb = "{\"v\":1,\"id\":0,\"type\":";
+    bomb.append(256, '[');
+    bomb += "0";
+    bomb.append(256, ']');
+    bomb += "}";
+    EXPECT_FALSE(parse_request(bomb, out, kind, message));
+    EXPECT_EQ(kind, ErrorKind::BadJson);
+}
+
+TEST(ServiceProtocol, ErrorAndResultPayloadsRoundTrip)
+{
+    Response response;
+    std::string error;
+    ASSERT_TRUE(parse_response(
+        build_error_payload(9, ErrorKind::Overloaded, "queue full"),
+        response, error))
+        << error;
+    EXPECT_EQ(response.id, 9);
+    EXPECT_EQ(response.type, "error");
+    EXPECT_EQ(response.error, ErrorKind::Overloaded);
+    EXPECT_EQ(response.message, "queue full");
+
+    PlanSummary summary;
+    summary.tier = "fast";
+    summary.selected = "fast";
+    summary.depth = 39;
+    summary.cx = 530;
+    summary.swaps = 154;
+    const std::string fragment = build_plan_fragment(
+        summary, "OPENQASM 2.0;\nqreg q[4];\n", "{\"total\":1}");
+    ASSERT_TRUE(parse_response(
+        build_result_payload(3, true, 0.5, 1.5, fragment), response,
+        error))
+        << error;
+    EXPECT_EQ(response.id, 3);
+    EXPECT_EQ(response.type, "result");
+    EXPECT_TRUE(response.cached);
+    EXPECT_EQ(response.plan.tier, "fast");
+    EXPECT_EQ(response.plan.depth, 39);
+    EXPECT_EQ(response.qasm, "OPENQASM 2.0;\nqreg q[4];\n");
+    // The wire-exact fragment is recovered byte for byte — this is
+    // what the cache byte-identity assertions compare.
+    EXPECT_EQ(response.fragment, fragment);
+    EXPECT_EQ(response.report_json, "{\"total\":1}");
+}
+
+// --------------------------------------------------- live-server abuse
+
+class ServiceProtocolServer : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServerOptions options;
+        options.port = 0;
+        options.workers = 2;
+        server_ = std::make_unique<Server>(options);
+        std::string error;
+        ASSERT_TRUE(server_->start(error)) << error;
+    }
+
+    void TearDown() override { server_->stop(); }
+
+    Request
+    small_compile(std::int64_t id) const
+    {
+        Request request;
+        request.id = id;
+        request.problem_n = 8;
+        request.density = 0.4;
+        request.tier = "fast";
+        return request;
+    }
+
+    std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServiceProtocolServer, IntraFrameErrorsKeepTheConnectionUsable)
+{
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect(server_->port(), error)) << error;
+
+    // Garbage JSON in a well-formed frame: typed error, then the same
+    // connection still serves a real compile.
+    ASSERT_TRUE(client.send_raw(encode_frame("not json at all"), error));
+    Response response;
+    ASSERT_TRUE(client.receive(response, error)) << error;
+    EXPECT_EQ(response.type, "error");
+    EXPECT_EQ(response.error, ErrorKind::BadJson);
+
+    ASSERT_TRUE(client.send_raw(
+        encode_frame("{\"v\":2026,\"id\":5,\"type\":\"ping\"}"),
+        error));
+    ASSERT_TRUE(client.receive(response, error)) << error;
+    EXPECT_EQ(response.type, "error");
+    EXPECT_EQ(response.error, ErrorKind::BadVersion);
+    EXPECT_EQ(response.id, 5); // id recovered best-effort
+
+    ASSERT_TRUE(client.call(small_compile(6), response, error))
+        << error;
+    EXPECT_EQ(response.type, "result");
+}
+
+TEST_F(ServiceProtocolServer, OversizedPrefixGetsTypedErrorThenClose)
+{
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect(server_->port(), error)) << error;
+    const std::uint32_t huge =
+        static_cast<std::uint32_t>(kMaxFrameBytes) + 1;
+    std::string prefix;
+    prefix.push_back(static_cast<char>(huge >> 24));
+    prefix.push_back(static_cast<char>(huge >> 16));
+    prefix.push_back(static_cast<char>(huge >> 8));
+    prefix.push_back(static_cast<char>(huge));
+    ASSERT_TRUE(client.send_raw(prefix, error));
+    Response response;
+    ASSERT_TRUE(client.receive(response, error)) << error;
+    EXPECT_EQ(response.type, "error");
+    EXPECT_EQ(response.error, ErrorKind::Oversized);
+    // The server closes after an unrecoverable framing error.
+    EXPECT_FALSE(client.receive(response, error));
+
+    // And the next connection is unaffected.
+    Client fresh;
+    ASSERT_TRUE(fresh.connect(server_->port(), error)) << error;
+    ASSERT_TRUE(fresh.call(small_compile(1), response, error)) << error;
+    EXPECT_EQ(response.type, "result");
+}
+
+TEST_F(ServiceProtocolServer, MidFrameDisconnectIsAClosedConnection)
+{
+    // Send half a frame and hang up; the server must neither crash
+    // nor leak the connection, and must keep serving others.
+    {
+        Client client;
+        std::string error;
+        ASSERT_TRUE(client.connect(server_->port(), error)) << error;
+        const std::string frame =
+            encode_frame(build_request_payload(small_compile(1)));
+        ASSERT_TRUE(
+            client.send_raw(frame.substr(0, frame.size() / 2), error));
+        client.shutdown_write();
+        Response ignored;
+        EXPECT_FALSE(client.receive(ignored, error)); // clean close
+        client.close();
+    }
+    Client other;
+    std::string error;
+    Response response;
+    ASSERT_TRUE(other.connect(server_->port(), error)) << error;
+    ASSERT_TRUE(other.call(small_compile(2), response, error)) << error;
+    EXPECT_EQ(response.type, "result");
+}
+
+TEST_F(ServiceProtocolServer, MutatedStreamSweep500)
+{
+    // The acceptance-criteria sweep: >= 500 mutated frames at a live
+    // server. Every stream must end in a parseable typed error frame
+    // or a clean close — and the server must still answer a fresh
+    // compile afterwards. Deterministic seed.
+    std::mt19937_64 rng(2026);
+    auto draw = [&](std::uint64_t bound) {
+        return static_cast<std::size_t>(rng() % bound);
+    };
+    int closes = 0, typed_errors = 0, results = 0;
+    constexpr int kStreams = 100; // >= 5 mutated frames per stream
+    for (int s = 0; s < kStreams; ++s) {
+        Client client;
+        std::string error;
+        ASSERT_TRUE(client.connect(server_->port(), error)) << error;
+        for (int f = 0; f < 5; ++f) {
+            std::string frame = encode_frame(
+                build_request_payload(small_compile(f + 1)));
+            switch (draw(5)) {
+            case 0: // flip bits in the payload
+                for (std::size_t flips = 1 + draw(6); flips > 0;
+                     --flips)
+                    frame[4 + draw(frame.size() - 4)] ^=
+                        static_cast<char>(1 << draw(8));
+                break;
+            case 1: // truncate and resynchronize (framing breaks)
+                frame.resize(4 + draw(frame.size() - 4));
+                break;
+            case 2: // raw garbage
+                frame.clear();
+                for (std::size_t n = 1 + draw(64); n > 0; --n)
+                    frame.push_back(static_cast<char>(rng()));
+                break;
+            case 3: // corrupt the length prefix
+                frame[draw(4)] ^= static_cast<char>(0x80);
+                break;
+            default: // leave well-formed
+                break;
+            }
+            if (!client.send_raw(frame, error))
+                break; // server already closed on us — fine
+        }
+        client.shutdown_write();
+        // Drain whatever comes back until close; every frame must
+        // parse as a protocol response.
+        Response response;
+        std::string error2;
+        while (client.receive(response, error2)) {
+            if (response.type == "error")
+                ++typed_errors;
+            else if (response.type == "result")
+                ++results;
+        }
+        ++closes;
+    }
+    // 100 streams x 5 frames = 500 mutated frames, zero crashes.
+    EXPECT_EQ(closes, kStreams);
+    EXPECT_GT(typed_errors, 0);
+    EXPECT_GT(results, 0);
+
+    Client survivor;
+    std::string error;
+    Response response;
+    ASSERT_TRUE(survivor.connect(server_->port(), error)) << error;
+    ASSERT_TRUE(survivor.call(small_compile(99), response, error))
+        << error;
+    EXPECT_EQ(response.type, "result");
+}
+
+} // namespace
+} // namespace permuq::service

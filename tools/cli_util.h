@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small helpers shared by the PermuQ command-line tools (permuqc,
+ * permuqd, permuq-client): the did-you-mean flag hint and the
+ * PERMUQ_* env-knob report. Header-only; tools/ is not a library.
+ */
+#ifndef PERMUQ_TOOLS_CLI_UTIL_H
+#define PERMUQ_TOOLS_CLI_UTIL_H
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace permuq::tools {
+
+/** Levenshtein distance (one-row DP). */
+inline std::size_t
+edit_distance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+/** The closest known flag within 3 edits, or nullptr. */
+inline const char*
+closest_flag(const std::string& arg, const char* const* flags,
+             std::size_t count)
+{
+    const char* best = nullptr;
+    std::size_t best_d = 4; // hint only within 3 edits
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t d = edit_distance(arg, flags[i]);
+        if (d < best_d) {
+            best_d = d;
+            best = flags[i];
+        }
+    }
+    return best;
+}
+
+template <std::size_t N>
+inline const char*
+closest_flag(const std::string& arg, const char* const (&flags)[N])
+{
+    return closest_flag(arg, flags, N);
+}
+
+/** One "  NAME = value|(unset)" line per service env knob — the
+ *  shared tail of every tool's --version env report. */
+inline void
+print_service_env_knobs(std::FILE* out)
+{
+    for (const char* knob :
+         {"PERMUQ_SERVICE_PORT", "PERMUQ_SERVICE_QUEUE_DEPTH",
+          "PERMUQ_SERVICE_CACHE_BUDGET"}) {
+        const char* value = std::getenv(knob);
+        std::fprintf(out, "  %-27s = %s\n", knob,
+                     value ? value : "(unset)");
+    }
+}
+
+/** Env-integer with default (for PERMUQ_SERVICE_* knobs). */
+inline long long
+env_int(const char* name, long long fallback)
+{
+    const char* value = std::getenv(name);
+    return value != nullptr ? std::atoll(value) : fallback;
+}
+
+} // namespace permuq::tools
+
+#endif // PERMUQ_TOOLS_CLI_UTIL_H

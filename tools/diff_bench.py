@@ -21,6 +21,12 @@ between runs:
     its own budget_ratio and the budget has not been silently raised
     above the committed baseline's -- an observability-cost
     regression fails the diff even though it is a timing;
+  * the BENCH_compile.json "service" section's warm-path cache-hit
+    round trip (warm_p50_ms) stays within its own warm_budget_ms and
+    the budget has not been silently raised above the committed
+    baseline's -- the daemon's warm latency is a product guarantee
+    like the observability tax (its byte_identical flag is covered
+    by the generic correctness-flag check);
   * the BENCH_sim.json "sweep" section (when present) meets its own
     speedup gates -- single_speedup >= single_speedup_min when
     single_speedup_gated (the bench arms the gate only at sweep
@@ -120,6 +126,40 @@ def diff_telemetry_overhead(base, cand):
             print(
                 f"diff_bench: telemetry overhead {ratio:.3f}x "
                 f"(baseline {base_ratio:.3f}x, budget {budget:.2f}x)"
+            )
+    return status
+
+
+def diff_service(base, cand):
+    """Gate the compile service's warm path: a cache hit that has
+    drifted over its round-trip budget (or a quietly raised budget)
+    fails the diff even though it is a timing."""
+    if cand is None:
+        return 0
+    p50 = cand.get("warm_p50_ms")
+    budget = cand.get("warm_budget_ms")
+    if not isinstance(p50, (int, float)) or not isinstance(
+        budget, (int, float)
+    ):
+        return fail("service section lacks numeric warm p50/budget")
+    status = 0
+    if p50 > budget:
+        status |= fail(
+            f"service warm p50 {p50:.3f} ms exceeds its budget "
+            f"{budget:.2f} ms"
+        )
+    if base is not None:
+        base_budget = base.get("warm_budget_ms")
+        if isinstance(base_budget, (int, float)) and budget > base_budget:
+            status |= fail(
+                f"service warm budget raised from {base_budget:.2f} to "
+                f"{budget:.2f} ms without a baseline update"
+            )
+        base_p50 = base.get("warm_p50_ms")
+        if isinstance(base_p50, (int, float)):
+            print(
+                f"diff_bench: service warm p50 {p50:.3f} ms "
+                f"(baseline {base_p50:.3f} ms, budget {budget:.2f} ms)"
             )
     return status
 
@@ -263,6 +303,10 @@ def diff(baseline_path, candidate_path):
     status |= diff_telemetry_overhead(
         baseline.get("telemetry_overhead"),
         candidate.get("telemetry_overhead"),
+    )
+
+    status |= diff_service(
+        baseline.get("service"), candidate.get("service")
     )
 
     status |= diff_sweep(baseline.get("sweep"), candidate.get("sweep"))

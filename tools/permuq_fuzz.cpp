@@ -12,6 +12,9 @@
  *                    inject each known-miscompile mutation and demand
  *                    the checkers flag it (a missed mutant is a checker
  *                    false negative and fails the run).
+ *   --protocol       replay random/mutated byte streams at the permuqd
+ *                    wire codec (frame decoder + request parser); any
+ *                    crash, hang, or accepted-garbage is a failure.
  *
  * Everything is deterministic from --seed; the tool never reads the
  * clock except to honor --time-budget.
@@ -27,7 +30,10 @@
 #include <string>
 #include <vector>
 
+#include <random>
+
 #include "common/log/flight_recorder.h"
+#include "service/protocol.h"
 #include "verify/fuzz.h"
 #include "verify/mutate.h"
 
@@ -47,6 +53,8 @@ struct CliOptions
      *  tier (fast|balanced|best) instead of the drawn one. */
     std::string force_tier;
     bool inject = false;
+    /** Fuzz the permuqd wire codec instead of the compilers. */
+    bool protocol = false;
     bool verbose = false;
     /** Deliberately crash (SIGSEGV) after noting a few records, to
      *  exercise the flight-recorder dump path end to end (CI uses
@@ -72,6 +80,8 @@ usage(int code)
            "fast|balanced|best\n"
            "  --inject          mutation-testing mode (checkers must "
            "catch every injected miscompile)\n"
+           "  --protocol        fuzz the permuqd wire codec with "
+           "mutated byte streams (--configs streams)\n"
            "  --crash-test      raise SIGSEGV to exercise the flight-"
            "recorder crash dump\n"
            "  --verbose         print every configuration\n"
@@ -140,6 +150,8 @@ parse_cli(int argc, char** argv, CliOptions& options, int& exit_code)
             });
         } else if (flag == "--inject") {
             options.inject = true;
+        } else if (flag == "--protocol") {
+            options.protocol = true;
         } else if (flag == "--crash-test") {
             options.crash_test = true;
         } else if (flag == "--verbose") {
@@ -215,6 +227,124 @@ write_reproducer(const CliOptions& options,
         return "";
     out << verify::serialize_reproducer(config, result);
     return path.string();
+}
+
+/**
+ * Codec-fuzzing mode (`--protocol`): build one plausible request
+ * frame per configuration, mutate its bytes in a drawn way (bit
+ * flips, truncation, oversized/garbage length prefixes, spliced
+ * junk, deep nesting), and push the stream through FrameDecoder +
+ * parse_request in randomly sized feed chunks — exactly the path a
+ * permuqd reader thread runs on hostile input. The codec must always
+ * answer with NeedMore / a frame / a typed error; any crash, hang,
+ * or out-of-contract acceptance is a failure. Deterministic from
+ * --seed.
+ */
+int
+protocol_mode(const CliOptions& options)
+{
+    using service::FrameDecoder;
+    std::int64_t frames_seen = 0, errors_seen = 0, parsed_ok = 0;
+    for (std::int64_t index = 0; index < options.configs; ++index) {
+        std::mt19937_64 rng(options.seed * 0x9e3779b97f4a7c15ull +
+                            static_cast<std::uint64_t>(index));
+        auto draw = [&](std::uint64_t bound) {
+            return static_cast<std::size_t>(rng() % bound);
+        };
+
+        // A plausible compile/ping request as the mutation base.
+        service::Request request;
+        request.id = static_cast<std::int64_t>(draw(1 << 20));
+        const std::size_t shape = draw(4);
+        if (shape == 0)
+            request.type = "ping";
+        request.problem_n = static_cast<std::int32_t>(4 + draw(16));
+        request.density = 0.1 + 0.05 * static_cast<double>(draw(10));
+        request.seed = rng();
+        request.tier = draw(2) ? "fast" : "balanced";
+        std::string stream =
+            service::encode_frame(service::build_request_payload(request));
+
+        // Mutate the stream.
+        switch (draw(7)) {
+        case 0: // bit flips in the payload (usually breaks the JSON)
+            for (std::size_t flips = 1 + draw(8); flips > 0; --flips)
+                stream[4 + draw(stream.size() - 4)] ^=
+                    static_cast<char>(1 << draw(8));
+            break;
+        case 1: // truncated frame (drop the tail)
+            stream.resize(4 + draw(stream.size() - 4));
+            break;
+        case 2: { // oversized length prefix
+            const std::uint32_t huge =
+                static_cast<std::uint32_t>(service::kMaxFrameBytes) +
+                1 + static_cast<std::uint32_t>(draw(1u << 30));
+            stream[0] = static_cast<char>((huge >> 24) & 0xFF);
+            stream[1] = static_cast<char>((huge >> 16) & 0xFF);
+            stream[2] = static_cast<char>((huge >> 8) & 0xFF);
+            stream[3] = static_cast<char>(huge & 0xFF);
+            break;
+        }
+        case 3: { // garbage bytes, no framing at all
+            stream.clear();
+            for (std::size_t n = 1 + draw(512); n > 0; --n)
+                stream.push_back(static_cast<char>(rng()));
+            break;
+        }
+        case 4: { // deeply nested JSON in a well-formed frame
+            std::string bomb = "{\"v\":1,\"id\":0,\"a\":";
+            const std::size_t depth = 32 + draw(128);
+            bomb.append(depth, '[');
+            bomb += "0";
+            bomb.append(depth, ']');
+            bomb += "}";
+            stream = service::encode_frame(bomb);
+            break;
+        }
+        case 5: { // two frames, the second's prefix corrupted
+            std::string second = stream;
+            second[draw(4)] ^= static_cast<char>(0xFF);
+            stream += second;
+            break;
+        }
+        default: // well-formed (the decoder must accept it verbatim)
+            break;
+        }
+
+        // Feed in randomly sized chunks; drain after every feed.
+        FrameDecoder decoder;
+        bool dead = false;
+        std::size_t offset = 0;
+        while (offset < stream.size() && !dead) {
+            const std::size_t chunk =
+                std::min(stream.size() - offset, 1 + draw(97));
+            decoder.feed(stream.data() + offset, chunk);
+            offset += chunk;
+            for (;;) {
+                std::string payload, error;
+                const auto status = decoder.next(payload, error);
+                if (status == FrameDecoder::Status::NeedMore)
+                    break;
+                if (status == FrameDecoder::Status::Error) {
+                    ++errors_seen;
+                    dead = true; // connection would be closed
+                    break;
+                }
+                ++frames_seen;
+                service::Request parsed;
+                service::ErrorKind kind;
+                std::string message;
+                if (service::parse_request(payload, parsed, kind,
+                                           message))
+                    ++parsed_ok;
+            }
+        }
+    }
+    std::cout << "protocol: " << options.configs << " stream(s), "
+              << frames_seen << " frame(s) decoded, " << parsed_ok
+              << " request(s) parsed, " << errors_seen
+              << " poisoned stream(s), 0 crashes\n";
+    return 0;
 }
 
 int
@@ -332,6 +462,8 @@ main(int argc, char** argv)
         std::raise(SIGSEGV);
         return 3; // unreachable: the handler dumps and re-raises
     }
+    if (options.protocol)
+        return protocol_mode(options);
     if (!options.replay.empty())
         return replay_mode(options);
     return fuzz_mode(options);

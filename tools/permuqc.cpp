@@ -23,6 +23,8 @@
 
 #include <sys/resource.h>
 
+#include "cli_util.h"
+
 #include "arch/coupling_graph.h"
 #include "arch/noise_model.h"
 #include "baselines/baselines.h"
@@ -106,10 +108,13 @@ print_env_knobs(std::FILE* out)
           "PERMUQ_LOG", "PERMUQ_LOG_FORMAT", "PERMUQ_LOG_LEVEL",
           "PERMUQ_FLIGHT"}) {
         const char* value = std::getenv(knob);
-        std::fprintf(out, "  %-17s = %s\n", knob,
+        std::fprintf(out, "  %-27s = %s\n", knob,
                      value ? value : "(unset)");
     }
-    std::fprintf(out, "  simd tier         : %s\n",
+    // The permuqd/permuq-client knobs, reported here too so one
+    // `permuqc --version` shows the whole family's configuration.
+    tools::print_service_env_knobs(out);
+    std::fprintf(out, "  simd tier                   : %s\n",
                  common::vecops::vec_tier_name(
                      common::vecops::active_vec_tier()));
 }
@@ -171,41 +176,6 @@ usage(std::FILE* out)
         "                  sink, format, and threshold)\n"
         "  --version       print the version and exit\n"
         "  --help          print this message and exit\n");
-}
-
-std::size_t
-edit_distance(const std::string& a, const std::string& b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t prev = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            std::size_t cur = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            prev = cur;
-        }
-    }
-    return row[b.size()];
-}
-
-/** The closest known flag, or nullptr if nothing is plausibly close. */
-const char*
-closest_flag(const std::string& arg)
-{
-    const char* best = nullptr;
-    std::size_t best_d = 4; // hint only within 3 edits
-    for (const char* flag : kKnownFlags) {
-        std::size_t d = edit_distance(arg, flag);
-        if (d < best_d) {
-            best_d = d;
-            best = flag;
-        }
-    }
-    return best;
 }
 
 std::optional<graph::Graph>
@@ -355,7 +325,8 @@ main(int argc, char** argv)
             logging::set_level(level);
         } else {
             std::fprintf(stderr, "permuqc: unknown flag %s\n", argv[i]);
-            if (const char* hint = closest_flag(argv[i]))
+            if (const char* hint =
+                    tools::closest_flag(argv[i], kKnownFlags))
                 std::fprintf(stderr, "permuqc: did you mean %s?\n", hint);
             std::fprintf(stderr, "permuqc: see --help for options\n");
             return 2;
